@@ -1,0 +1,73 @@
+//! Ablation: GDO placement — partitioned vs central directory.
+//!
+//! §4.1: "To ensure efficiency and reliability, the GDO design is
+//! partitioned and replicated as well as being partially cacheable at
+//! local sites." This binary measures the partitioning half of that
+//! sentence: hash-partitioning the directory over all nodes versus
+//! concentrating it on one directory server. Partitioning gives each node
+//! a 1/N share of zero-message directory operations and spreads the
+//! directory's message load; a central directory pays a round trip for
+//! nearly every lock operation and concentrates it all on one site.
+
+use lotec_bench::maybe_quick;
+use lotec_core::config::GdoPlacement;
+use lotec_core::engine::run_engine;
+use lotec_core::SystemConfig;
+use lotec_net::{MessageKind, NetworkConfig};
+use lotec_sim::NodeId;
+use lotec_workload::presets;
+
+fn main() {
+    let scenario = maybe_quick(presets::fig3());
+    let (registry, families) = scenario.generate().expect("workload generates");
+    let base = scenario.system_config();
+    let net = NetworkConfig::default_cluster();
+
+    println!("GDO placement ({}):\n", scenario.name);
+    println!(
+        "{:<24} {:>10} {:>14} {:>16} {:>14}",
+        "placement", "lock msgs", "lock bytes", "total msg time", "makespan"
+    );
+    for (label, placement) in [
+        ("partitioned (paper)", GdoPlacement::Partitioned),
+        ("central @ N0", GdoPlacement::Central(NodeId::new(0))),
+    ] {
+        let config = SystemConfig { gdo_placement: placement, ..base.clone() };
+        let report = run_engine(&config, &registry, &families).expect("engine runs");
+        lotec_core::oracle::verify(&report).expect("serializable");
+        let ledger = report.traffic.ledger();
+        let lock_msgs: u64 = [
+            MessageKind::LockRequest,
+            MessageKind::LockGrant,
+            MessageKind::LockRelease,
+        ]
+        .iter()
+        .map(|&k| ledger.kind(k).messages)
+        .sum();
+        let lock_bytes: u64 = [
+            MessageKind::LockRequest,
+            MessageKind::LockGrant,
+            MessageKind::LockRelease,
+        ]
+        .iter()
+        .map(|&k| ledger.kind(k).bytes)
+        .sum();
+        println!(
+            "{:<24} {:>10} {:>14} {:>16} {:>14}",
+            label,
+            lock_msgs,
+            lock_bytes,
+            report.traffic.total().message_time(net).to_string(),
+            report.stats.makespan.to_string(),
+        );
+    }
+    println!(
+        "\nExpected message counts are nearly identical: under either design \
+         ~1/N of lock operations happen to be requester-local. What \
+         partitioning buys — and what an analytic (non-queueing) cost model \
+         cannot price — is load spreading: the central design funnels every \
+         directory message through one node, which saturates first and is a \
+         single point of failure. That, plus replication, is §4.1's \
+         'efficiency and reliability' argument."
+    );
+}

@@ -1,0 +1,52 @@
+//! Ablation: undo-log vs shadow-page recovery.
+//!
+//! Paper §4.1: "the UNDO operations required by the `LocalLockRelease`
+//! routine may be done using either local UNDO logs or shadow pages. In
+//! either case, no network communication is required." This binary runs a
+//! fault-injected workload under both mechanisms and demonstrates that
+//! they are semantically interchangeable: identical schedules, identical
+//! traffic, identical final state — and aborts never generate consistency
+//! traffic beyond the lock-release messages.
+
+use lotec_bench::maybe_quick;
+use lotec_core::config::RecoveryKind;
+use lotec_core::engine::run_engine;
+use lotec_core::SystemConfig;
+use lotec_workload::presets;
+
+fn main() {
+    let scenario = maybe_quick(presets::ablation_faults());
+    let (registry, families) = scenario.generate().expect("workload generates");
+    println!("Recovery-mechanism ablation ({}):\n", scenario.name);
+
+    let mut reports = Vec::new();
+    for (label, recovery) in [("undo log", RecoveryKind::UndoLog), ("shadow pages", RecoveryKind::ShadowPages)] {
+        let config = SystemConfig {
+            recovery,
+            num_nodes: scenario.config.num_nodes,
+            page_size: scenario.config.schema.page_size,
+            seed: scenario.config.seed,
+            ..SystemConfig::default()
+        };
+        let report = run_engine(&config, &registry, &families).expect("engine runs");
+        lotec_core::oracle::verify(&report).expect("serializable despite faults");
+        let t = report.traffic.total();
+        println!(
+            "{label:>14}: {} commits, {} sub-txn aborts, {} bytes, {} messages",
+            report.stats.committed_families, report.stats.subtxn_aborts, t.bytes, t.messages
+        );
+        reports.push(report);
+    }
+
+    assert_eq!(reports[0].trace, reports[1].trace, "schedules must match");
+    assert_eq!(reports[0].final_chains, reports[1].final_chains, "final state must match");
+    assert_eq!(
+        reports[0].traffic.total(),
+        reports[1].traffic.total(),
+        "traffic must match"
+    );
+    println!(
+        "\nBoth mechanisms produce byte-identical schedules, traffic and final \
+         state: recovery is a purely local choice, exactly as §4.1 claims."
+    );
+}

@@ -1,0 +1,55 @@
+//! Ablation: GDO replication factor (§4.1 "partitioned and replicated …
+//! to ensure efficiency and reliability").
+//!
+//! Replication buys failover for the directory; its cost is a small
+//! write-behind message to each backup per directory mutation (grant or
+//! release). This binary sweeps the replication factor and shows the cost
+//! is linear, small relative to page traffic, and entirely off the
+//! critical path (the schedule — and therefore makespan — is unchanged).
+
+use lotec_bench::maybe_quick;
+use lotec_core::engine::run_engine;
+use lotec_core::SystemConfig;
+use lotec_net::{MessageKind, NetworkConfig};
+use lotec_workload::presets;
+
+fn main() {
+    let scenario = maybe_quick(presets::fig3());
+    let (registry, families) = scenario.generate().expect("workload generates");
+    let base = scenario.system_config();
+    let net = NetworkConfig::default_cluster();
+
+    println!("GDO replication cost ({}):\n", scenario.name);
+    println!(
+        "{:>7} {:>12} {:>14} {:>10} {:>16} {:>12}",
+        "factor", "repl msgs", "repl bytes", "% of total", "total msg time", "makespan"
+    );
+    let mut schedules = Vec::new();
+    for factor in [1u32, 2, 3, 4] {
+        let config = SystemConfig { gdo_replication: factor, ..base.clone() };
+        let report = run_engine(&config, &registry, &families).expect("engine runs");
+        lotec_core::oracle::verify(&report).expect("serializable");
+        let repl = report.traffic.ledger().kind(MessageKind::GdoReplicate);
+        let total = report.traffic.total();
+        println!(
+            "{:>7} {:>12} {:>14} {:>9.2}% {:>16} {:>12}",
+            factor,
+            repl.messages,
+            repl.bytes,
+            100.0 * repl.bytes as f64 / total.bytes as f64,
+            total.message_time(net).to_string(),
+            report.stats.makespan.to_string(),
+        );
+        schedules.push(report.trace);
+    }
+    assert!(
+        schedules.windows(2).all(|w| w[0] == w[1]),
+        "write-behind replication must never perturb the schedule"
+    );
+    println!(
+        "\nReplication messages are tiny relative to page traffic, scale \
+         linearly with the factor, and never touch the schedule (asserted \
+         identical across factors) — reliability at a bounded, predictable \
+         price, as §4.1's design intends."
+    );
+}

@@ -1,0 +1,19 @@
+//! Reproduces Figure 2: bytes transferred per shared object — medium
+//! objects (1–5 pages) under high contention, objects O0–O19.
+
+use lotec_bench::{axis, maybe_quick, print_bytes_figure, run_scenario};
+use lotec_workload::presets;
+
+fn main() {
+    let scenario = maybe_quick(presets::fig2());
+    let cmp = run_scenario(&scenario);
+    if let Some(path) = lotec_bench::csv_path("fig2") {
+        lotec_bench::write_bytes_csv(&path, &cmp, &axis::fig2()).expect("csv written");
+        println!("(csv written to {})", path.display());
+    }
+    print_bytes_figure(
+        "Figure 2: Medium Sized Objects with High Contention (bytes per object)",
+        &cmp,
+        &axis::fig2(),
+    );
+}

@@ -1,0 +1,19 @@
+//! Reproduces Figure 3: bytes transferred per shared object — large
+//! objects (10–20 pages) under high contention, objects O10–O19.
+
+use lotec_bench::{axis, maybe_quick, print_bytes_figure, run_scenario};
+use lotec_workload::presets;
+
+fn main() {
+    let scenario = maybe_quick(presets::fig3());
+    let cmp = run_scenario(&scenario);
+    if let Some(path) = lotec_bench::csv_path("fig3") {
+        lotec_bench::write_bytes_csv(&path, &cmp, &axis::fig3()).expect("csv written");
+        println!("(csv written to {})", path.display());
+    }
+    print_bytes_figure(
+        "Figure 3: Large Sized Objects with High Contention (bytes per object)",
+        &cmp,
+        &axis::fig3(),
+    );
+}

@@ -1,0 +1,19 @@
+//! Reproduces Figure 4: bytes transferred per shared object — medium
+//! objects (1–5 pages) under moderate contention, selected objects O9–O99.
+
+use lotec_bench::{axis, maybe_quick, print_bytes_figure, run_scenario};
+use lotec_workload::presets;
+
+fn main() {
+    let scenario = maybe_quick(presets::fig4());
+    let cmp = run_scenario(&scenario);
+    if let Some(path) = lotec_bench::csv_path("fig4") {
+        lotec_bench::write_bytes_csv(&path, &cmp, &axis::fig4()).expect("csv written");
+        println!("(csv written to {})", path.display());
+    }
+    print_bytes_figure(
+        "Figure 4: Medium Sized Objects with Moderate Contention (bytes per object)",
+        &cmp,
+        &axis::fig4(),
+    );
+}

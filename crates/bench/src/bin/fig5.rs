@@ -1,0 +1,20 @@
+//! Reproduces Figure 5: bytes transferred per shared object — large
+//! objects (10–20 pages) under moderate contention, selected objects
+//! O9–O99.
+
+use lotec_bench::{axis, maybe_quick, print_bytes_figure, run_scenario};
+use lotec_workload::presets;
+
+fn main() {
+    let scenario = maybe_quick(presets::fig5());
+    let cmp = run_scenario(&scenario);
+    if let Some(path) = lotec_bench::csv_path("fig5") {
+        lotec_bench::write_bytes_csv(&path, &cmp, &axis::fig5()).expect("csv written");
+        println!("(csv written to {})", path.display());
+    }
+    print_bytes_figure(
+        "Figure 5: Large Sized Objects with Moderate Contention (bytes per object)",
+        &cmp,
+        &axis::fig5(),
+    );
+}

@@ -1,0 +1,23 @@
+//! Reproduces Figure 7: total message time to maintain one shared
+//! object's consistency at 100Mbps, swept over the paper's five
+//! per-message software costs (100us, 20us, 5us, 1us, 500ns).
+
+use lotec_bench::{busiest_object, maybe_quick, print_time_figure, run_scenario};
+use lotec_net::Bandwidth;
+use lotec_workload::presets;
+
+fn main() {
+    let scenario = maybe_quick(presets::network_sweep());
+    let cmp = run_scenario(&scenario);
+    let object = busiest_object(&cmp, scenario.config.num_objects);
+    if let Some(path) = lotec_bench::csv_path("fig7") {
+        lotec_bench::write_time_csv(&path, &cmp, object, Bandwidth::fast_ethernet()).expect("csv written");
+        println!("(csv written to {})", path.display());
+    }
+    print_time_figure(
+        "Figure 7: Example Transfer Time at 100Mbps",
+        &cmp,
+        object,
+        Bandwidth::fast_ethernet(),
+    );
+}

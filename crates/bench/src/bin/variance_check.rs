@@ -1,0 +1,65 @@
+//! Multi-seed robustness check for the reproduction's headline ratios.
+//!
+//! The paper hedges: "with a synthetic workload of transactions we do not
+//! want to speculate on the importance of these results" (§5). This binary
+//! quantifies how much the key ratios move across workload seeds: if the
+//! orderings held for one lucky seed only, the reproduction would be
+//! worthless. Five seeds per scenario, run in parallel.
+
+use std::thread;
+
+use lotec_core::compare::compare_protocols;
+use lotec_core::protocol::ProtocolKind;
+use lotec_workload::presets;
+
+fn main() {
+    let seeds: Vec<u64> = (0..5).map(|i| 0x5EED + i * 7919).collect();
+    println!("Ratio stability across {} workload seeds:\n", seeds.len());
+    println!(
+        "{:<46} {:>22} {:>22} {:>10}",
+        "scenario", "OTEC/COTEC (min..max)", "LOTEC/OTEC (min..max)", "ordering"
+    );
+    for scenario in presets::all_figures() {
+        let base = presets::quick(scenario);
+        let results: Vec<(f64, f64, bool)> = thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .iter()
+                .map(|&seed| {
+                    let mut s = base.clone();
+                    scope.spawn(move || {
+                        s.config.seed = seed;
+                        let (registry, families) = s.generate().expect("generates");
+                        let cmp = compare_protocols(&s.system_config(), &registry, &families)
+                            .expect("runs");
+                        let c = cmp.total(ProtocolKind::Cotec).bytes as f64;
+                        let o = cmp.total(ProtocolKind::Otec).bytes as f64;
+                        let l = cmp.total(ProtocolKind::Lotec).bytes as f64;
+                        (o / c, l / o, l <= o && o <= c)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("seed run panicked")).collect()
+        });
+        let min_oc = results.iter().map(|r| r.0).fold(f64::INFINITY, f64::min);
+        let max_oc = results.iter().map(|r| r.0).fold(0.0, f64::max);
+        let min_lo = results.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+        let max_lo = results.iter().map(|r| r.1).fold(0.0, f64::max);
+        let all_ordered = results.iter().all(|r| r.2);
+        println!(
+            "{:<46} {:>10.3}..{:<10.3} {:>10.3}..{:<10.3} {:>10}",
+            base.name,
+            min_oc,
+            max_oc,
+            min_lo,
+            max_lo,
+            if all_ordered { "5/5" } else { "VIOLATED" }
+        );
+        assert!(all_ordered, "{}: byte ordering must hold on every seed", base.name);
+    }
+    println!(
+        "\nThe byte ordering LOTEC <= OTEC <= COTEC held on every seed of \
+         every scenario (asserted); the ratios move with the draw — exactly \
+         the scenario-dependence the paper reports — but stay in the same \
+         bands."
+    );
+}

@@ -1,0 +1,283 @@
+//! Per-family execution state for the discrete-event engine.
+
+use lotec_mem::{ObjectId, PageIndex};
+use lotec_object::{MethodId, PathId};
+use lotec_sim::{SimDuration, SimTime};
+use lotec_txn::TxnId;
+
+use crate::spec::{FamilySpec, InvocationSpec};
+
+/// Locates an invocation inside a family's spec tree: the sequence of
+/// child indexes from the root.
+pub(crate) type SpecPtr = Vec<usize>;
+
+/// Resolves a [`SpecPtr`] against a family spec.
+pub(crate) fn spec_at<'a>(family: &'a FamilySpec, ptr: &[usize]) -> &'a InvocationSpec {
+    let mut cur = &family.root;
+    for &idx in ptr {
+        cur = &cur.children[idx];
+    }
+    cur
+}
+
+/// One frame of a family's invocation stack (the chain of currently active
+/// nested invocations).
+#[derive(Debug, Clone)]
+pub(crate) struct Frame {
+    /// Where in the spec tree this invocation lives.
+    pub ptr: SpecPtr,
+    /// The transaction executing it.
+    pub txn: TxnId,
+    /// Receiver object (cached from the spec).
+    pub object: ObjectId,
+    /// Method (cached from the spec).
+    pub method: MethodId,
+    /// Chosen control path (cached from the spec).
+    pub path: PathId,
+    /// Index of the next child invocation to start.
+    pub next_child: usize,
+}
+
+/// What the family is currently doing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Not yet started (before its arrival event).
+    NotStarted,
+    /// Parked: its current lock request is queued at the GDO.
+    WaitingGrant,
+    /// Lock in flight: a grant message is travelling to the family's node.
+    GrantInFlight {
+        /// Whether the grant involved GDO communication.
+        global: bool,
+        /// Holder-list size carried by the grant message.
+        holders: usize,
+    },
+    /// Gathering pages (page-transfer batches in flight).
+    Fetching,
+    /// Executing method code (compute delay in flight).
+    Computing,
+    /// Waiting out a restart backoff.
+    Restarting,
+    /// Root committed.
+    Done,
+    /// Aborted permanently (root fault injection or restart budget
+    /// exhausted).
+    Failed,
+}
+
+/// One data operation performed by a family, in chronological order.
+///
+/// The serializability oracle replays these per committed family, so reads
+/// and writes must stay interleaved exactly as they executed (a child's
+/// read can follow its parent's write to the same page).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FamilyOp {
+    /// A page read observing a content chain.
+    Read {
+        /// Source object.
+        object: ObjectId,
+        /// Source page.
+        page: PageIndex,
+        /// Content-chain value observed.
+        chain: u64,
+    },
+    /// A stamp folded into a page's content chain.
+    Write {
+        /// Target object.
+        object: ObjectId,
+        /// Target page.
+        page: PageIndex,
+        /// The stamp applied.
+        stamp: u64,
+    },
+}
+
+/// A [`FamilyOp`] tagged with the transaction that performed it, so an
+/// aborted subtree's operations can be discarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct AttemptOp {
+    pub txn: TxnId,
+    pub op: FamilyOp,
+}
+
+/// Live execution state of one family.
+#[derive(Debug, Clone)]
+pub(crate) struct FamilyRuntime {
+    /// Index into the workload's family list.
+    pub index: usize,
+    /// Root transaction of the current attempt.
+    pub root_txn: Option<TxnId>,
+    /// The invocation stack (root at position 0).
+    pub frames: Vec<Frame>,
+    /// Current phase.
+    pub phase: Phase,
+    /// Restarts performed so far.
+    pub restarts: u32,
+    /// Arrival time (first attempt) — end-to-end latency baseline.
+    pub arrival: SimTime,
+    /// Data operations of the current attempt, in execution order.
+    pub ops: Vec<AttemptOp>,
+    /// Extra compute-phase delay accumulated by demand fetches for the
+    /// invocation currently being served.
+    pub fetch_extra: SimDuration,
+    /// For lock prefetching: when each pending invocation's lock request
+    /// was optimistically issued (keyed by spec pointer).
+    pub prefetch_at: std::collections::BTreeMap<SpecPtr, SimTime>,
+}
+
+impl FamilyRuntime {
+    /// Fresh runtime for family `index` arriving at `arrival`.
+    pub fn new(index: usize, arrival: SimTime) -> Self {
+        FamilyRuntime {
+            index,
+            root_txn: None,
+            frames: Vec::new(),
+            phase: Phase::NotStarted,
+            restarts: 0,
+            arrival,
+            ops: Vec::new(),
+            fetch_extra: SimDuration::ZERO,
+            prefetch_at: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// The current (innermost) frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty.
+    pub fn top(&self) -> &Frame {
+        self.frames.last().expect("family has no active frame")
+    }
+
+    /// Mutable access to the current frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty.
+    pub fn top_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("family has no active frame")
+    }
+
+    /// Clears all per-attempt state for a restart.
+    pub fn reset_for_restart(&mut self) {
+        self.root_txn = None;
+        self.frames.clear();
+        self.ops.clear();
+        self.fetch_extra = SimDuration::ZERO;
+        self.prefetch_at.clear();
+        self.phase = Phase::Restarting;
+    }
+
+    /// Drops the operations of an aborted subtree (identified by its member
+    /// transactions).
+    pub fn discard_subtree_effects(&mut self, subtree: &[TxnId]) {
+        self.ops.retain(|o| !subtree.contains(&o.txn));
+    }
+
+    /// Dirty info for a root commit: per object, the distinct pages written
+    /// by surviving transactions, in deterministic order.
+    pub fn surviving_dirty(&self) -> Vec<(ObjectId, Vec<PageIndex>)> {
+        let mut map: std::collections::BTreeMap<ObjectId, std::collections::BTreeSet<PageIndex>> =
+            std::collections::BTreeMap::new();
+        for o in &self.ops {
+            if let FamilyOp::Write { object, page, .. } = o.op {
+                map.entry(object).or_default().insert(page);
+            }
+        }
+        map.into_iter()
+            .map(|(o, pages)| (o, pages.into_iter().collect()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotec_sim::NodeId;
+    use lotec_txn::TxnTree;
+
+    fn mk_txn(n: u64) -> TxnId {
+        let mut tree = TxnTree::new();
+        let mut last = tree.begin_root(NodeId::new(0));
+        for _ in 0..n {
+            last = tree.begin_root(NodeId::new(0));
+        }
+        last
+    }
+
+    fn write(txn: TxnId, o: u32, p: u16) -> AttemptOp {
+        AttemptOp {
+            txn,
+            op: FamilyOp::Write { object: ObjectId::new(o), page: PageIndex::new(p), stamp: 1 },
+        }
+    }
+
+    #[test]
+    fn spec_at_resolves_pointers() {
+        let leaf = InvocationSpec::leaf(ObjectId::new(2), MethodId::new(0), PathId::new(0));
+        let mid = InvocationSpec {
+            object: ObjectId::new(1),
+            method: MethodId::new(0),
+            path: PathId::new(0),
+            children: vec![leaf],
+            abort: false,
+        };
+        let family = FamilySpec {
+            node: NodeId::new(0),
+            start: SimTime::ZERO,
+            root: InvocationSpec {
+                object: ObjectId::new(0),
+                method: MethodId::new(0),
+                path: PathId::new(0),
+                children: vec![mid],
+                abort: false,
+            },
+        };
+        assert_eq!(spec_at(&family, &[]).object, ObjectId::new(0));
+        assert_eq!(spec_at(&family, &[0]).object, ObjectId::new(1));
+        assert_eq!(spec_at(&family, &[0, 0]).object, ObjectId::new(2));
+    }
+
+    #[test]
+    fn surviving_dirty_groups_and_dedups() {
+        let mut fam = FamilyRuntime::new(0, SimTime::ZERO);
+        let t = mk_txn(0);
+        for (o, p) in [(1u32, 0u16), (0, 3), (1, 0), (1, 1)] {
+            fam.ops.push(write(t, o, p));
+        }
+        // Reads never contribute to dirty info.
+        fam.ops.push(AttemptOp {
+            txn: t,
+            op: FamilyOp::Read { object: ObjectId::new(2), page: PageIndex::new(0), chain: 0 },
+        });
+        let dirty = fam.surviving_dirty();
+        assert_eq!(dirty.len(), 2);
+        assert_eq!(dirty[0].0, ObjectId::new(0));
+        assert_eq!(dirty[1].1, vec![PageIndex::new(0), PageIndex::new(1)]);
+    }
+
+    #[test]
+    fn discard_subtree_effects_filters_by_txn() {
+        let mut fam = FamilyRuntime::new(0, SimTime::ZERO);
+        let (a, b) = (mk_txn(0), mk_txn(1));
+        fam.ops.push(write(a, 0, 0));
+        fam.ops.push(write(b, 0, 1));
+        fam.discard_subtree_effects(&[b]);
+        assert_eq!(fam.ops.len(), 1);
+        assert_eq!(fam.ops[0].txn, a);
+    }
+
+    #[test]
+    fn reset_for_restart_clears_attempt_state() {
+        let mut fam = FamilyRuntime::new(3, SimTime::from_micros(5));
+        fam.restarts = 2;
+        fam.ops.push(write(mk_txn(0), 0, 0));
+        fam.reset_for_restart();
+        assert!(fam.ops.is_empty());
+        assert!(fam.frames.is_empty());
+        assert_eq!(fam.restarts, 2, "restart count survives");
+        assert_eq!(fam.arrival, SimTime::from_micros(5), "arrival survives");
+        assert_eq!(fam.phase, Phase::Restarting);
+    }
+}

@@ -1,0 +1,1201 @@
+//! The discrete-event execution engine.
+//!
+//! The engine runs a workload of nested-object transaction families on a
+//! simulated cluster under one consistency protocol:
+//!
+//! * families execute sequentially at their site, walking their invocation
+//!   tree depth-first (each invocation = one [sub-]transaction, §3.3);
+//! * lock operations follow nested O2PL against the hash-partitioned GDO,
+//!   with local operations free and global ones paying request/grant
+//!   messages (Algorithms 4.1–4.4);
+//! * granted acquisitions gather pages per the protocol's transfer policy
+//!   (Algorithm 4.5), paying one request/transfer pair per source site;
+//! * page *content* is modelled for real: every page carries a content
+//!   chain, writes fold stamps into it, UNDO restores pre-images, and the
+//!   [`oracle`](crate::oracle) later re-executes everything serially to
+//!   prove the run serializable;
+//! * cross-family deadlocks are detected at queue time and broken by
+//!   aborting and restarting the youngest family;
+//! * sub-transaction faults (workload-injected) roll back and the parent
+//!   continues — the closed-nesting recovery story of §3.1.
+//!
+//! The engine records every grant/commit/abort into a
+//! [`ScheduleTrace`] for the replay-based
+//! protocol comparison.
+
+mod family;
+
+pub use family::FamilyOp;
+
+use std::collections::BTreeMap;
+
+use lotec_mem::{ObjectId, PageId, PageIndex, Recovery, ShadowPages, UndoLog};
+use lotec_mem::{PageStore, Version};
+use lotec_net::{Message, MessageKind, TrafficLedger};
+use lotec_object::{ObjectRegistry, PageSet};
+use lotec_sim::{NodeId, SimDuration, SimRng, SimTime, Simulator};
+use lotec_txn::{Acquire, Grant, LockMode, LockTable, TxnId, TxnTree};
+
+use crate::config::{RecoveryKind, SystemConfig};
+use crate::error::CoreError;
+use crate::granularity::transfer_message_bytes;
+use crate::metrics::{ProtocolTraffic, RunStats};
+use crate::protocol::{plan_transfer, PlacementView, ProtocolKind};
+use crate::spec::{validate_family, FamilySpec};
+use crate::trace::{ScheduleTrace, TraceEvent};
+
+use family::{spec_at, Frame, FamilyRuntime, Phase};
+
+/// The operations of one *committed* family, in commit order — the input
+/// to the serializability oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommittedFamily {
+    /// Root transaction id (raw).
+    pub family: u64,
+    /// Workload index of the family.
+    pub index: usize,
+    /// Data operations in execution order.
+    pub ops: Vec<FamilyOp>,
+}
+
+/// Everything one engine run produces.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The protocol the engine ran.
+    pub protocol: ProtocolKind,
+    /// Aggregate statistics.
+    pub stats: RunStats,
+    /// The recorded lock schedule.
+    pub trace: ScheduleTrace,
+    /// Consistency traffic charged during the run.
+    pub traffic: ProtocolTraffic,
+    /// Committed families in commit order (oracle input).
+    pub committed: Vec<CommittedFamily>,
+    /// Final content chain of every page, read from the page's owner node
+    /// (oracle cross-check).
+    pub final_chains: BTreeMap<(ObjectId, PageIndex), u64>,
+}
+
+/// Engine events.
+#[derive(Debug, Clone)]
+enum Event {
+    /// Family arrival.
+    Start(usize),
+    /// A lock grant reached the family's node.
+    GrantArrived(usize),
+    /// All page-transfer batches of the current acquisition arrived.
+    FetchArrived(usize),
+    /// The compute delay of the current invocation elapsed.
+    ComputeDone(usize),
+    /// Continue the parent after a child pre-committed or aborted.
+    Continue(usize),
+    /// Restart a deadlock-victim family.
+    Restart(usize),
+}
+
+/// The discrete-event engine. See the [module docs](self).
+pub struct Engine<'a> {
+    config: &'a SystemConfig,
+    registry: &'a ObjectRegistry,
+    workload: &'a [FamilySpec],
+    sim: Simulator<Event>,
+    tree: TxnTree,
+    table: LockTable,
+    stores: Vec<PageStore>,
+    recovery: Box<dyn Recovery>,
+    families: Vec<FamilyRuntime>,
+    root_to_family: BTreeMap<TxnId, usize>,
+    last_holder: BTreeMap<ObjectId, NodeId>,
+    ledger: TrafficLedger,
+    trace: ScheduleTrace,
+    stats: RunStats,
+    committed: Vec<CommittedFamily>,
+    miss_rng: SimRng,
+    jitter_rng: SimRng,
+}
+
+impl std::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("protocol", &self.config.protocol)
+            .field("families", &self.families.len())
+            .field("now", &self.sim.now())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Read-only placement view over the engine's live state.
+struct EngineView<'b> {
+    table: &'b LockTable,
+    stores: &'b [PageStore],
+    registry: &'b ObjectRegistry,
+    last_holder: &'b BTreeMap<ObjectId, NodeId>,
+}
+
+impl PlacementView for EngineView<'_> {
+    fn local_version(&self, node: NodeId, object: ObjectId, page: PageIndex) -> Option<Version> {
+        self.stores[node.index() as usize].version_of(PageId::new(object, page.get()))
+    }
+
+    fn global_version(&self, object: ObjectId, page: PageIndex) -> Version {
+        self.table
+            .entry(object)
+            .expect("registered object")
+            .page_map()
+            .location(page)
+            .version
+    }
+
+    fn page_owner(&self, object: ObjectId, page: PageIndex) -> NodeId {
+        self.table
+            .entry(object)
+            .expect("registered object")
+            .page_map()
+            .location(page)
+            .node
+    }
+
+    fn last_holder(&self, object: ObjectId) -> NodeId {
+        *self
+            .last_holder
+            .get(&object)
+            .expect("last_holder seeded for every object")
+    }
+
+    fn num_pages(&self, object: ObjectId) -> u16 {
+        self.registry.num_pages(object)
+    }
+}
+
+impl<'a> Engine<'a> {
+    /// Builds an engine for `workload` on `registry` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] if any family fails validation.
+    pub fn new(
+        config: &'a SystemConfig,
+        registry: &'a ObjectRegistry,
+        workload: &'a [FamilySpec],
+    ) -> Result<Self, CoreError> {
+        config.validate();
+        for family in workload {
+            validate_family(family, registry, config)?;
+        }
+        let mut table = LockTable::new();
+        let mut stores: Vec<PageStore> =
+            (0..config.num_nodes).map(|_| PageStore::new(config.page_size as usize)).collect();
+        let mut last_holder = BTreeMap::new();
+        for inst in registry.objects() {
+            let num_pages = registry.num_pages(inst.id);
+            table.register_object(inst.id, num_pages, inst.home);
+            last_holder.insert(inst.id, inst.home);
+            // Materialize the initial (version 0, zero-filled) image at the
+            // object's home so first transfers have a source.
+            let home_store = &mut stores[inst.home.index() as usize];
+            for p in 0..num_pages {
+                home_store.ensure(PageId::new(inst.id, p));
+            }
+        }
+        let recovery: Box<dyn Recovery> = match config.recovery {
+            RecoveryKind::UndoLog => Box::new(UndoLog::new()),
+            RecoveryKind::ShadowPages => Box::new(ShadowPages::new()),
+        };
+        let mut sim = Simulator::new();
+        let families: Vec<FamilyRuntime> = workload
+            .iter()
+            .enumerate()
+            .map(|(i, f)| FamilyRuntime::new(i, f.start))
+            .collect();
+        for (i, f) in workload.iter().enumerate() {
+            sim.schedule_at(f.start, Event::Start(i));
+        }
+        let root_rng = SimRng::seed_from_u64(config.seed ^ 0x5EED_0F0F_4E97_1A1Du64);
+        Ok(Engine {
+            config,
+            registry,
+            workload,
+            sim,
+            tree: TxnTree::new(),
+            table,
+            stores,
+            recovery,
+            families,
+            root_to_family: BTreeMap::new(),
+            last_holder,
+            ledger: TrafficLedger::new(),
+            trace: ScheduleTrace::new(),
+            stats: RunStats::default(),
+            committed: Vec::new(),
+            miss_rng: root_rng.fork(0xA11CE),
+            jitter_rng: root_rng.fork(0xB0B),
+        })
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the lock manager rejects an operation the
+    /// workload should never produce (a workload/engine bug) or a family
+    /// exhausts its restart budget.
+    pub fn run(mut self) -> Result<RunReport, CoreError> {
+        while let Some((now, event)) = self.sim.next_event() {
+            self.handle(now, event)?;
+        }
+        // Every family must have reached a terminal phase.
+        debug_assert!(self
+            .families
+            .iter()
+            .all(|f| matches!(f.phase, Phase::Done | Phase::Failed)));
+        let final_chains = self.collect_final_chains();
+        Ok(RunReport {
+            protocol: self.config.protocol,
+            stats: self.stats,
+            trace: self.trace,
+            traffic: ProtocolTraffic::new(self.ledger),
+            committed: self.committed,
+            final_chains,
+        })
+    }
+
+    fn handle(&mut self, now: SimTime, event: Event) -> Result<(), CoreError> {
+        match event {
+            Event::Start(fam) | Event::Restart(fam) => self.start_family(now, fam),
+            Event::GrantArrived(fam) => self.on_grant_arrived(now, fam),
+            Event::FetchArrived(fam) => {
+                self.begin_compute(now, fam);
+                Ok(())
+            }
+            Event::ComputeDone(fam) | Event::Continue(fam) => self.advance(now, fam),
+        }
+    }
+
+    // ---- message helpers -------------------------------------------------
+
+    /// Charges a message and returns its transfer time; node-local
+    /// "messages" are free and unrecorded.
+    fn send(
+        &mut self,
+        kind: MessageKind,
+        src: NodeId,
+        dst: NodeId,
+        object: ObjectId,
+        bytes: u64,
+    ) -> SimDuration {
+        if src == dst {
+            return SimDuration::ZERO;
+        }
+        self.ledger.record(&Message::new(kind, src, dst, object, bytes));
+        self.config.network.transfer_time_for(kind, bytes)
+    }
+
+    /// Propagates a directory-state mutation for `object` to its backup
+    /// replicas (write-behind, so no latency is added to the mutating
+    /// operation's critical path).
+    fn replicate_gdo(&mut self, object: ObjectId, bytes: u64) {
+        if self.config.gdo_replication <= 1 {
+            return;
+        }
+        let home = self.config.gdo_home(object);
+        for replica in self.config.gdo_replicas(object) {
+            self.send(MessageKind::GdoReplicate, home, replica, object, bytes);
+        }
+    }
+
+    // ---- family lifecycle ------------------------------------------------
+
+    fn start_family(&mut self, now: SimTime, fam: usize) -> Result<(), CoreError> {
+        let spec = &self.workload[fam];
+        let root = self.tree.begin_root(spec.node);
+        self.root_to_family.insert(root, fam);
+        self.families[fam].root_txn = Some(root);
+        self.start_invocation(now, fam, Vec::new(), None)
+    }
+
+    fn start_invocation(
+        &mut self,
+        now: SimTime,
+        fam: usize,
+        ptr: Vec<usize>,
+        parent: Option<TxnId>,
+    ) -> Result<(), CoreError> {
+        let spec = spec_at(&self.workload[fam], &ptr);
+        let txn = match parent {
+            None => self.families[fam].root_txn.expect("root txn minted"),
+            Some(parent) => self.tree.begin_child(parent),
+        };
+        let frame = Frame {
+            ptr,
+            txn,
+            object: spec.object,
+            method: spec.method,
+            path: spec.path,
+            next_child: 0,
+        };
+        self.families[fam].frames.push(frame);
+        self.request_lock(now, fam)
+    }
+
+    fn request_lock(&mut self, now: SimTime, fam: usize) -> Result<(), CoreError> {
+        let (txn, object, method) = {
+            let top = self.families[fam].top();
+            (top.txn, top.object, top.method)
+        };
+        let node = self.workload[fam].node;
+        let mode = if self.registry.class_of(object).is_read_only(method) {
+            LockMode::Read
+        } else {
+            LockMode::Write
+        };
+        let outcome = self.table.acquire(object, txn, mode, &self.tree)?;
+        match outcome {
+            Acquire::LocalGrant => {
+                self.stats.local_lock_grants += 1;
+                self.families[fam].phase = Phase::GrantInFlight { global: false, holders: 0 };
+                let delay = self.config.costs.local_lock_op;
+                self.sim.schedule_at(now + delay, Event::GrantArrived(fam));
+            }
+            Acquire::GlobalGrant { holders } => {
+                self.stats.global_lock_grants += 1;
+                let home = self.config.gdo_home(object);
+                let req_bytes = self.config.sizes.lock_request();
+                let grant_bytes =
+                    self.config.sizes.lock_grant(holders, self.registry.num_pages(object));
+                let mut delay = self.send(MessageKind::LockRequest, node, home, object, req_bytes)
+                    + self.config.costs.gdo_processing
+                    + self.send(MessageKind::LockGrant, home, node, object, grant_bytes);
+                // A prefetched request has already been in flight since the
+                // parent started computing; the elapsed time is absorbed.
+                if self.config.lock_prefetch {
+                    let ptr = self.families[fam].top().ptr.clone();
+                    if let Some(issued) = self.families[fam].prefetch_at.remove(&ptr) {
+                        let elapsed = now.saturating_duration_since(issued);
+                        let absorbed = delay.saturating_sub(delay.saturating_sub(elapsed));
+                        if absorbed > SimDuration::ZERO {
+                            self.stats.prefetch_hits += 1;
+                            self.stats.prefetch_saved += absorbed.min(delay);
+                        }
+                        delay = delay.saturating_sub(elapsed);
+                    }
+                }
+                self.families[fam].phase = Phase::GrantInFlight { global: true, holders };
+                self.sim.schedule_at(now + delay, Event::GrantArrived(fam));
+                self.replicate_gdo(object, self.config.sizes.lock_request());
+            }
+            Acquire::Queued => {
+                self.stats.queued_lock_requests += 1;
+                let home = self.config.gdo_home(object);
+                let req_bytes = self.config.sizes.lock_request();
+                self.send(MessageKind::LockRequest, node, home, object, req_bytes);
+                self.families[fam].phase = Phase::WaitingGrant;
+                self.break_deadlocks(now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Delivers a deferred grant (produced by some release) to its family.
+    fn deliver_grant(&mut self, now: SimTime, grant: &Grant) {
+        debug_assert_eq!(grant.requests.len(), 1, "one outstanding request per family");
+        let req = grant.requests[0];
+        let family_root = self.tree.root_of(req.txn);
+        let fam = *self
+            .root_to_family
+            .get(&family_root)
+            .expect("granted family is known");
+        debug_assert_eq!(self.families[fam].phase, Phase::WaitingGrant);
+        let home = self.config.gdo_home(grant.object);
+        let grant_bytes = self
+            .config
+            .sizes
+            .lock_grant(grant.holders, self.registry.num_pages(grant.object));
+        let delay = self.config.costs.gdo_processing
+            + self.send(MessageKind::LockGrant, home, req.node, grant.object, grant_bytes);
+        self.families[fam].phase = Phase::GrantInFlight { global: true, holders: grant.holders };
+        self.sim.schedule_at(now + delay, Event::GrantArrived(fam));
+        self.replicate_gdo(grant.object, self.config.sizes.lock_request());
+    }
+
+    fn on_grant_arrived(&mut self, now: SimTime, fam: usize) -> Result<(), CoreError> {
+        let Phase::GrantInFlight { global, holders } = self.families[fam].phase else {
+            panic!("grant arrived for family {fam} in wrong phase");
+        };
+        let (object, method, path) = {
+            let top = self.families[fam].top();
+            (top.object, top.method, top.path)
+        };
+        let node = self.workload[fam].node;
+        let compiled = self.registry.class_of(object);
+        let actual = compiled.path_access(method, path);
+        let (actual_reads, actual_writes) = (actual.reads().clone(), actual.writes().clone());
+        let predicted = compiled.prediction(method).touched();
+
+        self.trace.push(TraceEvent::Grant {
+            at: now,
+            family: self.tree.root_of(self.families[fam].top().txn).get(),
+            node,
+            object,
+            mode: if compiled.is_read_only(method) { LockMode::Read } else { LockMode::Write },
+            global,
+            holders,
+            predicted: predicted.clone(),
+            actual_reads: actual_reads.clone(),
+            actual_writes: actual_writes.clone(),
+        });
+
+        // Prefetch set per protocol (LOTEC consults the prediction; the
+        // miss-rate ablation randomly degrades it). The per-class
+        // extension can put each class under its own protocol.
+        let kind = self.config.protocol_for(self.registry.object(object).class);
+        let prefetch: PageSet = if kind.uses_prediction() {
+            if self.config.prediction_miss_rate > 0.0 {
+                let rate = self.config.prediction_miss_rate;
+                predicted.iter().filter(|_| !self.miss_rng.chance(rate)).collect()
+            } else {
+                predicted.clone()
+            }
+        } else {
+            (0..self.registry.num_pages(object)).map(PageIndex::new).collect()
+        };
+
+        // Plan against the *pre-grant* placement (last_holder still points
+        // at the previous holder), then update placement bookkeeping.
+        let plan = {
+            let view = EngineView {
+                table: &self.table,
+                stores: &self.stores,
+                registry: self.registry,
+                last_holder: &self.last_holder,
+            };
+            plan_transfer(kind, &view, node, object, &prefetch)
+        };
+        self.last_holder.insert(object, node);
+        self.table
+            .entry_mut(object)
+            .expect("registered object")
+            .page_map_mut()
+            .record_cached(node);
+
+        // Charge and perform the gather (Alg. 4.5): one request/transfer
+        // pair per source; batches travel in parallel, so the phase ends at
+        // the slowest batch.
+        let mut max_delay = SimDuration::ZERO;
+        let mut to_install: Vec<(PageId, Version, Vec<u8>)> = Vec::new();
+        for (source, pages) in plan.sources() {
+            let req = self.config.sizes.page_request(pages.len());
+            let xfer = transfer_message_bytes(self.config, self.registry, object, pages);
+            let d = self.send(MessageKind::PageRequest, node, source, object, req)
+                + self.send(MessageKind::PageTransfer, source, node, object, xfer);
+            max_delay = max_delay.max(d);
+            for &page in pages {
+                to_install.push(self.current_page_copy(object, page));
+            }
+        }
+        for (pid, version, data) in to_install {
+            self.stores[node.index() as usize].install(pid, version, data);
+        }
+
+        // Demand fetches: actually-touched pages still stale after the
+        // gather (only possible when prediction was degraded). They happen
+        // serially during compute; account their latency into the compute
+        // phase.
+        let mut demand_delay = SimDuration::ZERO;
+        if kind.uses_prediction() {
+            let touched = actual_reads.union(&actual_writes);
+            let mut demand_installs = Vec::new();
+            for page in touched.iter() {
+                let (stale, source) = {
+                    let view = EngineView {
+                        table: &self.table,
+                        stores: &self.stores,
+                        registry: self.registry,
+                        last_holder: &self.last_holder,
+                    };
+                    let global = view.global_version(object, page);
+                    let local = view
+                        .local_version(node, object, page)
+                        .unwrap_or(Version::INITIAL);
+                    (global.is_newer_than(local), view.page_owner(object, page))
+                };
+                if stale {
+                    debug_assert_ne!(source, node, "owner cannot be stale at itself");
+                    let req = self.config.sizes.page_request(1);
+                    let xfer = transfer_message_bytes(self.config, self.registry, object, &[page]);
+                    demand_delay = demand_delay
+                        + self.send(MessageKind::DemandPageRequest, node, source, object, req)
+                        + self.send(MessageKind::DemandPageTransfer, source, node, object, xfer);
+                    demand_installs.push(self.current_page_copy(object, page));
+                    self.stats.demand_fetches += 1;
+                }
+            }
+            for (pid, version, data) in demand_installs {
+                self.stores[node.index() as usize].install(pid, version, data);
+            }
+        }
+        self.families[fam].fetch_extra = demand_delay;
+
+        if max_delay == SimDuration::ZERO {
+            self.begin_compute(now, fam);
+        } else {
+            self.families[fam].phase = Phase::Fetching;
+            self.sim.schedule_at(now + max_delay, Event::FetchArrived(fam));
+        }
+        Ok(())
+    }
+
+    /// Byte-accurate copy of the newest committed version of a page, taken
+    /// from its owner's store (zero-filled if the page was never written
+    /// anywhere).
+    fn current_page_copy(&self, object: ObjectId, page: PageIndex) -> (PageId, Version, Vec<u8>) {
+        let loc = self
+            .table
+            .entry(object)
+            .expect("registered object")
+            .page_map()
+            .location(page);
+        let pid = PageId::new(object, page.get());
+        match self.stores[loc.node.index() as usize].get(pid) {
+            Some(p) => {
+                debug_assert_eq!(
+                    p.version(),
+                    loc.version,
+                    "owner copy of {pid} out of sync with the page map"
+                );
+                (pid, p.version(), p.data().to_vec())
+            }
+            None => {
+                debug_assert_eq!(loc.version, Version::INITIAL, "missing non-initial page {pid}");
+                (pid, Version::INITIAL, vec![0; self.config.page_size as usize])
+            }
+        }
+    }
+
+    fn begin_compute(&mut self, now: SimTime, fam: usize) {
+        let (txn, object, method, path) = {
+            let top = self.families[fam].top();
+            (top.txn, top.object, top.method, top.path)
+        };
+        let node = self.workload[fam].node;
+        let compiled = self.registry.class_of(object);
+        let access = compiled.path_access(method, path);
+        let (reads, writes) = (access.reads().clone(), access.writes().clone());
+        let store = &mut self.stores[node.index() as usize];
+
+        for page in reads.iter() {
+            let chain = store.chain(PageId::new(object, page.get()));
+            self.families[fam].ops.push(family::AttemptOp {
+                txn,
+                op: FamilyOp::Read { object, page, chain },
+            });
+        }
+        for page in writes.iter() {
+            let pid = PageId::new(object, page.get());
+            self.recovery.before_write(txn.get(), store, pid);
+            let stamp = txn.get();
+            store.apply_stamp(pid, stamp);
+            self.families[fam].ops.push(family::AttemptOp {
+                txn,
+                op: FamilyOp::Write { object, page, stamp },
+            });
+        }
+
+        // Optimistic lock prefetching (§6): issue the pending children's
+        // lock requests now, overlapping their GDO round trips with this
+        // invocation's compute phase.
+        if self.config.lock_prefetch {
+            let ptr = self.families[fam].top().ptr.clone();
+            let spec = spec_at(&self.workload[fam], &ptr);
+            for idx in 0..spec.children.len() {
+                let mut child_ptr = ptr.clone();
+                child_ptr.push(idx);
+                self.families[fam].prefetch_at.entry(child_ptr).or_insert(now);
+            }
+        }
+
+        let touched = reads.union(&writes).len() as u64;
+        let duration = self.config.costs.invocation_base
+            + self.config.costs.per_page_access * touched
+            + self.families[fam].fetch_extra;
+        self.families[fam].fetch_extra = SimDuration::ZERO;
+        self.families[fam].phase = Phase::Computing;
+        self.sim.schedule_at(now + duration, Event::ComputeDone(fam));
+    }
+
+    /// After compute or after a child finished: start the next child or
+    /// finish the current invocation.
+    fn advance(&mut self, now: SimTime, fam: usize) -> Result<(), CoreError> {
+        let (ptr, next_child, txn) = {
+            let top = self.families[fam].top();
+            (top.ptr.clone(), top.next_child, top.txn)
+        };
+        let spec = spec_at(&self.workload[fam], &ptr);
+        if next_child < spec.children.len() {
+            self.families[fam].top_mut().next_child += 1;
+            let mut child_ptr = ptr;
+            child_ptr.push(next_child);
+            return self.start_invocation(now, fam, child_ptr, Some(txn));
+        }
+        self.finish_invocation(now, fam)
+    }
+
+    fn finish_invocation(&mut self, now: SimTime, fam: usize) -> Result<(), CoreError> {
+        let (ptr, txn) = {
+            let top = self.families[fam].top();
+            (top.ptr.clone(), top.txn)
+        };
+        let spec = spec_at(&self.workload[fam], &ptr);
+        let is_root = self.families[fam].frames.len() == 1;
+        let node = self.workload[fam].node;
+
+        if spec.abort {
+            if is_root {
+                // Programmed root fault: the family aborts permanently.
+                self.abort_family_attempt(now, fam, false)?;
+                return Ok(());
+            }
+            // Sub-transaction fault (Alg. 4.3 abort cases): undo, release to
+            // retaining ancestors or globally, and let the parent continue.
+            let subtree = self.tree.subtree_post_order(txn);
+            let restored = self
+                .recovery
+                .rollback(txn.get(), &mut self.stores[node.index() as usize]);
+            let undo_delay = self.config.costs.undo_per_page * restored.len() as u64;
+            let rel = self.table.release_abort(txn, &self.tree);
+            self.tree.abort(txn);
+            self.families[fam].discard_subtree_effects(&subtree);
+            self.stats.subtxn_aborts += 1;
+            // Globally released locks (no retaining ancestor) forward to
+            // GlobalLockRelease with no dirty info (Alg. 4.3).
+            if !rel.released.is_empty() {
+                self.trace.push(TraceEvent::SubAbortRelease {
+                    at: now,
+                    family: self.tree.root_of(txn).get(),
+                    node,
+                    released: rel.released.clone(),
+                });
+                for object in &rel.released.clone() {
+                    let home = self.config.gdo_home(*object);
+                    let bytes = self.config.sizes.lock_release(0);
+                    self.send(MessageKind::LockRelease, node, home, *object, bytes);
+                    self.replicate_gdo(*object, bytes);
+                }
+            }
+            for grant in &rel.grants {
+                self.deliver_grant(now, grant);
+            }
+            self.families[fam].frames.pop();
+            self.sim.schedule_at(
+                now + undo_delay + self.config.costs.local_lock_op,
+                Event::Continue(fam),
+            );
+            return Ok(());
+        }
+
+        if is_root {
+            return self.commit_root(now, fam);
+        }
+
+        // Sub-transaction pre-commit: parent inherits and retains (rule 3);
+        // purely local.
+        let parent = self.tree.parent(txn).expect("non-root has a parent");
+        self.table.release_pre_commit(txn, &self.tree);
+        self.recovery.inherit(txn.get(), parent.get());
+        self.tree.pre_commit(txn);
+        self.families[fam].frames.pop();
+        self.sim
+            .schedule_at(now + self.config.costs.local_lock_op, Event::Continue(fam));
+        Ok(())
+    }
+
+    fn commit_root(&mut self, now: SimTime, fam: usize) -> Result<(), CoreError> {
+        let root = self.families[fam].root_txn.expect("root txn exists");
+        let node = self.workload[fam].node;
+        let dirty = self.families[fam].surviving_dirty();
+
+        let rel = self
+            .table
+            .release_root_commit(root, &self.tree, &dirty, node);
+
+        // Publish local pages at their new per-page versions.
+        for (object, pages) in &dirty {
+            for &page in pages {
+                let v = self
+                    .table
+                    .entry(*object)
+                    .expect("registered")
+                    .page_map()
+                    .location(page)
+                    .version;
+                self.stores[node.index() as usize].publish_page(PageId::new(*object, page.get()), v);
+            }
+        }
+
+        // Release messages: dirty info piggybacked per object (Alg. 4.4).
+        for object in &rel.released.clone() {
+            let home = self.config.gdo_home(*object);
+            let n_dirty = dirty
+                .iter()
+                .find(|(o, _)| o == object)
+                .map_or(0, |(_, p)| p.len());
+            let bytes = self.config.sizes.lock_release(n_dirty);
+            self.send(MessageKind::LockRelease, node, home, *object, bytes);
+            self.replicate_gdo(*object, bytes);
+        }
+
+        // RC extension: eagerly push updates to every other caching site
+        // (per-class: only for objects whose class runs RC).
+        {
+            for (object, pages) in &dirty {
+                if !self
+                    .config
+                    .protocol_for(self.registry.object(*object).class)
+                    .pushes_on_commit()
+                {
+                    continue;
+                }
+                let sites: Vec<NodeId> = self
+                    .table
+                    .entry(*object)
+                    .expect("registered")
+                    .page_map()
+                    .caching_sites()
+                    .filter(|&s| s != node)
+                    .collect();
+                let copies: Vec<(PageId, Version, Vec<u8>)> = pages
+                    .iter()
+                    .map(|&p| self.current_page_copy(*object, p))
+                    .collect();
+                let bytes = transfer_message_bytes(self.config, self.registry, *object, pages);
+                // On a multicast network one transmission reaches every
+                // caching site; otherwise each site costs a unicast push.
+                if self.config.multicast {
+                    if let Some(&first) = sites.first() {
+                        self.send(MessageKind::UpdatePush, node, first, *object, bytes);
+                    }
+                } else {
+                    for &site in &sites {
+                        self.send(MessageKind::UpdatePush, node, site, *object, bytes);
+                    }
+                }
+                for site in sites {
+                    for (pid, version, data) in &copies {
+                        self.stores[site.index() as usize].install(*pid, *version, data.clone());
+                    }
+                }
+            }
+        }
+
+        self.recovery.forget(root.get());
+        self.tree.commit_root(root);
+        self.trace.push(TraceEvent::RootCommit {
+            at: now,
+            family: root.get(),
+            node,
+            dirty,
+            released: rel.released.clone(),
+        });
+        for grant in &rel.grants {
+            self.deliver_grant(now, grant);
+        }
+
+        let runtime = &mut self.families[fam];
+        runtime.phase = Phase::Done;
+        runtime.frames.clear();
+        self.stats.committed_families += 1;
+        let latency = now.duration_since(runtime.arrival);
+        self.stats.total_latency += latency;
+        self.stats.latency_histogram.record(latency.as_nanos());
+        self.stats.makespan = self.stats.makespan.max(now.duration_since(SimTime::ZERO));
+        let ops = std::mem::take(&mut runtime.ops);
+        let index = runtime.index;
+        self.committed.push(CommittedFamily {
+            family: root.get(),
+            index,
+            ops: ops.into_iter().map(|o| o.op).collect(),
+        });
+        Ok(())
+    }
+
+    // ---- deadlock handling -------------------------------------------
+
+    fn break_deadlocks(&mut self, now: SimTime) -> Result<(), CoreError> {
+        loop {
+            let Some(cycle) = lotec_txn::find_deadlock_cycle(&self.table, &self.tree) else {
+                return Ok(());
+            };
+            let victim_root = lotec_txn::pick_victim(&cycle);
+            self.stats.deadlocks += 1;
+            let fam = *self
+                .root_to_family
+                .get(&victim_root)
+                .expect("victim family known");
+            self.abort_family_attempt(now, fam, true)?;
+        }
+    }
+
+    /// Aborts a family's entire current attempt. With `restart` the family
+    /// retries after an exponential backoff; without it the family fails
+    /// permanently (programmed root fault).
+    fn abort_family_attempt(
+        &mut self,
+        now: SimTime,
+        fam: usize,
+        restart: bool,
+    ) -> Result<(), CoreError> {
+        let root = self.families[fam].root_txn.expect("attempt has a root");
+        let node = self.workload[fam].node;
+        let mut released = Vec::new();
+        let mut grants = Vec::new();
+        for txn in self.tree.active_subtree_post_order(root) {
+            self.recovery
+                .rollback(txn.get(), &mut self.stores[node.index() as usize]);
+            let rel = self.table.release_abort(txn, &self.tree);
+            released.extend(rel.released);
+            grants.extend(rel.grants);
+            self.tree.abort(txn);
+        }
+        let touched = self.table.cancel_family_waiters(root);
+        debug_assert!(touched.len() <= 1, "a family has one outstanding request");
+        grants.extend(self.table.regrant(&touched, &self.tree));
+        // Each globally released lock costs an (empty) release message to
+        // its GDO partition.
+        for object in &released.clone() {
+            let home = self.config.gdo_home(*object);
+            let bytes = self.config.sizes.lock_release(0);
+            self.send(MessageKind::LockRelease, node, home, *object, bytes);
+            self.replicate_gdo(*object, bytes);
+        }
+        self.trace.push(TraceEvent::FamilyAbort {
+            at: now,
+            family: root.get(),
+            node,
+            released,
+            cancelled_request: touched.first().copied(),
+        });
+        self.families[fam].reset_for_restart();
+
+        if restart {
+            self.families[fam].restarts += 1;
+            self.stats.restarts += 1;
+            let restarts = self.families[fam].restarts;
+            if restarts > self.config.max_restarts {
+                return Err(CoreError::RestartBudgetExhausted { family_index: fam, restarts });
+            }
+            let base = self.config.costs.retry_backoff_base;
+            let backoff = base * (1u64 << (restarts - 1).min(10))
+                + SimDuration::from_nanos(self.jitter_rng.next_below(base.as_nanos().max(1)));
+            self.sim.schedule_at(now + backoff, Event::Restart(fam));
+        } else {
+            self.families[fam].phase = Phase::Failed;
+            self.stats.aborted_families += 1;
+        }
+        for grant in &grants {
+            self.deliver_grant(now, grant);
+        }
+        Ok(())
+    }
+
+    // ---- reporting ----------------------------------------------------
+
+    fn collect_final_chains(&self) -> BTreeMap<(ObjectId, PageIndex), u64> {
+        let mut out = BTreeMap::new();
+        for inst in self.registry.objects() {
+            let entry = self.table.entry(inst.id).expect("registered");
+            for (page, loc) in entry.page_map().entries() {
+                let chain = self.stores[loc.node.index() as usize]
+                    .chain(PageId::new(inst.id, page.get()));
+                out.insert((inst.id, page), chain);
+            }
+        }
+        out
+    }
+}
+
+/// Convenience wrapper: build and run an engine in one call.
+///
+/// ```
+/// use lotec_core::engine::run_engine;
+/// use lotec_core::spec::demo_workload;
+/// use lotec_core::{oracle, SystemConfig};
+///
+/// let config = SystemConfig::default();
+/// let (registry, families) = demo_workload(&config, 7);
+/// let report = run_engine(&config, &registry, &families)?;
+/// oracle::verify(&report)?;
+/// assert_eq!(report.stats.committed_families as usize, families.len());
+/// # Ok::<(), lotec_core::CoreError>(())
+/// ```
+///
+/// # Errors
+///
+/// See [`Engine::new`] and [`Engine::run`].
+pub fn run_engine(
+    config: &SystemConfig,
+    registry: &ObjectRegistry,
+    workload: &[FamilySpec],
+) -> Result<RunReport, CoreError> {
+    Engine::new(config, registry, workload)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use crate::spec::demo_workload;
+
+    fn run_demo(protocol: ProtocolKind, seed: u64) -> RunReport {
+        let config = SystemConfig { protocol, seed, ..SystemConfig::default() };
+        let (registry, families) = demo_workload(&config, seed);
+        run_engine(&config, &registry, &families).expect("demo runs")
+    }
+
+    #[test]
+    fn demo_workload_commits_every_family() {
+        let report = run_demo(ProtocolKind::Lotec, 1);
+        assert_eq!(report.stats.committed_families, 8);
+        assert_eq!(report.stats.aborted_families, 0);
+        assert_eq!(report.trace.num_commits(), 8);
+        assert!(report.trace.num_grants() >= 8);
+        assert!(report.traffic.total().messages > 0);
+    }
+
+    #[test]
+    fn all_protocols_run_and_are_serializable() {
+        for protocol in ProtocolKind::ALL {
+            let report = run_demo(protocol, 2);
+            assert_eq!(report.stats.committed_families, 8, "{protocol}");
+            oracle::verify(&report).unwrap_or_else(|e| panic!("{protocol}: {e}"));
+        }
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let a = run_demo(ProtocolKind::Lotec, 5);
+        let b = run_demo(ProtocolKind::Lotec, 5);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.traffic.total(), b.traffic.total());
+        assert_eq!(a.final_chains, b.final_chains);
+        assert_eq!(a.stats.makespan, b.stats.makespan);
+    }
+
+    #[test]
+    fn engine_ledger_matches_replay_of_own_trace() {
+        for protocol in ProtocolKind::ALL {
+            let config = SystemConfig { protocol, ..SystemConfig::default() };
+            let (registry, families) = demo_workload(&config, 3);
+            let report = run_engine(&config, &registry, &families).unwrap();
+            let replayed =
+                crate::replay::replay_trace(protocol, &report.trace, &registry, &config);
+            assert_eq!(
+                report.traffic.total(),
+                replayed.total(),
+                "{protocol}: engine and replay accounting diverged"
+            );
+            for inst in registry.objects() {
+                assert_eq!(
+                    report.traffic.object(inst.id),
+                    replayed.object(inst.id),
+                    "{protocol}/{}: per-object accounting diverged",
+                    inst.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_per_class_protocols_run_and_match_replay() {
+        use lotec_object::ClassId;
+        // Demo workload has class 0 = Container, class 1 = Item. Put the
+        // small hot Items under RC and the big Containers under LOTEC.
+        let config = SystemConfig::default()
+            .with_class_protocol(ClassId::new(1), ProtocolKind::ReleaseConsistency);
+        assert!(config.is_mixed_protocol());
+        let (registry, families) = crate::spec::demo_workload(&config, 6);
+        let report = run_engine(&config, &registry, &families).unwrap();
+        crate::oracle::verify(&report).expect("mixed protocols stay serializable");
+
+        // Engine accounting must equal the assignment-aware replay.
+        let replayed = crate::replay::replay_run(&report.trace, &registry, &config);
+        assert_eq!(report.traffic.total(), replayed.total());
+
+        // Eager pushes exist (the RC class commits updates) ...
+        let pushes = report.traffic.ledger().kind(MessageKind::UpdatePush);
+        assert!(pushes.messages > 0, "the RC class must push");
+        // ... but only Item (class 1) objects ever receive them.
+        for inst in registry.objects() {
+            if inst.class == ClassId::new(0) {
+                // Containers run LOTEC: a pure-LOTEC uniform replay of the
+                // same trace charges them identically.
+                let uniform = crate::replay::replay_trace(
+                    ProtocolKind::Lotec,
+                    &report.trace,
+                    &registry,
+                    &config,
+                );
+                assert_eq!(
+                    report.traffic.object(inst.id),
+                    uniform.object(inst.id),
+                    "{}: LOTEC-class object accounting must match uniform LOTEC",
+                    inst.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_class_override_falls_back_to_default() {
+        use lotec_object::ClassId;
+        let config = SystemConfig::default()
+            .with_class_protocol(ClassId::new(1), ProtocolKind::Cotec);
+        assert_eq!(config.protocol_for(ClassId::new(1)), ProtocolKind::Cotec);
+        assert_eq!(config.protocol_for(ClassId::new(0)), ProtocolKind::Lotec);
+        let uniform = SystemConfig::default();
+        assert!(!uniform.is_mixed_protocol());
+    }
+
+    #[test]
+    fn lock_prefetch_hides_latency_without_changing_traffic() {
+        let base = SystemConfig { seed: 9, ..SystemConfig::default() };
+        let (registry, families) = crate::spec::demo_workload(&base, 9);
+        let plain = run_engine(&base, &registry, &families).unwrap();
+        let pre_cfg = SystemConfig { lock_prefetch: true, ..base };
+        let prefetched = run_engine(&pre_cfg, &registry, &families).unwrap();
+
+        crate::oracle::verify(&prefetched).expect("prefetching preserves correctness");
+        assert!(prefetched.stats.prefetch_hits > 0, "nested demo must prefetch");
+        assert!(
+            prefetched.stats.prefetch_saved > lotec_sim::SimDuration::ZERO,
+            "some latency must be absorbed"
+        );
+        // Same messages and bytes: prefetching only moves them earlier.
+        assert_eq!(plain.traffic.total(), prefetched.traffic.total());
+        // Latency must not get worse.
+        assert!(
+            prefetched.stats.total_latency <= plain.stats.total_latency,
+            "prefetch {} > plain {}",
+            prefetched.stats.total_latency,
+            plain.stats.total_latency
+        );
+    }
+
+    #[test]
+    fn multicast_collapses_rc_pushes_and_matches_replay() {
+        let unicast = SystemConfig {
+            protocol: ProtocolKind::ReleaseConsistency,
+            ..SystemConfig::default()
+        };
+        let (registry, families) = crate::spec::demo_workload(&unicast, 12);
+        let uni = run_engine(&unicast, &registry, &families).unwrap();
+        let multicast_cfg = SystemConfig { multicast: true, ..unicast.clone() };
+        let multi = run_engine(&multicast_cfg, &registry, &families).unwrap();
+        crate::oracle::verify(&multi).expect("multicast preserves correctness");
+
+        let uni_push = uni.traffic.ledger().kind(MessageKind::UpdatePush);
+        let multi_push = multi.traffic.ledger().kind(MessageKind::UpdatePush);
+        assert!(uni_push.messages > 0);
+        assert!(
+            multi_push.messages < uni_push.messages,
+            "multicast must collapse pushes: {} vs {}",
+            multi_push.messages,
+            uni_push.messages
+        );
+        // Replay under the same multicast flag matches the engine.
+        let replayed = crate::replay::replay_run(&multi.trace, &registry, &multicast_cfg);
+        assert_eq!(multi.traffic.total(), replayed.total());
+    }
+
+    #[test]
+    fn dsd_transfers_shrink_bytes_and_match_replay() {
+        let page_cfg = SystemConfig { seed: 21, ..SystemConfig::default() };
+        let (registry, families) = crate::spec::demo_workload(&page_cfg, 21);
+        let page_run = run_engine(&page_cfg, &registry, &families).unwrap();
+        let dsd_cfg = SystemConfig { dsd_transfers: true, ..page_cfg };
+        let dsd_run = run_engine(&dsd_cfg, &registry, &families).unwrap();
+        crate::oracle::verify(&dsd_run).expect("dsd mode stays serializable");
+
+        assert!(
+            dsd_run.traffic.total().bytes < page_run.traffic.total().bytes,
+            "dsd must shave partial-page fragmentation: {} vs {}",
+            dsd_run.traffic.total().bytes,
+            page_run.traffic.total().bytes
+        );
+        assert_eq!(
+            dsd_run.traffic.total().messages,
+            page_run.traffic.total().messages,
+            "dsd changes sizes, not message structure"
+        );
+        let replayed = crate::replay::replay_run(&dsd_run.trace, &registry, &dsd_cfg);
+        assert_eq!(dsd_run.traffic.total(), replayed.total());
+    }
+
+    #[test]
+    fn central_gdo_matches_replay_and_costs_more_lock_traffic() {
+        use crate::config::GdoPlacement;
+        let part_cfg = SystemConfig { seed: 31, ..SystemConfig::default() };
+        let (registry, families) = crate::spec::demo_workload(&part_cfg, 31);
+        let part = run_engine(&part_cfg, &registry, &families).unwrap();
+        let central_cfg = SystemConfig {
+            gdo_placement: GdoPlacement::Central(NodeId::new(0)),
+            ..part_cfg
+        };
+        let central = run_engine(&central_cfg, &registry, &families).unwrap();
+        crate::oracle::verify(&central).expect("central GDO stays serializable");
+        let replayed = crate::replay::replay_run(&central.trace, &registry, &central_cfg);
+        assert_eq!(central.traffic.total(), replayed.total());
+        // Every lock op from a non-directory node pays messages under the
+        // central design; partitioning gives each node a local share.
+        let lock_msgs = |r: &RunReport| {
+            r.traffic.ledger().kind(MessageKind::LockRequest).messages
+                + r.traffic.ledger().kind(MessageKind::LockGrant).messages
+        };
+        assert!(
+            lock_msgs(&central) >= lock_msgs(&part),
+            "central {} < partitioned {}",
+            lock_msgs(&central),
+            lock_msgs(&part)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "central GDO node out of range")]
+    fn central_gdo_node_validated() {
+        use crate::config::GdoPlacement;
+        let cfg = SystemConfig {
+            gdo_placement: GdoPlacement::Central(NodeId::new(99)),
+            ..SystemConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn gdo_replication_adds_small_messages_and_matches_replay() {
+        let plain = SystemConfig { seed: 41, ..SystemConfig::default() };
+        let (registry, families) = crate::spec::demo_workload(&plain, 41);
+        let unreplicated = run_engine(&plain, &registry, &families).unwrap();
+        let repl_cfg = SystemConfig { gdo_replication: 3, ..plain };
+        let replicated = run_engine(&repl_cfg, &registry, &families).unwrap();
+        crate::oracle::verify(&replicated).expect("replication is pure accounting");
+
+        let repl = replicated.traffic.ledger().kind(MessageKind::GdoReplicate);
+        assert!(repl.messages > 0, "factor 3 must replicate");
+        assert_eq!(
+            unreplicated.traffic.ledger().kind(MessageKind::GdoReplicate).messages,
+            0,
+            "factor 1 must not"
+        );
+        // Write-behind: the schedule itself is unchanged.
+        assert_eq!(unreplicated.trace, replicated.trace);
+        // Replay parity.
+        let replayed = crate::replay::replay_run(&replicated.trace, &registry, &repl_cfg);
+        assert_eq!(replicated.traffic.total(), replayed.total());
+    }
+
+    #[test]
+    fn rc_sends_pushes_lotec_does_not() {
+        let rc = run_demo(ProtocolKind::ReleaseConsistency, 4);
+        let lotec = run_demo(ProtocolKind::Lotec, 4);
+        assert!(rc.traffic.ledger().kind(MessageKind::UpdatePush).messages > 0);
+        assert_eq!(lotec.traffic.ledger().kind(MessageKind::UpdatePush).messages, 0);
+    }
+}

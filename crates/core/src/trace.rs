@@ -1,0 +1,199 @@
+//! Schedule traces: the protocol-independent record of one engine run.
+//!
+//! Nested O2PL is shared by all four protocols, so for a fixed workload the
+//! *lock schedule* — who acquires which object when, in what mode, and when
+//! each family commits — is protocol-independent. The engine records that
+//! schedule as a [`ScheduleTrace`]; the replay path then feeds the same
+//! trace through each protocol's placement model to count the bytes and
+//! messages each protocol would send. This mirrors the paper's methodology
+//! of comparing COTEC/OTEC/LOTEC on identical randomized transactions.
+
+use lotec_mem::{ObjectId, PageIndex};
+use lotec_object::PageSet;
+use lotec_sim::{NodeId, SimTime};
+use lotec_txn::LockMode;
+
+/// One protocol-relevant event of an engine run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A transaction was granted `object`'s lock.
+    Grant {
+        /// Virtual time of the grant.
+        at: SimTime,
+        /// The family (root transaction id raw value) acquiring.
+        family: u64,
+        /// The family's site.
+        node: NodeId,
+        /// The acquired object.
+        object: ObjectId,
+        /// Requested mode.
+        mode: LockMode,
+        /// True if the grant required GDO communication (global); false
+        /// for grants served from a retaining ancestor locally.
+        global: bool,
+        /// Holder-list length sent with a global grant (sizes the grant
+        /// message).
+        holders: usize,
+        /// Conservative prediction of the acquiring method (what LOTEC
+        /// prefetches).
+        predicted: PageSet,
+        /// Pages the invocation actually read (current content required).
+        actual_reads: PageSet,
+        /// Pages the invocation actually wrote.
+        actual_writes: PageSet,
+    },
+    /// A family's root committed.
+    RootCommit {
+        /// Virtual time of the commit.
+        at: SimTime,
+        /// The family (root transaction id raw value).
+        family: u64,
+        /// The family's site.
+        node: NodeId,
+        /// Per object: the pages the family dirtied (surviving aborts),
+        /// i.e. the dirty info piggybacked on the global releases.
+        dirty: Vec<(ObjectId, Vec<PageIndex>)>,
+        /// Objects the family held/retained at commit (released now);
+        /// includes read-only objects with no dirty pages.
+        released: Vec<ObjectId>,
+    },
+    /// A sub-transaction aborted and some of its locks had no retaining
+    /// ancestor, so they were released globally (Alg. 4.3's last case:
+    /// "Forward request to GlobalLockRelease /* no dirty page info */").
+    SubAbortRelease {
+        /// Virtual time of the abort.
+        at: SimTime,
+        /// The family (root transaction id raw value).
+        family: u64,
+        /// The family's site.
+        node: NodeId,
+        /// Objects released globally by the abort.
+        released: Vec<ObjectId>,
+    },
+    /// A family aborted entirely (deadlock victim or root fault) and will
+    /// restart or give up; its locks were released with no dirty info.
+    FamilyAbort {
+        /// Virtual time of the abort.
+        at: SimTime,
+        /// The family (root transaction id raw value).
+        family: u64,
+        /// The family's site.
+        node: NodeId,
+        /// Objects released by the abort.
+        released: Vec<ObjectId>,
+        /// Object on which the family had a lock request queued when it
+        /// was aborted (the request message was already paid but no grant
+        /// will ever follow).
+        cancelled_request: Option<ObjectId>,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Grant { at, .. }
+            | TraceEvent::RootCommit { at, .. }
+            | TraceEvent::SubAbortRelease { at, .. }
+            | TraceEvent::FamilyAbort { at, .. } => *at,
+        }
+    }
+}
+
+/// The full schedule of one engine run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScheduleTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl ScheduleTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if events go backwards in time.
+    pub fn push(&mut self, event: TraceEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|last| last.at() <= event.at()),
+            "trace events must be time-ordered"
+        );
+        self.events.push(event);
+    }
+
+    /// The recorded events, in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of grants recorded.
+    pub fn num_grants(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, TraceEvent::Grant { .. })).count()
+    }
+
+    /// Number of root commits recorded.
+    pub fn num_commits(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, TraceEvent::RootCommit { .. })).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grant(at_ns: u64, family: u64) -> TraceEvent {
+        TraceEvent::Grant {
+            at: SimTime::from_nanos(at_ns),
+            family,
+            node: NodeId::new(0),
+            object: ObjectId::new(0),
+            mode: LockMode::Write,
+            global: true,
+            holders: 1,
+            predicted: PageSet::new(),
+            actual_reads: PageSet::new(),
+            actual_writes: PageSet::new(),
+        }
+    }
+
+    #[test]
+    fn trace_accumulates_in_order() {
+        let mut t = ScheduleTrace::new();
+        assert!(t.is_empty());
+        t.push(grant(10, 1));
+        t.push(TraceEvent::RootCommit {
+            at: SimTime::from_nanos(20),
+            family: 1,
+            node: NodeId::new(0),
+            dirty: vec![],
+            released: vec![ObjectId::new(0)],
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.num_grants(), 1);
+        assert_eq!(t.num_commits(), 1);
+        assert_eq!(t.events()[0].at(), SimTime::from_nanos(10));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_events_rejected() {
+        let mut t = ScheduleTrace::new();
+        t.push(grant(10, 1));
+        t.push(grant(5, 2));
+    }
+}

@@ -1,0 +1,165 @@
+//! Identities for objects, pages and page versions.
+
+use std::fmt;
+
+/// Identifies a shared object.
+///
+/// Objects are the unit of locking and consistency in LOTEC; the paper
+/// labels them `O0`, `O1`, … in its figures, which [`fmt::Display`] mirrors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ObjectId(u32);
+
+impl ObjectId {
+    /// Constructs an object id from its index.
+    pub const fn new(index: u32) -> Self {
+        ObjectId(index)
+    }
+
+    /// The underlying index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Iterator over the first `count` object ids.
+    pub fn all(count: u32) -> impl Iterator<Item = ObjectId> + Clone {
+        (0..count).map(ObjectId)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O{}", self.0)
+    }
+}
+
+/// Index of a page *within* an object (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageIndex(u16);
+
+impl PageIndex {
+    /// Constructs a page index.
+    pub const fn new(index: u16) -> Self {
+        PageIndex(index)
+    }
+
+    /// The underlying index.
+    pub const fn get(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for PageIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Globally unique page identity: an object plus a page index within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId {
+    object: ObjectId,
+    index: PageIndex,
+}
+
+impl PageId {
+    /// Constructs the id of page `index` of `object`.
+    pub const fn new(object: ObjectId, index: u16) -> Self {
+        PageId { object, index: PageIndex::new(index) }
+    }
+
+    /// The owning object.
+    pub const fn object(self) -> ObjectId {
+        self.object
+    }
+
+    /// The page index within the object.
+    pub const fn index(self) -> PageIndex {
+        self.index
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.object, self.index)
+    }
+}
+
+/// A monotonically increasing page version.
+///
+/// Every root-commit of a family that dirtied a page advances that page's
+/// version; version comparison is how OTEC and LOTEC decide whether a
+/// cached copy is stale. Version 0 means "initial, never written".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Version(u64);
+
+impl Version {
+    /// The initial version of every page.
+    pub const INITIAL: Version = Version(0);
+
+    /// Constructs a specific version.
+    pub const fn new(v: u64) -> Self {
+        Version(v)
+    }
+
+    /// The raw counter.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The next version.
+    pub const fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+
+    /// True if `self` is newer than `other`.
+    pub const fn is_newer_than(self, other: Version) -> bool {
+        self.0 > other.0
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_display_matches_paper_labels() {
+        assert_eq!(ObjectId::new(19).to_string(), "O19");
+    }
+
+    #[test]
+    fn page_id_components() {
+        let p = PageId::new(ObjectId::new(4), 2);
+        assert_eq!(p.object(), ObjectId::new(4));
+        assert_eq!(p.index().get(), 2);
+        assert_eq!(p.to_string(), "O4/p2");
+    }
+
+    #[test]
+    fn version_ordering() {
+        let v0 = Version::INITIAL;
+        let v1 = v0.next();
+        assert!(v1.is_newer_than(v0));
+        assert!(!v0.is_newer_than(v1));
+        assert!(!v1.is_newer_than(v1));
+        assert_eq!(v1.get(), 1);
+        assert_eq!(v1.to_string(), "v1");
+    }
+
+    #[test]
+    fn object_all_enumerates() {
+        assert_eq!(ObjectId::all(2).collect::<Vec<_>>(), vec![ObjectId::new(0), ObjectId::new(1)]);
+    }
+
+    #[test]
+    fn page_ids_order_by_object_then_index() {
+        let a = PageId::new(ObjectId::new(1), 9);
+        let b = PageId::new(ObjectId::new(2), 0);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,162 @@
+//! A versioned page of shared memory.
+
+use crate::ids::Version;
+
+/// One page: a version stamp plus its byte payload.
+///
+/// The first eight bytes of every page double as a *content chain*: each
+/// logical write folds the writer's stamp into them via [`mix`]. The chain
+/// is what the correctness tests compare against a serial re-execution
+/// oracle — two executions that applied the same writes in the same order
+/// produce byte-identical chains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    version: Version,
+    data: Vec<u8>,
+}
+
+/// Deterministically folds a write `stamp` into a content chain value.
+///
+/// The function is a strong 64-bit mixer (SplitMix64 finalizer over the XOR
+/// of the inputs), so distinct write sequences collide with negligible
+/// probability and *order matters*: `mix(mix(h, a), b) != mix(mix(h, b), a)`
+/// in general.
+pub fn mix(chain: u64, stamp: u64) -> u64 {
+    let mut z = chain
+        .rotate_left(17)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        ^ stamp.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Page {
+    /// Creates a zero-filled page of `size` bytes at [`Version::INITIAL`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size < 8` — every page must be able to hold its content
+    /// chain.
+    pub fn zeroed(size: usize) -> Self {
+        assert!(size >= 8, "page size must be at least 8 bytes");
+        Page { version: Version::INITIAL, data: vec![0; size] }
+    }
+
+    /// Creates a page from explicit parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() < 8`.
+    pub fn from_parts(version: Version, data: Vec<u8>) -> Self {
+        assert!(data.len() >= 8, "page size must be at least 8 bytes");
+        Page { version, data }
+    }
+
+    /// The page's version.
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// Sets the page's version (used when a committed update is published).
+    pub fn set_version(&mut self, version: Version) {
+        self.version = version;
+    }
+
+    /// Page size in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the payload.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Overwrites the payload prefix with `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is longer than the page.
+    pub fn write(&mut self, bytes: &[u8]) {
+        assert!(bytes.len() <= self.data.len(), "write larger than page");
+        self.data[..bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// The current content-chain value (first eight bytes, little-endian).
+    pub fn chain(&self) -> u64 {
+        u64::from_le_bytes(self.data[..8].try_into().expect("page >= 8 bytes"))
+    }
+
+    /// Folds `stamp` into the content chain, mutating the page.
+    /// Returns the new chain value.
+    pub fn apply_stamp(&mut self, stamp: u64) -> u64 {
+        let next = mix(self.chain(), stamp);
+        self.data[..8].copy_from_slice(&next.to_le_bytes());
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_page_has_initial_state() {
+        let p = Page::zeroed(64);
+        assert_eq!(p.version(), Version::INITIAL);
+        assert_eq!(p.size(), 64);
+        assert!(p.data().iter().all(|&b| b == 0));
+        assert_eq!(p.chain(), 0);
+    }
+
+    #[test]
+    fn write_overwrites_prefix_only() {
+        let mut p = Page::zeroed(16);
+        p.write(&[1, 2, 3]);
+        assert_eq!(&p.data()[..4], &[1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn stamp_chain_is_order_sensitive() {
+        let mut ab = Page::zeroed(8);
+        ab.apply_stamp(1);
+        ab.apply_stamp(2);
+        let mut ba = Page::zeroed(8);
+        ba.apply_stamp(2);
+        ba.apply_stamp(1);
+        assert_ne!(ab.chain(), ba.chain());
+    }
+
+    #[test]
+    fn same_stamps_same_chain() {
+        let mut a = Page::zeroed(8);
+        let mut b = Page::zeroed(8);
+        for s in [5u64, 9, 13] {
+            a.apply_stamp(s);
+            b.apply_stamp(s);
+        }
+        assert_eq!(a.chain(), b.chain());
+    }
+
+    #[test]
+    fn mix_avalanche_smoke() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let base = mix(0xDEAD_BEEF, 42);
+        let flipped = mix(0xDEAD_BEEF, 43);
+        let differing = (base ^ flipped).count_ones();
+        assert!((16..=48).contains(&differing), "differing bits: {differing}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8 bytes")]
+    fn tiny_pages_rejected() {
+        Page::zeroed(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "write larger than page")]
+    fn oversized_write_rejected() {
+        Page::zeroed(8).write(&[0; 9]);
+    }
+}

@@ -1,0 +1,274 @@
+//! One node's local page cache.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ids::{ObjectId, PageId, Version};
+use crate::page::Page;
+
+/// The local page cache of a single node.
+///
+/// Each site "keeps track of which locally cached pages have been made
+/// dirty by transaction executions" (paper §4.1); that dirty information is
+/// piggybacked on global lock releases to update the GDO page map. The
+/// store uses ordered maps so iteration order — and therefore the
+/// simulation — is deterministic.
+#[derive(Debug, Clone)]
+pub struct PageStore {
+    page_size: usize,
+    pages: BTreeMap<PageId, Page>,
+    dirty: BTreeSet<PageId>,
+}
+
+impl PageStore {
+    /// Creates an empty store whose pages are all `page_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size < 8` (see [`Page::zeroed`]).
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size >= 8, "page size must be at least 8 bytes");
+        PageStore { page_size, pages: BTreeMap::new(), dirty: BTreeSet::new() }
+    }
+
+    /// The configured page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// True if `page` is cached locally (at any version).
+    pub fn contains(&self, page: PageId) -> bool {
+        self.pages.contains_key(&page)
+    }
+
+    /// The cached version of `page`, if cached.
+    pub fn version_of(&self, page: PageId) -> Option<Version> {
+        self.pages.get(&page).map(Page::version)
+    }
+
+    /// Read-only access to a cached page.
+    pub fn get(&self, page: PageId) -> Option<&Page> {
+        self.pages.get(&page)
+    }
+
+    /// Installs (or replaces) a page received from another node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly `page_size` bytes.
+    pub fn install(&mut self, page: PageId, version: Version, data: Vec<u8>) {
+        assert_eq!(data.len(), self.page_size, "installed page has wrong size");
+        self.pages.insert(page, Page::from_parts(version, data));
+        self.dirty.remove(&page);
+    }
+
+    /// Ensures `page` exists locally, creating a zeroed
+    /// [`Version::INITIAL`] page if absent. Returns its current version.
+    pub fn ensure(&mut self, page: PageId) -> Version {
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Page::zeroed(self.page_size))
+            .version()
+    }
+
+    /// Folds a write `stamp` into `page`'s content chain and marks it
+    /// dirty. Creates the page (zeroed) if absent. Returns the new chain.
+    pub fn apply_stamp(&mut self, page: PageId, stamp: u64) -> u64 {
+        self.ensure(page);
+        self.dirty.insert(page);
+        self.pages.get_mut(&page).expect("just ensured").apply_stamp(stamp)
+    }
+
+    /// Overwrites the payload prefix of `page` and marks it dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is longer than the page size.
+    pub fn write(&mut self, page: PageId, bytes: &[u8]) {
+        self.ensure(page);
+        self.dirty.insert(page);
+        self.pages.get_mut(&page).expect("just ensured").write(bytes);
+    }
+
+    /// The content chain of `page` (zero if the page is absent).
+    pub fn chain(&self, page: PageId) -> u64 {
+        self.pages.get(&page).map_or(0, Page::chain)
+    }
+
+    /// True if `page` has uncommitted local modifications.
+    pub fn is_dirty(&self, page: PageId) -> bool {
+        self.dirty.contains(&page)
+    }
+
+    /// All dirty pages, in deterministic order.
+    pub fn dirty_pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.dirty.iter().copied()
+    }
+
+    /// Dirty pages belonging to `object`, in page-index order.
+    pub fn dirty_pages_of(&self, object: ObjectId) -> Vec<PageId> {
+        self.dirty.iter().copied().filter(|p| p.object() == object).collect()
+    }
+
+    /// Publishes the dirty pages of `object` at `new_version` (the family's
+    /// root has committed): stamps each with the version and clears its
+    /// dirty bit. Returns the published pages.
+    pub fn publish_object(&mut self, object: ObjectId, new_version: Version) -> Vec<PageId> {
+        let published = self.dirty_pages_of(object);
+        for &page in &published {
+            self.pages
+                .get_mut(&page)
+                .expect("dirty page must be cached")
+                .set_version(new_version);
+            self.dirty.remove(&page);
+        }
+        published
+    }
+
+    /// Publishes a single dirty page at `version` (pages of one object may
+    /// carry different version counters, so batch publication via
+    /// [`PageStore::publish_object`] is not always applicable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not cached.
+    pub fn publish_page(&mut self, page: PageId, version: Version) {
+        self.pages
+            .get_mut(&page)
+            .expect("publish of uncached page")
+            .set_version(version);
+        self.dirty.remove(&page);
+    }
+
+    /// Clears the dirty bit of `page` without publishing (used by UNDO).
+    pub fn mark_clean(&mut self, page: PageId) {
+        self.dirty.remove(&page);
+    }
+
+    /// Replaces the full contents of `page` (used by UNDO/shadow restore);
+    /// version and dirty state are restored by the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not cached or `data` has the wrong size.
+    pub fn restore(&mut self, page: PageId, version: Version, data: Vec<u8>) {
+        assert_eq!(data.len(), self.page_size, "restored page has wrong size");
+        let p = self.pages.get_mut(&page).expect("restore of uncached page");
+        *p = Page::from_parts(version, data);
+    }
+
+    /// Drops `page` from the cache entirely (used by UNDO when the page did
+    /// not exist before the aborted transaction touched it).
+    pub fn evict(&mut self, page: PageId) {
+        self.pages.remove(&page);
+        self.dirty.remove(&page);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(o: u32, i: u16) -> PageId {
+        PageId::new(ObjectId::new(o), i)
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = PageStore::new(64);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(pid(0, 0)));
+        assert_eq!(s.version_of(pid(0, 0)), None);
+        assert_eq!(s.chain(pid(0, 0)), 0);
+    }
+
+    #[test]
+    fn install_and_read_back() {
+        let mut s = PageStore::new(16);
+        s.install(pid(1, 0), Version::new(3), vec![7; 16]);
+        assert!(s.contains(pid(1, 0)));
+        assert_eq!(s.version_of(pid(1, 0)), Some(Version::new(3)));
+        assert_eq!(s.get(pid(1, 0)).unwrap().data()[0], 7);
+        assert!(!s.is_dirty(pid(1, 0)), "installed pages are clean");
+    }
+
+    #[test]
+    fn stamp_marks_dirty_and_chains() {
+        let mut s = PageStore::new(8);
+        let c1 = s.apply_stamp(pid(0, 1), 42);
+        assert!(s.is_dirty(pid(0, 1)));
+        assert_eq!(s.chain(pid(0, 1)), c1);
+        let c2 = s.apply_stamp(pid(0, 1), 43);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn publish_versions_and_cleans() {
+        let mut s = PageStore::new(8);
+        s.apply_stamp(pid(2, 0), 1);
+        s.apply_stamp(pid(2, 1), 1);
+        s.apply_stamp(pid(3, 0), 1); // different object, untouched by publish
+        let published = s.publish_object(ObjectId::new(2), Version::new(5));
+        assert_eq!(published, vec![pid(2, 0), pid(2, 1)]);
+        assert_eq!(s.version_of(pid(2, 0)), Some(Version::new(5)));
+        assert!(!s.is_dirty(pid(2, 0)));
+        assert!(s.is_dirty(pid(3, 0)));
+    }
+
+    #[test]
+    fn dirty_iteration_is_ordered() {
+        let mut s = PageStore::new(8);
+        s.apply_stamp(pid(1, 2), 1);
+        s.apply_stamp(pid(0, 5), 1);
+        s.apply_stamp(pid(1, 0), 1);
+        let dirty: Vec<PageId> = s.dirty_pages().collect();
+        assert_eq!(dirty, vec![pid(0, 5), pid(1, 0), pid(1, 2)]);
+    }
+
+    #[test]
+    fn publish_page_sets_individual_versions() {
+        let mut s = PageStore::new(8);
+        s.apply_stamp(pid(0, 0), 1);
+        s.apply_stamp(pid(0, 1), 1);
+        s.publish_page(pid(0, 0), Version::new(4));
+        s.publish_page(pid(0, 1), Version::new(2));
+        assert_eq!(s.version_of(pid(0, 0)), Some(Version::new(4)));
+        assert_eq!(s.version_of(pid(0, 1)), Some(Version::new(2)));
+        assert!(!s.is_dirty(pid(0, 0)) && !s.is_dirty(pid(0, 1)));
+    }
+
+    #[test]
+    fn restore_and_evict() {
+        let mut s = PageStore::new(8);
+        s.apply_stamp(pid(0, 0), 9);
+        s.restore(pid(0, 0), Version::INITIAL, vec![0; 8]);
+        assert_eq!(s.chain(pid(0, 0)), 0);
+        s.evict(pid(0, 0));
+        assert!(!s.contains(pid(0, 0)));
+    }
+
+    #[test]
+    fn install_clears_dirty_bit() {
+        let mut s = PageStore::new(8);
+        s.apply_stamp(pid(0, 0), 1);
+        assert!(s.is_dirty(pid(0, 0)));
+        s.install(pid(0, 0), Version::new(2), vec![0; 8]);
+        assert!(!s.is_dirty(pid(0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn install_checks_size() {
+        PageStore::new(16).install(pid(0, 0), Version::INITIAL, vec![0; 8]);
+    }
+}

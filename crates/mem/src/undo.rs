@@ -1,0 +1,347 @@
+//! Sub-transaction UNDO: undo logging and shadow paging.
+//!
+//! The paper (§4.1, Algorithm 4.3) notes that "the UNDO operations required
+//! by the `LocalLockRelease` routine may be done using either local UNDO
+//! logs or shadow pages. In either case, no network communication is
+//! required." Both strategies are implemented behind the [`Recovery`]
+//! trait so the execution engine (and the recovery ablation bench) can
+//! switch between them.
+
+use std::collections::BTreeMap;
+
+use crate::ids::{PageId, Version};
+use crate::store::PageStore;
+
+/// A recovery strategy: capture page pre-images when a transaction first
+/// touches a page, and either discard them (commit) or reapply them
+/// (abort).
+///
+/// `token` identifies the [sub-]transaction whose writes are being guarded;
+/// the engine uses raw transaction ids. Implementations are purely local —
+/// rollback never generates network traffic.
+pub trait Recovery {
+    /// Records the pre-image of `page` for transaction `token` if this is
+    /// the transaction's first write to that page.
+    fn before_write(&mut self, token: u64, store: &PageStore, page: PageId);
+
+    /// Discards transaction `token`'s pre-images (it pre-committed; its
+    /// parent — or the root commit — now owns the fate of the data).
+    fn forget(&mut self, token: u64);
+
+    /// Restores every page `token` touched to its pre-image and returns the
+    /// restored page ids.
+    fn rollback(&mut self, token: u64, store: &mut PageStore) -> Vec<PageId>;
+
+    /// Moves `token`'s pre-images to `parent` *underneath* any pre-image the
+    /// parent already holds (the parent's pre-image is older and wins).
+    ///
+    /// Used at sub-transaction pre-commit under closed nesting: if an
+    /// ancestor later aborts, the child's committed writes must roll back
+    /// with it.
+    fn inherit(&mut self, token: u64, parent: u64);
+}
+
+/// Pre-image kept for one page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PreImage {
+    /// The page did not exist locally before the write.
+    Absent,
+    /// The page existed with this version and payload.
+    Present(Version, Vec<u8>),
+}
+
+fn capture(store: &PageStore, page: PageId) -> PreImage {
+    match store.get(page) {
+        None => PreImage::Absent,
+        Some(p) => PreImage::Present(p.version(), p.data().to_vec()),
+    }
+}
+
+fn apply(store: &mut PageStore, page: PageId, pre: PreImage) {
+    match pre {
+        PreImage::Absent => store.evict(page),
+        PreImage::Present(version, data) => {
+            if store.contains(page) {
+                store.restore(page, version, data);
+            } else {
+                store.install(page, version, data);
+            }
+            store.mark_clean(page);
+        }
+    }
+}
+
+/// Undo-log recovery: pre-images are captured into a per-transaction log on
+/// first write; rollback replays the log.
+///
+/// ```
+/// use lotec_mem::{ObjectId, PageId, PageStore, Recovery, UndoLog};
+///
+/// let mut store = PageStore::new(64);
+/// let mut undo = UndoLog::new();
+/// let page = PageId::new(ObjectId::new(0), 0);
+/// store.ensure(page);
+/// let before = store.chain(page);
+///
+/// undo.before_write(1, &store, page); // transaction 1 is about to write
+/// store.apply_stamp(page, 42);
+/// assert_ne!(store.chain(page), before);
+///
+/// undo.rollback(1, &mut store);       // transaction 1 aborts
+/// assert_eq!(store.chain(page), before);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UndoLog {
+    // token -> page -> pre-image (first write wins).
+    logs: BTreeMap<u64, BTreeMap<PageId, PreImage>>,
+}
+
+impl UndoLog {
+    /// Creates an empty undo log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of transactions with live log entries.
+    pub fn active_transactions(&self) -> usize {
+        self.logs.len()
+    }
+
+    /// Number of pre-images held for `token`.
+    pub fn entries_for(&self, token: u64) -> usize {
+        self.logs.get(&token).map_or(0, BTreeMap::len)
+    }
+}
+
+impl Recovery for UndoLog {
+    fn before_write(&mut self, token: u64, store: &PageStore, page: PageId) {
+        self.logs
+            .entry(token)
+            .or_default()
+            .entry(page)
+            .or_insert_with(|| capture(store, page));
+    }
+
+    fn forget(&mut self, token: u64) {
+        self.logs.remove(&token);
+    }
+
+    fn rollback(&mut self, token: u64, store: &mut PageStore) -> Vec<PageId> {
+        let Some(log) = self.logs.remove(&token) else {
+            return Vec::new();
+        };
+        let mut restored = Vec::with_capacity(log.len());
+        for (page, pre) in log {
+            apply(store, page, pre);
+            restored.push(page);
+        }
+        restored
+    }
+
+    fn inherit(&mut self, token: u64, parent: u64) {
+        let Some(child) = self.logs.remove(&token) else {
+            return;
+        };
+        let parent_log = self.logs.entry(parent).or_default();
+        for (page, pre) in child {
+            // The parent's existing pre-image (if any) is older: keep it.
+            parent_log.entry(page).or_insert(pre);
+        }
+    }
+}
+
+/// Shadow-page recovery: a full shadow copy of each touched page is kept;
+/// rollback swaps the shadows back in.
+///
+/// Functionally equivalent to [`UndoLog`] in this simulator (both capture
+/// whole-page pre-images); kept as a distinct type because the paper names
+/// both and the recovery ablation bench compares their bookkeeping costs.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowPages {
+    shadows: BTreeMap<(u64, PageId), PreImage>,
+}
+
+impl ShadowPages {
+    /// Creates an empty shadow table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of shadow pages currently held.
+    pub fn len(&self) -> usize {
+        self.shadows.len()
+    }
+
+    /// True when no shadows are held.
+    pub fn is_empty(&self) -> bool {
+        self.shadows.is_empty()
+    }
+}
+
+impl Recovery for ShadowPages {
+    fn before_write(&mut self, token: u64, store: &PageStore, page: PageId) {
+        self.shadows
+            .entry((token, page))
+            .or_insert_with(|| capture(store, page));
+    }
+
+    fn forget(&mut self, token: u64) {
+        self.shadows.retain(|(t, _), _| *t != token);
+    }
+
+    fn rollback(&mut self, token: u64, store: &mut PageStore) -> Vec<PageId> {
+        let keys: Vec<(u64, PageId)> = self
+            .shadows
+            .range((token, PageId::new(crate::ObjectId::new(0), 0))..)
+            .take_while(|((t, _), _)| *t == token)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut restored = Vec::with_capacity(keys.len());
+        for key in keys {
+            let pre = self.shadows.remove(&key).expect("key just enumerated");
+            apply(store, key.1, pre);
+            restored.push(key.1);
+        }
+        restored
+    }
+
+    fn inherit(&mut self, token: u64, parent: u64) {
+        let keys: Vec<(u64, PageId)> = self
+            .shadows
+            .range((token, PageId::new(crate::ObjectId::new(0), 0))..)
+            .take_while(|((t, _), _)| *t == token)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in keys {
+            let pre = self.shadows.remove(&key).expect("key just enumerated");
+            self.shadows.entry((parent, key.1)).or_insert(pre);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ObjectId;
+
+    fn pid(o: u32, i: u16) -> PageId {
+        PageId::new(ObjectId::new(o), i)
+    }
+
+    fn check_roundtrip<R: Recovery>(mut rec: R) {
+        let mut store = PageStore::new(8);
+        store.install(pid(0, 0), Version::new(2), 7u64.to_le_bytes().to_vec());
+        let before = store.chain(pid(0, 0));
+
+        rec.before_write(1, &store, pid(0, 0));
+        store.apply_stamp(pid(0, 0), 99);
+        rec.before_write(1, &store, pid(0, 1)); // page absent before
+        store.apply_stamp(pid(0, 1), 99);
+
+        assert_ne!(store.chain(pid(0, 0)), before);
+        let restored = rec.rollback(1, &mut store);
+        assert_eq!(restored.len(), 2);
+        assert_eq!(store.chain(pid(0, 0)), before);
+        assert_eq!(store.version_of(pid(0, 0)), Some(Version::new(2)));
+        assert!(!store.is_dirty(pid(0, 0)));
+        assert!(!store.contains(pid(0, 1)), "absent page evicted on rollback");
+    }
+
+    #[test]
+    fn undo_log_roundtrip() {
+        check_roundtrip(UndoLog::new());
+    }
+
+    #[test]
+    fn shadow_pages_roundtrip() {
+        check_roundtrip(ShadowPages::new());
+    }
+
+    fn check_first_write_wins<R: Recovery>(mut rec: R) {
+        let mut store = PageStore::new(8);
+        store.install(pid(0, 0), Version::new(1), 5u64.to_le_bytes().to_vec());
+        let original = store.chain(pid(0, 0));
+        rec.before_write(1, &store, pid(0, 0));
+        store.apply_stamp(pid(0, 0), 1);
+        // A second before_write must NOT re-capture the modified page.
+        rec.before_write(1, &store, pid(0, 0));
+        store.apply_stamp(pid(0, 0), 2);
+        rec.rollback(1, &mut store);
+        assert_eq!(store.chain(pid(0, 0)), original);
+    }
+
+    #[test]
+    fn undo_log_first_write_wins() {
+        check_first_write_wins(UndoLog::new());
+    }
+
+    #[test]
+    fn shadow_first_write_wins() {
+        check_first_write_wins(ShadowPages::new());
+    }
+
+    fn check_inherit_then_parent_abort<R: Recovery>(mut rec: R) {
+        let mut store = PageStore::new(8);
+        store.install(pid(0, 0), Version::new(1), 3u64.to_le_bytes().to_vec());
+        let original = store.chain(pid(0, 0));
+
+        // Child (token 2) writes, pre-commits; parent (token 1) inherits.
+        rec.before_write(2, &store, pid(0, 0));
+        store.apply_stamp(pid(0, 0), 20);
+        rec.inherit(2, 1);
+
+        // Parent writes the same page afterwards: its pre-image must not
+        // overwrite the inherited (older) one.
+        rec.before_write(1, &store, pid(0, 0));
+        store.apply_stamp(pid(0, 0), 10);
+
+        // Parent aborts: the *original* content returns.
+        rec.rollback(1, &mut store);
+        assert_eq!(store.chain(pid(0, 0)), original);
+    }
+
+    #[test]
+    fn undo_log_inherit_then_parent_abort() {
+        check_inherit_then_parent_abort(UndoLog::new());
+    }
+
+    #[test]
+    fn shadow_inherit_then_parent_abort() {
+        check_inherit_then_parent_abort(ShadowPages::new());
+    }
+
+    #[test]
+    fn forget_discards_preimages() {
+        let mut rec = UndoLog::new();
+        let mut store = PageStore::new(8);
+        rec.before_write(1, &store, pid(0, 0));
+        store.apply_stamp(pid(0, 0), 1);
+        let after = store.chain(pid(0, 0));
+        rec.forget(1);
+        assert_eq!(rec.rollback(1, &mut store), vec![]);
+        assert_eq!(store.chain(pid(0, 0)), after, "forgotten txn can't roll back");
+    }
+
+    #[test]
+    fn rollback_of_unknown_token_is_noop() {
+        let mut rec = ShadowPages::new();
+        let mut store = PageStore::new(8);
+        assert!(rec.rollback(42, &mut store).is_empty());
+    }
+
+    #[test]
+    fn shadow_rollback_only_touches_own_token() {
+        let mut rec = ShadowPages::new();
+        let mut store = PageStore::new(8);
+        store.install(pid(0, 0), Version::new(1), 1u64.to_le_bytes().to_vec());
+        store.install(pid(0, 1), Version::new(1), 2u64.to_le_bytes().to_vec());
+        rec.before_write(1, &store, pid(0, 0));
+        rec.before_write(2, &store, pid(0, 1));
+        store.apply_stamp(pid(0, 0), 1);
+        store.apply_stamp(pid(0, 1), 2);
+        let t2_chain = store.chain(pid(0, 1));
+        rec.rollback(1, &mut store);
+        assert_eq!(store.chain(pid(0, 1)), t2_chain, "token 2's pages untouched");
+        assert_eq!(rec.len(), 1);
+    }
+}

@@ -1,0 +1,332 @@
+//! Network parameters: bandwidth, per-message software cost, and the
+//! combined [`NetworkConfig`] with the paper's presets.
+
+use std::fmt;
+
+use lotec_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Link bandwidth in bits per second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// Constructs a bandwidth from bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_sec` is zero.
+    pub const fn from_bits_per_sec(bits_per_sec: u64) -> Self {
+        assert!(bits_per_sec > 0, "bandwidth must be positive");
+        Bandwidth(bits_per_sec)
+    }
+
+    /// Constructs a bandwidth from megabits per second.
+    pub const fn from_mbps(mbps: u64) -> Self {
+        Self::from_bits_per_sec(mbps * 1_000_000)
+    }
+
+    /// Conventional switched 10 Mbps Ethernet (paper Figure 6).
+    pub const fn ethernet10() -> Self {
+        Self::from_mbps(10)
+    }
+
+    /// Fast (100 Mbps) Ethernet (paper Figure 7).
+    pub const fn fast_ethernet() -> Self {
+        Self::from_mbps(100)
+    }
+
+    /// Gigabit Ethernet (paper Figure 8).
+    pub const fn gigabit() -> Self {
+        Self::from_mbps(1_000)
+    }
+
+    /// Bits per second.
+    pub const fn bits_per_sec(self) -> u64 {
+        self.0
+    }
+
+    /// Time on the wire for `bytes` bytes (serialization delay), rounded up
+    /// to the next nanosecond.
+    pub fn wire_time(self, bytes: u64) -> SimDuration {
+        let bits = bytes as u128 * 8;
+        let ns = (bits * 1_000_000_000).div_ceil(self.0 as u128);
+        SimDuration::from_nanos(ns as u64)
+    }
+
+    /// The three Ethernet generations the paper sweeps, slowest first.
+    pub fn paper_sweep() -> [Bandwidth; 3] {
+        [Self::ethernet10(), Self::fast_ethernet(), Self::gigabit()]
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 && self.0 % 1_000_000_000 == 0 {
+            write!(f, "{}Gbps", self.0 / 1_000_000_000)
+        } else if self.0 >= 1_000_000 && self.0 % 1_000_000 == 0 {
+            write!(f, "{}Mbps", self.0 / 1_000_000)
+        } else {
+            write!(f, "{}bps", self.0)
+        }
+    }
+}
+
+/// Fixed per-message software (startup) cost.
+///
+/// This models everything that happens before bits hit the wire: system
+/// calls, protocol stack traversal, interrupt handling. The paper sweeps
+/// five values from a heavyweight 100 µs stack down to a 500 ns
+/// active-message-style path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SoftwareCost(SimDuration);
+
+// `SimDuration` (from the dependency-free kernel crate) has no serde
+// support, so serialize the cost as a plain nanosecond count.
+impl Serialize for SoftwareCost {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(self.0.as_nanos())
+    }
+}
+
+impl<'de> Deserialize<'de> for SoftwareCost {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        u64::deserialize(deserializer).map(|ns| SoftwareCost(SimDuration::from_nanos(ns)))
+    }
+}
+
+impl SoftwareCost {
+    /// 100 µs — a conventional kernel TCP/IP stack.
+    pub const MICROS_100: SoftwareCost = SoftwareCost(SimDuration::from_micros(100));
+    /// 20 µs — a tuned kernel stack.
+    pub const MICROS_20: SoftwareCost = SoftwareCost(SimDuration::from_micros(20));
+    /// 5 µs — a lightweight user-level protocol.
+    pub const MICROS_5: SoftwareCost = SoftwareCost(SimDuration::from_micros(5));
+    /// 1 µs — an aggressive user-level protocol (VIA/U-Net class).
+    pub const MICROS_1: SoftwareCost = SoftwareCost(SimDuration::from_micros(1));
+    /// 500 ns — active-message-class messaging.
+    pub const NANOS_500: SoftwareCost = SoftwareCost(SimDuration::from_nanos(500));
+
+    /// Constructs an arbitrary software cost.
+    pub const fn new(cost: SimDuration) -> Self {
+        SoftwareCost(cost)
+    }
+
+    /// The per-message cost.
+    pub const fn duration(self) -> SimDuration {
+        self.0
+    }
+
+    /// The five software costs the paper sweeps, most expensive first
+    /// (the x-axis of Figures 6–8).
+    pub fn paper_sweep() -> [SoftwareCost; 5] {
+        [
+            Self::MICROS_100,
+            Self::MICROS_20,
+            Self::MICROS_5,
+            Self::MICROS_1,
+            Self::NANOS_500,
+        ]
+    }
+}
+
+impl fmt::Display for SoftwareCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A complete network parameterization: bandwidth + software cost, with an
+/// optional *active-message* path for small control messages.
+///
+/// The paper's §6 roadmap includes "the integration of active messaging
+/// into LOTEC to improve its performance for gigabit networks": small
+/// handler-dispatched messages (lock traffic, page requests, directory
+/// updates) bypass the heavyweight protocol stack while bulk page
+/// transfers still pay it. Model that split with
+/// [`NetworkConfig::with_active_messages`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    bandwidth: Bandwidth,
+    software_cost: SoftwareCost,
+    control_software_cost: Option<SoftwareCost>,
+}
+
+impl NetworkConfig {
+    /// Combines a bandwidth and a per-message software cost.
+    pub const fn new(bandwidth: Bandwidth, software_cost: SoftwareCost) -> Self {
+        NetworkConfig { bandwidth, software_cost, control_software_cost: None }
+    }
+
+    /// Enables the active-message path: non-page-carrying messages pay
+    /// `control_cost` instead of the bulk stack's software cost.
+    #[must_use]
+    pub const fn with_active_messages(mut self, control_cost: SoftwareCost) -> Self {
+        self.control_software_cost = Some(control_cost);
+        self
+    }
+
+    /// The startup cost paid by a message of `kind`: the active-message
+    /// cost for small control messages when enabled, the bulk stack
+    /// otherwise.
+    pub fn startup_for(self, kind: crate::MessageKind) -> SoftwareCost {
+        if kind.carries_pages() {
+            self.software_cost
+        } else {
+            self.control_software_cost.unwrap_or(self.software_cost)
+        }
+    }
+
+    /// Total one-way time for a message of `kind` and `bytes` bytes under
+    /// the (possibly split) software-cost model.
+    pub fn transfer_time_for(self, kind: crate::MessageKind, bytes: u64) -> SimDuration {
+        self.startup_for(kind).duration() + self.bandwidth.wire_time(bytes)
+    }
+
+    /// The link bandwidth.
+    pub const fn bandwidth(self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// The per-message software cost.
+    pub const fn software_cost(self) -> SoftwareCost {
+        self.software_cost
+    }
+
+    /// Total one-way time for a message of `bytes` bytes:
+    /// `software_cost + wire_time(bytes)`.
+    pub fn transfer_time(self, bytes: u64) -> SimDuration {
+        self.software_cost.duration() + self.bandwidth.wire_time(bytes)
+    }
+
+    /// A mid-range default: fast Ethernet with a 20 µs stack — the
+    /// configuration the paper concludes LOTEC is well matched to.
+    pub fn default_cluster() -> Self {
+        Self::new(Bandwidth::fast_ethernet(), SoftwareCost::MICROS_20)
+    }
+
+    /// All 15 (bandwidth × software-cost) combinations of Figures 6–8,
+    /// grouped by bandwidth, slowest bandwidth first.
+    pub fn paper_grid() -> Vec<NetworkConfig> {
+        let mut grid = Vec::with_capacity(15);
+        for bw in Bandwidth::paper_sweep() {
+            for sc in SoftwareCost::paper_sweep() {
+                grid.push(NetworkConfig::new(bw, sc));
+            }
+        }
+        grid
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::default_cluster()
+    }
+}
+
+impl fmt::Display for NetworkConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} / {} startup", self.bandwidth, self.software_cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_matches_hand_calc() {
+        // 1000 bytes at 10 Mbps = 8000 bits / 1e7 bps = 800 us.
+        let t = Bandwidth::ethernet10().wire_time(1000);
+        assert_eq!(t, SimDuration::from_micros(800));
+        // Same payload at 1 Gbps = 8 us.
+        assert_eq!(Bandwidth::gigabit().wire_time(1000), SimDuration::from_micros(8));
+    }
+
+    #[test]
+    fn wire_time_rounds_up() {
+        // 1 byte at 1 Gbps = 8 ns exactly; 1 byte at 3 bps rounds up.
+        assert_eq!(Bandwidth::gigabit().wire_time(1), SimDuration::from_nanos(8));
+        let t = Bandwidth::from_bits_per_sec(3).wire_time(1);
+        assert_eq!(t.as_nanos(), (8 * 1_000_000_000 + 2) / 3);
+    }
+
+    #[test]
+    fn zero_bytes_costs_only_software() {
+        let net = NetworkConfig::new(Bandwidth::gigabit(), SoftwareCost::MICROS_5);
+        assert_eq!(net.transfer_time(0), SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn presets_match_paper() {
+        assert_eq!(Bandwidth::ethernet10().bits_per_sec(), 10_000_000);
+        assert_eq!(Bandwidth::fast_ethernet().bits_per_sec(), 100_000_000);
+        assert_eq!(Bandwidth::gigabit().bits_per_sec(), 1_000_000_000);
+        let sweep = SoftwareCost::paper_sweep();
+        assert_eq!(sweep[0].duration(), SimDuration::from_micros(100));
+        assert_eq!(sweep[4].duration(), SimDuration::from_nanos(500));
+    }
+
+    #[test]
+    fn paper_grid_is_15_configs() {
+        let grid = NetworkConfig::paper_grid();
+        assert_eq!(grid.len(), 15);
+        assert_eq!(grid[0].bandwidth(), Bandwidth::ethernet10());
+        assert_eq!(grid[14].bandwidth(), Bandwidth::gigabit());
+        assert_eq!(grid[14].software_cost(), SoftwareCost::NANOS_500);
+    }
+
+    #[test]
+    fn faster_network_never_slower() {
+        for bytes in [0u64, 64, 4096, 1 << 20] {
+            let slow = NetworkConfig::new(Bandwidth::ethernet10(), SoftwareCost::MICROS_20);
+            let fast = NetworkConfig::new(Bandwidth::gigabit(), SoftwareCost::MICROS_20);
+            assert!(fast.transfer_time(bytes) <= slow.transfer_time(bytes));
+        }
+    }
+
+    #[test]
+    fn active_message_path_splits_startup_costs() {
+        use crate::MessageKind;
+        let plain = NetworkConfig::new(Bandwidth::gigabit(), SoftwareCost::MICROS_100);
+        // Without AM every kind pays the bulk stack.
+        assert_eq!(plain.startup_for(MessageKind::LockRequest), SoftwareCost::MICROS_100);
+        assert_eq!(plain.startup_for(MessageKind::PageTransfer), SoftwareCost::MICROS_100);
+        let am = plain.with_active_messages(SoftwareCost::NANOS_500);
+        assert_eq!(am.startup_for(MessageKind::LockRequest), SoftwareCost::NANOS_500);
+        assert_eq!(am.startup_for(MessageKind::GdoReplicate), SoftwareCost::NANOS_500);
+        // Bulk transfers still pay the full stack.
+        assert_eq!(am.startup_for(MessageKind::PageTransfer), SoftwareCost::MICROS_100);
+        assert_eq!(am.startup_for(MessageKind::UpdatePush), SoftwareCost::MICROS_100);
+        // transfer_time_for composes startup + wire.
+        let t = am.transfer_time_for(MessageKind::LockRequest, 125); // 1000 bits @1Gbps = 1us
+        assert_eq!(t, SimDuration::from_nanos(500 + 1_000));
+    }
+
+    #[test]
+    fn ledger_times_respect_active_messages() {
+        use crate::{Message, MessageKind, TrafficLedger};
+        use lotec_mem::ObjectId;
+        use lotec_sim::NodeId;
+        let mut ledger = TrafficLedger::new();
+        let obj = ObjectId::new(0);
+        ledger.record(&Message::new(MessageKind::LockRequest, NodeId::new(0), NodeId::new(1), obj, 125));
+        ledger.record(&Message::new(MessageKind::PageTransfer, NodeId::new(1), NodeId::new(0), obj, 125));
+        let plain = NetworkConfig::new(Bandwidth::gigabit(), SoftwareCost::MICROS_100);
+        let am = plain.with_active_messages(SoftwareCost::NANOS_500);
+        // Plain: 2 * 100us + 2us wire; AM: 100us + 500ns + 2us wire.
+        assert_eq!(ledger.object_time(obj, plain), SimDuration::from_nanos(200_000 + 2_000));
+        assert_eq!(ledger.object_time(obj, am), SimDuration::from_nanos(100_000 + 500 + 2_000));
+        assert_eq!(ledger.total_time(am), ledger.object_time(obj, am));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Bandwidth::ethernet10().to_string(), "10Mbps");
+        assert_eq!(Bandwidth::gigabit().to_string(), "1Gbps");
+        assert_eq!(Bandwidth::from_bits_per_sec(1500).to_string(), "1500bps");
+        assert_eq!(SoftwareCost::NANOS_500.to_string(), "500ns");
+        let cfg = NetworkConfig::default_cluster();
+        assert_eq!(cfg.to_string(), "100Mbps / 20.000us startup");
+    }
+}

@@ -1,0 +1,45 @@
+//! Network model for the LOTEC reproduction.
+//!
+//! The paper evaluates LOTEC/OTEC/COTEC on a simulated switched network and
+//! sweeps two parameters (Figures 6–8):
+//!
+//! * **bandwidth** — 10 Mbps, 100 Mbps and 1 Gbps (conventional, fast and
+//!   gigabit Ethernet), and
+//! * **per-message software cost** — 100 µs, 20 µs, 5 µs, 1 µs and 500 ns,
+//!   covering heavyweight kernel protocol stacks down to user-level
+//!   messaging à la U-Net / Active Messages.
+//!
+//! The transfer-time model is the classic linear one the paper
+//! instruments: `t(msg) = software_cost + bits(msg) / bandwidth`.
+//!
+//! This crate provides:
+//!
+//! * [`Bandwidth`], [`NetworkConfig`] and the paper's presets,
+//! * [`Message`] / [`MessageKind`] — typed consistency-protocol messages
+//!   with a byte-size model ([`MessageSizes`]),
+//! * [`TrafficLedger`] — the per-object accounting used to regenerate
+//!   Figures 2–8.
+//!
+//! # Example
+//!
+//! ```
+//! use lotec_net::{Bandwidth, NetworkConfig, SoftwareCost};
+//!
+//! let net = NetworkConfig::new(Bandwidth::fast_ethernet(), SoftwareCost::MICROS_20);
+//! // 4096-byte page at 100 Mbps: 20us startup + ~327.7us on the wire.
+//! let t = net.transfer_time(4096);
+//! assert_eq!(t.as_nanos(), 20_000 + 327_680);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod ledger;
+pub mod message;
+pub mod sizes;
+
+pub use config::{Bandwidth, NetworkConfig, SoftwareCost};
+pub use ledger::{ObjectTraffic, TrafficLedger};
+pub use message::{Message, MessageKind};
+pub use sizes::MessageSizes;

@@ -1,0 +1,527 @@
+//! Class, attribute and method definitions.
+//!
+//! A [`ClassDef`] is the static shape the "compiler" sees: named, sized
+//! attributes plus methods whose bodies are abstracted to control-flow
+//! paths. Each [`PathSpec`] records the attributes read and written along
+//! that path and the inter-object invocation sites it contains — exactly
+//! the information attribute-access analysis extracts from real method
+//! bodies.
+
+use std::fmt;
+
+use crate::set::AttrSet;
+
+/// Identifies a class within a registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClassId(u32);
+
+impl ClassId {
+    /// Constructs a class id.
+    pub const fn new(index: u32) -> Self {
+        ClassId(index)
+    }
+
+    /// The underlying index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Identifies a method within its class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MethodId(u32);
+
+impl MethodId {
+    /// Constructs a method id.
+    pub const fn new(index: u32) -> Self {
+        MethodId(index)
+    }
+
+    /// The underlying index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Identifies one control-flow path within a method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PathId(u32);
+
+impl PathId {
+    /// Constructs a path id.
+    pub const fn new(index: u32) -> Self {
+        PathId(index)
+    }
+
+    /// The underlying index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for PathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path{}", self.0)
+    }
+}
+
+/// Index of an attribute within its class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AttrIndex(u16);
+
+impl AttrIndex {
+    /// Constructs an attribute index.
+    pub const fn new(index: u16) -> Self {
+        AttrIndex(index)
+    }
+
+    /// The underlying index.
+    pub const fn get(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for AttrIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// One named, sized attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeDef {
+    name: String,
+    size: u32,
+}
+
+impl AttributeDef {
+    /// Defines an attribute of `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(name: impl Into<String>, size: u32) -> Self {
+        assert!(size > 0, "attribute size must be positive");
+        AttributeDef { name: name.into(), size }
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's size in bytes.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+}
+
+/// An inter-object invocation site inside a method path: "this path invokes
+/// method `method` on some object of class `class`".
+///
+/// The concrete receiver object is chosen at run time (by the workload
+/// generator), just as a real receiver is a run-time value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvocationSite {
+    /// Class of the receiver.
+    pub class: ClassId,
+    /// Method invoked on the receiver.
+    pub method: MethodId,
+}
+
+/// One control-flow path through a method body.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PathSpec {
+    reads: AttrSet,
+    writes: AttrSet,
+    invokes: Vec<InvocationSite>,
+}
+
+impl PathSpec {
+    /// Creates a path from explicit parts.
+    pub fn new(reads: AttrSet, writes: AttrSet, invokes: Vec<InvocationSite>) -> Self {
+        PathSpec { reads, writes, invokes }
+    }
+
+    /// Attributes read along this path.
+    pub fn reads(&self) -> &AttrSet {
+        &self.reads
+    }
+
+    /// Attributes written along this path.
+    pub fn writes(&self) -> &AttrSet {
+        &self.writes
+    }
+
+    /// Attributes touched (read or written) along this path.
+    pub fn touched(&self) -> AttrSet {
+        self.reads.union(&self.writes)
+    }
+
+    /// Invocation sites along this path, in program order.
+    pub fn invokes(&self) -> &[InvocationSite] {
+        &self.invokes
+    }
+}
+
+/// A method: a name plus one or more control-flow paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodDef {
+    name: String,
+    paths: Vec<PathSpec>,
+}
+
+impl MethodDef {
+    /// Creates a method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` is empty — every method body has at least one
+    /// path.
+    pub fn new(name: impl Into<String>, paths: Vec<PathSpec>) -> Self {
+        let name = name.into();
+        assert!(!paths.is_empty(), "method {name} must have at least one path");
+        MethodDef { name, paths }
+    }
+
+    /// The method's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The method's control-flow paths.
+    pub fn paths(&self) -> &[PathSpec] {
+        &self.paths
+    }
+
+    /// A specific path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is out of range.
+    pub fn path(&self, path: PathId) -> &PathSpec {
+        &self.paths[path.index() as usize]
+    }
+
+    /// True if no path writes any attribute — the method needs only a read
+    /// lock.
+    pub fn is_read_only(&self) -> bool {
+        self.paths.iter().all(|p| p.writes().is_empty())
+    }
+}
+
+/// A class: attributes plus methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDef {
+    name: String,
+    attributes: Vec<AttributeDef>,
+    methods: Vec<MethodDef>,
+}
+
+impl ClassDef {
+    /// Creates a class from parts; prefer [`ClassBuilder`] for readability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class has no attributes or no methods.
+    pub fn new(
+        name: impl Into<String>,
+        attributes: Vec<AttributeDef>,
+        methods: Vec<MethodDef>,
+    ) -> Self {
+        let name = name.into();
+        assert!(!attributes.is_empty(), "class {name} must have attributes");
+        assert!(!methods.is_empty(), "class {name} must have methods");
+        ClassDef { name, attributes, methods }
+    }
+
+    /// The class's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The class's attributes, in declaration (= layout) order.
+    pub fn attributes(&self) -> &[AttributeDef] {
+        &self.attributes
+    }
+
+    /// The class's methods.
+    pub fn methods(&self) -> &[MethodDef] {
+        &self.methods
+    }
+
+    /// A specific method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `method` is out of range.
+    pub fn method(&self, method: MethodId) -> &MethodDef {
+        &self.methods[method.index() as usize]
+    }
+
+    /// Looks up an attribute index by name.
+    pub fn attr_index(&self, name: &str) -> Option<AttrIndex> {
+        self.attributes
+            .iter()
+            .position(|a| a.name() == name)
+            .map(|i| AttrIndex::new(i as u16))
+    }
+
+    /// Looks up a method id by name.
+    pub fn method_id(&self, name: &str) -> Option<MethodId> {
+        self.methods
+            .iter()
+            .position(|m| m.name() == name)
+            .map(|i| MethodId::new(i as u32))
+    }
+}
+
+/// Fluent builder for [`ClassDef`].
+///
+/// ```
+/// use lotec_object::ClassBuilder;
+///
+/// let part = ClassBuilder::new("Part")
+///     .attribute("geometry", 10_000)
+///     .attribute("material", 64)
+///     .method("reshape", |m| {
+///         m.path(|p| p.reads(&["geometry"]).writes(&["geometry"]))
+///          .path(|p| p.reads(&["geometry", "material"]).writes(&["geometry"]))
+///     })
+///     .build();
+/// assert_eq!(part.methods().len(), 1);
+/// assert_eq!(part.method(lotec_object::MethodId::new(0)).paths().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassBuilder {
+    name: String,
+    attributes: Vec<AttributeDef>,
+    methods: Vec<MethodDef>,
+}
+
+impl ClassBuilder {
+    /// Starts a class named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ClassBuilder { name: name.into(), attributes: Vec::new(), methods: Vec::new() }
+    }
+
+    /// Declares an attribute. Declaration order is layout order.
+    #[must_use]
+    pub fn attribute(mut self, name: impl Into<String>, size: u32) -> Self {
+        self.attributes.push(AttributeDef::new(name, size));
+        self
+    }
+
+    /// Declares a method via a [`MethodBuilder`] closure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a path names an attribute that has not been declared.
+    #[must_use]
+    pub fn method(
+        mut self,
+        name: impl Into<String>,
+        build: impl FnOnce(MethodBuilder<'_>) -> MethodBuilder<'_>,
+    ) -> Self {
+        let builder = build(MethodBuilder { attrs: &self.attributes, paths: Vec::new() });
+        self.methods.push(MethodDef::new(name, builder.paths));
+        self
+    }
+
+    /// Finishes the class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no attribute or no method was declared.
+    pub fn build(self) -> ClassDef {
+        ClassDef::new(self.name, self.attributes, self.methods)
+    }
+}
+
+/// Builder for a method's paths; see [`ClassBuilder::method`].
+#[derive(Debug)]
+pub struct MethodBuilder<'a> {
+    attrs: &'a [AttributeDef],
+    paths: Vec<PathSpec>,
+}
+
+impl<'a> MethodBuilder<'a> {
+    /// Adds one control-flow path.
+    #[must_use]
+    pub fn path(mut self, build: impl FnOnce(PathBuilder<'a>) -> PathBuilder<'a>) -> Self {
+        let b = build(PathBuilder {
+            attrs: self.attrs,
+            reads: AttrSet::new(),
+            writes: AttrSet::new(),
+            invokes: Vec::new(),
+        });
+        self.paths.push(PathSpec::new(b.reads, b.writes, b.invokes));
+        self
+    }
+}
+
+/// Builder for one path; see [`MethodBuilder::path`].
+#[derive(Debug)]
+pub struct PathBuilder<'a> {
+    attrs: &'a [AttributeDef],
+    reads: AttrSet,
+    writes: AttrSet,
+    invokes: Vec<InvocationSite>,
+}
+
+impl<'a> PathBuilder<'a> {
+    fn resolve(&self, name: &str) -> AttrIndex {
+        let idx = self
+            .attrs
+            .iter()
+            .position(|a| a.name() == name)
+            .unwrap_or_else(|| panic!("unknown attribute `{name}` in path spec"));
+        AttrIndex::new(idx as u16)
+    }
+
+    /// Declares attributes read along this path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is not a declared attribute.
+    #[must_use]
+    pub fn reads(mut self, names: &[&str]) -> Self {
+        for name in names {
+            let idx = self.resolve(name);
+            self.reads.insert(idx);
+        }
+        self
+    }
+
+    /// Declares attributes written along this path (writes imply reads for
+    /// locking purposes but are tracked separately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is not a declared attribute.
+    #[must_use]
+    pub fn writes(mut self, names: &[&str]) -> Self {
+        for name in names {
+            let idx = self.resolve(name);
+            self.writes.insert(idx);
+        }
+        self
+    }
+
+    /// Declares an inter-object invocation site along this path.
+    #[must_use]
+    pub fn invokes(mut self, class: ClassId, method: MethodId) -> Self {
+        self.invokes.push(InvocationSite { class, method });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ClassDef {
+        ClassBuilder::new("Order")
+            .attribute("status", 4)
+            .attribute("lines", 9000)
+            .attribute("total", 8)
+            .method("get_status", |m| m.path(|p| p.reads(&["status"])))
+            .method("add_line", |m| {
+                m.path(|p| p.reads(&["lines", "total"]).writes(&["lines", "total"]))
+                    .path(|p| p.reads(&["lines"]).writes(&["lines"]))
+            })
+            .build()
+    }
+
+    #[test]
+    fn builder_wires_everything() {
+        let c = sample();
+        assert_eq!(c.name(), "Order");
+        assert_eq!(c.attributes().len(), 3);
+        assert_eq!(c.methods().len(), 2);
+        assert_eq!(c.attr_index("total"), Some(AttrIndex::new(2)));
+        assert_eq!(c.attr_index("missing"), None);
+        assert_eq!(c.method_id("add_line"), Some(MethodId::new(1)));
+    }
+
+    #[test]
+    fn read_only_detection() {
+        let c = sample();
+        assert!(c.method(MethodId::new(0)).is_read_only());
+        assert!(!c.method(MethodId::new(1)).is_read_only());
+    }
+
+    #[test]
+    fn paths_record_access_sets() {
+        let c = sample();
+        let m = c.method(MethodId::new(1));
+        assert_eq!(m.paths().len(), 2);
+        let p0 = m.path(PathId::new(0));
+        assert!(p0.writes().contains(AttrIndex::new(2)));
+        let p1 = m.path(PathId::new(1));
+        assert!(!p1.writes().contains(AttrIndex::new(2)));
+        assert_eq!(p1.touched().len(), 1);
+    }
+
+    #[test]
+    fn invocation_sites_kept_in_order() {
+        let c = ClassBuilder::new("A")
+            .attribute("x", 8)
+            .method("run", |m| {
+                m.path(|p| {
+                    p.reads(&["x"])
+                        .invokes(ClassId::new(1), MethodId::new(0))
+                        .invokes(ClassId::new(2), MethodId::new(3))
+                })
+            })
+            .build();
+        let sites = c.method(MethodId::new(0)).path(PathId::new(0)).invokes().to_vec();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].class, ClassId::new(1));
+        assert_eq!(sites[1].method, MethodId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown attribute")]
+    fn unknown_attribute_rejected() {
+        let _ = ClassBuilder::new("Bad")
+            .attribute("x", 8)
+            .method("oops", |m| m.path(|p| p.reads(&["y"])))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "must have at least one path")]
+    fn pathless_method_rejected() {
+        let _ = ClassBuilder::new("Bad")
+            .attribute("x", 8)
+            .method("oops", |m| m)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be positive")]
+    fn zero_size_attribute_rejected() {
+        AttributeDef::new("x", 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ClassId::new(3).to_string(), "C3");
+        assert_eq!(MethodId::new(1).to_string(), "m1");
+        assert_eq!(PathId::new(0).to_string(), "path0");
+        assert_eq!(AttrIndex::new(9).to_string(), "a9");
+    }
+}

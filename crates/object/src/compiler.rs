@@ -1,0 +1,287 @@
+//! The "compiler": conservative attribute-access analysis + layout.
+//!
+//! For LOTEC to beat plain entry consistency "it must be possible for the
+//! compiler to accurately predict which parts of an object will be accessed
+//! by each method … Conservative predictions are made so that regardless of
+//! which of the possible paths are taken … all possibly updated attributes
+//! will be recorded" (paper §4.1, incl. footnote 4).
+//!
+//! [`compile`] produces, per method:
+//!
+//! * a conservative [`Prediction`] — the union over all control-flow paths
+//!   of the pages read/written (what LOTEC pre-fetches and what the
+//!   run-time annotates the method's lock acquisition with), and
+//! * per-path [`PathAccess`] — the pages a run that takes that path
+//!   *actually* touches (what the execution engine reads and dirties).
+//!
+//! `actual ⊆ predicted` holds by construction; [`CompiledClass::verify`]
+//! re-checks it, and the workspace property tests exercise it on random
+//! classes.
+
+use std::fmt;
+
+use crate::class::{ClassDef, ClassId, MethodId, PathId};
+use crate::layout::Layout;
+use crate::set::PageSet;
+
+/// Error compiling a class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A path references an invocation site on a class id that does not
+    /// exist in the registry being compiled against.
+    UnknownInvokedClass {
+        /// The offending class reference.
+        class: ClassId,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownInvokedClass { class } => {
+                write!(f, "invocation site references unknown class {class}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Conservative per-method prediction: the page sets the compiler annotates
+/// the method's lock acquisition with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prediction {
+    reads: PageSet,
+    writes: PageSet,
+}
+
+impl Prediction {
+    /// Pages any path may read.
+    pub fn reads(&self) -> &PageSet {
+        &self.reads
+    }
+
+    /// Pages any path may write.
+    pub fn writes(&self) -> &PageSet {
+        &self.writes
+    }
+
+    /// Pages any path may touch at all — what LOTEC transfers (intersected
+    /// with the updated set).
+    pub fn touched(&self) -> PageSet {
+        self.reads.union(&self.writes)
+    }
+}
+
+/// Actual page accesses of one control-flow path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathAccess {
+    reads: PageSet,
+    writes: PageSet,
+}
+
+impl PathAccess {
+    /// Pages this path reads.
+    pub fn reads(&self) -> &PageSet {
+        &self.reads
+    }
+
+    /// Pages this path writes.
+    pub fn writes(&self) -> &PageSet {
+        &self.writes
+    }
+
+    /// Pages this path touches.
+    pub fn touched(&self) -> PageSet {
+        self.reads.union(&self.writes)
+    }
+}
+
+/// A class after compilation: definition + layout + per-method predictions
+/// and per-path actual access sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledClass {
+    class: ClassDef,
+    layout: Layout,
+    // Indexed by method, then by path.
+    predictions: Vec<Prediction>,
+    path_access: Vec<Vec<PathAccess>>,
+}
+
+impl CompiledClass {
+    /// The source class definition.
+    pub fn class(&self) -> &ClassDef {
+        &self.class
+    }
+
+    /// The computed layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The conservative prediction for `method`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `method` is out of range.
+    pub fn prediction(&self, method: MethodId) -> &Prediction {
+        &self.predictions[method.index() as usize]
+    }
+
+    /// The actual access set of `path` of `method`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `method` or `path` is out of range.
+    pub fn path_access(&self, method: MethodId, path: PathId) -> &PathAccess {
+        &self.path_access[method.index() as usize][path.index() as usize]
+    }
+
+    /// Number of control-flow paths of `method`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `method` is out of range.
+    pub fn num_paths(&self, method: MethodId) -> u32 {
+        self.path_access[method.index() as usize].len() as u32
+    }
+
+    /// True if `method` requires only a read lock (no path writes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `method` is out of range.
+    pub fn is_read_only(&self, method: MethodId) -> bool {
+        self.class.method(method).is_read_only()
+    }
+
+    /// Re-checks the conservative-analysis soundness invariant:
+    /// every path's actual access sets are subsets of the method's
+    /// prediction. Returns the first violation, if any.
+    pub fn verify(&self) -> Result<(), (MethodId, PathId)> {
+        for (mi, (pred, paths)) in self.predictions.iter().zip(&self.path_access).enumerate() {
+            for (pi, access) in paths.iter().enumerate() {
+                if !access.reads.is_subset(&pred.reads) || !access.writes.is_subset(&pred.writes) {
+                    return Err((MethodId::new(mi as u32), PathId::new(pi as u32)));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compiles `class` for a DSM with pages of `page_size` bytes.
+///
+/// # Errors
+///
+/// Currently infallible for a standalone class (the `Result` covers
+/// registry-level validation performed by
+/// [`ObjectRegistry`](crate::ObjectRegistry), which re-uses this entry
+/// point).
+///
+/// # Panics
+///
+/// Panics if `page_size < 8` (see [`Layout::of`]).
+pub fn compile(class: &ClassDef, page_size: u32) -> Result<CompiledClass, CompileError> {
+    let layout = Layout::of(class, page_size);
+    let mut predictions = Vec::with_capacity(class.methods().len());
+    let mut path_access = Vec::with_capacity(class.methods().len());
+    for method in class.methods() {
+        let mut pred_reads = PageSet::new();
+        let mut pred_writes = PageSet::new();
+        let mut accesses = Vec::with_capacity(method.paths().len());
+        for path in method.paths() {
+            let reads = layout.pages_of_attrs(path.reads());
+            let writes = layout.pages_of_attrs(path.writes());
+            pred_reads.union_with(&reads);
+            pred_writes.union_with(&writes);
+            accesses.push(PathAccess { reads, writes });
+        }
+        predictions.push(Prediction { reads: pred_reads, writes: pred_writes });
+        path_access.push(accesses);
+    }
+    let compiled = CompiledClass { class: class.clone(), layout, predictions, path_access };
+    debug_assert!(compiled.verify().is_ok());
+    Ok(compiled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassBuilder;
+
+    fn compiled() -> CompiledClass {
+        // 100-byte pages: head -> page 0, body -> pages 0-2, tail -> page 2.
+        let class = ClassBuilder::new("Doc")
+            .attribute("head", 20)
+            .attribute("body", 250)
+            .attribute("tail", 30)
+            .method("read_head", |m| m.path(|p| p.reads(&["head"])))
+            .method("edit", |m| {
+                m.path(|p| p.reads(&["head"]).writes(&["head"]))
+                    .path(|p| p.reads(&["body"]).writes(&["body", "tail"]))
+            })
+            .build();
+        compile(&class, 100).unwrap()
+    }
+
+    #[test]
+    fn prediction_is_union_over_paths() {
+        let c = compiled();
+        let pred = c.prediction(MethodId::new(1));
+        // Reads: head (p0) ∪ body (p0-2) = p0,p1,p2.
+        assert_eq!(pred.reads().len(), 3);
+        // Writes: head (p0) ∪ body (p0-2) ∪ tail (p2) = p0,p1,p2.
+        assert_eq!(pred.writes().len(), 3);
+        assert_eq!(pred.touched().len(), 3);
+    }
+
+    #[test]
+    fn path_access_is_exact_per_path() {
+        let c = compiled();
+        let p0 = c.path_access(MethodId::new(1), PathId::new(0));
+        assert_eq!(p0.touched().len(), 1); // head only
+        let p1 = c.path_access(MethodId::new(1), PathId::new(1));
+        assert_eq!(p1.reads().len(), 3); // body spans p0-p2
+        assert_eq!(p1.writes().len(), 3); // body ∪ tail
+    }
+
+    #[test]
+    fn actual_subset_of_predicted() {
+        let c = compiled();
+        assert_eq!(c.verify(), Ok(()));
+        for m in 0..2u32 {
+            let mid = MethodId::new(m);
+            for p in 0..c.num_paths(mid) {
+                let acc = c.path_access(mid, PathId::new(p));
+                assert!(acc.reads().is_subset(c.prediction(mid).reads()));
+                assert!(acc.writes().is_subset(c.prediction(mid).writes()));
+            }
+        }
+    }
+
+    #[test]
+    fn read_only_method_has_no_predicted_writes() {
+        let c = compiled();
+        assert!(c.is_read_only(MethodId::new(0)));
+        assert!(c.prediction(MethodId::new(0)).writes().is_empty());
+    }
+
+    #[test]
+    fn prediction_can_be_strictly_larger_than_any_path() {
+        // This is the whole point of LOTEC: the conservative union is often
+        // larger than what one run touches.
+        let c = compiled();
+        let pred = c.prediction(MethodId::new(1)).touched();
+        let path0 = c.path_access(MethodId::new(1), PathId::new(0)).touched();
+        assert!(path0.is_subset(&pred));
+        assert!(path0.len() < pred.len());
+    }
+
+    #[test]
+    fn layout_is_exposed() {
+        let c = compiled();
+        assert_eq!(c.layout().num_pages(), 3);
+        assert_eq!(c.class().name(), "Doc");
+    }
+}

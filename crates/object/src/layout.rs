@@ -1,0 +1,199 @@
+//! Attribute → page layout.
+//!
+//! "The second feature required of a compiler is to know where, in an
+//! object's representation in memory, each attribute is stored. This is a
+//! decision which is made by the compiler. Determining which pages will be
+//! updated is then simply a matter of mapping attributes to memory pages"
+//! (paper §4.1). [`Layout`] is that mapping: attributes are laid out in
+//! declaration order, contiguously, and each attribute spans the page range
+//! covering its byte extent.
+
+use lotec_mem::PageIndex;
+
+use crate::class::{AttrIndex, ClassDef};
+use crate::set::{AttrSet, PageSet};
+
+/// The memory layout of one class under a given page size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    page_size: u32,
+    // Byte offset of each attribute, in declaration order.
+    offsets: Vec<u64>,
+    sizes: Vec<u32>,
+    total_bytes: u64,
+    num_pages: u16,
+}
+
+impl Layout {
+    /// Lays out `class` over pages of `page_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size < 8` or the object would span more than
+    /// `u16::MAX` pages.
+    pub fn of(class: &ClassDef, page_size: u32) -> Layout {
+        assert!(page_size >= 8, "page size must be at least 8 bytes");
+        let mut offsets = Vec::with_capacity(class.attributes().len());
+        let mut sizes = Vec::with_capacity(class.attributes().len());
+        let mut cursor = 0u64;
+        for attr in class.attributes() {
+            offsets.push(cursor);
+            sizes.push(attr.size());
+            cursor += attr.size() as u64;
+        }
+        let total_bytes = cursor.max(1);
+        let num_pages = total_bytes.div_ceil(page_size as u64);
+        assert!(num_pages <= u16::MAX as u64, "object too large for u16 page indices");
+        Layout { page_size, offsets, sizes, total_bytes, num_pages: num_pages as u16 }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> u32 {
+        self.page_size
+    }
+
+    /// Total object size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Number of pages the object spans.
+    pub fn num_pages(&self) -> u16 {
+        self.num_pages
+    }
+
+    /// Byte offset of attribute `attr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attr` is out of range.
+    pub fn offset_of(&self, attr: AttrIndex) -> u64 {
+        self.offsets[attr.get() as usize]
+    }
+
+    /// The pages attribute `attr` occupies (inclusive byte range mapped to
+    /// pages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attr` is out of range.
+    pub fn pages_of_attr(&self, attr: AttrIndex) -> PageSet {
+        let start = self.offsets[attr.get() as usize];
+        let size = self.sizes[attr.get() as usize] as u64;
+        let first = (start / self.page_size as u64) as u16;
+        let last = ((start + size - 1) / self.page_size as u64) as u16;
+        (first..=last).map(PageIndex::new).collect()
+    }
+
+    /// The pages any attribute in `attrs` touches — the attribute→page
+    /// mapping at the heart of LOTEC's prediction.
+    pub fn pages_of_attrs(&self, attrs: &AttrSet) -> PageSet {
+        let mut pages = PageSet::new();
+        for attr in attrs.iter() {
+            pages.union_with(&self.pages_of_attr(attr));
+        }
+        pages
+    }
+
+    /// Every page of the object (what COTEC transfers).
+    pub fn all_pages(&self) -> PageSet {
+        (0..self.num_pages).map(PageIndex::new).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassBuilder;
+
+    fn class() -> ClassDef {
+        // Layout with 100-byte pages:
+        //   a: [0, 40)        -> page 0
+        //   b: [40, 190)      -> pages 0-1
+        //   c: [190, 200)     -> page 1
+        //   d: [200, 500)     -> pages 2-4
+        ClassBuilder::new("T")
+            .attribute("a", 40)
+            .attribute("b", 150)
+            .attribute("c", 10)
+            .attribute("d", 300)
+            .method("noop", |m| m.path(|p| p.reads(&["a"])))
+            .build()
+    }
+
+    #[test]
+    fn totals_and_page_count() {
+        let l = Layout::of(&class(), 100);
+        assert_eq!(l.total_bytes(), 500);
+        assert_eq!(l.num_pages(), 5);
+        assert_eq!(l.page_size(), 100);
+    }
+
+    #[test]
+    fn offsets_are_contiguous() {
+        let l = Layout::of(&class(), 100);
+        assert_eq!(l.offset_of(AttrIndex::new(0)), 0);
+        assert_eq!(l.offset_of(AttrIndex::new(1)), 40);
+        assert_eq!(l.offset_of(AttrIndex::new(2)), 190);
+        assert_eq!(l.offset_of(AttrIndex::new(3)), 200);
+    }
+
+    #[test]
+    fn attr_page_ranges() {
+        let l = Layout::of(&class(), 100);
+        let pages = |i: u16| -> Vec<u16> {
+            l.pages_of_attr(AttrIndex::new(i)).iter().map(|p| p.get()).collect()
+        };
+        assert_eq!(pages(0), vec![0]);
+        assert_eq!(pages(1), vec![0, 1]); // straddles the boundary
+        assert_eq!(pages(2), vec![1]);
+        assert_eq!(pages(3), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn attrs_to_pages_unions() {
+        let l = Layout::of(&class(), 100);
+        let attrs: AttrSet = [AttrIndex::new(0), AttrIndex::new(2)].into_iter().collect();
+        let pages: Vec<u16> = l.pages_of_attrs(&attrs).iter().map(|p| p.get()).collect();
+        assert_eq!(pages, vec![0, 1]);
+    }
+
+    #[test]
+    fn all_pages_matches_count() {
+        let l = Layout::of(&class(), 100);
+        assert_eq!(l.all_pages().len(), 5);
+    }
+
+    #[test]
+    fn exact_page_boundary() {
+        let c = ClassBuilder::new("E")
+            .attribute("x", 100)
+            .attribute("y", 100)
+            .method("noop", |m| m.path(|p| p.reads(&["x"])))
+            .build();
+        let l = Layout::of(&c, 100);
+        assert_eq!(l.num_pages(), 2);
+        assert_eq!(l.pages_of_attr(AttrIndex::new(0)).len(), 1);
+        assert_eq!(l.pages_of_attr(AttrIndex::new(1)).len(), 1);
+        assert!(l
+            .pages_of_attr(AttrIndex::new(0))
+            .intersection(&l.pages_of_attr(AttrIndex::new(1)))
+            .is_empty());
+    }
+
+    #[test]
+    fn single_small_object_fits_one_page() {
+        let c = ClassBuilder::new("S")
+            .attribute("x", 4)
+            .method("noop", |m| m.path(|p| p.reads(&["x"])))
+            .build();
+        let l = Layout::of(&c, 4096);
+        assert_eq!(l.num_pages(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size must be at least 8")]
+    fn tiny_page_size_rejected() {
+        Layout::of(&class(), 4);
+    }
+}

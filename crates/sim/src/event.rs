@@ -1,0 +1,157 @@
+//! A deterministic future-event list.
+//!
+//! Events are delivered in non-decreasing timestamp order. Events with equal
+//! timestamps are delivered in insertion (FIFO) order — ties are broken by a
+//! monotonically increasing sequence number, never by payload comparison, so
+//! the queue imposes no trait bounds on the event type and two runs with the
+//! same schedule of `push` calls always pop identically.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Min-heap of timestamped events with deterministic FIFO tie-breaking.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first, and invert
+        // the sequence number so equal-time events pop FIFO.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Enqueues `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn pops_earliest_first() {
+        let mut q = EventQueue::new();
+        q.push(t(50), 'b');
+        q.push(t(10), 'a');
+        q.push(t(90), 'c');
+        assert_eq!(q.peek_time(), Some(t(10)));
+        assert_eq!(q.pop(), Some((t(10), 'a')));
+        assert_eq!(q.pop(), Some((t(50), 'b')));
+        assert_eq!(q.pop(), Some((t(90), 'c')));
+    }
+
+    #[test]
+    fn equal_times_pop_fifo_even_interleaved() {
+        let mut q = EventQueue::new();
+        q.push(t(10), 1);
+        q.push(t(10), 2);
+        q.pop();
+        q.push(t(10), 3);
+        q.push(t(10), 4);
+        assert_eq!(q.pop(), Some((t(10), 2)));
+        assert_eq!(q.pop(), Some((t(10), 3)));
+        assert_eq!(q.pop(), Some((t(10), 4)));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(t(1), ());
+        q.push(t(2), ());
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn no_trait_bounds_on_payload() {
+        // A payload type with no Ord/Eq still works.
+        struct Opaque(#[allow(dead_code)] fn());
+        let mut q = EventQueue::new();
+        q.push(t(1), Opaque(|| {}));
+        assert!(q.pop().is_some());
+    }
+}

@@ -1,0 +1,65 @@
+//! Simulated site identity.
+
+use std::fmt;
+
+/// Identifies one site (processor / workstation) in the simulated
+/// distributed system.
+///
+/// The paper's model is a cluster of nodes on a switched network; each node
+/// runs transaction families locally and holds a local page cache, and one
+/// or more nodes host partitions of the Global Directory of Objects (GDO).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Constructs a node id from its index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The underlying index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Iterator over the first `count` node ids (`N0 .. N{count-1}`).
+    pub fn all(count: u32) -> impl Iterator<Item = NodeId> + Clone {
+        (0..count).map(NodeId)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(index: u32) -> Self {
+        NodeId(index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        let n = NodeId::new(7);
+        assert_eq!(n.to_string(), "N7");
+        assert_eq!(n.index(), 7);
+        assert_eq!(NodeId::from(7u32), n);
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let v: Vec<NodeId> = NodeId::all(3).collect();
+        assert_eq!(v, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+}

@@ -1,0 +1,370 @@
+//! Per-object GDO entries (lock + consistency state).
+//!
+//! Each entry mirrors Figure 1 of the paper: a `LockState` flag, a
+//! `ReadCount`, the holder list (`HolderPtr` — `<TID, NID>` pairs of the
+//! transactions currently holding the lock), the per-family non-holder
+//! waiter lists (`NonHoldersPtr` — a list of lists, one per waiting
+//! family), and the object's page map.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use lotec_mem::{ObjectId, PageMap};
+use lotec_sim::NodeId;
+
+use crate::lock::LockMode;
+use crate::tree::TxnId;
+
+/// The status flag of a GDO lock entry (paper Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockState {
+    /// No holder, no retainer.
+    Free,
+    /// Held for reading (possibly by several transactions).
+    Read,
+    /// Held for update by a single transaction.
+    Write,
+    /// No holder, but one or more transactions retain the lock.
+    Retained,
+}
+
+impl fmt::Display for LockState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LockState::Free => "free",
+            LockState::Read => "held-read",
+            LockState::Write => "held-write",
+            LockState::Retained => "retained",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One current holder of the lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Holder {
+    /// Holding transaction.
+    pub txn: TxnId,
+    /// Its family's execution site.
+    pub node: NodeId,
+    /// Mode held.
+    pub mode: LockMode,
+}
+
+/// One queued request in a family's non-holder list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedRequest {
+    /// Requesting transaction.
+    pub txn: TxnId,
+    /// Its family's execution site.
+    pub node: NodeId,
+    /// Requested mode.
+    pub mode: LockMode,
+}
+
+/// The waiter list of one family (one inner list of `NonHoldersPtr`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyWaiters {
+    /// The family's root transaction id.
+    pub family: TxnId,
+    /// Queued requests from that family, FIFO.
+    pub requests: VecDeque<QueuedRequest>,
+}
+
+/// A per-object GDO entry.
+#[derive(Debug, Clone)]
+pub struct GdoEntry {
+    object: ObjectId,
+    holders: Vec<Holder>,
+    // retainer -> strongest mode retained. Retainers are always ancestors
+    // of (former) holders within the owning family/families.
+    retainers: BTreeMap<TxnId, LockMode>,
+    waiting: VecDeque<FamilyWaiters>,
+    page_map: PageMap,
+}
+
+impl GdoEntry {
+    /// Creates the entry for an object of `num_pages` pages homed at
+    /// `home`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pages` is zero.
+    pub fn new(object: ObjectId, num_pages: u16, home: NodeId) -> Self {
+        GdoEntry {
+            object,
+            holders: Vec::new(),
+            retainers: BTreeMap::new(),
+            waiting: VecDeque::new(),
+            page_map: PageMap::new(num_pages, home),
+        }
+    }
+
+    /// The object this entry describes.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// The `LockState` flag, derived from holders/retainers.
+    pub fn lock_state(&self) -> LockState {
+        if self.holders.iter().any(|h| h.mode.is_write()) {
+            LockState::Write
+        } else if !self.holders.is_empty() {
+            LockState::Read
+        } else if !self.retainers.is_empty() {
+            LockState::Retained
+        } else {
+            LockState::Free
+        }
+    }
+
+    /// The `ReadCount` field: number of current read holders.
+    pub fn read_count(&self) -> usize {
+        self.holders.iter().filter(|h| !h.mode.is_write()).count()
+    }
+
+    /// Current holders (the `HolderPtr` list).
+    pub fn holders(&self) -> &[Holder] {
+        &self.holders
+    }
+
+    /// Current retainers with their strongest retained mode.
+    pub fn retainers(&self) -> impl Iterator<Item = (TxnId, LockMode)> + '_ {
+        self.retainers.iter().map(|(&t, &m)| (t, m))
+    }
+
+    /// True if `txn` currently holds the lock (in any mode).
+    pub fn is_held_by(&self, txn: TxnId) -> bool {
+        self.holders.iter().any(|h| h.txn == txn)
+    }
+
+    /// The mode `txn` holds, if it holds.
+    pub fn held_mode(&self, txn: TxnId) -> Option<LockMode> {
+        self.holders.iter().find(|h| h.txn == txn).map(|h| h.mode)
+    }
+
+    /// True if `txn` retains the lock.
+    pub fn is_retained_by(&self, txn: TxnId) -> bool {
+        self.retainers.contains_key(&txn)
+    }
+
+    /// The mode `txn` retains, if it retains.
+    pub fn retained_mode(&self, txn: TxnId) -> Option<LockMode> {
+        self.retainers.get(&txn).copied()
+    }
+
+    /// The queued family waiter lists (the `NonHoldersPtr` structure).
+    pub fn waiting(&self) -> impl Iterator<Item = &FamilyWaiters> {
+        self.waiting.iter()
+    }
+
+    /// Total queued requests across families.
+    pub fn num_waiting(&self) -> usize {
+        self.waiting.iter().map(|f| f.requests.len()).sum()
+    }
+
+    /// The object's page map.
+    pub fn page_map(&self) -> &PageMap {
+        &self.page_map
+    }
+
+    /// Mutable access to the page map (dirty-info piggybacked on releases
+    /// updates it; grants read it).
+    pub fn page_map_mut(&mut self) -> &mut PageMap {
+        &mut self.page_map
+    }
+
+    // ---- mutation primitives used by the lock table ----
+
+    pub(crate) fn add_holder(&mut self, holder: Holder) {
+        debug_assert!(!self.is_held_by(holder.txn), "{} already holds {}", holder.txn, self.object);
+        self.holders.push(holder);
+    }
+
+    /// Removes `txn` from the holder list, returning its holder record.
+    pub(crate) fn remove_holder(&mut self, txn: TxnId) -> Option<Holder> {
+        let pos = self.holders.iter().position(|h| h.txn == txn)?;
+        Some(self.holders.remove(pos))
+    }
+
+    /// Upgrades `txn`'s held mode to write.
+    pub(crate) fn upgrade_holder(&mut self, txn: TxnId) {
+        let h = self
+            .holders
+            .iter_mut()
+            .find(|h| h.txn == txn)
+            .expect("upgrade of non-holder");
+        h.mode = LockMode::Write;
+    }
+
+    /// Adds (or strengthens) a retainer.
+    pub(crate) fn add_retainer(&mut self, txn: TxnId, mode: LockMode) {
+        self.retainers
+            .entry(txn)
+            .and_modify(|m| *m = (*m).max(mode))
+            .or_insert(mode);
+    }
+
+    /// Removes a retainer, returning its mode.
+    pub(crate) fn remove_retainer(&mut self, txn: TxnId) -> Option<LockMode> {
+        self.retainers.remove(&txn)
+    }
+
+    /// Queues `request` onto its family's waiter list, creating the list
+    /// if this is the family's first waiter (Alg. 4.2 queuing branch).
+    pub(crate) fn enqueue(&mut self, family: TxnId, request: QueuedRequest) {
+        if let Some(fw) = self.waiting.iter_mut().find(|f| f.family == family) {
+            fw.requests.push_back(request);
+        } else {
+            self.waiting.push_back(FamilyWaiters { family, requests: VecDeque::from([request]) });
+        }
+    }
+
+    /// Unlinks and returns the next waiting family list (Alg. 4.4).
+    pub(crate) fn dequeue_next_family(&mut self) -> Option<FamilyWaiters> {
+        self.waiting.pop_front()
+    }
+
+    /// Peeks at the next waiting family without unlinking it.
+    pub(crate) fn peek_next_family(&self) -> Option<&FamilyWaiters> {
+        self.waiting.front()
+    }
+
+    /// Removes every queued request of `family` (used when a deadlock
+    /// victim family is aborted while waiting). Returns the removed
+    /// requests.
+    pub(crate) fn remove_family_waiters(&mut self, family: TxnId) -> Vec<QueuedRequest> {
+        let mut removed = Vec::new();
+        self.waiting.retain_mut(|fw| {
+            if fw.family == family {
+                removed.extend(fw.requests.drain(..));
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+}
+
+/// The node hosting the GDO partition for `object`.
+///
+/// "To ensure efficiency and reliability, the GDO design is partitioned and
+/// replicated" (paper §4.1, citing \[MGB96\]); we model the partitioning as a
+/// uniform hash of the object id over the nodes.
+///
+/// # Panics
+///
+/// Panics if `num_nodes` is zero.
+pub fn gdo_home(object: ObjectId, num_nodes: u32) -> NodeId {
+    assert!(num_nodes > 0, "need at least one node");
+    // Fibonacci hashing spreads consecutive object ids across nodes.
+    let h = (object.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    NodeId::new((h >> 32) as u32 % num_nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> GdoEntry {
+        GdoEntry::new(ObjectId::new(5), 4, NodeId::new(0))
+    }
+
+    fn tid(n: u64) -> TxnId {
+        // TxnId construction is private; mint through a tree.
+        let mut tree = crate::tree::TxnTree::new();
+        let mut last = tree.begin_root(NodeId::new(0));
+        for _ in 0..n {
+            last = tree.begin_root(NodeId::new(0));
+        }
+        last
+    }
+
+    #[test]
+    fn fresh_entry_is_free() {
+        let e = entry();
+        assert_eq!(e.lock_state(), LockState::Free);
+        assert_eq!(e.read_count(), 0);
+        assert_eq!(e.num_waiting(), 0);
+        assert_eq!(e.page_map().num_pages(), 4);
+    }
+
+    #[test]
+    fn state_flag_tracks_holders_and_retainers() {
+        let mut e = entry();
+        let t = tid(0);
+        e.add_holder(Holder { txn: t, node: NodeId::new(1), mode: LockMode::Read });
+        assert_eq!(e.lock_state(), LockState::Read);
+        assert_eq!(e.read_count(), 1);
+        e.upgrade_holder(t);
+        assert_eq!(e.lock_state(), LockState::Write);
+        assert_eq!(e.read_count(), 0);
+        let h = e.remove_holder(t).unwrap();
+        assert_eq!(h.mode, LockMode::Write);
+        e.add_retainer(t, LockMode::Write);
+        assert_eq!(e.lock_state(), LockState::Retained);
+        e.remove_retainer(t);
+        assert_eq!(e.lock_state(), LockState::Free);
+    }
+
+    #[test]
+    fn retainer_mode_strengthens_never_weakens() {
+        let mut e = entry();
+        let t = tid(0);
+        e.add_retainer(t, LockMode::Write);
+        e.add_retainer(t, LockMode::Read);
+        assert_eq!(e.retained_mode(t), Some(LockMode::Write));
+    }
+
+    #[test]
+    fn family_waiter_lists_group_by_family() {
+        let mut e = entry();
+        let (f1, f2) = (tid(0), tid(1));
+        let req = |t: TxnId| QueuedRequest { txn: t, node: NodeId::new(0), mode: LockMode::Read };
+        e.enqueue(f1, req(f1));
+        e.enqueue(f2, req(f2));
+        e.enqueue(f1, req(f1));
+        assert_eq!(e.num_waiting(), 3);
+        assert_eq!(e.waiting().count(), 2, "two family lists");
+        let first = e.dequeue_next_family().unwrap();
+        assert_eq!(first.family, f1);
+        assert_eq!(first.requests.len(), 2);
+        assert_eq!(e.peek_next_family().unwrap().family, f2);
+    }
+
+    #[test]
+    fn remove_family_waiters_only_hits_target() {
+        let mut e = entry();
+        let (f1, f2) = (tid(0), tid(1));
+        let req = |t: TxnId| QueuedRequest { txn: t, node: NodeId::new(0), mode: LockMode::Write };
+        e.enqueue(f1, req(f1));
+        e.enqueue(f2, req(f2));
+        let removed = e.remove_family_waiters(f1);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(e.num_waiting(), 1);
+        assert_eq!(e.peek_next_family().unwrap().family, f2);
+    }
+
+    #[test]
+    fn gdo_home_is_deterministic_and_in_range() {
+        for num_nodes in [1u32, 2, 7, 64] {
+            for obj in 0..200 {
+                let home = gdo_home(ObjectId::new(obj), num_nodes);
+                assert!(home.index() < num_nodes);
+                assert_eq!(home, gdo_home(ObjectId::new(obj), num_nodes));
+            }
+        }
+    }
+
+    #[test]
+    fn gdo_home_spreads_objects() {
+        let mut counts = [0u32; 4];
+        for obj in 0..400 {
+            counts[gdo_home(ObjectId::new(obj), 4).index() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((50..=150).contains(&c), "imbalanced partitioning: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Lock modes and conflict rules.
+
+use std::fmt;
+
+/// Object lock mode under the multiple-readers / single-writer policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockMode {
+    /// Shared read access.
+    Read,
+    /// Exclusive update access.
+    Write,
+}
+
+impl LockMode {
+    /// True if two locks in these modes cannot be held concurrently by
+    /// transactions of *different* families.
+    pub fn conflicts_with(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Write, _) | (_, LockMode::Write))
+    }
+
+    /// The stronger of two modes (used when a parent inherits a lock it
+    /// already retains in a weaker mode).
+    pub fn max(self, other: LockMode) -> LockMode {
+        if self == LockMode::Write || other == LockMode::Write {
+            LockMode::Write
+        } else {
+            LockMode::Read
+        }
+    }
+
+    /// True for [`LockMode::Write`].
+    pub fn is_write(self) -> bool {
+        self == LockMode::Write
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockMode::Read => f.write_str("R"),
+            LockMode::Write => f.write_str("W"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_matrix() {
+        assert!(!LockMode::Read.conflicts_with(LockMode::Read));
+        assert!(LockMode::Read.conflicts_with(LockMode::Write));
+        assert!(LockMode::Write.conflicts_with(LockMode::Read));
+        assert!(LockMode::Write.conflicts_with(LockMode::Write));
+    }
+
+    #[test]
+    fn max_prefers_write() {
+        assert_eq!(LockMode::Read.max(LockMode::Write), LockMode::Write);
+        assert_eq!(LockMode::Read.max(LockMode::Read), LockMode::Read);
+        assert_eq!(LockMode::Write.max(LockMode::Write), LockMode::Write);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(LockMode::Read.to_string(), "R");
+        assert_eq!(LockMode::Write.to_string(), "W");
+    }
+}

@@ -1,0 +1,884 @@
+//! The nested O2PL lock table (Algorithms 4.1–4.4 of the paper).
+//!
+//! The table is the logical union of all GDO partitions. Whether an
+//! operation is *local* (served from the locally cached portion of the GDO
+//! entry, no messages) or *global* (a round trip to the object's GDO
+//! partition) is reported in the returned [`Acquire`] value; the execution
+//! engine turns global operations into simulated messages.
+//!
+//! ## Lock rules implemented (paper §4.1)
+//!
+//! 1. A transaction T may acquire a lock if no transaction of another
+//!    family holds a conflicting lock and every *blocking* retainer is an
+//!    ancestor of T. Retained locks conflict mode-wise: a retained read
+//!    lock blocks foreign writers but not foreign readers (this is what
+//!    makes rule 1 consistent with Algorithm 4.2's concurrent-reader
+//!    grant).
+//! 2. Once acquired, a lock is held until T commits or aborts (2PL — no
+//!    early release).
+//! 3. On pre-commit, T's parent inherits and retains all of T's locks,
+//!    held and retained.
+//! 4. On abort, T's locks are released except those also retained by an
+//!    ancestor, which stay with the ancestor.
+//! 5. Only root commit releases locks to other families.
+//!
+//! A request for a lock *held* (not merely retained) by an ancestor is the
+//! run-time signature of a mutually recursive inter-object invocation; per
+//! §3.4 these are precluded and the table reports
+//! [`LockError::RecursionPrecluded`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use lotec_mem::{ObjectId, PageIndex};
+use lotec_sim::NodeId;
+
+use crate::gdo::{GdoEntry, Holder, QueuedRequest};
+use crate::lock::LockMode;
+use crate::tree::{TxnId, TxnTree};
+
+/// Outcome of a successful (non-erroring) acquisition attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Acquire {
+    /// Granted from the locally cached GDO portion: the requester's family
+    /// already owned the lock (a retaining ancestor). No messages.
+    LocalGrant,
+    /// Granted by the GDO after a global round trip. The engine charges a
+    /// lock-request and a lock-grant message sized with `holders` holder
+    /// entries and the object's page map.
+    GlobalGrant {
+        /// Holder-list length sent back with the grant.
+        holders: usize,
+    },
+    /// Queued at the GDO behind conflicting holders/retainers. The engine
+    /// charges the lock-request message; the grant arrives later via a
+    /// [`Grant`] produced by a release operation.
+    Queued,
+}
+
+impl Acquire {
+    /// True for either grant variant.
+    pub fn is_granted(&self) -> bool {
+        !matches!(self, Acquire::Queued)
+    }
+}
+
+/// Errors from lock operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// The requested object was never registered.
+    UnknownObject(ObjectId),
+    /// The request targets a lock held by an ancestor — a mutually
+    /// recursive inter-object invocation, precluded per §3.4.
+    RecursionPrecluded {
+        /// The requesting transaction.
+        txn: TxnId,
+        /// The holding ancestor.
+        ancestor: TxnId,
+        /// The contested object.
+        object: ObjectId,
+    },
+    /// The transaction already holds this lock in a sufficient mode; the
+    /// caller's bookkeeping is confused.
+    AlreadyHeld {
+        /// The requesting transaction.
+        txn: TxnId,
+        /// The contested object.
+        object: ObjectId,
+    },
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::UnknownObject(o) => write!(f, "unknown object {o}"),
+            LockError::RecursionPrecluded { txn, ancestor, object } => write!(
+                f,
+                "mutually recursive invocation: {txn} requested {object} held by ancestor {ancestor}"
+            ),
+            LockError::AlreadyHeld { txn, object } => {
+                write!(f, "{txn} already holds the lock on {object}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// A deferred grant produced when a release unblocks a waiting family
+/// (Alg. 4.3/4.4: "grant the lock to that sub-transaction" / "link onto
+/// HolderPtr \[and\] send … to the new holder's site").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grant {
+    /// The object whose lock was granted.
+    pub object: ObjectId,
+    /// The granted requests (all from one family).
+    pub requests: Vec<QueuedRequest>,
+    /// Holder-list length at grant time (sizes the grant message).
+    pub holders: usize,
+}
+
+/// Result of a pre-commit release (Alg. 4.3, first case). Purely local.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PreCommitRelease {
+    /// Objects whose locks the parent inherited.
+    pub inherited: Vec<ObjectId>,
+}
+
+/// Result of an abort release (Alg. 4.3, abort cases).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AbortRelease {
+    /// Objects returned to a retaining ancestor (local, no messages).
+    pub returned_to_ancestor: Vec<ObjectId>,
+    /// Objects released globally (each costs a release message).
+    pub released: Vec<ObjectId>,
+    /// Grants to other families unblocked by the release.
+    pub grants: Vec<Grant>,
+}
+
+/// Result of a root-commit release (Alg. 4.4).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommitRelease {
+    /// Objects released (one global release message covers the batch; the
+    /// engine sizes it with the piggybacked dirty info).
+    pub released: Vec<ObjectId>,
+    /// Grants to other families unblocked by the release.
+    pub grants: Vec<Grant>,
+}
+
+/// The lock table: every object's GDO entry plus reverse indexes.
+#[derive(Debug, Clone, Default)]
+pub struct LockTable {
+    entries: BTreeMap<ObjectId, GdoEntry>,
+    held_by: BTreeMap<TxnId, BTreeSet<ObjectId>>,
+    retained_by: BTreeMap<TxnId, BTreeSet<ObjectId>>,
+}
+
+impl LockTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an object of `num_pages` pages homed at `home`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is already registered or `num_pages` is zero.
+    pub fn register_object(&mut self, object: ObjectId, num_pages: u16, home: NodeId) {
+        let prev = self.entries.insert(object, GdoEntry::new(object, num_pages, home));
+        assert!(prev.is_none(), "object {object} registered twice");
+    }
+
+    /// The GDO entry for `object`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::UnknownObject`] if unregistered.
+    pub fn entry(&self, object: ObjectId) -> Result<&GdoEntry, LockError> {
+        self.entries.get(&object).ok_or(LockError::UnknownObject(object))
+    }
+
+    /// Mutable GDO entry access (page-map updates by the engine).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::UnknownObject`] if unregistered.
+    pub fn entry_mut(&mut self, object: ObjectId) -> Result<&mut GdoEntry, LockError> {
+        self.entries.get_mut(&object).ok_or(LockError::UnknownObject(object))
+    }
+
+    /// Objects currently held by `txn`.
+    pub fn held_objects(&self, txn: TxnId) -> impl Iterator<Item = ObjectId> + '_ {
+        self.held_by.get(&txn).into_iter().flatten().copied()
+    }
+
+    /// Objects currently retained by `txn`.
+    pub fn retained_objects(&self, txn: TxnId) -> impl Iterator<Item = ObjectId> + '_ {
+        self.retained_by.get(&txn).into_iter().flatten().copied()
+    }
+
+    /// Iterator over all registered entries (deadlock detection scans
+    /// these).
+    pub fn entries(&self) -> impl Iterator<Item = &GdoEntry> {
+        self.entries.values()
+    }
+
+    // ---------------------------------------------------------------
+    // Acquisition (Algorithms 4.1 + 4.2)
+    // ---------------------------------------------------------------
+
+    /// Attempts to acquire `object`'s lock for `txn` in `mode`.
+    ///
+    /// Implements `LocalLockAcquisition` falling through to
+    /// `GlobalLockAcquisition`. A [`Acquire::Queued`] result parks the
+    /// request in the object's per-family waiter lists; it will surface
+    /// later in a [`Grant`] from some release call.
+    ///
+    /// # Errors
+    ///
+    /// * [`LockError::UnknownObject`] — unregistered object.
+    /// * [`LockError::RecursionPrecluded`] — the lock is held by an
+    ///   ancestor of `txn` (mutually recursive invocation, §3.4).
+    /// * [`LockError::AlreadyHeld`] — `txn` itself already holds the lock
+    ///   in a sufficient mode.
+    pub fn acquire(
+        &mut self,
+        object: ObjectId,
+        txn: TxnId,
+        mode: LockMode,
+        tree: &TxnTree,
+    ) -> Result<Acquire, LockError> {
+        let node = tree.node_of(txn);
+        let family = tree.root_of(txn);
+        let entry = self.entries.get_mut(&object).ok_or(LockError::UnknownObject(object))?;
+
+        // Re-request / upgrade by the same transaction.
+        if let Some(held) = entry.held_mode(txn) {
+            if held.is_write() || mode == held {
+                return Err(LockError::AlreadyHeld { txn, object });
+            }
+            // Read -> Write upgrade: legal only if txn is the sole holder
+            // and no foreign retainer blocks a write.
+            let sole_holder = entry.holders().len() == 1;
+            let retainers_ok = entry.retainers().all(|(r, _)| tree.is_ancestor(r, txn));
+            if sole_holder && retainers_ok {
+                entry.upgrade_holder(txn);
+                // Upgrades consult the GDO (the read lock may be shared
+                // elsewhere); treat as a global operation.
+                return Ok(Acquire::GlobalGrant { holders: entry.holders().len() });
+            }
+            entry.enqueue(family, QueuedRequest { txn, node, mode });
+            return Ok(Acquire::Queued);
+        }
+
+        // Mutual recursion check: lock *held* by an ancestor (§3.4).
+        if let Some(h) = entry.holders().iter().find(|h| tree.is_ancestor(h.txn, txn)) {
+            return Err(LockError::RecursionPrecluded { txn, ancestor: h.txn, object });
+        }
+
+        // Conflicts with current holders (necessarily non-ancestors now).
+        let holder_conflict = entry.holders().iter().any(|h| h.mode.conflicts_with(mode));
+
+        // Blocking retainers: a retainer blocks unless it is an ancestor of
+        // the requester (rule 1) or its retained mode is compatible.
+        let retainer_blocks = entry
+            .retainers()
+            .any(|(r, m)| m.conflicts_with(mode) && !tree.is_ancestor(r, txn));
+
+        // An ancestor retaining the lock in a covering mode entitles the
+        // requester to it immediately (Alg. 4.1's fast path) — foreign
+        // waiters cannot take a retained lock before the family's root
+        // commits, so making the descendant queue behind them would
+        // manufacture a guaranteed deadlock. An ancestor retaining only
+        // Read does not cover a Write request — that upgrade must consult
+        // the GDO for foreign read holders.
+        let ancestor_covering = entry
+            .retainers()
+            .any(|(r, m)| tree.is_ancestor(r, txn) && (m.is_write() || !mode.is_write()));
+
+        // FIFO fairness: if other families are already queued, a newcomer
+        // from a different family must queue behind them even if the lock
+        // is momentarily compatible — unless a retaining ancestor entitles
+        // it to bypass.
+        let must_queue_behind = entry
+            .peek_next_family()
+            .is_some_and(|fw| fw.family != family)
+            && !ancestor_covering;
+
+        if holder_conflict || retainer_blocks || must_queue_behind {
+            entry.enqueue(family, QueuedRequest { txn, node, mode });
+            return Ok(Acquire::Queued);
+        }
+
+        // Grant. Local iff the retained fast path applied.
+        let local = ancestor_covering;
+        let holders_after = entry.holders().len() + 1;
+        entry.add_holder(Holder { txn, node, mode });
+        self.held_by.entry(txn).or_default().insert(object);
+        if local {
+            Ok(Acquire::LocalGrant)
+        } else {
+            Ok(Acquire::GlobalGrant { holders: holders_after })
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Release (Algorithms 4.3 + 4.4)
+    // ---------------------------------------------------------------
+
+    /// Pre-commit of sub-transaction `txn`: its parent inherits and retains
+    /// every lock `txn` holds or retains (rule 3). Purely local.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txn` is a root (roots use
+    /// [`LockTable::release_root_commit`]).
+    pub fn release_pre_commit(&mut self, txn: TxnId, tree: &TxnTree) -> PreCommitRelease {
+        let parent = tree.parent(txn).expect("pre-commit of a root transaction");
+        let mut inherited = Vec::new();
+
+        for object in self.held_by.remove(&txn).unwrap_or_default() {
+            let entry = self.entries.get_mut(&object).expect("held object registered");
+            let holder = entry.remove_holder(txn).expect("index said txn holds");
+            entry.add_retainer(parent, holder.mode);
+            self.retained_by.entry(parent).or_default().insert(object);
+            inherited.push(object);
+        }
+        for object in self.retained_by.remove(&txn).unwrap_or_default() {
+            let entry = self.entries.get_mut(&object).expect("retained object registered");
+            let mode = entry.remove_retainer(txn).expect("index said txn retains");
+            entry.add_retainer(parent, mode);
+            self.retained_by.entry(parent).or_default().insert(object);
+            inherited.push(object);
+        }
+        inherited.sort_unstable();
+        inherited.dedup();
+        PreCommitRelease { inherited }
+    }
+
+    /// Abort of [sub-]transaction `txn` (rule 4): locks return to a
+    /// retaining ancestor when one exists, otherwise they are released —
+    /// possibly unblocking waiting families.
+    pub fn release_abort(&mut self, txn: TxnId, tree: &TxnTree) -> AbortRelease {
+        let mut out = AbortRelease::default();
+        let held = self.held_by.remove(&txn).unwrap_or_default();
+        let retained = self.retained_by.remove(&txn).unwrap_or_default();
+
+        for object in held.iter().chain(retained.iter()).copied().collect::<BTreeSet<_>>() {
+            let entry = self.entries.get_mut(&object).expect("indexed object registered");
+            entry.remove_holder(txn);
+            entry.remove_retainer(txn);
+            let ancestor_retains = entry
+                .retainers()
+                .any(|(r, _)| r != txn && tree.is_ancestor(r, txn));
+            if ancestor_retains {
+                out.returned_to_ancestor.push(object);
+            } else {
+                out.released.push(object);
+            }
+        }
+        // Collect grants after all of txn's presence is gone.
+        for &object in &out.released {
+            self.try_grant_next(object, tree, &mut out.grants);
+        }
+        out
+    }
+
+    /// Root commit of `root` (rule 5 / Alg. 4.4): every lock held or
+    /// retained by the root is released and waiting families are granted.
+    ///
+    /// `dirty` carries the piggybacked dirty-page information: for each
+    /// object, the pages the family updated. The GDO page map records the
+    /// committing node as the holder of the new versions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not a root transaction.
+    pub fn release_root_commit(
+        &mut self,
+        root: TxnId,
+        tree: &TxnTree,
+        dirty: &[(ObjectId, Vec<PageIndex>)],
+        node: NodeId,
+    ) -> CommitRelease {
+        assert!(tree.parent(root).is_none(), "{root} is not a root");
+        // Record dirty info in the page maps first (Alg. 4.4's first loop).
+        for (object, pages) in dirty {
+            let entry = self.entries.get_mut(object).expect("dirty object registered");
+            for &page in pages {
+                entry.page_map_mut().record_update(page, node);
+            }
+        }
+
+        let mut out = CommitRelease::default();
+        let held = self.held_by.remove(&root).unwrap_or_default();
+        let retained = self.retained_by.remove(&root).unwrap_or_default();
+        for object in held.iter().chain(retained.iter()).copied().collect::<BTreeSet<_>>() {
+            let entry = self.entries.get_mut(&object).expect("indexed object registered");
+            entry.remove_holder(root);
+            entry.remove_retainer(root);
+            debug_assert!(
+                entry.retainers().all(|(r, _)| !tree.is_ancestor(root, r)),
+                "family members still retain {object} after root commit"
+            );
+            out.released.push(object);
+        }
+        for &object in &out.released {
+            self.try_grant_next(object, tree, &mut out.grants);
+        }
+        out
+    }
+
+    /// After a release, grants the next waiting family's requests if they
+    /// are now admissible (Alg. 4.4's second loop). Read batches across
+    /// consecutive read-only families are granted together.
+    fn try_grant_next(&mut self, object: ObjectId, tree: &TxnTree, grants: &mut Vec<Grant>) {
+        loop {
+            let entry = self.entries.get_mut(&object).expect("object registered");
+            let Some(next) = entry.peek_next_family() else {
+                return;
+            };
+            // Admissibility: every queued request of the family must be
+            // compatible with current holders and blocking retainers.
+            let family = next.family;
+            let admissible = next.requests.iter().all(|req| {
+                let no_holder_conflict = entry
+                    .holders()
+                    .iter()
+                    .all(|h| !h.mode.conflicts_with(req.mode) || tree.same_family(h.txn, req.txn));
+                let no_retainer_block = entry
+                    .retainers()
+                    .all(|(r, m)| !m.conflicts_with(req.mode) || tree.is_ancestor(r, req.txn));
+                no_holder_conflict && no_retainer_block
+            });
+            if !admissible {
+                return;
+            }
+            let fw = entry.dequeue_next_family().expect("peeked family vanished");
+            debug_assert_eq!(fw.family, family);
+            let mut requests = Vec::with_capacity(fw.requests.len());
+            for req in fw.requests {
+                entry.add_holder(Holder { txn: req.txn, node: req.node, mode: req.mode });
+                self.held_by.entry(req.txn).or_default().insert(object);
+                requests.push(req);
+            }
+            let holders = self.entries[&object].holders().len();
+            grants.push(Grant { object, requests, holders });
+            // Read batching: if the grant was read-only, the following
+            // family may also be read-compatible — loop and try again.
+            if grants.last().expect("just pushed").requests.iter().any(|r| r.mode.is_write()) {
+                return;
+            }
+        }
+    }
+
+    /// Drops every queued request of `family` across all objects (the
+    /// family is being aborted as a deadlock victim while waiting).
+    /// Returns the objects whose queues were touched.
+    ///
+    /// Removing a queue entry can expose a now-admissible waiter behind
+    /// it; callers must follow up with [`LockTable::regrant`] on the
+    /// returned objects or risk a lost wakeup.
+    pub fn cancel_family_waiters(&mut self, family: TxnId) -> Vec<ObjectId> {
+        let mut touched = Vec::new();
+        for (object, entry) in self.entries.iter_mut() {
+            if !entry.remove_family_waiters(family).is_empty() {
+                touched.push(*object);
+            }
+        }
+        touched
+    }
+
+    /// Re-examines `objects`' waiter queues and grants whatever became
+    /// admissible (after queue entries were removed by
+    /// [`LockTable::cancel_family_waiters`]).
+    pub fn regrant(&mut self, objects: &[ObjectId], tree: &TxnTree) -> Vec<Grant> {
+        let mut grants = Vec::new();
+        for &object in objects {
+            self.try_grant_next(object, tree, &mut grants);
+        }
+        grants
+    }
+
+    /// Internal consistency check used by tests and debug assertions:
+    /// indexes match entries; at most one write holder per object; write
+    /// holder excludes other holders from different families.
+    pub fn check_invariants(&self, tree: &TxnTree) -> Result<(), String> {
+        for (object, entry) in &self.entries {
+            let writers: Vec<_> = entry.holders().iter().filter(|h| h.mode.is_write()).collect();
+            if writers.len() > 1 {
+                return Err(format!("{object}: multiple write holders"));
+            }
+            if let Some(w) = writers.first() {
+                for h in entry.holders() {
+                    if h.txn != w.txn && !tree.same_family(h.txn, w.txn) {
+                        return Err(format!(
+                            "{object}: write holder {} coexists with foreign holder {}",
+                            w.txn, h.txn
+                        ));
+                    }
+                }
+            }
+            for h in entry.holders() {
+                if !self.held_by.get(&h.txn).is_some_and(|s| s.contains(object)) {
+                    return Err(format!("{object}: holder {} missing from index", h.txn));
+                }
+            }
+            for (r, _) in entry.retainers() {
+                if !self.retained_by.get(&r).is_some_and(|s| s.contains(object)) {
+                    return Err(format!("{object}: retainer {r} missing from index"));
+                }
+            }
+        }
+        for (txn, objects) in &self.held_by {
+            for object in objects {
+                let entry = self.entries.get(object).ok_or("indexed object missing")?;
+                if !entry.is_held_by(*txn) {
+                    return Err(format!("index says {txn} holds {object}, entry disagrees"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn obj(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+
+    fn setup(num_objects: u32) -> (TxnTree, LockTable) {
+        let mut table = LockTable::new();
+        for i in 0..num_objects {
+            table.register_object(obj(i), 4, n(0));
+        }
+        (TxnTree::new(), table)
+    }
+
+    #[test]
+    fn first_acquire_is_global_grant() {
+        let (mut tree, mut table) = setup(1);
+        let r = tree.begin_root(n(1));
+        let got = table.acquire(obj(0), r, LockMode::Write, &tree).unwrap();
+        assert_eq!(got, Acquire::GlobalGrant { holders: 1 });
+        assert!(table.entry(obj(0)).unwrap().is_held_by(r));
+        table.check_invariants(&tree).unwrap();
+    }
+
+    #[test]
+    fn concurrent_readers_from_different_families() {
+        let (mut tree, mut table) = setup(1);
+        let a = tree.begin_root(n(1));
+        let b = tree.begin_root(n(2));
+        assert!(table.acquire(obj(0), a, LockMode::Read, &tree).unwrap().is_granted());
+        assert!(table.acquire(obj(0), b, LockMode::Read, &tree).unwrap().is_granted());
+        assert_eq!(table.entry(obj(0)).unwrap().read_count(), 2);
+        table.check_invariants(&tree).unwrap();
+    }
+
+    #[test]
+    fn writer_blocks_foreign_family() {
+        let (mut tree, mut table) = setup(1);
+        let a = tree.begin_root(n(1));
+        let b = tree.begin_root(n(2));
+        table.acquire(obj(0), a, LockMode::Write, &tree).unwrap();
+        assert_eq!(table.acquire(obj(0), b, LockMode::Read, &tree).unwrap(), Acquire::Queued);
+        assert_eq!(table.entry(obj(0)).unwrap().num_waiting(), 1);
+    }
+
+    #[test]
+    fn reader_blocks_foreign_writer() {
+        let (mut tree, mut table) = setup(1);
+        let a = tree.begin_root(n(1));
+        let b = tree.begin_root(n(2));
+        table.acquire(obj(0), a, LockMode::Read, &tree).unwrap();
+        assert_eq!(table.acquire(obj(0), b, LockMode::Write, &tree).unwrap(), Acquire::Queued);
+    }
+
+    #[test]
+    fn recursion_precluded_when_ancestor_holds() {
+        let (mut tree, mut table) = setup(1);
+        let r = tree.begin_root(n(1));
+        table.acquire(obj(0), r, LockMode::Write, &tree).unwrap();
+        let c = tree.begin_child(r);
+        let err = table.acquire(obj(0), c, LockMode::Read, &tree).unwrap_err();
+        assert_eq!(err, LockError::RecursionPrecluded { txn: c, ancestor: r, object: obj(0) });
+    }
+
+    #[test]
+    fn child_acquires_lock_retained_by_parent_locally() {
+        let (mut tree, mut table) = setup(1);
+        let r = tree.begin_root(n(1));
+        let c1 = tree.begin_child(r);
+        table.acquire(obj(0), c1, LockMode::Write, &tree).unwrap();
+        tree.pre_commit(c1);
+        table.release_pre_commit(c1, &tree);
+        // Parent now retains; a second child acquires locally.
+        let c2 = tree.begin_child(r);
+        let got = table.acquire(obj(0), c2, LockMode::Write, &tree).unwrap();
+        assert_eq!(got, Acquire::LocalGrant);
+        table.check_invariants(&tree).unwrap();
+    }
+
+    #[test]
+    fn retained_write_blocks_other_families() {
+        let (mut tree, mut table) = setup(1);
+        let r = tree.begin_root(n(1));
+        let c = tree.begin_child(r);
+        table.acquire(obj(0), c, LockMode::Write, &tree).unwrap();
+        tree.pre_commit(c);
+        table.release_pre_commit(c, &tree);
+        let foreign = tree.begin_root(n(2));
+        assert_eq!(
+            table.acquire(obj(0), foreign, LockMode::Read, &tree).unwrap(),
+            Acquire::Queued,
+            "retained write lock blocks foreign readers"
+        );
+    }
+
+    #[test]
+    fn retained_read_admits_foreign_readers_blocks_writers() {
+        let (mut tree, mut table) = setup(1);
+        let r = tree.begin_root(n(1));
+        let c = tree.begin_child(r);
+        table.acquire(obj(0), c, LockMode::Read, &tree).unwrap();
+        tree.pre_commit(c);
+        table.release_pre_commit(c, &tree);
+        let reader = tree.begin_root(n(2));
+        assert!(table.acquire(obj(0), reader, LockMode::Read, &tree).unwrap().is_granted());
+        let writer = tree.begin_root(n(3));
+        assert_eq!(table.acquire(obj(0), writer, LockMode::Write, &tree).unwrap(), Acquire::Queued);
+    }
+
+    #[test]
+    fn root_commit_releases_to_next_family() {
+        let (mut tree, mut table) = setup(1);
+        let a = tree.begin_root(n(1));
+        let b = tree.begin_root(n(2));
+        table.acquire(obj(0), a, LockMode::Write, &tree).unwrap();
+        assert_eq!(table.acquire(obj(0), b, LockMode::Write, &tree).unwrap(), Acquire::Queued);
+        tree.commit_root(a);
+        let rel = table.release_root_commit(a, &tree, &[], n(1));
+        assert_eq!(rel.released, vec![obj(0)]);
+        assert_eq!(rel.grants.len(), 1);
+        let grant = &rel.grants[0];
+        assert_eq!(grant.object, obj(0));
+        assert_eq!(grant.requests.len(), 1);
+        assert_eq!(grant.requests[0].txn, b);
+        assert!(table.entry(obj(0)).unwrap().is_held_by(b));
+        table.check_invariants(&tree).unwrap();
+    }
+
+    #[test]
+    fn nested_inheritance_chain_reaches_root() {
+        let (mut tree, mut table) = setup(1);
+        let r = tree.begin_root(n(1));
+        let c = tree.begin_child(r);
+        let g = tree.begin_child(c);
+        table.acquire(obj(0), g, LockMode::Write, &tree).unwrap();
+        tree.pre_commit(g);
+        table.release_pre_commit(g, &tree);
+        assert!(table.entry(obj(0)).unwrap().is_retained_by(c));
+        tree.pre_commit(c);
+        table.release_pre_commit(c, &tree);
+        assert!(table.entry(obj(0)).unwrap().is_retained_by(r));
+        assert!(!table.entry(obj(0)).unwrap().is_retained_by(c));
+        // Only root commit frees it for others.
+        let foreign = tree.begin_root(n(2));
+        assert_eq!(table.acquire(obj(0), foreign, LockMode::Write, &tree).unwrap(), Acquire::Queued);
+        tree.commit_root(r);
+        let rel = table.release_root_commit(r, &tree, &[], n(1));
+        assert_eq!(rel.grants.len(), 1);
+        assert_eq!(rel.grants[0].requests[0].txn, foreign);
+    }
+
+    #[test]
+    fn abort_returns_lock_to_retaining_ancestor() {
+        let (mut tree, mut table) = setup(1);
+        let r = tree.begin_root(n(1));
+        let c1 = tree.begin_child(r);
+        table.acquire(obj(0), c1, LockMode::Write, &tree).unwrap();
+        tree.pre_commit(c1);
+        table.release_pre_commit(c1, &tree);
+        // c2 acquires from r's retention, then aborts.
+        let c2 = tree.begin_child(r);
+        table.acquire(obj(0), c2, LockMode::Write, &tree).unwrap();
+        tree.abort(c2);
+        let rel = table.release_abort(c2, &tree);
+        assert_eq!(rel.returned_to_ancestor, vec![obj(0)]);
+        assert!(rel.released.is_empty());
+        assert!(table.entry(obj(0)).unwrap().is_retained_by(r), "r retains again");
+        table.check_invariants(&tree).unwrap();
+    }
+
+    #[test]
+    fn abort_without_retaining_ancestor_releases() {
+        let (mut tree, mut table) = setup(1);
+        let r = tree.begin_root(n(1));
+        let c = tree.begin_child(r);
+        table.acquire(obj(0), c, LockMode::Write, &tree).unwrap();
+        let foreign = tree.begin_root(n(2));
+        assert_eq!(table.acquire(obj(0), foreign, LockMode::Read, &tree).unwrap(), Acquire::Queued);
+        tree.abort(c);
+        let rel = table.release_abort(c, &tree);
+        assert_eq!(rel.released, vec![obj(0)]);
+        assert_eq!(rel.grants.len(), 1, "foreign family granted after abort");
+        assert_eq!(rel.grants[0].requests[0].txn, foreign);
+    }
+
+    #[test]
+    fn read_batching_grants_consecutive_reader_families() {
+        let (mut tree, mut table) = setup(1);
+        let w = tree.begin_root(n(1));
+        table.acquire(obj(0), w, LockMode::Write, &tree).unwrap();
+        let r1 = tree.begin_root(n(2));
+        let r2 = tree.begin_root(n(3));
+        let w2 = tree.begin_root(n(4));
+        table.acquire(obj(0), r1, LockMode::Read, &tree).unwrap();
+        table.acquire(obj(0), r2, LockMode::Read, &tree).unwrap();
+        table.acquire(obj(0), w2, LockMode::Write, &tree).unwrap();
+        tree.commit_root(w);
+        let rel = table.release_root_commit(w, &tree, &[], n(1));
+        // Both reader families granted together; writer still waits.
+        assert_eq!(rel.grants.len(), 2);
+        assert_eq!(table.entry(obj(0)).unwrap().read_count(), 2);
+        assert_eq!(table.entry(obj(0)).unwrap().num_waiting(), 1);
+    }
+
+    #[test]
+    fn fifo_prevents_barging_past_queued_family() {
+        let (mut tree, mut table) = setup(1);
+        let a = tree.begin_root(n(1));
+        table.acquire(obj(0), a, LockMode::Read, &tree).unwrap();
+        let w = tree.begin_root(n(2));
+        assert_eq!(table.acquire(obj(0), w, LockMode::Write, &tree).unwrap(), Acquire::Queued);
+        // A new foreign reader would be compatible with the held read lock,
+        // but must not barge past the queued writer.
+        let late = tree.begin_root(n(3));
+        assert_eq!(table.acquire(obj(0), late, LockMode::Read, &tree).unwrap(), Acquire::Queued);
+    }
+
+    #[test]
+    fn descendant_bypasses_foreign_queue_for_retained_lock() {
+        // Regression: a foreign family queued on a retained lock must not
+        // make the retainer's own descendants queue behind it — they are
+        // entitled to the lock (Alg. 4.1) and queueing would manufacture a
+        // guaranteed deadlock.
+        let (mut tree, mut table) = setup(1);
+        let r = tree.begin_root(n(1));
+        let c1 = tree.begin_child(r);
+        table.acquire(obj(0), c1, LockMode::Write, &tree).unwrap();
+        tree.pre_commit(c1);
+        table.release_pre_commit(c1, &tree);
+        // Foreign family queues on the retained lock.
+        let foreign = tree.begin_root(n(2));
+        assert_eq!(table.acquire(obj(0), foreign, LockMode::Write, &tree).unwrap(), Acquire::Queued);
+        // A second child of r must still get the lock locally.
+        let c2 = tree.begin_child(r);
+        assert_eq!(
+            table.acquire(obj(0), c2, LockMode::Write, &tree).unwrap(),
+            Acquire::LocalGrant
+        );
+        table.check_invariants(&tree).unwrap();
+    }
+
+    #[test]
+    fn regrant_after_cancel_wakes_blocked_waiters() {
+        // Regression: removing a cancelled family's queue entry must allow
+        // the family behind it to be granted, or it waits forever.
+        let (mut tree, mut table) = setup(1);
+        let holder = tree.begin_root(n(1));
+        table.acquire(obj(0), holder, LockMode::Read, &tree).unwrap();
+        let victim = tree.begin_root(n(2));
+        assert_eq!(table.acquire(obj(0), victim, LockMode::Write, &tree).unwrap(), Acquire::Queued);
+        let reader = tree.begin_root(n(3));
+        assert_eq!(table.acquire(obj(0), reader, LockMode::Read, &tree).unwrap(), Acquire::Queued);
+        // The victim family is aborted while waiting; its entry vanishes.
+        tree.abort(victim);
+        let touched = table.cancel_family_waiters(victim);
+        assert_eq!(touched, vec![obj(0)]);
+        // The reader behind it is now compatible with the held read lock.
+        let grants = table.regrant(&touched, &tree);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].requests[0].txn, reader);
+        assert!(table.entry(obj(0)).unwrap().is_held_by(reader));
+        table.check_invariants(&tree).unwrap();
+    }
+
+    #[test]
+    fn read_to_write_upgrade_when_sole_holder() {
+        let (mut tree, mut table) = setup(1);
+        let r = tree.begin_root(n(1));
+        table.acquire(obj(0), r, LockMode::Read, &tree).unwrap();
+        let got = table.acquire(obj(0), r, LockMode::Write, &tree).unwrap();
+        assert!(got.is_granted());
+        assert_eq!(table.entry(obj(0)).unwrap().held_mode(r), Some(LockMode::Write));
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_reader_queues() {
+        let (mut tree, mut table) = setup(1);
+        let a = tree.begin_root(n(1));
+        let b = tree.begin_root(n(2));
+        table.acquire(obj(0), a, LockMode::Read, &tree).unwrap();
+        table.acquire(obj(0), b, LockMode::Read, &tree).unwrap();
+        assert_eq!(table.acquire(obj(0), a, LockMode::Write, &tree).unwrap(), Acquire::Queued);
+    }
+
+    #[test]
+    fn duplicate_acquire_rejected() {
+        let (mut tree, mut table) = setup(1);
+        let r = tree.begin_root(n(1));
+        table.acquire(obj(0), r, LockMode::Write, &tree).unwrap();
+        let err = table.acquire(obj(0), r, LockMode::Write, &tree).unwrap_err();
+        assert_eq!(err, LockError::AlreadyHeld { txn: r, object: obj(0) });
+    }
+
+    #[test]
+    fn unknown_object_rejected() {
+        let (mut tree, mut table) = setup(1);
+        let r = tree.begin_root(n(0));
+        let err = table.acquire(obj(9), r, LockMode::Read, &tree).unwrap_err();
+        assert_eq!(err, LockError::UnknownObject(obj(9)));
+    }
+
+    #[test]
+    fn commit_updates_page_map_from_dirty_info() {
+        let (mut tree, mut table) = setup(1);
+        let r = tree.begin_root(n(3));
+        table.acquire(obj(0), r, LockMode::Write, &tree).unwrap();
+        tree.commit_root(r);
+        let dirty = vec![(obj(0), vec![PageIndex::new(1), PageIndex::new(2)])];
+        table.release_root_commit(r, &tree, &dirty, n(3));
+        let map = table.entry(obj(0)).unwrap().page_map();
+        assert_eq!(map.location(PageIndex::new(1)).node, n(3));
+        assert_eq!(map.location(PageIndex::new(1)).version.get(), 1);
+        assert_eq!(map.location(PageIndex::new(0)).version.get(), 0, "untouched page");
+    }
+
+    #[test]
+    fn cancel_family_waiters_clears_queues() {
+        let (mut tree, mut table) = setup(2);
+        let a = tree.begin_root(n(1));
+        let b = tree.begin_root(n(2));
+        table.acquire(obj(0), a, LockMode::Write, &tree).unwrap();
+        table.acquire(obj(1), a, LockMode::Write, &tree).unwrap();
+        table.acquire(obj(0), b, LockMode::Write, &tree).unwrap();
+        table.acquire(obj(1), b, LockMode::Write, &tree).unwrap();
+        let touched = table.cancel_family_waiters(b);
+        assert_eq!(touched, vec![obj(0), obj(1)]);
+        assert_eq!(table.entry(obj(0)).unwrap().num_waiting(), 0);
+    }
+
+    #[test]
+    fn whole_family_lifecycle_keeps_invariants() {
+        let (mut tree, mut table) = setup(3);
+        let r = tree.begin_root(n(0));
+        table.acquire(obj(0), r, LockMode::Read, &tree).unwrap();
+        let c1 = tree.begin_child(r);
+        table.acquire(obj(1), c1, LockMode::Write, &tree).unwrap();
+        let g = tree.begin_child(c1);
+        table.acquire(obj(2), g, LockMode::Write, &tree).unwrap();
+        tree.pre_commit(g);
+        table.release_pre_commit(g, &tree);
+        table.check_invariants(&tree).unwrap();
+        tree.pre_commit(c1);
+        table.release_pre_commit(c1, &tree);
+        table.check_invariants(&tree).unwrap();
+        tree.commit_root(r);
+        let rel = table.release_root_commit(r, &tree, &[], n(0));
+        assert_eq!(rel.released.len(), 3);
+        table.check_invariants(&tree).unwrap();
+        for i in 0..3 {
+            assert_eq!(table.entry(obj(i)).unwrap().lock_state(), crate::gdo::LockState::Free);
+        }
+    }
+}

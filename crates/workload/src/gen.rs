@@ -1,0 +1,373 @@
+//! Transaction-family generation.
+
+use std::fmt;
+
+use lotec_core::spec::{validate_family, FamilySpec, InvocationSpec};
+use lotec_core::SystemConfig;
+use lotec_mem::ObjectId;
+use lotec_object::{ClassId, MethodId, ObjectRegistry, PathId};
+use lotec_sim::{NodeId, SimDuration, SimRng, SimTime};
+
+use crate::schema::{generate_classes, SchemaConfig};
+use crate::zipf::Zipf;
+
+/// Full description of a workload scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Schema synthesis knobs.
+    pub schema: SchemaConfig,
+    /// Number of shared objects (instances over the generated classes).
+    pub num_objects: u32,
+    /// Number of transaction families (root invocations).
+    pub num_families: u32,
+    /// Number of cluster nodes.
+    pub num_nodes: u32,
+    /// Zipf skew of receiver selection — the contention knob. 0 = uniform,
+    /// ~1 = heavily skewed (the paper's "high contention").
+    pub zipf_theta: f64,
+    /// Mean inter-arrival gap between family starts.
+    pub mean_arrival_gap: SimDuration,
+    /// Probability that any sub-transaction (non-root invocation) is
+    /// fault-injected to abort.
+    pub abort_prob: f64,
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            schema: SchemaConfig::default(),
+            num_objects: 20,
+            num_families: 100,
+            num_nodes: 8,
+            zipf_theta: 0.9,
+            mean_arrival_gap: SimDuration::from_micros(50),
+            abort_prob: 0.0,
+            seed: 0x10C_7EC,
+        }
+    }
+}
+
+/// Errors from workload generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// Generated registry failed to build.
+    Registry(String),
+    /// A generated family failed core validation (a generator bug).
+    InvalidFamily(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Registry(msg) => write!(f, "registry generation failed: {msg}"),
+            WorkloadError::InvalidFamily(msg) => write!(f, "generated family invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// A named, generatable scenario (one figure's workload).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Human-readable name ("fig2: medium objects, high contention").
+    pub name: String,
+    /// The workload parameters.
+    pub config: WorkloadConfig,
+}
+
+impl Scenario {
+    /// Creates a scenario.
+    pub fn new(name: impl Into<String>, config: WorkloadConfig) -> Self {
+        Scenario { name: name.into(), config }
+    }
+
+    /// Generates the registry and families.
+    ///
+    /// # Errors
+    ///
+    /// See [`generate`].
+    pub fn generate(&self) -> Result<(ObjectRegistry, Vec<FamilySpec>), WorkloadError> {
+        generate(&self.config)
+    }
+
+    /// A [`SystemConfig`] matching this scenario's node count and page
+    /// size (other knobs at their defaults).
+    pub fn system_config(&self) -> SystemConfig {
+        SystemConfig {
+            num_nodes: self.config.num_nodes,
+            page_size: self.config.schema.page_size,
+            seed: self.config.seed,
+            ..SystemConfig::default()
+        }
+    }
+}
+
+/// Generates a workload: a compiled object registry plus the transaction
+/// families to run against it. Fully deterministic for a given config.
+///
+/// ```
+/// use lotec_workload::{gen, WorkloadConfig};
+///
+/// let config = WorkloadConfig { num_families: 10, ..WorkloadConfig::default() };
+/// let (registry, families) = gen::generate(&config)?;
+/// assert_eq!(registry.num_objects(), 20);
+/// assert!(families.len() <= 10);
+/// # Ok::<(), lotec_workload::WorkloadError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`WorkloadError`] if the schema fails to compile or a generated
+/// family fails validation (both indicate generator bugs, surfaced rather
+/// than panicking so the bench harness can report them).
+pub fn generate(config: &WorkloadConfig) -> Result<(ObjectRegistry, Vec<FamilySpec>), WorkloadError> {
+    let root_rng = SimRng::seed_from_u64(config.seed);
+    let mut schema_rng = root_rng.fork(1);
+    let mut placement_rng = root_rng.fork(2);
+    let mut tree_rng = root_rng.fork(3);
+    let mut timing_rng = root_rng.fork(4);
+
+    let classes = generate_classes(&config.schema, &mut schema_rng);
+
+    // Instantiate objects round-robin over classes, homed on random nodes.
+    let objects: Vec<(ClassId, NodeId)> = (0..config.num_objects)
+        .map(|i| {
+            let class = ClassId::new(i % config.schema.num_classes);
+            let home = NodeId::new(placement_rng.next_below(config.num_nodes as u64) as u32);
+            (class, home)
+        })
+        .collect();
+    let registry = ObjectRegistry::build(&classes, &objects, config.schema.page_size)
+        .map_err(|e| WorkloadError::Registry(e.to_string()))?;
+
+    // Index object instances by class for receiver selection.
+    let mut by_class: Vec<Vec<ObjectId>> = vec![Vec::new(); config.schema.num_classes as usize];
+    for inst in registry.objects() {
+        by_class[inst.class.index() as usize].push(inst.id);
+    }
+
+    // One zipf sampler per class (skew applies within the class's
+    // instances; combined with round-robin instantiation this skews the
+    // global access pattern the same way).
+    let samplers: Vec<Option<Zipf>> = by_class
+        .iter()
+        .map(|objs| (!objs.is_empty()).then(|| Zipf::new(objs.len(), config.zipf_theta)))
+        .collect();
+
+    let sys = SystemConfig {
+        num_nodes: config.num_nodes,
+        page_size: config.schema.page_size,
+        ..SystemConfig::default()
+    };
+
+    let mut families = Vec::with_capacity(config.num_families as usize);
+    let mut clock = SimTime::ZERO;
+    for f in 0..config.num_families {
+        // Exponential-ish inter-arrival: -ln(U) * mean.
+        let u = timing_rng.f64().max(1e-12);
+        let gap = SimDuration::from_secs_f64(-u.ln() * config.mean_arrival_gap.as_secs_f64());
+        clock += gap;
+        let node = NodeId::new(timing_rng.next_below(config.num_nodes as u64) as u32);
+
+        // Root receiver: drawn over all objects (zipf over the flattened,
+        // class-major order so low object ids are the hot ones, matching
+        // the paper's figure labels where O0… are the busiest).
+        let root_class = tree_rng.next_below(config.schema.num_classes as u64) as usize;
+        let root = build_invocation(
+            &registry,
+            &by_class,
+            &samplers,
+            root_class,
+            None,
+            &mut tree_rng,
+            config.abort_prob,
+            &mut Vec::new(),
+            true,
+        );
+        let Some(root) = root else {
+            // No instance of the drawn class (possible when objects <
+            // classes); retry deterministically with class 0 which always
+            // has an instance when num_objects >= 1.
+            continue;
+        };
+        let family = FamilySpec { node, start: clock, root };
+        validate_family(&family, &registry, &sys)
+            .map_err(|e| WorkloadError::InvalidFamily(e.to_string()))?;
+        families.push(family);
+        let _ = f;
+    }
+    Ok((registry, families))
+}
+
+/// Builds one invocation subtree of class `class_idx`, excluding receivers
+/// in `locked` (ancestors' receivers — §3.4 forbids recursion onto them;
+/// the class DAG already prevents it, this is defence in depth).
+#[allow(clippy::too_many_arguments)]
+fn build_invocation(
+    registry: &ObjectRegistry,
+    by_class: &[Vec<ObjectId>],
+    samplers: &[Option<Zipf>],
+    class_idx: usize,
+    required_method: Option<MethodId>,
+    rng: &mut SimRng,
+    abort_prob: f64,
+    locked: &mut Vec<ObjectId>,
+    is_root: bool,
+) -> Option<InvocationSpec> {
+    let instances = &by_class[class_idx];
+    let sampler = samplers[class_idx].as_ref()?;
+    // Draw a receiver not already locked by an ancestor; bounded retries,
+    // then fall back to any unlocked instance.
+    let mut object = None;
+    for _ in 0..8 {
+        let candidate = instances[sampler.sample(rng)];
+        if !locked.contains(&candidate) {
+            object = Some(candidate);
+            break;
+        }
+    }
+    let object = object.or_else(|| instances.iter().copied().find(|o| !locked.contains(o)))?;
+
+    let compiled = registry.class_of(object);
+    let num_methods = compiled.class().methods().len();
+    // A nested invocation's method is dictated by the parent's invocation
+    // site; only the root draws freely.
+    let method = required_method
+        .unwrap_or_else(|| MethodId::new(rng.next_below(num_methods as u64) as u32));
+    let num_paths = compiled.num_paths(method);
+    let path = PathId::new(rng.next_below(num_paths as u64) as u32);
+
+    let sites = compiled
+        .class()
+        .method(method)
+        .path(path)
+        .invokes()
+        .to_vec();
+    locked.push(object);
+    let mut children = Vec::with_capacity(sites.len());
+    for site in &sites {
+        let child = build_invocation(
+            registry,
+            by_class,
+            samplers,
+            site.class.index() as usize,
+            Some(site.method),
+            rng,
+            abort_prob,
+            locked,
+            false,
+        );
+        match child {
+            Some(c) => children.push(c),
+            // No eligible receiver for this site: cannot satisfy the
+            // spec's arity; give up on this whole subtree.
+            None => {
+                locked.pop();
+                return None;
+            }
+        }
+    }
+    locked.pop();
+
+    let abort = !is_root && rng.chance(abort_prob);
+    Some(InvocationSpec { object, method, path, children, abort })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> WorkloadConfig {
+        WorkloadConfig {
+            num_objects: 12,
+            num_families: 30,
+            num_nodes: 4,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_valid_families() {
+        let (registry, families) = generate(&small_config()).unwrap();
+        assert_eq!(registry.num_objects(), 12);
+        assert!(families.len() >= 25, "most draws should succeed: {}", families.len());
+        let sys = SystemConfig { num_nodes: 4, ..SystemConfig::default() };
+        for f in &families {
+            validate_family(f, &registry, &sys).unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (r1, f1) = generate(&small_config()).unwrap();
+        let (r2, f2) = generate(&small_config()).unwrap();
+        assert_eq!(f1, f2);
+        assert_eq!(r1.num_objects(), r2.num_objects());
+        let other = WorkloadConfig { seed: 1, ..small_config() };
+        let (_, f3) = generate(&other).unwrap();
+        assert_ne!(f1, f3);
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing_ish() {
+        let (_, families) = generate(&small_config()).unwrap();
+        for pair in families.windows(2) {
+            assert!(pair[0].start <= pair[1].start);
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_root_receivers() {
+        let config = WorkloadConfig {
+            num_objects: 40, // 10 instances per class: room for real skew
+            num_families: 400,
+            zipf_theta: 1.1,
+            ..small_config()
+        };
+        let (_, families) = generate(&config).unwrap();
+        let mut counts = std::collections::BTreeMap::new();
+        for f in &families {
+            *counts.entry(f.root.object).or_insert(0u32) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let avg = families.len() as u32 / counts.len().max(1) as u32;
+        assert!(max > avg * 2, "skew should produce hot objects: max {max}, avg {avg}");
+    }
+
+    #[test]
+    fn abort_injection_marks_subtransactions_only() {
+        let config = WorkloadConfig { abort_prob: 0.5, num_families: 100, ..small_config() };
+        let (_, families) = generate(&config).unwrap();
+        let mut injected = 0;
+        for f in &families {
+            assert!(!f.root.abort, "roots are never fault-injected");
+            fn count(inv: &InvocationSpec) -> u32 {
+                inv.children.iter().map(|c| u32::from(c.abort) + count(c)).sum()
+            }
+            injected += count(&f.root);
+        }
+        assert!(injected > 0, "with p=0.5 some faults must be injected");
+    }
+
+    #[test]
+    fn nesting_occurs() {
+        let (_, families) = generate(&small_config()).unwrap();
+        assert!(
+            families.iter().any(|f| f.root.size() > 1),
+            "invoke_prob 0.5 should produce nested families"
+        );
+    }
+
+    #[test]
+    fn scenario_wrapper_works() {
+        let s = Scenario::new("test", small_config());
+        let (registry, families) = s.generate().unwrap();
+        assert_eq!(registry.num_objects(), 12);
+        assert!(!families.is_empty());
+        let sys = s.system_config();
+        assert_eq!(sys.num_nodes, 4);
+    }
+}

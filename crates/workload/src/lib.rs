@@ -1,0 +1,45 @@
+//! Randomized nested-object-transaction workload generation.
+//!
+//! The paper's evaluation (§5) runs "a number of randomly generated nested
+//! object transactions in a simulated distributed system", varying the
+//! number of objects, object sizes (in pages) and transaction counts to
+//! produce a range of conflict scenarios — medium (1–5 page) and large
+//! (10–20 page) objects under high and moderate contention.
+//!
+//! This crate regenerates workloads of that shape:
+//!
+//! * [`schema`] synthesizes random class hierarchies whose objects span
+//!   the requested page range, with multi-path methods (so conservative
+//!   prediction is genuinely looser than any single run) and DAG-ordered
+//!   inter-class invocation sites (so nesting terminates and mutual
+//!   recursion — precluded by the paper's §3.4 — cannot arise),
+//! * [`gen`] draws transaction families: zipf-skewed receiver selection
+//!   (contention knob), random control paths, nested invocations
+//!   following the sites of the chosen path, Poisson-like arrivals and
+//!   optional fault injection,
+//! * [`presets`] names the scenarios of every figure in the paper,
+//! * [`persist`] saves/reloads scenarios as JSON (generation is
+//!   deterministic from the config, so the config *is* the workload).
+//!
+//! # Example
+//!
+//! ```
+//! use lotec_workload::presets;
+//!
+//! let scenario = presets::fig2();
+//! let (registry, families) = scenario.generate().unwrap();
+//! assert_eq!(registry.num_objects(), 20);
+//! assert!(!families.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod persist;
+pub mod presets;
+pub mod schema;
+pub mod zipf;
+
+pub use gen::{Scenario, WorkloadConfig, WorkloadError};
+pub use zipf::Zipf;

@@ -1,0 +1,171 @@
+//! Scenario persistence: save and reload workload configurations as JSON.
+//!
+//! Scenarios are fully described by their [`WorkloadConfig`] (generation
+//! is deterministic from it), so persisting the config is enough to
+//! reproduce a workload bit-for-bit anywhere — handy for sharing
+//! regression cases and for pinning the exact parameters behind a
+//! published figure.
+
+use serde::{Deserialize, Serialize};
+
+use lotec_sim::SimDuration;
+
+use crate::gen::{Scenario, WorkloadConfig};
+use crate::schema::SchemaConfig;
+
+/// Serializable mirror of [`SchemaConfig`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SchemaConfigDto {
+    num_classes: u32,
+    pages_min: u16,
+    pages_max: u16,
+    page_size: u32,
+    attrs_min: u16,
+    attrs_max: u16,
+    methods_per_class: u32,
+    paths_per_method: u32,
+    attr_touch_prob: f64,
+    write_prob: f64,
+    read_only_method_prob: f64,
+    invoke_prob: f64,
+    #[serde(default = "default_max_sites")]
+    max_sites_per_path: u32,
+}
+
+fn default_max_sites() -> u32 {
+    1
+}
+
+/// Serializable mirror of [`Scenario`] (durations as nanoseconds).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ScenarioDto {
+    name: String,
+    schema: SchemaConfigDto,
+    num_objects: u32,
+    num_families: u32,
+    num_nodes: u32,
+    zipf_theta: f64,
+    mean_arrival_gap_ns: u64,
+    abort_prob: f64,
+    seed: u64,
+}
+
+impl From<&Scenario> for ScenarioDto {
+    fn from(s: &Scenario) -> Self {
+        let c = &s.config;
+        ScenarioDto {
+            name: s.name.clone(),
+            schema: SchemaConfigDto {
+                num_classes: c.schema.num_classes,
+                pages_min: c.schema.pages_min,
+                pages_max: c.schema.pages_max,
+                page_size: c.schema.page_size,
+                attrs_min: c.schema.attrs_min,
+                attrs_max: c.schema.attrs_max,
+                methods_per_class: c.schema.methods_per_class,
+                paths_per_method: c.schema.paths_per_method,
+                attr_touch_prob: c.schema.attr_touch_prob,
+                write_prob: c.schema.write_prob,
+                read_only_method_prob: c.schema.read_only_method_prob,
+                invoke_prob: c.schema.invoke_prob,
+                max_sites_per_path: c.schema.max_sites_per_path,
+            },
+            num_objects: c.num_objects,
+            num_families: c.num_families,
+            num_nodes: c.num_nodes,
+            zipf_theta: c.zipf_theta,
+            mean_arrival_gap_ns: c.mean_arrival_gap.as_nanos(),
+            abort_prob: c.abort_prob,
+            seed: c.seed,
+        }
+    }
+}
+
+impl From<ScenarioDto> for Scenario {
+    fn from(d: ScenarioDto) -> Self {
+        Scenario::new(
+            d.name,
+            WorkloadConfig {
+                schema: SchemaConfig {
+                    num_classes: d.schema.num_classes,
+                    pages_min: d.schema.pages_min,
+                    pages_max: d.schema.pages_max,
+                    page_size: d.schema.page_size,
+                    attrs_min: d.schema.attrs_min,
+                    attrs_max: d.schema.attrs_max,
+                    methods_per_class: d.schema.methods_per_class,
+                    paths_per_method: d.schema.paths_per_method,
+                    attr_touch_prob: d.schema.attr_touch_prob,
+                    write_prob: d.schema.write_prob,
+                    read_only_method_prob: d.schema.read_only_method_prob,
+                    invoke_prob: d.schema.invoke_prob,
+                    max_sites_per_path: d.schema.max_sites_per_path,
+                },
+                num_objects: d.num_objects,
+                num_families: d.num_families,
+                num_nodes: d.num_nodes,
+                zipf_theta: d.zipf_theta,
+                mean_arrival_gap: SimDuration::from_nanos(d.mean_arrival_gap_ns),
+                abort_prob: d.abort_prob,
+                seed: d.seed,
+            },
+        )
+    }
+}
+
+/// Serializes a scenario to pretty JSON.
+///
+/// # Errors
+///
+/// Returns the underlying `serde_json` error (practically unreachable for
+/// this plain-data structure).
+pub fn to_json(scenario: &Scenario) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(&ScenarioDto::from(scenario))
+}
+
+/// Deserializes a scenario from JSON produced by [`to_json`].
+///
+/// # Errors
+///
+/// Returns the underlying `serde_json` error on malformed input.
+pub fn from_json(json: &str) -> Result<Scenario, serde_json::Error> {
+    serde_json::from_str::<ScenarioDto>(json).map(Scenario::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn roundtrip_preserves_scenario_exactly() {
+        for scenario in presets::all_figures() {
+            let json = to_json(&scenario).unwrap();
+            let back = from_json(&json).unwrap();
+            assert_eq!(back, scenario);
+        }
+    }
+
+    #[test]
+    fn reloaded_scenario_regenerates_identical_workload() {
+        let scenario = presets::quick(presets::fig2());
+        let json = to_json(&scenario).unwrap();
+        let back = from_json(&json).unwrap();
+        let (_, original) = scenario.generate().unwrap();
+        let (_, reloaded) = back.generate().unwrap();
+        assert_eq!(original, reloaded, "persistence must preserve determinism");
+    }
+
+    #[test]
+    fn json_is_humanly_greppable() {
+        let json = to_json(&presets::fig3()).unwrap();
+        assert!(json.contains("\"pages_min\": 10"));
+        assert!(json.contains("\"num_objects\": 20"));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error_not_a_panic() {
+        assert!(from_json("{\"name\": 42}").is_err());
+        assert!(from_json("").is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! Random class-schema synthesis.
+//!
+//! Generates class hierarchies whose compiled objects land in a requested
+//! page-size range, with:
+//!
+//! * several attributes of uneven sizes (so attribute→page mapping is
+//!   non-trivial and methods genuinely touch page *subsets*),
+//! * multi-path methods whose paths touch different attribute subsets (so
+//!   conservative prediction is a strict superset of most runs — the
+//!   effect LOTEC exploits), and
+//! * invocation sites that only ever point at *higher-numbered* classes
+//!   (a DAG), which terminates nesting and makes the mutually recursive
+//!   invocations precluded by §3.4 unrepresentable.
+
+use lotec_object::{ClassBuilder, ClassDef, ClassId, MethodId};
+use lotec_sim::SimRng;
+
+/// Knobs for schema synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaConfig {
+    /// Number of classes to generate.
+    pub num_classes: u32,
+    /// Inclusive range of object sizes, in pages.
+    pub pages_min: u16,
+    /// Inclusive upper bound of object sizes, in pages.
+    pub pages_max: u16,
+    /// DSM page size in bytes.
+    pub page_size: u32,
+    /// Inclusive range of attribute counts per class.
+    pub attrs_min: u16,
+    /// Inclusive upper bound of attribute counts per class.
+    pub attrs_max: u16,
+    /// Methods per class.
+    pub methods_per_class: u32,
+    /// Control-flow paths per method (≥ 2 makes prediction conservative).
+    pub paths_per_method: u32,
+    /// Probability that a path touches any given attribute.
+    pub attr_touch_prob: f64,
+    /// Probability that a touched attribute is also written.
+    pub write_prob: f64,
+    /// Probability that a method is read-only (no path writes anything).
+    pub read_only_method_prob: f64,
+    /// Probability that a path of a non-last class carries an invocation
+    /// site (nesting). Drawn once per potential site.
+    pub invoke_prob: f64,
+    /// Maximum invocation sites per path. Values ≥ 2 produce sibling
+    /// sub-transactions, which is what exercises lock retention: a later
+    /// sibling can reacquire an object its pre-committed sibling locked,
+    /// served locally from the parent's retained lock (Alg. 4.1 fast
+    /// path).
+    pub max_sites_per_path: u32,
+}
+
+impl Default for SchemaConfig {
+    fn default() -> Self {
+        SchemaConfig {
+            num_classes: 4,
+            pages_min: 1,
+            pages_max: 5,
+            page_size: 4096,
+            attrs_min: 4,
+            attrs_max: 10,
+            methods_per_class: 4,
+            paths_per_method: 3,
+            attr_touch_prob: 0.4,
+            write_prob: 0.7,
+            read_only_method_prob: 0.25,
+            invoke_prob: 0.5,
+            max_sites_per_path: 2,
+        }
+    }
+}
+
+/// Synthesizes `config.num_classes` classes.
+///
+/// Deterministic for a given `rng` state.
+///
+/// # Panics
+///
+/// Panics if the page range is empty or zero classes are requested.
+pub fn generate_classes(config: &SchemaConfig, rng: &mut SimRng) -> Vec<ClassDef> {
+    assert!(config.num_classes > 0, "need at least one class");
+    assert!(
+        config.pages_min >= 1 && config.pages_min <= config.pages_max,
+        "invalid page range"
+    );
+    (0..config.num_classes)
+        .map(|class_idx| generate_class(config, class_idx, rng))
+        .collect()
+}
+
+fn generate_class(config: &SchemaConfig, class_idx: u32, rng: &mut SimRng) -> ClassDef {
+    // Pick a total size in bytes within the page range; shave a little off
+    // the top so the last page is partially filled (realistic layouts).
+    let pages = rng.range_inclusive(config.pages_min as u64, config.pages_max as u64) as u32;
+    let max_bytes = pages * config.page_size;
+    let min_bytes = (pages - 1) * config.page_size + 1;
+    let total = rng.range_inclusive(min_bytes as u64, max_bytes as u64) as u32;
+
+    // Split the total into attribute sizes.
+    let n_attrs =
+        rng.range_inclusive(config.attrs_min as u64, config.attrs_max as u64) as u32;
+    let n_attrs = n_attrs.min(total); // every attribute needs >= 1 byte
+    let mut cuts: Vec<u32> = (0..n_attrs - 1)
+        .map(|_| rng.range_inclusive(1, (total - 1) as u64) as u32)
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut sizes = Vec::with_capacity(cuts.len() + 1);
+    let mut prev = 0;
+    for &c in &cuts {
+        sizes.push(c - prev);
+        prev = c;
+    }
+    sizes.push(total - prev);
+
+    let mut builder = ClassBuilder::new(format!("C{class_idx}"));
+    let mut names = Vec::with_capacity(sizes.len());
+    for (i, &size) in sizes.iter().enumerate() {
+        let name = format!("a{i}");
+        builder = builder.attribute(name.clone(), size);
+        names.push(name);
+    }
+
+    for m in 0..config.methods_per_class {
+        let read_only = rng.chance(config.read_only_method_prob);
+        let n_paths = config.paths_per_method.max(1);
+        // Pre-draw everything path-related so the closure stays simple.
+        let mut path_specs: Vec<(Vec<usize>, Vec<usize>, Vec<(u32, u32)>)> = Vec::new();
+        for _ in 0..n_paths {
+            let mut touched: Vec<usize> = (0..names.len())
+                .filter(|_| rng.chance(config.attr_touch_prob))
+                .collect();
+            if touched.is_empty() {
+                touched.push(rng.usize_range(0, names.len()));
+            }
+            let writes: Vec<usize> = if read_only {
+                Vec::new()
+            } else {
+                let w: Vec<usize> = touched
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.chance(config.write_prob))
+                    .collect();
+                if w.is_empty() {
+                    vec![touched[0]]
+                } else {
+                    w
+                }
+            };
+            // Invocation sites: DAG — only classes with a larger index.
+            // Multiple sites per path create sibling sub-transactions.
+            let mut sites = Vec::new();
+            if class_idx + 1 < config.num_classes {
+                for _ in 0..config.max_sites_per_path.max(1) {
+                    if rng.chance(config.invoke_prob) {
+                        let target_class = rng
+                            .range_inclusive((class_idx + 1) as u64, (config.num_classes - 1) as u64)
+                            as u32;
+                        let target_method = rng.next_below(config.methods_per_class as u64) as u32;
+                        sites.push((target_class, target_method));
+                    }
+                }
+            }
+            path_specs.push((touched, writes, sites));
+        }
+
+        builder = builder.method(format!("m{m}"), |mut mb| {
+            for (touched, writes, sites) in &path_specs {
+                mb = mb.path(|mut pb| {
+                    let read_names: Vec<&str> = touched.iter().map(|&i| names[i].as_str()).collect();
+                    let write_names: Vec<&str> = writes.iter().map(|&i| names[i].as_str()).collect();
+                    pb = pb.reads(&read_names).writes(&write_names);
+                    for (c, m) in sites {
+                        pb = pb.invokes(ClassId::new(*c), MethodId::new(*m));
+                    }
+                    pb
+                });
+            }
+            mb
+        });
+    }
+    builder.build()
+}
+
+/// Sanity report of a generated schema, used by tests and by the bench
+/// harness banner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaSummary {
+    /// Number of classes.
+    pub classes: usize,
+    /// Smallest object size in pages (after layout).
+    pub min_pages: u16,
+    /// Largest object size in pages.
+    pub max_pages: u16,
+    /// Total methods across classes.
+    pub methods: usize,
+}
+
+/// Summarizes `classes` under `page_size`.
+pub fn summarize(classes: &[ClassDef], page_size: u32) -> SchemaSummary {
+    let mut min_pages = u16::MAX;
+    let mut max_pages = 0;
+    let mut methods = 0;
+    for class in classes {
+        let layout = lotec_object::Layout::of(class, page_size);
+        min_pages = min_pages.min(layout.num_pages());
+        max_pages = max_pages.max(layout.num_pages());
+        methods += class.methods().len();
+    }
+    SchemaSummary { classes: classes.len(), min_pages, max_pages, methods }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotec_object::compile;
+
+    fn cfg(pages_min: u16, pages_max: u16) -> SchemaConfig {
+        SchemaConfig { pages_min, pages_max, ..SchemaConfig::default() }
+    }
+
+    #[test]
+    fn sizes_land_in_requested_page_range() {
+        let mut rng = SimRng::seed_from_u64(1);
+        for (lo, hi) in [(1u16, 5u16), (10, 20), (3, 3)] {
+            let classes = generate_classes(&cfg(lo, hi), &mut rng);
+            let summary = summarize(&classes, 4096);
+            assert!(summary.min_pages >= lo, "{summary:?}");
+            assert!(summary.max_pages <= hi, "{summary:?}");
+        }
+    }
+
+    #[test]
+    fn classes_compile_and_predictions_are_sound() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let classes = generate_classes(&cfg(1, 5), &mut rng);
+        for class in &classes {
+            let compiled = compile(class, 4096).unwrap();
+            assert_eq!(compiled.verify(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn invocation_sites_form_a_dag() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let classes = generate_classes(&cfg(1, 5), &mut rng);
+        for (idx, class) in classes.iter().enumerate() {
+            for method in class.methods() {
+                for path in method.paths() {
+                    for site in path.invokes() {
+                        assert!(
+                            site.class.index() as usize > idx,
+                            "site must point at a later class"
+                        );
+                        assert!((site.class.index()) < classes.len() as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn read_only_methods_exist_and_write_methods_write() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let config = SchemaConfig { read_only_method_prob: 0.5, ..cfg(1, 5) };
+        let mut saw_read_only = false;
+        let mut saw_writer = false;
+        for _ in 0..10 {
+            for class in generate_classes(&config, &mut rng) {
+                for method in class.methods() {
+                    if method.is_read_only() {
+                        saw_read_only = true;
+                    } else {
+                        saw_writer = true;
+                        // Every path of a writer method writes something.
+                        for path in method.paths() {
+                            assert!(!path.writes().is_empty());
+                        }
+                    }
+                }
+            }
+        }
+        assert!(saw_read_only && saw_writer);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        let ca = generate_classes(&cfg(1, 5), &mut a);
+        let cb = generate_classes(&cfg(1, 5), &mut b);
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn every_path_touches_something() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let config = SchemaConfig { attr_touch_prob: 0.01, ..cfg(1, 2) };
+        for class in generate_classes(&config, &mut rng) {
+            for method in class.methods() {
+                for path in method.paths() {
+                    assert!(!path.touched().is_empty());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Zipf-distributed sampling for skewed (high-contention) object access.
+
+use lotec_sim::SimRng;
+
+/// A Zipf(θ) sampler over `{0, …, n-1}`: item `i` is drawn with
+/// probability proportional to `1 / (i+1)^θ`.
+///
+/// θ = 0 degenerates to uniform; θ around 0.9–1.2 produces the heavily
+/// skewed access the paper's "high contention" scenarios need (a few hot
+/// objects absorb most transactions).
+///
+/// ```
+/// use lotec_workload::Zipf;
+/// use lotec_sim::SimRng;
+///
+/// let zipf = Zipf::new(20, 1.0);
+/// let mut rng = SimRng::seed_from_u64(7);
+/// let mut hits = [0u32; 20];
+/// for _ in 0..1_000 {
+///     hits[zipf.sample(&mut rng)] += 1;
+/// }
+/// assert!(hits[0] > hits[19], "item 0 is the hot one");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    // Cumulative distribution, cdf[i] = P(X <= i).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` items with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, or `theta` is negative or not finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf over empty domain");
+        assert!(theta >= 0.0 && theta.is_finite(), "theta must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false: the constructor rejects empty domains.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one item.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        // Binary search for the first cdf entry >= u.
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf has no NaN")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_indexes() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut counts = [0u32; 20];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[5] && counts[5] > counts[19], "{counts:?}");
+        // Item 0 should absorb roughly 1/H(20) ~ 28% of draws.
+        assert!(counts[0] > 8_000, "{counts:?}");
+    }
+
+    #[test]
+    fn samples_cover_domain_and_stay_in_bounds() {
+        let z = Zipf::new(7, 0.8);
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let s = z.sample(&mut rng);
+            assert!(s < 7);
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let z = Zipf::new(10, 0.9);
+        let mut a = SimRng::seed_from_u64(9);
+        let mut b = SimRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn empty_domain_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Network parameter sweep: where does LOTEC make sense?
+//!
+//! The paper's Figures 6–8 vary link bandwidth (10 Mbps / 100 Mbps /
+//! 1 Gbps) and per-message software cost (100 µs → 500 ns) and plot total
+//! message time to maintain one object's consistency. Their conclusion:
+//! LOTEC — which sends fewer bytes but more, smaller messages — "should
+//! perform well with current, fast Ethernet networks using only mildly
+//! aggressive, low-latency network protocols", but gigabit networks demand
+//! extremely efficient message transmission.
+//!
+//! This example reproduces the sweep over a high-contention large-object
+//! workload and prints the whole grid.
+//!
+//! ```sh
+//! cargo run --release --example network_sweep
+//! ```
+
+use lotec::prelude::*;
+use lotec::workload::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = presets::quick(presets::network_sweep());
+    println!("workload: {}\n", scenario.name);
+
+    let (registry, families) = scenario.generate()?;
+    let config = scenario.system_config();
+    let cmp = compare_protocols(&config, &registry, &families)?;
+
+    for bandwidth in Bandwidth::paper_sweep() {
+        println!("=== {bandwidth} ===");
+        println!(
+            "{:>10} {:>14} {:>14} {:>14}   winner",
+            "sw cost", "COTEC", "OTEC", "LOTEC"
+        );
+        for sc in SoftwareCost::paper_sweep() {
+            let net = NetworkConfig::new(bandwidth, sc);
+            let times: Vec<SimDuration> = ProtocolKind::PAPER_TRIO
+                .iter()
+                .map(|&k| cmp.total_time(k, net))
+                .collect();
+            let winner = ProtocolKind::PAPER_TRIO
+                [times.iter().enumerate().min_by_key(|(_, t)| **t).expect("3 entries").0];
+            println!(
+                "{:>10} {:>14} {:>14} {:>14}   {winner}",
+                sc.to_string(),
+                times[0].to_string(),
+                times[1].to_string(),
+                times[2].to_string()
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Reading the grid: on slow links the byte savings dominate and LOTEC \
+         wins everywhere; as bandwidth rises, wire time stops mattering and \n\
+         the per-message software cost decides — LOTEC's extra (small) \
+         messages only pay off once the messaging stack is lean."
+    );
+    Ok(())
+}

@@ -1,0 +1,137 @@
+//! Protocol tuning cookbook: composing the configuration surface.
+//!
+//! A downstream user rarely wants one global protocol. This example walks
+//! the knobs this reproduction exposes — the per-class protocol
+//! assignment, DSD transfer granularity, multicast pushes, lock
+//! prefetching and GDO replication — and measures each step's effect on
+//! one mixed workload. The per-class + multicast + DSD stack moves a
+//! fraction of any uniform protocol's bytes; the final step then spends a
+//! little of that margin on latency hiding and directory redundancy.
+//!
+//! ```sh
+//! cargo run --release --example protocol_tuning
+//! ```
+
+use lotec::prelude::*;
+use lotec_core::config::GdoPlacement;
+
+const PAGE: u32 = 1024;
+
+/// Two deliberately different classes:
+/// * `Ledger` — large (8 pages), read-mostly with focused writes: ideal
+///   LOTEC territory.
+/// * `Counter` — tiny (1 page), write-hot, cached everywhere: eager RC
+///   plus multicast suits it.
+fn registry(num_nodes: u32) -> ObjectRegistry {
+    let ledger = ClassBuilder::new("Ledger")
+        .attribute("entries", 6 * PAGE)
+        .attribute("index", PAGE)
+        .attribute("summary", 256)
+        .method("post", |m| {
+            m.path(|p| p.reads(&["index", "summary"]).writes(&["index", "summary"]))
+                .path(|p| p.reads(&["entries", "index"]).writes(&["entries", "index", "summary"]))
+        })
+        .method("report", |m| m.path(|p| p.reads(&["summary"])))
+        .build();
+    let counter = ClassBuilder::new("Counter")
+        .attribute("n", 64)
+        .method("bump", |m| m.path(|p| p.reads(&["n"]).writes(&["n"])))
+        .build();
+    let mut instances = Vec::new();
+    for i in 0..6u32 {
+        instances.push((ClassId::new(0), NodeId::new(i % num_nodes)));
+    }
+    for i in 0..4u32 {
+        instances.push((ClassId::new(1), NodeId::new(i % num_nodes)));
+    }
+    ObjectRegistry::build(&[ledger, counter], &instances, PAGE).expect("registry builds")
+}
+
+fn workload(num_nodes: u32) -> Vec<FamilySpec> {
+    let mut families = Vec::new();
+    for i in 0..120u32 {
+        let node = NodeId::new(i % num_nodes);
+        let start = SimTime::from_micros(u64::from(i) * 45);
+        // Receivers are decoupled from the executing node (stride 7 walks
+        // all ledgers from every node), so objects genuinely migrate.
+        let ledger = ObjectId::new((i * 7 + 3) % 6);
+        let root = match i % 5 {
+            // Ledger postings dominate.
+            0 | 1 => InvocationSpec {
+                object: ledger,
+                method: MethodId::new(0),
+                path: PathId::new(u32::from(i % 3 == 0)),
+                children: vec![],
+                abort: false,
+            },
+            // Reports: read-only summaries.
+            2 => InvocationSpec::leaf(ledger, MethodId::new(1), PathId::new(0)),
+            // Counter bumps: tiny hot writes.
+            _ => InvocationSpec::leaf(ObjectId::new(6 + i % 4), MethodId::new(0), PathId::new(0)),
+        };
+        families.push(FamilySpec { node, start, root });
+    }
+    families
+}
+
+fn measure(label: &str, config: &SystemConfig, registry: &ObjectRegistry, families: &[FamilySpec]) {
+    let report = run_engine(config, registry, families).expect("engine runs");
+    oracle::verify(&report).expect("serializable");
+    let t = report.traffic.total();
+    println!(
+        "{:<34} {:>12} {:>8} {:>14} {:>12}",
+        label,
+        t.bytes,
+        t.messages,
+        t.message_time(config.network).to_string(),
+        report.stats.makespan.to_string(),
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let num_nodes = 6;
+    let registry = registry(num_nodes);
+    let families = workload(num_nodes);
+    let base = SystemConfig { num_nodes, page_size: PAGE, ..SystemConfig::default() };
+
+    println!(
+        "{:<34} {:>12} {:>8} {:>14} {:>12}",
+        "configuration", "bytes", "messages", "msg time", "makespan"
+    );
+    for protocol in ProtocolKind::ALL {
+        measure(
+            &format!("uniform {protocol}"),
+            &base.clone().with_protocol(protocol),
+            &registry,
+            &families,
+        );
+    }
+    // Step 1: split protocols by class behaviour.
+    let mixed = base
+        .clone()
+        .with_protocol(ProtocolKind::Lotec)
+        .with_class_protocol(ClassId::new(1), ProtocolKind::ReleaseConsistency);
+    measure("per-class: LOTEC + RC counters", &mixed, &registry, &families);
+    // Step 2: multicast rescues the RC class's pushes.
+    let mixed_mc = SystemConfig { multicast: true, ..mixed };
+    measure("  + multicast pushes", &mixed_mc, &registry, &families);
+    // Step 3: DSD granularity shaves partial pages off every transfer.
+    let mixed_dsd = SystemConfig { dsd_transfers: true, ..mixed_mc };
+    measure("  + DSD transfers", &mixed_dsd, &registry, &families);
+    // Step 4: hide child lock latency and replicate the directory.
+    let tuned = SystemConfig {
+        lock_prefetch: true,
+        gdo_replication: 2,
+        gdo_placement: GdoPlacement::Partitioned,
+        ..mixed_dsd
+    };
+    measure("  + prefetch + GDO replica", &tuned, &registry, &families);
+
+    println!(
+        "\nEach knob is orthogonal and every row is oracle-verified \
+         serializable; the layered configuration tailors the consistency \
+         machinery to each class's sharing behaviour instead of forcing one \
+         global choice."
+    );
+    Ok(())
+}

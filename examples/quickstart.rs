@@ -1,0 +1,63 @@
+//! Quickstart: generate a paper workload, run it once, and compare what
+//! each consistency protocol would have sent over the wire.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lotec::prelude::*;
+use lotec::workload::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Figure 2's scenario (medium objects, high contention), shrunk for a
+    // fast demo run.
+    let scenario = presets::quick(presets::fig2());
+    println!("scenario: {}", scenario.name);
+
+    let (registry, families) = scenario.generate()?;
+    let config = scenario.system_config();
+    println!(
+        "generated {} objects / {} transaction families on {} nodes\n",
+        registry.num_objects(),
+        families.len(),
+        config.num_nodes
+    );
+
+    // One engine run fixes the lock schedule; the comparison replays it
+    // through every protocol's placement model.
+    let cmp = compare_protocols(&config, &registry, &families)?;
+    let run = cmp.schedule_run();
+    println!(
+        "engine: {} commits, {} deadlocks broken, makespan {}",
+        run.stats.committed_families, run.stats.deadlocks, run.stats.makespan
+    );
+
+    println!("\nconsistency traffic for the identical schedule:");
+    println!("{:>8} {:>14} {:>10}", "protocol", "bytes", "messages");
+    for kind in ProtocolKind::ALL {
+        let t = cmp.total(kind);
+        println!("{:>8} {:>14} {:>10}", kind.to_string(), t.bytes, t.messages);
+    }
+
+    let saved_vs_cotec = 100.0 * (1.0 - cmp.byte_ratio(ProtocolKind::Lotec, ProtocolKind::Cotec));
+    let saved_vs_otec = 100.0 * (1.0 - cmp.byte_ratio(ProtocolKind::Lotec, ProtocolKind::Otec));
+    println!(
+        "\nLOTEC moved {saved_vs_cotec:.1}% fewer bytes than COTEC \
+         and {saved_vs_otec:.1}% fewer than OTEC."
+    );
+
+    // Message time depends on the network: sweep the paper's three
+    // Ethernet generations at a 20us software cost.
+    println!("\ntotal message time (20us per-message software cost):");
+    println!("{:>8} {:>14} {:>14} {:>14}", "protocol", "10Mbps", "100Mbps", "1Gbps");
+    for kind in ProtocolKind::PAPER_TRIO {
+        let times: Vec<String> = Bandwidth::paper_sweep()
+            .into_iter()
+            .map(|bw| {
+                cmp.total_time(kind, NetworkConfig::new(bw, SoftwareCost::MICROS_20)).to_string()
+            })
+            .collect();
+        println!("{:>8} {:>14} {:>14} {:>14}", kind.to_string(), times[0], times[1], times[2]);
+    }
+    Ok(())
+}

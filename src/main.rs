@@ -1,0 +1,236 @@
+//! `lotec` — command-line front end for the LOTEC reproduction.
+//!
+//! ```text
+//! lotec presets                         list the named scenarios
+//! lotec figures [--quick]               regenerate Figures 2-5 (byte tables)
+//! lotec sweep [--quick]                 regenerate Figures 6-8 (time grid)
+//! lotec run <preset|file.json> [opts]   run one scenario end to end
+//! lotec export <preset>                 print a scenario's JSON to stdout
+//!
+//! run options:
+//!   --protocol <lotec|otec|cotec|rc>    engine protocol (default lotec)
+//!   --quick                             8x reduced family count
+//!   --dsd                               data-granularity transfers
+//!   --multicast                         multicast update pushes
+//!   --prefetch                          optimistic lock prefetching
+//! ```
+
+use std::process::ExitCode;
+
+use lotec::prelude::*;
+use lotec::workload::{persist, presets, Scenario};
+
+fn preset_by_name(name: &str) -> Option<Scenario> {
+    match name {
+        "fig2" => Some(presets::fig2()),
+        "fig3" => Some(presets::fig3()),
+        "fig4" => Some(presets::fig4()),
+        "fig5" => Some(presets::fig5()),
+        "network" | "fig6" | "fig7" | "fig8" => Some(presets::network_sweep()),
+        "faults" => Some(presets::ablation_faults()),
+        _ => None,
+    }
+}
+
+fn parse_protocol(name: &str) -> Option<ProtocolKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "lotec" => Some(ProtocolKind::Lotec),
+        "otec" => Some(ProtocolKind::Otec),
+        "cotec" => Some(ProtocolKind::Cotec),
+        "rc" => Some(ProtocolKind::ReleaseConsistency),
+        _ => None,
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: lotec <presets|figures|sweep|run|export> [args]\n\
+     \n  lotec presets\
+     \n  lotec figures [--quick]\
+     \n  lotec sweep [--quick]\
+     \n  lotec run <preset|file.json> [--protocol P] [--quick] [--dsd] [--multicast] [--prefetch]\
+     \n  lotec export <preset>"
+}
+
+fn load_scenario(source: &str) -> Result<Scenario, String> {
+    if let Some(preset) = preset_by_name(source) {
+        return Ok(preset);
+    }
+    if source.ends_with(".json") {
+        let text = std::fs::read_to_string(source)
+            .map_err(|e| format!("cannot read {source}: {e}"))?;
+        return persist::from_json(&text).map_err(|e| format!("bad scenario JSON: {e}"));
+    }
+    Err(format!("unknown preset `{source}` (try `lotec presets`) and not a .json file"))
+}
+
+fn cmd_presets() {
+    println!("available presets:");
+    for s in presets::all_figures() {
+        println!("  {:<8} {}", preset_name(&s), s.name);
+    }
+    println!("  {:<8} {}", "network", presets::network_sweep().name);
+    println!("  {:<8} {}", "faults", presets::ablation_faults().name);
+}
+
+fn preset_name(s: &Scenario) -> &str {
+    s.name.split(':').next().unwrap_or("?")
+}
+
+fn cmd_figures(quick: bool) -> Result<(), String> {
+    for mut scenario in presets::all_figures() {
+        if quick {
+            scenario = presets::quick(scenario);
+        }
+        let (registry, families) = scenario.generate().map_err(|e| e.to_string())?;
+        let cmp = compare_protocols(&scenario.system_config(), &registry, &families)
+            .map_err(|e| e.to_string())?;
+        println!("== {} ==", scenario.name);
+        println!("{:>8} {:>14} {:>10}", "protocol", "bytes", "messages");
+        for kind in ProtocolKind::PAPER_TRIO {
+            let t = cmp.total(kind);
+            println!("{:>8} {:>14} {:>10}", kind.to_string(), t.bytes, t.messages);
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_sweep(quick: bool) -> Result<(), String> {
+    let mut scenario = presets::network_sweep();
+    if quick {
+        scenario = presets::quick(scenario);
+    }
+    let (registry, families) = scenario.generate().map_err(|e| e.to_string())?;
+    let cmp = compare_protocols(&scenario.system_config(), &registry, &families)
+        .map_err(|e| e.to_string())?;
+    for bw in Bandwidth::paper_sweep() {
+        println!("== {bw} ==");
+        println!("{:>10} {:>14} {:>14} {:>14}", "sw cost", "COTEC", "OTEC", "LOTEC");
+        for sc in SoftwareCost::paper_sweep() {
+            let net = NetworkConfig::new(bw, sc);
+            let row: Vec<String> = ProtocolKind::PAPER_TRIO
+                .iter()
+                .map(|&k| cmp.total_time(k, net).to_string())
+                .collect();
+            println!("{:>10} {:>14} {:>14} {:>14}", sc.to_string(), row[0], row[1], row[2]);
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let source = args.first().ok_or("run: missing <preset|file.json>")?;
+    let mut scenario = load_scenario(source)?;
+    let mut config = scenario.system_config();
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => scenario = presets::quick(scenario),
+            "--dsd" => config.dsd_transfers = true,
+            "--multicast" => config.multicast = true,
+            "--prefetch" => config.lock_prefetch = true,
+            "--protocol" => {
+                let p = iter.next().ok_or("--protocol needs a value")?;
+                config.protocol =
+                    parse_protocol(p).ok_or_else(|| format!("unknown protocol `{p}`"))?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    // --quick replaced the scenario; refresh derived config knobs.
+    config.num_nodes = scenario.config.num_nodes;
+    config.page_size = scenario.config.schema.page_size;
+    config.seed = scenario.config.seed;
+
+    let (registry, families) = scenario.generate().map_err(|e| e.to_string())?;
+    let report = run_engine(&config, &registry, &families).map_err(|e| e.to_string())?;
+    oracle::verify(&report).map_err(|e| e.to_string())?;
+
+    println!("{} under {}:", scenario.name, report.protocol);
+    let s = &report.stats;
+    println!("  committed {} / aborted {} families, {} sub-txn aborts", s.committed_families, s.aborted_families, s.subtxn_aborts);
+    println!("  deadlocks {} (restarts {}), demand fetches {}", s.deadlocks, s.restarts, s.demand_fetches);
+    println!(
+        "  lock ops: {} local / {} global / {} queued",
+        s.local_lock_grants, s.global_lock_grants, s.queued_lock_requests
+    );
+    let t = report.traffic.total();
+    println!("  traffic: {} bytes in {} messages", t.bytes, t.messages);
+    println!("  makespan {}  throughput {:.0} txn/s", s.makespan, s.throughput_per_sec());
+    println!("  serializability oracle: OK");
+    Ok(())
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("export: missing <preset>")?;
+    let scenario =
+        preset_by_name(name).ok_or_else(|| format!("unknown preset `{name}`"))?;
+    let json = persist::to_json(&scenario).map_err(|e| e.to_string())?;
+    println!("{json}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let result = match args.first().map(String::as_str) {
+        Some("presets") => {
+            cmd_presets();
+            Ok(())
+        }
+        Some("figures") => cmd_figures(quick),
+        Some("sweep") => cmd_sweep(quick),
+        Some("run") => cmd_run(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        _ => {
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_names_parse() {
+        assert_eq!(parse_protocol("LOTEC"), Some(ProtocolKind::Lotec));
+        assert_eq!(parse_protocol("rc"), Some(ProtocolKind::ReleaseConsistency));
+        assert_eq!(parse_protocol("bogus"), None);
+    }
+
+    #[test]
+    fn presets_resolve() {
+        assert!(preset_by_name("fig2").is_some());
+        assert!(preset_by_name("network").is_some());
+        assert!(preset_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn load_scenario_rejects_unknown() {
+        assert!(load_scenario("definitely-not-a-preset").is_err());
+        assert!(load_scenario("/nonexistent/path.json").is_err());
+    }
+
+    #[test]
+    fn export_then_load_roundtrips() {
+        let scenario = preset_by_name("fig3").unwrap();
+        let json = persist::to_json(&scenario).unwrap();
+        let dir = std::env::temp_dir().join("lotec-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig3.json");
+        std::fs::write(&path, json).unwrap();
+        let loaded = load_scenario(path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded, scenario);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests of the transfer policies over randomized placement
+//! state: the per-event plan inclusions that make the figure orderings
+//! inevitable, checked directly at the policy level.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use lotec::core::protocol::{plan_transfer, PlacementView, ProtocolKind};
+use lotec::mem::{ObjectId, PageIndex, Version};
+use lotec::object::PageSet;
+use lotec::sim::NodeId;
+
+/// An arbitrary placement state for one object.
+#[derive(Debug, Clone)]
+struct RandomView {
+    num_pages: u16,
+    global: Vec<u64>,
+    owners: Vec<u32>,
+    last_holder: u32,
+    local: BTreeMap<u16, u64>, // acquirer's cached versions
+}
+
+impl PlacementView for RandomView {
+    fn local_version(&self, node: NodeId, _o: ObjectId, page: PageIndex) -> Option<Version> {
+        // Node 0 is always the acquirer in these tests.
+        (node == NodeId::new(0))
+            .then(|| self.local.get(&page.get()).map(|&v| Version::new(v)))
+            .flatten()
+    }
+    fn global_version(&self, _o: ObjectId, page: PageIndex) -> Version {
+        Version::new(self.global[page.get() as usize])
+    }
+    fn page_owner(&self, _o: ObjectId, page: PageIndex) -> NodeId {
+        NodeId::new(self.owners[page.get() as usize])
+    }
+    fn last_holder(&self, _o: ObjectId) -> NodeId {
+        NodeId::new(self.last_holder)
+    }
+    fn num_pages(&self, _o: ObjectId) -> u16 {
+        self.num_pages
+    }
+}
+
+fn view_strategy() -> impl Strategy<Value = (RandomView, PageSet)> {
+    (1u16..=20).prop_flat_map(|num_pages| {
+        let n = num_pages as usize;
+        (
+            prop::collection::vec(0u64..4, n),              // global versions
+            prop::collection::vec(1u32..5, n),              // owners (never node 0)
+            1u32..5,                                        // last holder (never node 0)
+            prop::collection::vec(prop::option::of(0u64..4), n), // acquirer cache
+            prop::collection::vec(any::<bool>(), n),        // predicted membership
+        )
+            .prop_map(move |(global, owners, last_holder, local, predicted)| {
+                // Owner consistency: owners hold the newest version, so the
+                // acquirer's local version never exceeds global.
+                let local: BTreeMap<u16, u64> = local
+                    .into_iter()
+                    .enumerate()
+                    .filter_map(|(i, v)| v.map(|v| (i as u16, v.min(global[i]))))
+                    .collect();
+                let view = RandomView {
+                    num_pages,
+                    global,
+                    owners,
+                    last_holder,
+                    local,
+                };
+                let pred: PageSet = predicted
+                    .into_iter()
+                    .enumerate()
+                    .filter_map(|(i, p)| p.then_some(PageIndex::new(i as u16)))
+                    .collect();
+                (view, pred)
+            })
+    })
+}
+
+fn pages_of(plan: &lotec::core::protocol::TransferPlan) -> Vec<u16> {
+    let mut v: Vec<u16> = plan
+        .sources()
+        .flat_map(|(_, pages)| pages.iter().map(|p| p.get()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    /// Per-event plan inclusion: LOTEC ⊆ OTEC ⊆ COTEC on identical state.
+    #[test]
+    fn plan_inclusion_chain((view, predicted) in view_strategy()) {
+        let node = NodeId::new(0);
+        let obj = ObjectId::new(0);
+        let all: PageSet = (0..view.num_pages).map(PageIndex::new).collect();
+        let lotec = pages_of(&plan_transfer(ProtocolKind::Lotec, &view, node, obj, &predicted));
+        let otec = pages_of(&plan_transfer(ProtocolKind::Otec, &view, node, obj, &all));
+        let cotec = pages_of(&plan_transfer(ProtocolKind::Cotec, &view, node, obj, &all));
+        prop_assert!(lotec.iter().all(|p| otec.contains(p)), "LOTEC ⊆ OTEC: {lotec:?} vs {otec:?}");
+        prop_assert!(otec.iter().all(|p| cotec.contains(p)), "OTEC ⊆ COTEC: {otec:?} vs {cotec:?}");
+    }
+
+    /// OTEC fetches exactly the stale pages (global version newer than the
+    /// acquirer's copy, missing copies counting as version 0).
+    #[test]
+    fn otec_fetches_exactly_stale_pages((view, _p) in view_strategy()) {
+        let all: PageSet = (0..view.num_pages).map(PageIndex::new).collect();
+        let otec = pages_of(&plan_transfer(
+            ProtocolKind::Otec, &view, NodeId::new(0), ObjectId::new(0), &all,
+        ));
+        let expected: Vec<u16> = (0..view.num_pages)
+            .filter(|&i| {
+                let local = view.local.get(&i).copied().unwrap_or(0);
+                view.global[i as usize] > local
+            })
+            .collect();
+        prop_assert_eq!(otec, expected);
+    }
+
+    /// LOTEC never plans a page outside its prediction, and within the
+    /// prediction it matches OTEC's staleness decision exactly.
+    #[test]
+    fn lotec_is_otec_restricted_to_prediction((view, predicted) in view_strategy()) {
+        let node = NodeId::new(0);
+        let obj = ObjectId::new(0);
+        let all: PageSet = (0..view.num_pages).map(PageIndex::new).collect();
+        let lotec = pages_of(&plan_transfer(ProtocolKind::Lotec, &view, node, obj, &predicted));
+        let otec = pages_of(&plan_transfer(ProtocolKind::Otec, &view, node, obj, &all));
+        let expected: Vec<u16> = otec
+            .into_iter()
+            .filter(|&p| predicted.contains(PageIndex::new(p)))
+            .collect();
+        prop_assert_eq!(lotec, expected);
+    }
+
+    /// COTEC ships the whole object unless the acquirer is the last
+    /// holder; it never gathers from more than one source.
+    #[test]
+    fn cotec_is_whole_object_single_source((view, _p) in view_strategy()) {
+        let all: PageSet = (0..view.num_pages).map(PageIndex::new).collect();
+        let plan = plan_transfer(
+            ProtocolKind::Cotec, &view, NodeId::new(0), ObjectId::new(0), &all,
+        );
+        prop_assert_eq!(plan.num_pages(), view.num_pages as usize);
+        prop_assert_eq!(plan.num_sources(), 1);
+        let (src, _) = plan.sources().next().expect("one source");
+        prop_assert_eq!(src, NodeId::new(view.last_holder));
+    }
+
+    /// LOTEC gathers each page from its owner — sources are exactly the
+    /// owners of the planned pages.
+    #[test]
+    fn lotec_sources_are_page_owners((view, predicted) in view_strategy()) {
+        let plan = plan_transfer(
+            ProtocolKind::Lotec, &view, NodeId::new(0), ObjectId::new(0), &predicted,
+        );
+        for (source, pages) in plan.sources() {
+            for page in pages {
+                prop_assert_eq!(
+                    NodeId::new(view.owners[page.get() as usize]),
+                    source,
+                    "page {} must come from its owner",
+                    page
+                );
+            }
+        }
+    }
+}

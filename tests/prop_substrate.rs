@@ -1,0 +1,227 @@
+//! Property-based tests of the substrate crates' data structures: set
+//! algebra, layout arithmetic, recovery round-trips, the lock table's
+//! structural invariants, and page-map coherence.
+
+use proptest::prelude::*;
+
+use lotec::mem::{ObjectId, PageId, PageIndex, PageMap, PageStore, Recovery, ShadowPages, UndoLog, Version};
+use lotec::object::{ClassBuilder, PageSet};
+use lotec::sim::{EventQueue, NodeId, SimRng, SimTime};
+use lotec::txn::{LockMode, LockTable, TxnTree};
+
+fn pageset(max: u16) -> impl Strategy<Value = PageSet> {
+    prop::collection::vec(0..max, 0..12)
+        .prop_map(|v| v.into_iter().map(PageIndex::new).collect())
+}
+
+proptest! {
+    #[test]
+    fn pageset_algebra_laws(a in pageset(64), b in pageset(64), c in pageset(64)) {
+        // Commutativity and associativity of union.
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        // Intersection distributes over union.
+        prop_assert_eq!(
+            a.intersection(&b.union(&c)),
+            a.intersection(&b).union(&a.intersection(&c))
+        );
+        // Difference + intersection partition the set.
+        let diff = a.difference(&b);
+        let inter = a.intersection(&b);
+        prop_assert_eq!(diff.union(&inter), a.clone());
+        prop_assert!(diff.intersection(&inter).is_empty());
+        // Subset relations.
+        prop_assert!(inter.is_subset(&a) && inter.is_subset(&b));
+        prop_assert!(a.is_subset(&a.union(&b)));
+    }
+
+    #[test]
+    fn pageset_iteration_sorted_and_consistent(a in pageset(300)) {
+        let items: Vec<u16> = a.iter().map(|p| p.get()).collect();
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(&items, &sorted);
+        prop_assert_eq!(items.len(), a.len());
+        for p in &items {
+            prop_assert!(a.contains(PageIndex::new(*p)));
+        }
+    }
+
+    #[test]
+    fn layout_covers_every_attribute_exactly(sizes in prop::collection::vec(1u32..5000, 1..10),
+                                             page_size in 64u32..1024) {
+        let mut builder = ClassBuilder::new("T");
+        for (i, &s) in sizes.iter().enumerate() {
+            builder = builder.attribute(format!("a{i}"), s);
+        }
+        let class = builder
+            .method("noop", |m| m.path(|p| p.reads(&["a0"])))
+            .build();
+        let layout = lotec::object::Layout::of(&class, page_size);
+        // Total bytes = sum of attribute sizes; page count covers them.
+        let total: u64 = sizes.iter().map(|&s| u64::from(s)).sum();
+        prop_assert_eq!(layout.total_bytes(), total);
+        prop_assert!(u64::from(layout.num_pages()) * u64::from(page_size) >= total);
+        // The union of all attributes' pages is exactly all pages.
+        let mut union = PageSet::new();
+        for i in 0..sizes.len() {
+            union.union_with(&layout.pages_of_attr(lotec::object::AttrIndex::new(i as u16)));
+        }
+        prop_assert_eq!(union, layout.all_pages());
+    }
+
+    #[test]
+    fn recovery_rollback_is_exact_inverse(ops in prop::collection::vec((0u16..8, 1u64..1000), 1..40),
+                                          use_shadow in any::<bool>()) {
+        let object = ObjectId::new(0);
+        let mut store = PageStore::new(64);
+        // Pre-populate with distinct content.
+        for p in 0..8u16 {
+            store.install(PageId::new(object, p), Version::new(1), {
+                let mut d = vec![0u8; 64];
+                d[..8].copy_from_slice(&(p as u64 + 100).to_le_bytes());
+                d
+            });
+        }
+        let before: Vec<u64> = (0..8u16).map(|p| store.chain(PageId::new(object, p))).collect();
+        let mut rec: Box<dyn Recovery> = if use_shadow {
+            Box::new(ShadowPages::new())
+        } else {
+            Box::new(UndoLog::new())
+        };
+        for &(page, stamp) in &ops {
+            let pid = PageId::new(object, page);
+            rec.before_write(7, &store, pid);
+            store.apply_stamp(pid, stamp);
+        }
+        rec.rollback(7, &mut store);
+        let after: Vec<u64> = (0..8u16).map(|p| store.chain(PageId::new(object, p))).collect();
+        prop_assert_eq!(before, after);
+        for p in 0..8u16 {
+            prop_assert!(!store.is_dirty(PageId::new(object, p)));
+            prop_assert_eq!(store.version_of(PageId::new(object, p)), Some(Version::new(1)));
+        }
+    }
+
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut popped: Vec<(u64, usize)> = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.as_nanos(), i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    #[test]
+    fn rng_range_inclusive_uniform_bounds(seed in any::<u64>(), lo in 0u64..100, span in 0u64..100) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let hi = lo + span;
+        for _ in 0..50 {
+            let v = rng.range_inclusive(lo, hi);
+            prop_assert!((lo..=hi).contains(&v));
+        }
+    }
+
+    #[test]
+    fn page_map_versions_monotone_and_owned(updates in prop::collection::vec((0u16..6, 0u32..4), 0..60)) {
+        let mut map = PageMap::new(6, NodeId::new(0));
+        let mut expect = [0u64; 6];
+        for &(page, node) in &updates {
+            let v = map.record_update(PageIndex::new(page), NodeId::new(node));
+            expect[page as usize] += 1;
+            prop_assert_eq!(v.get(), expect[page as usize]);
+        }
+        for p in 0..6u16 {
+            let loc = map.location(PageIndex::new(p));
+            prop_assert_eq!(loc.version.get(), expect[p as usize]);
+            if expect[p as usize] == 0 {
+                prop_assert_eq!(loc.node, NodeId::new(0), "untouched pages stay at home");
+            }
+        }
+    }
+
+    /// The lock table's structural invariants survive arbitrary legal
+    /// operation sequences: acquire from random roots, pre-commit chains,
+    /// aborts and root commits.
+    #[test]
+    fn lock_table_invariants_under_random_ops(script in prop::collection::vec((0u32..6, 0u8..4, any::<bool>()), 1..60)) {
+        let mut tree = TxnTree::new();
+        let mut table = LockTable::new();
+        for i in 0..6 {
+            table.register_object(ObjectId::new(i), 2, NodeId::new(0));
+        }
+        let mut live_roots: Vec<lotec::txn::TxnId> = Vec::new();
+        for (obj, action, flag) in script {
+            match action {
+                // Start a root and try one acquisition.
+                0 => {
+                    let root = tree.begin_root(NodeId::new(obj % 4));
+                    let mode = if flag { LockMode::Write } else { LockMode::Read };
+                    let _ = table.acquire(ObjectId::new(obj), root, mode, &tree);
+                    live_roots.push(root);
+                }
+                // Grow a child under a random live root and acquire. A
+                // real family has one outstanding request at a time, so a
+                // queued (or recursion-rejected) child aborts instead of
+                // pre-committing with a dangling request.
+                1 => {
+                    if let Some(&root) = live_roots.last() {
+                        if tree.state(root) == lotec::txn::TxnState::Active {
+                            let child = tree.begin_child(root);
+                            match table.acquire(ObjectId::new(obj), child, LockMode::Write, &tree) {
+                                Ok(acq) if acq.is_granted() => {
+                                    tree.pre_commit(child);
+                                    table.release_pre_commit(child, &tree);
+                                }
+                                _ => {
+                                    table.release_abort(child, &tree);
+                                    table.cancel_family_waiters(tree.root_of(child));
+                                    tree.abort(child);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Commit the oldest live root.
+                2 => {
+                    if !live_roots.is_empty() {
+                        let root = live_roots.remove(0);
+                        if tree.state(root) == lotec::txn::TxnState::Active {
+                            // Abort instead when it still waits somewhere.
+                            for t in tree.active_subtree_post_order(root) {
+                                table.release_abort(t, &tree);
+                                tree.abort(t);
+                            }
+                            table.cancel_family_waiters(root);
+                        }
+                    }
+                }
+                // Abort the newest live root.
+                _ => {
+                    if let Some(root) = live_roots.pop() {
+                        if tree.state(root) == lotec::txn::TxnState::Active {
+                            for t in tree.active_subtree_post_order(root) {
+                                table.release_abort(t, &tree);
+                                tree.abort(t);
+                            }
+                            table.cancel_family_waiters(root);
+                        }
+                    }
+                }
+            }
+            prop_assert!(table.check_invariants(&tree).is_ok(),
+                "{:?}", table.check_invariants(&tree));
+        }
+    }
+}
