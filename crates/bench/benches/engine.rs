@@ -1,21 +1,17 @@
-//! Criterion benches of the discrete-event engine itself: full runs per
+//! Self-timed benches of the discrete-event engine itself: full runs per
 //! protocol (how the protocol choice affects simulation cost) and the
 //! undo/shadow recovery ablation under fault injection.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use lotec_bench::harness::{bench, opaque};
 use lotec_core::config::RecoveryKind;
 use lotec_core::engine::run_engine;
 use lotec_core::protocol::ProtocolKind;
 use lotec_core::SystemConfig;
 use lotec_workload::presets;
 
-fn bench_engine_per_protocol(c: &mut Criterion) {
+fn bench_engine_per_protocol() {
     let scenario = presets::quick(presets::fig3());
     let (registry, families) = scenario.generate().expect("generates");
-    let mut group = c.benchmark_group("engine_run");
-    group.sample_size(10);
     for protocol in ProtocolKind::ALL {
         let config = SystemConfig {
             protocol,
@@ -23,39 +19,34 @@ fn bench_engine_per_protocol(c: &mut Criterion) {
             page_size: scenario.config.schema.page_size,
             ..SystemConfig::default()
         };
-        group.bench_function(protocol.to_string(), |b| {
-            b.iter(|| {
-                let report = run_engine(black_box(&config), &registry, &families).expect("runs");
-                black_box(report.stats.committed_families)
-            })
+        bench(&format!("engine_run/{protocol}"), || {
+            let report = run_engine(opaque(&config), &registry, &families).expect("runs");
+            report.stats.committed_families
         });
     }
-    group.finish();
 }
 
-fn bench_recovery_ablation(c: &mut Criterion) {
+fn bench_recovery_ablation() {
     let scenario = presets::quick(presets::ablation_faults());
     let (registry, families) = scenario.generate().expect("generates");
-    let mut group = c.benchmark_group("recovery");
-    group.sample_size(10);
-    for (label, recovery) in
-        [("undo_log", RecoveryKind::UndoLog), ("shadow_pages", RecoveryKind::ShadowPages)]
-    {
+    for (label, recovery) in [
+        ("undo_log", RecoveryKind::UndoLog),
+        ("shadow_pages", RecoveryKind::ShadowPages),
+    ] {
         let config = SystemConfig {
             recovery,
             num_nodes: scenario.config.num_nodes,
             page_size: scenario.config.schema.page_size,
             ..SystemConfig::default()
         };
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let report = run_engine(black_box(&config), &registry, &families).expect("runs");
-                black_box(report.stats.subtxn_aborts)
-            })
+        bench(&format!("recovery/{label}"), || {
+            let report = run_engine(opaque(&config), &registry, &families).expect("runs");
+            report.stats.subtxn_aborts
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_engine_per_protocol, bench_recovery_ablation);
-criterion_main!(benches);
+fn main() {
+    bench_engine_per_protocol();
+    bench_recovery_ablation();
+}

@@ -1,19 +1,15 @@
-//! Criterion benches of the figure-generation pipeline: how fast the
+//! Self-timed benches of the figure-generation pipeline: how fast the
 //! simulator regenerates each figure's data (engine run + four-protocol
 //! replay). One benchmark per byte figure plus the network-sweep
 //! evaluation used by Figures 6–8.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use lotec_bench::harness::{bench, opaque};
 use lotec_core::compare::compare_protocols;
 use lotec_core::protocol::ProtocolKind;
 use lotec_net::NetworkConfig;
 use lotec_workload::presets;
 
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure_pipeline");
-    group.sample_size(10);
+fn bench_figures() {
     for scenario in [
         presets::quick(presets::fig2()),
         presets::quick(presets::fig3()),
@@ -22,44 +18,41 @@ fn bench_figures(c: &mut Criterion) {
     ] {
         let (registry, families) = scenario.generate().expect("generates");
         let config = scenario.system_config();
-        let short = scenario.name.split(':').next().unwrap_or("fig").to_string();
-        group.bench_function(short, |b| {
-            b.iter(|| {
-                let cmp =
-                    compare_protocols(black_box(&config), &registry, &families).expect("runs");
-                black_box(cmp.total(ProtocolKind::Lotec).bytes)
-            })
+        let short = scenario.name.split(':').next().unwrap_or("fig");
+        bench(&format!("figure_pipeline/{short}"), || {
+            let cmp = compare_protocols(opaque(&config), &registry, &families).expect("runs");
+            cmp.total(ProtocolKind::Lotec).bytes
         });
     }
-    group.finish();
 }
 
-fn bench_network_sweep_eval(c: &mut Criterion) {
+fn bench_network_sweep_eval() {
     // Figures 6-8 post-process one comparison over the 15-network grid;
     // bench that analytic evaluation separately from the simulation.
     let scenario = presets::quick(presets::network_sweep());
     let (registry, families) = scenario.generate().expect("generates");
     let config = scenario.system_config();
     let cmp = compare_protocols(&config, &registry, &families).expect("runs");
-    c.bench_function("network_grid_evaluation", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for net in NetworkConfig::paper_grid() {
-                for kind in ProtocolKind::PAPER_TRIO {
-                    acc ^= cmp.total_time(kind, black_box(net)).as_nanos();
-                }
+    bench("network_grid_evaluation", || {
+        let mut acc = 0u64;
+        for net in NetworkConfig::paper_grid() {
+            for kind in ProtocolKind::PAPER_TRIO {
+                acc ^= cmp.total_time(kind, opaque(net)).as_nanos();
             }
-            black_box(acc)
-        })
+        }
+        acc
     });
 }
 
-fn bench_workload_generation(c: &mut Criterion) {
+fn bench_workload_generation() {
     let scenario = presets::quick(presets::fig3());
-    c.bench_function("workload_generation", |b| {
-        b.iter(|| black_box(scenario.generate().expect("generates")).1.len())
+    bench("workload_generation", || {
+        scenario.generate().expect("generates").1.len()
     });
 }
 
-criterion_group!(benches, bench_figures, bench_network_sweep_eval, bench_workload_generation);
-criterion_main!(benches);
+fn main() {
+    bench_figures();
+    bench_network_sweep_eval();
+    bench_workload_generation();
+}

@@ -1,98 +1,87 @@
-//! Criterion microbenches of the substrate crates: the event queue, the
+//! Self-timed microbenches of the substrate crates: the event queue, the
 //! deterministic RNG, page-set algebra, page-store write/publish cycles
 //! and undo-log capture/rollback — the hot inner loops of every
 //! simulation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use lotec_bench::harness::{bench, opaque};
 use lotec_mem::{ObjectId, PageId, PageStore, Recovery, UndoLog, Version};
 use lotec_object::PageSet;
 use lotec_sim::{EventQueue, SimRng, SimTime};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        let mut rng = SimRng::seed_from_u64(1);
-        let times: Vec<u64> = (0..1000).map(|_| rng.next_below(1_000_000)).collect();
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for (i, &t) in times.iter().enumerate() {
-                q.push(SimTime::from_nanos(t), i);
-            }
-            let mut acc = 0usize;
-            while let Some((_, i)) = q.pop() {
-                acc ^= i;
-            }
-            black_box(acc)
-        })
+fn bench_event_queue() {
+    let mut rng = SimRng::seed_from_u64(1);
+    let times: Vec<u64> = (0..1000).map(|_| rng.next_below(1_000_000)).collect();
+    bench("event_queue_push_pop_1k", || {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut acc = 0usize;
+        while let Some((_, i)) = q.pop() {
+            acc ^= i;
+        }
+        acc
     });
 }
 
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("rng_range_inclusive", |b| {
-        let mut rng = SimRng::seed_from_u64(2);
-        b.iter(|| black_box(rng.range_inclusive(0, 999)))
-    });
+fn bench_rng() {
+    let mut rng = SimRng::seed_from_u64(2);
+    bench("rng_range_inclusive", move || rng.range_inclusive(0, 999));
 }
 
-fn bench_pageset(c: &mut Criterion) {
-    let a: PageSet = (0..20u16).step_by(2).map(lotec_mem::PageIndex::new).collect();
+fn bench_pageset() {
+    let a: PageSet = (0..20u16)
+        .step_by(2)
+        .map(lotec_mem::PageIndex::new)
+        .collect();
     let bset: PageSet = (5..20u16).map(lotec_mem::PageIndex::new).collect();
-    c.bench_function("pageset_union_intersect_20p", |b| {
-        b.iter(|| {
-            let u = a.union(black_box(&bset));
-            let i = a.intersection(&bset);
-            black_box(u.len() + i.len())
-        })
+    bench("pageset_union_intersect_20p", || {
+        let u = a.union(opaque(&bset));
+        let i = a.intersection(&bset);
+        u.len() + i.len()
     });
 }
 
-fn bench_page_store(c: &mut Criterion) {
-    c.bench_function("page_store_stamp_publish_cycle", |b| {
-        let mut store = PageStore::new(4096);
-        let object = ObjectId::new(0);
+fn bench_page_store() {
+    let mut store = PageStore::new(4096);
+    let object = ObjectId::new(0);
+    for p in 0..20u16 {
+        store.ensure(PageId::new(object, p));
+    }
+    let mut v = 1u64;
+    bench("page_store_stamp_publish_cycle", move || {
         for p in 0..20u16 {
-            store.ensure(PageId::new(object, p));
+            store.apply_stamp(PageId::new(object, p), v);
         }
-        let mut v = 1u64;
-        b.iter(|| {
-            for p in 0..20u16 {
-                store.apply_stamp(PageId::new(object, p), v);
-            }
-            for p in 0..20u16 {
-                store.publish_page(PageId::new(object, p), Version::new(v));
-            }
-            v += 1;
-            black_box(v)
-        })
-    });
-}
-
-fn bench_undo_log(c: &mut Criterion) {
-    c.bench_function("undo_capture_rollback_20p", |b| {
-        let mut store = PageStore::new(4096);
-        let object = ObjectId::new(0);
         for p in 0..20u16 {
-            store.ensure(PageId::new(object, p));
+            store.publish_page(PageId::new(object, p), Version::new(v));
         }
-        b.iter(|| {
-            let mut undo = UndoLog::new();
-            for p in 0..20u16 {
-                let pid = PageId::new(object, p);
-                undo.before_write(1, &store, pid);
-                store.apply_stamp(pid, 42);
-            }
-            black_box(undo.rollback(1, &mut store).len())
-        })
+        v += 1;
+        v
     });
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_rng,
-    bench_pageset,
-    bench_page_store,
-    bench_undo_log
-);
-criterion_main!(benches);
+fn bench_undo_log() {
+    let mut store = PageStore::new(4096);
+    let object = ObjectId::new(0);
+    for p in 0..20u16 {
+        store.ensure(PageId::new(object, p));
+    }
+    bench("undo_capture_rollback_20p", move || {
+        let mut undo = UndoLog::new();
+        for p in 0..20u16 {
+            let pid = PageId::new(object, p);
+            undo.before_write(1, &store, pid);
+            store.apply_stamp(pid, 42);
+        }
+        undo.rollback(1, &mut store).len()
+    });
+}
+
+fn main() {
+    bench_event_queue();
+    bench_rng();
+    bench_pageset();
+    bench_page_store();
+    bench_undo_log();
+}

@@ -23,9 +23,7 @@ fn main() {
     let scenario = maybe_quick(presets::network_sweep());
     let cmp = run_scenario(&scenario);
     let object = busiest_object(&cmp, scenario.config.num_objects);
-    println!(
-        "Active messaging at 1Gbps (object {object}, control messages at 500ns):\n"
-    );
+    println!("Active messaging at 1Gbps (object {object}, control messages at 500ns):\n");
     println!(
         "{:>10} | {:>12} {:>12} {:>8} | {:>12} {:>12} {:>8}",
         "bulk cost", "OTEC", "LOTEC", "winner", "OTEC+AM", "LOTEC+AM", "winner"

@@ -31,7 +31,10 @@ fn main() {
         let mut bytes = Vec::new();
         let mut dsd_time = None;
         for dsd in [false, true] {
-            let config = SystemConfig { dsd_transfers: dsd, ..base.clone() };
+            let config = SystemConfig {
+                dsd_transfers: dsd,
+                ..base.clone()
+            };
             let report = run_engine(&config, &registry, &families).expect("engine runs");
             lotec_core::oracle::verify(&report).expect("serializable");
             bytes.push(report.traffic.total().bytes);

@@ -32,7 +32,10 @@ fn main() {
         ("partitioned (paper)", GdoPlacement::Partitioned),
         ("central @ N0", GdoPlacement::Central(NodeId::new(0))),
     ] {
-        let config = SystemConfig { gdo_placement: placement, ..base.clone() };
+        let config = SystemConfig {
+            gdo_placement: placement,
+            ..base.clone()
+        };
         let report = run_engine(&config, &registry, &families).expect("engine runs");
         lotec_core::oracle::verify(&report).expect("serializable");
         let ledger = report.traffic.ledger();

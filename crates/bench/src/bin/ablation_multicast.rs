@@ -21,14 +21,29 @@ fn main() {
     let net = NetworkConfig::default_cluster();
 
     println!("Multicast ablation ({}):\n", scenario.name);
-    println!("{:<26} {:>14} {:>10} {:>16}", "configuration", "bytes", "messages", "msg time @100M");
+    println!(
+        "{:<26} {:>14} {:>10} {:>16}",
+        "configuration", "bytes", "messages", "msg time @100M"
+    );
     for (label, protocol, multicast) in [
-        ("RC, unicast pushes", ProtocolKind::ReleaseConsistency, false),
-        ("RC, multicast pushes", ProtocolKind::ReleaseConsistency, true),
+        (
+            "RC, unicast pushes",
+            ProtocolKind::ReleaseConsistency,
+            false,
+        ),
+        (
+            "RC, multicast pushes",
+            ProtocolKind::ReleaseConsistency,
+            true,
+        ),
         ("LOTEC (reference)", ProtocolKind::Lotec, false),
         ("LOTEC + multicast flag", ProtocolKind::Lotec, true),
     ] {
-        let config = SystemConfig { protocol, multicast, ..base.clone() };
+        let config = SystemConfig {
+            protocol,
+            multicast,
+            ..base.clone()
+        };
         let report = run_engine(&config, &registry, &families).expect("engine runs");
         lotec_core::oracle::verify(&report).expect("serializable");
         let t = report.traffic.total();

@@ -21,12 +21,24 @@ fn main() {
     let net = NetworkConfig::default_cluster();
 
     println!("Per-class protocol assignment ({}):\n", scenario.name);
-    println!("{:<34} {:>14} {:>10} {:>16}", "assignment", "bytes", "messages", "msg time @100M");
+    println!(
+        "{:<34} {:>14} {:>10} {:>16}",
+        "assignment", "bytes", "messages", "msg time @100M"
+    );
 
     let mut rows: Vec<(String, SystemConfig)> = vec![
-        ("uniform LOTEC".into(), base.clone().with_protocol(ProtocolKind::Lotec)),
-        ("uniform OTEC".into(), base.clone().with_protocol(ProtocolKind::Otec)),
-        ("uniform RC".into(), base.clone().with_protocol(ProtocolKind::ReleaseConsistency)),
+        (
+            "uniform LOTEC".into(),
+            base.clone().with_protocol(ProtocolKind::Lotec),
+        ),
+        (
+            "uniform OTEC".into(),
+            base.clone().with_protocol(ProtocolKind::Otec),
+        ),
+        (
+            "uniform RC".into(),
+            base.clone().with_protocol(ProtocolKind::ReleaseConsistency),
+        ),
     ];
     // Mixed: run the last (leaf-most, most contended) class under OTEC —
     // its objects are re-fetched whole anyway — and everything else under

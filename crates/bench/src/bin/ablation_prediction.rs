@@ -18,7 +18,10 @@ use lotec_workload::presets;
 fn main() {
     let scenario = maybe_quick(presets::fig3());
     let (registry, families) = scenario.generate().expect("workload generates");
-    println!("LOTEC under degraded access prediction ({}):\n", scenario.name);
+    println!(
+        "LOTEC under degraded access prediction ({}):\n",
+        scenario.name
+    );
     println!(
         "{:>6} {:>14} {:>10} {:>14} {:>16}",
         "miss", "bytes", "messages", "demand fetches", "msg time @100Mbps"

@@ -33,13 +33,20 @@ fn main() {
     );
     let mut results = Vec::new();
     for prefetch in [false, true] {
-        let config = SystemConfig { lock_prefetch: prefetch, ..base.clone() };
+        let config = SystemConfig {
+            lock_prefetch: prefetch,
+            ..base.clone()
+        };
         let report = run_engine(&config, &registry, &families).expect("engine runs");
         lotec_core::oracle::verify(&report).expect("serializable");
         println!(
             "{:>10} {:>14} {:>14} {:>10} {:>14}",
             if prefetch { "on" } else { "off" },
-            report.stats.mean_latency().expect("commits happened").to_string(),
+            report
+                .stats
+                .mean_latency()
+                .expect("commits happened")
+                .to_string(),
             report.stats.makespan.to_string(),
             report.stats.prefetch_hits,
             report.stats.prefetch_saved.to_string(),

@@ -25,7 +25,11 @@ fn main() {
         );
         for kind in ProtocolKind::ALL {
             let t = cmp.total(kind);
-            let pushes = cmp.traffic(kind).ledger().kind(MessageKind::UpdatePush).messages;
+            let pushes = cmp
+                .traffic(kind)
+                .ledger()
+                .kind(MessageKind::UpdatePush)
+                .messages;
             println!(
                 "{:>8} {:>14} {:>10} {:>16} {:>14}",
                 kind.to_string(),

@@ -20,7 +20,10 @@ fn main() {
     println!("Recovery-mechanism ablation ({}):\n", scenario.name);
 
     let mut reports = Vec::new();
-    for (label, recovery) in [("undo log", RecoveryKind::UndoLog), ("shadow pages", RecoveryKind::ShadowPages)] {
+    for (label, recovery) in [
+        ("undo log", RecoveryKind::UndoLog),
+        ("shadow pages", RecoveryKind::ShadowPages),
+    ] {
         let config = SystemConfig {
             recovery,
             num_nodes: scenario.config.num_nodes,
@@ -39,7 +42,10 @@ fn main() {
     }
 
     assert_eq!(reports[0].trace, reports[1].trace, "schedules must match");
-    assert_eq!(reports[0].final_chains, reports[1].final_chains, "final state must match");
+    assert_eq!(
+        reports[0].final_chains, reports[1].final_chains,
+        "final state must match"
+    );
     assert_eq!(
         reports[0].traffic.total(),
         reports[1].traffic.total(),

@@ -26,7 +26,10 @@ fn main() {
     );
     let mut schedules = Vec::new();
     for factor in [1u32, 2, 3, 4] {
-        let config = SystemConfig { gdo_replication: factor, ..base.clone() };
+        let config = SystemConfig {
+            gdo_replication: factor,
+            ..base.clone()
+        };
         let report = run_engine(&config, &registry, &families).expect("engine runs");
         lotec_core::oracle::verify(&report).expect("serializable");
         let repl = report.traffic.ledger().kind(MessageKind::GdoReplicate);

@@ -16,4 +16,5 @@ fn main() {
         &cmp,
         &axis::fig2(),
     );
+    lotec_bench::maybe_observe("fig2", &scenario);
 }

@@ -16,4 +16,5 @@ fn main() {
         &cmp,
         &axis::fig3(),
     );
+    lotec_bench::maybe_observe("fig3", &scenario);
 }

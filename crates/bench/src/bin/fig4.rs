@@ -16,4 +16,5 @@ fn main() {
         &cmp,
         &axis::fig4(),
     );
+    lotec_bench::maybe_observe("fig4", &scenario);
 }

@@ -17,4 +17,5 @@ fn main() {
         &cmp,
         &axis::fig5(),
     );
+    lotec_bench::maybe_observe("fig5", &scenario);
 }

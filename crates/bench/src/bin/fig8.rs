@@ -11,7 +11,8 @@ fn main() {
     let cmp = run_scenario(&scenario);
     let object = busiest_object(&cmp, scenario.config.num_objects);
     if let Some(path) = lotec_bench::csv_path("fig8") {
-        lotec_bench::write_time_csv(&path, &cmp, object, Bandwidth::gigabit()).expect("csv written");
+        lotec_bench::write_time_csv(&path, &cmp, object, Bandwidth::gigabit())
+            .expect("csv written");
         println!("(csv written to {})", path.display());
     }
     print_time_figure(
@@ -20,4 +21,5 @@ fn main() {
         object,
         Bandwidth::gigabit(),
     );
+    lotec_bench::maybe_observe("fig8", &scenario);
 }

@@ -37,7 +37,10 @@ fn main() {
             l.messages as f64 / o.messages as f64,
             l.bytes as f64 / l.messages as f64,
         );
-        assert!(l.bytes <= o.bytes && o.bytes <= c.bytes, "byte ordering violated");
+        assert!(
+            l.bytes <= o.bytes && o.bytes <= c.bytes,
+            "byte ordering violated"
+        );
     }
     println!(
         "\nOTEC saves {:.0}-{:.0}% of COTEC's bytes across scenarios (paper: ~20-25%).",

@@ -51,8 +51,14 @@ fn main() {
         report_row(&scenario.name, &scenario);
     }
     let (fine, coarse) = presets::aggregation_pair();
-    report_row(&maybe_quick(fine).name, &maybe_quick(presets::aggregation_pair().0));
-    report_row(&maybe_quick(coarse).name, &maybe_quick(presets::aggregation_pair().1));
+    report_row(
+        &maybe_quick(fine).name,
+        &maybe_quick(presets::aggregation_pair().0),
+    );
+    report_row(
+        &maybe_quick(coarse).name,
+        &maybe_quick(presets::aggregation_pair().1),
+    );
     println!(
         "\nGlobal operations dominate under contention (families rarely \
          reacquire what an ancestor retains), which is why §5.1 stresses \

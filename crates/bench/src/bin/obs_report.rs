@@ -1,0 +1,40 @@
+//! Summarizes a saved observability trace offline.
+//!
+//! Usage:
+//!
+//! ```text
+//! obs_report <trace.jsonl>     # summarize a JSONL trace written by --trace-out
+//! obs_report --demo [--quick]  # record a fresh trace from the fig3 scenario
+//! ```
+//!
+//! Prints the same structured-trace summary the `--obs` flag prints at the
+//! end of a figure run: event census, per-family phase times, lock and
+//! deadlock counts, and compile-time page-prediction quality.
+
+use lotec_bench::{maybe_quick, observe_scenario};
+use lotec_obs::{jsonl_decode, TraceSummary};
+use lotec_workload::presets;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let events = if args.iter().any(|a| a == "--demo") {
+        let scenario = maybe_quick(presets::fig3());
+        println!("recording demo trace: {}", scenario.name);
+        observe_scenario(&scenario).1
+    } else {
+        let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+            eprintln!("usage: obs_report <trace.jsonl> | obs_report --demo [--quick]");
+            std::process::exit(2);
+        };
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("obs_report: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        jsonl_decode(&text).unwrap_or_else(|e| {
+            eprintln!("obs_report: {path} is not a valid trace: {e}");
+            std::process::exit(1);
+        })
+    };
+    println!("{} events", events.len());
+    print!("{}", TraceSummary::of(&events).render());
+}

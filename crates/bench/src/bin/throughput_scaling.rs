@@ -75,4 +75,5 @@ fn main() {
          fewest bytes per lock handoff, COTEC the least — the throughput \
          face of the byte savings in Figures 2-5."
     );
+    lotec_bench::maybe_observe("throughput_scaling", &maybe_quick(presets::fig4()));
 }

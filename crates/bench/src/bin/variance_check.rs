@@ -38,7 +38,10 @@ fn main() {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("seed run panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("seed run panicked"))
+                .collect()
         });
         let min_oc = results.iter().map(|r| r.0).fold(f64::INFINITY, f64::min);
         let max_oc = results.iter().map(|r| r.0).fold(0.0, f64::max);
@@ -54,7 +57,11 @@ fn main() {
             max_lo,
             if all_ordered { "5/5" } else { "VIOLATED" }
         );
-        assert!(all_ordered, "{}: byte ordering must hold on every seed", base.name);
+        assert!(
+            all_ordered,
+            "{}: byte ordering must hold on every seed",
+            base.name
+        );
     }
     println!(
         "\nThe byte ordering LOTEC <= OTEC <= COTEC held on every seed of \

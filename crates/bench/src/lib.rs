@@ -34,12 +34,28 @@
 //! Pass `--quick` to any figure binary for a reduced run; `--csv [path]`
 //! additionally writes the figure's data as CSV (default
 //! `results/<fig>.csv`).
+//!
+//! Observability flags (figure binaries and `smoke`):
+//!
+//! * `--obs` — rerun the scenario under a recording probe sink and print
+//!   the structured-trace summary (phase times, lock census, prediction
+//!   quality);
+//! * `--trace-out [path]` — additionally export the recorded events as
+//!   JSONL (`path`, default `results/<name>.trace.jsonl`) and as a
+//!   Perfetto/`chrome://tracing`-loadable Chrome trace alongside it
+//!   (`<path minus .jsonl>.chrome.json`). Implies `--obs`.
+//!
+//! The `obs_report` binary re-summarizes a saved JSONL trace offline.
 
 use lotec_core::compare::{compare_protocols, ProtocolComparison};
+use lotec_core::engine::run_engine_with_probe;
 use lotec_core::protocol::ProtocolKind;
 use lotec_mem::ObjectId;
 use lotec_net::{Bandwidth, NetworkConfig, SoftwareCost};
+use lotec_obs::{chrome_trace, jsonl_encode, RecordingSink, TraceSummary};
 use lotec_workload::{presets, Scenario};
+
+pub mod harness;
 
 /// Runs a scenario end-to-end and returns the protocol comparison.
 ///
@@ -73,6 +89,85 @@ pub fn csv_path(stem: &str) -> Option<std::path::PathBuf> {
     match args.get(idx + 1) {
         Some(p) if !p.starts_with("--") => Some(p.into()),
         _ => Some(format!("results/{stem}.csv").into()),
+    }
+}
+
+/// Reruns `scenario` under its own system config with a recording probe
+/// sink attached, returning the run report and the recorded event stream.
+///
+/// # Panics
+///
+/// Panics with a diagnostic on generation or engine failure, like
+/// [`run_scenario`].
+pub fn observe_scenario(scenario: &Scenario) -> (lotec_core::RunReport, Vec<lotec_obs::ObsEvent>) {
+    let (registry, families) = scenario
+        .generate()
+        .unwrap_or_else(|e| panic!("{}: workload generation failed: {e}", scenario.name));
+    let config = scenario.system_config();
+    let mut sink = RecordingSink::new();
+    let report = run_engine_with_probe(&config, &registry, &families, &mut sink)
+        .unwrap_or_else(|e| panic!("{}: probed run failed: {e}", scenario.name));
+    (report, sink.into_events())
+}
+
+/// Writes a recorded event stream as JSONL to `path` and as a
+/// Perfetto-loadable Chrome trace next to it (`.jsonl` → `.chrome.json`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing either file.
+pub fn write_trace(path: &std::path::Path, events: &[lotec_obs::ObsEvent]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, jsonl_encode(events))?;
+    let chrome_path = path.with_extension("chrome.json");
+    std::fs::write(&chrome_path, chrome_trace(events).render_pretty())
+}
+
+/// Applies the `--obs` / `--trace-out [path]` flags: when either is
+/// present, reruns the scenario with a recording sink, prints the
+/// structured-trace summary, and (for `--trace-out`) exports the trace as
+/// JSONL plus a Chrome trace (default path `results/<stem>.trace.jsonl`).
+pub fn maybe_observe(stem: &str, scenario: &Scenario) {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_out =
+        args.iter()
+            .position(|a| a == "--trace-out")
+            .map(|idx| match args.get(idx + 1) {
+                Some(p) if !p.starts_with("--") => std::path::PathBuf::from(p),
+                _ => std::path::PathBuf::from(format!("results/{stem}.trace.jsonl")),
+            });
+    if trace_out.is_none() && !args.iter().any(|a| a == "--obs") {
+        return;
+    }
+    let (report, events) = observe_scenario(scenario);
+    println!();
+    println!(
+        "observability: {} ({} events recorded)",
+        scenario.name,
+        events.len()
+    );
+    print!("{}", TraceSummary::of(&events).render());
+    if let Some(f) = report.stats.phases.fractions() {
+        println!(
+            "phase fractions: lock-wait {:.1}% / transfer {:.1}% / compute {:.1}% / backoff {:.1}%",
+            f[0] * 100.0,
+            f[1] * 100.0,
+            f[2] * 100.0,
+            f[3] * 100.0
+        );
+    }
+    if let Some(path) = trace_out {
+        write_trace(&path, &events)
+            .unwrap_or_else(|e| panic!("writing trace to {}: {e}", path.display()));
+        println!(
+            "trace written: {} and {}",
+            path.display(),
+            path.with_extension("chrome.json").display()
+        );
     }
 }
 
@@ -130,9 +225,12 @@ pub fn write_time_csv(
             out,
             "{},{:.3},{:.3},{:.3}",
             sc.duration().as_nanos(),
-            cmp.object_time(ProtocolKind::Cotec, object, net).as_micros_f64(),
-            cmp.object_time(ProtocolKind::Otec, object, net).as_micros_f64(),
-            cmp.object_time(ProtocolKind::Lotec, object, net).as_micros_f64(),
+            cmp.object_time(ProtocolKind::Cotec, object, net)
+                .as_micros_f64(),
+            cmp.object_time(ProtocolKind::Otec, object, net)
+                .as_micros_f64(),
+            cmp.object_time(ProtocolKind::Lotec, object, net)
+                .as_micros_f64(),
         )?;
     }
     Ok(())
@@ -142,7 +240,10 @@ pub fn write_time_csv(
 /// `objects`' consistency, per protocol.
 pub fn print_bytes_figure(title: &str, cmp: &ProtocolComparison, objects: &[u32]) {
     println!("{title}");
-    println!("{:>6} {:>14} {:>14} {:>14}", "object", "COTEC", "OTEC", "LOTEC");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "object", "COTEC", "OTEC", "LOTEC"
+    );
     for &o in objects {
         let id = ObjectId::new(o);
         println!(
@@ -158,7 +259,10 @@ pub fn print_bytes_figure(title: &str, cmp: &ProtocolComparison, objects: &[u32]
         cmp.total(ProtocolKind::Otec),
         cmp.total(ProtocolKind::Lotec),
     );
-    println!("{:>6} {:>14} {:>14} {:>14}", "total", c.bytes, o.bytes, l.bytes);
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "total", c.bytes, o.bytes, l.bytes
+    );
     println!(
         "ratios: OTEC/COTEC = {:.3} (paper: ~0.75-0.80), LOTEC/OTEC = {:.3} (paper: ~0.90-0.95)",
         o.bytes as f64 / c.bytes as f64,
@@ -190,15 +294,20 @@ pub fn print_time_figure(
 ) {
     println!("{title}");
     println!("(object {object}, link {bandwidth})");
-    println!("{:>10} {:>14} {:>14} {:>14}", "sw cost", "COTEC", "OTEC", "LOTEC");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "sw cost", "COTEC", "OTEC", "LOTEC"
+    );
     for sc in SoftwareCost::paper_sweep() {
         let net = NetworkConfig::new(bandwidth, sc);
         println!(
             "{:>10} {:>14} {:>14} {:>14}",
             sc.to_string(),
-            cmp.object_time(ProtocolKind::Cotec, object, net).to_string(),
+            cmp.object_time(ProtocolKind::Cotec, object, net)
+                .to_string(),
             cmp.object_time(ProtocolKind::Otec, object, net).to_string(),
-            cmp.object_time(ProtocolKind::Lotec, object, net).to_string(),
+            cmp.object_time(ProtocolKind::Lotec, object, net)
+                .to_string(),
         );
     }
 }

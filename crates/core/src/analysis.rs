@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use lotec_mem::ObjectId;
+use lotec_obs::PredictionTotals;
 use lotec_sim::{SimDuration, SimTime};
 use lotec_txn::LockMode;
 
@@ -81,7 +82,15 @@ impl TraceAnalysis {
         let mut aborts = 0;
         for event in trace.events() {
             match event {
-                TraceEvent::Grant { at, family, node, object, mode, global, .. } => {
+                TraceEvent::Grant {
+                    at,
+                    family,
+                    node,
+                    object,
+                    mode,
+                    global,
+                    ..
+                } => {
                     let p = objects.entry(*object).or_default();
                     match mode {
                         LockMode::Write => p.write_grants += 1,
@@ -108,7 +117,12 @@ impl TraceAnalysis {
             profile.distinct_families = fams.get(object).map_or(0, |s| s.len() as u64);
             profile.distinct_nodes = nodes.get(object).map_or(0, |s| s.len() as u64);
         }
-        TraceAnalysis { objects, family_span, commits, aborts }
+        TraceAnalysis {
+            objects,
+            family_span,
+            commits,
+            aborts,
+        }
     }
 
     /// Profile of one object (default/empty if never referenced).
@@ -147,6 +161,48 @@ impl TraceAnalysis {
             .sum();
         Some(total / self.family_span.len() as u64)
     }
+}
+
+/// Prediction quality of the compile-time page-access analysis, recovered
+/// from a trace's `Grant` events: how well `predicted` anticipated
+/// `actual_reads ∪ actual_writes`. This is the quantity LOTEC bets on —
+/// low recall shows up as demand fetches, low precision as pages shipped
+/// for nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PredictionReport {
+    /// Whole-trace totals.
+    pub totals: PredictionTotals,
+    /// Per-object totals (objects with at least one grant).
+    pub per_object: BTreeMap<ObjectId, PredictionTotals>,
+}
+
+/// Builds a [`PredictionReport`] from a schedule trace.
+pub fn prediction_report(trace: &ScheduleTrace) -> PredictionReport {
+    let mut report = PredictionReport::default();
+    for event in trace.events() {
+        let TraceEvent::Grant {
+            object,
+            predicted,
+            actual_reads,
+            actual_writes,
+            ..
+        } = event
+        else {
+            continue;
+        };
+        let actual = actual_reads.union(actual_writes);
+        let tp = predicted.iter().filter(|&p| actual.contains(p)).count() as u64;
+        for totals in [
+            &mut report.totals,
+            report.per_object.entry(*object).or_default(),
+        ] {
+            totals.grants += 1;
+            totals.predicted += predicted.len() as u64;
+            totals.actual += actual.len() as u64;
+            totals.true_positives += tp;
+        }
+    }
+    report
 }
 
 #[cfg(test)]
@@ -203,6 +259,27 @@ mod tests {
         let a = analyzed();
         let span = a.mean_family_span().expect("families committed");
         assert!(span > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn prediction_report_is_consistent() {
+        let config = SystemConfig::default();
+        let (registry, families) = demo_workload(&config, 55);
+        let report = run_engine(&config, &registry, &families).unwrap();
+        let pred = prediction_report(&report.trace);
+        assert_eq!(pred.totals.grants, report.trace.num_grants() as u64);
+        assert!(pred.totals.true_positives <= pred.totals.predicted);
+        assert!(pred.totals.true_positives <= pred.totals.actual);
+        // Per-object totals partition the whole-trace totals.
+        let sum: u64 = pred.per_object.values().map(|t| t.grants).sum();
+        assert_eq!(sum, pred.totals.grants);
+        if let (Some(p), Some(r)) = (pred.totals.precision(), pred.totals.recall()) {
+            assert!((0.0..=1.0).contains(&p));
+            assert!((0.0..=1.0).contains(&r));
+        }
+        // The demo workload's predictions are conservative supersets, so
+        // recall must be perfect.
+        assert_eq!(pred.totals.recall(), Some(1.0));
     }
 
     #[test]

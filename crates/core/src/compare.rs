@@ -111,7 +111,10 @@ pub fn compare_protocols(
         .iter()
         .map(|&kind| (kind, replay_trace(kind, &report.trace, registry, config)))
         .collect();
-    Ok(ProtocolComparison { report, per_protocol })
+    Ok(ProtocolComparison {
+        report,
+        per_protocol,
+    })
 }
 
 #[cfg(test)]
@@ -151,7 +154,11 @@ mod tests {
         let config = SystemConfig::default();
         let (registry, families) = demo_workload(&config, 13);
         let cmp = compare_protocols(&config, &registry, &families).unwrap();
-        for kind in [MessageKind::LockRequest, MessageKind::LockGrant, MessageKind::LockRelease] {
+        for kind in [
+            MessageKind::LockRequest,
+            MessageKind::LockGrant,
+            MessageKind::LockRelease,
+        ] {
             let c = cmp.traffic(ProtocolKind::Cotec).ledger().kind(kind);
             let o = cmp.traffic(ProtocolKind::Otec).ledger().kind(kind);
             let l = cmp.traffic(ProtocolKind::Lotec).ledger().kind(kind);
@@ -169,7 +176,10 @@ mod tests {
         let slow = NetworkConfig::new(Bandwidth::ethernet10(), SoftwareCost::MICROS_100);
         let fast = NetworkConfig::new(Bandwidth::ethernet10(), SoftwareCost::NANOS_500);
         for kind in ProtocolKind::PAPER_TRIO {
-            assert!(cmp.total_time(kind, fast) < cmp.total_time(kind, slow), "{kind}");
+            assert!(
+                cmp.total_time(kind, fast) < cmp.total_time(kind, slow),
+                "{kind}"
+            );
         }
     }
 

@@ -191,7 +191,9 @@ impl SystemConfig {
 
     /// True when any class runs a different protocol from the default.
     pub fn is_mixed_protocol(&self) -> bool {
-        self.per_class_protocol.values().any(|&p| p != self.protocol)
+        self.per_class_protocol
+            .values()
+            .any(|&p| p != self.protocol)
     }
 
     /// The node hosting `object`'s GDO entry under the configured
@@ -221,7 +223,10 @@ impl SystemConfig {
     pub fn validate(&self) {
         assert!(self.num_nodes > 0, "need at least one node");
         if let GdoPlacement::Central(node) = self.gdo_placement {
-            assert!(node.index() < self.num_nodes, "central GDO node out of range");
+            assert!(
+                node.index() < self.num_nodes,
+                "central GDO node out of range"
+            );
         }
         assert!(
             self.gdo_replication >= 1 && self.gdo_replication <= self.num_nodes,
@@ -259,14 +264,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "probability")]
     fn bad_miss_rate_rejected() {
-        let cfg = SystemConfig { prediction_miss_rate: 1.5, ..SystemConfig::default() };
+        let cfg = SystemConfig {
+            prediction_miss_rate: 1.5,
+            ..SystemConfig::default()
+        };
         cfg.validate();
     }
 
     #[test]
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_rejected() {
-        let cfg = SystemConfig { num_nodes: 0, ..SystemConfig::default() };
+        let cfg = SystemConfig {
+            num_nodes: 0,
+            ..SystemConfig::default()
+        };
         cfg.validate();
     }
 }

@@ -2,6 +2,7 @@
 
 use lotec_mem::{ObjectId, PageIndex};
 use lotec_object::{MethodId, PathId};
+use lotec_obs::PhaseTimes;
 use lotec_sim::{SimDuration, SimTime};
 use lotec_txn::TxnId;
 
@@ -123,6 +124,12 @@ pub(crate) struct FamilyRuntime {
     /// For lock prefetching: when each pending invocation's lock request
     /// was optimistically issued (keyed by spec pointer).
     pub prefetch_at: std::collections::BTreeMap<SpecPtr, SimTime>,
+    /// When the current phase was entered (phase-latency attribution).
+    pub phase_entered: SimTime,
+    /// Cumulative time per coarse phase, across *all* attempts (restart
+    /// backoff and redone work both count — the breakdown explains
+    /// end-to-end latency, not just the winning attempt).
+    pub phase_times: PhaseTimes,
 }
 
 impl FamilyRuntime {
@@ -138,6 +145,8 @@ impl FamilyRuntime {
             ops: Vec::new(),
             fetch_extra: SimDuration::ZERO,
             prefetch_at: std::collections::BTreeMap::new(),
+            phase_entered: arrival,
+            phase_times: PhaseTimes::default(),
         }
     }
 
@@ -159,14 +168,16 @@ impl FamilyRuntime {
         self.frames.last_mut().expect("family has no active frame")
     }
 
-    /// Clears all per-attempt state for a restart.
+    /// Clears all per-attempt state for a restart. The caller transitions
+    /// `phase` itself (via the engine's `set_phase`, so the aborted
+    /// attempt's elapsed time is attributed before the state is wiped);
+    /// cumulative phase times survive.
     pub fn reset_for_restart(&mut self) {
         self.root_txn = None;
         self.frames.clear();
         self.ops.clear();
         self.fetch_extra = SimDuration::ZERO;
         self.prefetch_at.clear();
-        self.phase = Phase::Restarting;
     }
 
     /// Drops the operations of an aborted subtree (identified by its member
@@ -209,7 +220,11 @@ mod tests {
     fn write(txn: TxnId, o: u32, p: u16) -> AttemptOp {
         AttemptOp {
             txn,
-            op: FamilyOp::Write { object: ObjectId::new(o), page: PageIndex::new(p), stamp: 1 },
+            op: FamilyOp::Write {
+                object: ObjectId::new(o),
+                page: PageIndex::new(p),
+                stamp: 1,
+            },
         }
     }
 
@@ -249,7 +264,11 @@ mod tests {
         // Reads never contribute to dirty info.
         fam.ops.push(AttemptOp {
             txn: t,
-            op: FamilyOp::Read { object: ObjectId::new(2), page: PageIndex::new(0), chain: 0 },
+            op: FamilyOp::Read {
+                object: ObjectId::new(2),
+                page: PageIndex::new(0),
+                chain: 0,
+            },
         });
         let dirty = fam.surviving_dirty();
         assert_eq!(dirty.len(), 2);
@@ -272,12 +291,18 @@ mod tests {
     fn reset_for_restart_clears_attempt_state() {
         let mut fam = FamilyRuntime::new(3, SimTime::from_micros(5));
         fam.restarts = 2;
+        fam.phase_times
+            .add(lotec_obs::ObsPhase::Running, SimDuration::from_micros(7));
         fam.ops.push(write(mk_txn(0), 0, 0));
         fam.reset_for_restart();
         assert!(fam.ops.is_empty());
         assert!(fam.frames.is_empty());
         assert_eq!(fam.restarts, 2, "restart count survives");
         assert_eq!(fam.arrival, SimTime::from_micros(5), "arrival survives");
-        assert_eq!(fam.phase, Phase::Restarting);
+        assert_eq!(
+            fam.phase_times.running,
+            SimDuration::from_micros(7),
+            "cumulative phase times survive"
+        );
     }
 }

@@ -33,6 +33,7 @@ use lotec_mem::{ObjectId, PageId, PageIndex, Recovery, ShadowPages, UndoLog};
 use lotec_mem::{PageStore, Version};
 use lotec_net::{Message, MessageKind, TrafficLedger};
 use lotec_object::{ObjectRegistry, PageSet};
+use lotec_obs::{EventSink, NoopSink, ObsEvent, ObsEventKind, ObsPhase};
 use lotec_sim::{NodeId, SimDuration, SimRng, SimTime, Simulator};
 use lotec_txn::{Acquire, Grant, LockMode, LockTable, TxnId, TxnTree};
 
@@ -44,7 +45,7 @@ use crate::protocol::{plan_transfer, PlacementView, ProtocolKind};
 use crate::spec::{validate_family, FamilySpec};
 use crate::trace::{ScheduleTrace, TraceEvent};
 
-use family::{spec_at, Frame, FamilyRuntime, Phase};
+use family::{spec_at, FamilyRuntime, Frame, Phase};
 
 /// The operations of one *committed* family, in commit order — the input
 /// to the serializability oracle.
@@ -94,7 +95,12 @@ enum Event {
 }
 
 /// The discrete-event engine. See the [module docs](self).
-pub struct Engine<'a> {
+///
+/// Generic over an [`EventSink`] probe; the default [`NoopSink`] reports
+/// `enabled() == false` from a constant, so every probe site (and the
+/// event construction behind it) monomorphizes away — observability is
+/// free unless a recording sink is supplied via [`Engine::with_probe`].
+pub struct Engine<'a, S: EventSink = NoopSink> {
     config: &'a SystemConfig,
     registry: &'a ObjectRegistry,
     workload: &'a [FamilySpec],
@@ -112,9 +118,10 @@ pub struct Engine<'a> {
     committed: Vec<CommittedFamily>,
     miss_rng: SimRng,
     jitter_rng: SimRng,
+    sink: S,
 }
 
-impl std::fmt::Debug for Engine<'_> {
+impl<S: EventSink> std::fmt::Debug for Engine<'_, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("protocol", &self.config.protocol)
@@ -167,8 +174,23 @@ impl PlacementView for EngineView<'_> {
     }
 }
 
+/// Coarse observability phase of an engine [`Phase`]: the bucket its time
+/// is attributed to. `None` for `NotStarted` (nothing to attribute yet).
+fn obs_phase(phase: &Phase) -> Option<ObsPhase> {
+    match phase {
+        Phase::NotStarted => None,
+        Phase::WaitingGrant | Phase::GrantInFlight { .. } => Some(ObsPhase::LockWait),
+        Phase::Fetching => Some(ObsPhase::TransferWait),
+        Phase::Computing => Some(ObsPhase::Running),
+        Phase::Restarting => Some(ObsPhase::Backoff),
+        Phase::Done => Some(ObsPhase::Committed),
+        Phase::Failed => Some(ObsPhase::Failed),
+    }
+}
+
 impl<'a> Engine<'a> {
-    /// Builds an engine for `workload` on `registry` under `config`.
+    /// Builds an engine for `workload` on `registry` under `config`, with
+    /// observability disabled (the zero-cost [`NoopSink`]).
     ///
     /// # Errors
     ///
@@ -178,13 +200,31 @@ impl<'a> Engine<'a> {
         registry: &'a ObjectRegistry,
         workload: &'a [FamilySpec],
     ) -> Result<Self, CoreError> {
+        Engine::with_probe(config, registry, workload, NoopSink)
+    }
+}
+
+impl<'a, S: EventSink> Engine<'a, S> {
+    /// Builds an engine whose probe sites report to `sink` (pass a
+    /// [`lotec_obs::RecordingSink`] to capture a structured trace).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] if any family fails validation.
+    pub fn with_probe(
+        config: &'a SystemConfig,
+        registry: &'a ObjectRegistry,
+        workload: &'a [FamilySpec],
+        sink: S,
+    ) -> Result<Self, CoreError> {
         config.validate();
         for family in workload {
             validate_family(family, registry, config)?;
         }
         let mut table = LockTable::new();
-        let mut stores: Vec<PageStore> =
-            (0..config.num_nodes).map(|_| PageStore::new(config.page_size as usize)).collect();
+        let mut stores: Vec<PageStore> = (0..config.num_nodes)
+            .map(|_| PageStore::new(config.page_size as usize))
+            .collect();
         let mut last_holder = BTreeMap::new();
         for inst in registry.objects() {
             let num_pages = registry.num_pages(inst.id);
@@ -229,6 +269,7 @@ impl<'a> Engine<'a> {
             committed: Vec::new(),
             miss_rng: root_rng.fork(0xA11CE),
             jitter_rng: root_rng.fork(0xB0B),
+            sink,
         })
     }
 
@@ -248,6 +289,7 @@ impl<'a> Engine<'a> {
             .families
             .iter()
             .all(|f| matches!(f.phase, Phase::Done | Phase::Failed)));
+        self.finish_phase_stats();
         let final_chains = self.collect_final_chains();
         Ok(RunReport {
             protocol: self.config.protocol,
@@ -286,7 +328,8 @@ impl<'a> Engine<'a> {
         if src == dst {
             return SimDuration::ZERO;
         }
-        self.ledger.record(&Message::new(kind, src, dst, object, bytes));
+        self.ledger
+            .record(&Message::new(kind, src, dst, object, bytes));
         self.config.network.transfer_time_for(kind, bytes)
     }
 
@@ -300,6 +343,69 @@ impl<'a> Engine<'a> {
         let home = self.config.gdo_home(object);
         for replica in self.config.gdo_replicas(object) {
             self.send(MessageKind::GdoReplicate, home, replica, object, bytes);
+        }
+    }
+
+    // ---- phase accounting ------------------------------------------------
+
+    /// Transitions `fam` into `phase`, attributing the time spent since
+    /// the previous transition to the phase being left. Emits a
+    /// `PhaseEnter` probe event whenever the *coarse* observability phase
+    /// changes (`WaitingGrant → GrantInFlight` stays inside `lock_wait`
+    /// and emits nothing).
+    fn set_phase(&mut self, now: SimTime, fam: usize, phase: Phase) {
+        let node = self.workload[fam].node.index();
+        let runtime = &mut self.families[fam];
+        let old = obs_phase(&runtime.phase);
+        if let Some(prev) = old {
+            runtime
+                .phase_times
+                .add(prev, now.saturating_duration_since(runtime.phase_entered));
+        }
+        let new = obs_phase(&phase);
+        runtime.phase = phase;
+        runtime.phase_entered = now;
+        if self.sink.enabled() && new != old {
+            if let Some(entered) = new {
+                self.sink.emit(ObsEvent {
+                    at: now,
+                    node,
+                    kind: ObsEventKind::PhaseEnter {
+                        family: fam as u64,
+                        phase: entered,
+                    },
+                });
+            }
+        }
+    }
+
+    /// Folds the per-family phase accumulators into
+    /// [`RunStats::phases`](crate::metrics::RunStats) at end of run. Pure
+    /// bookkeeping — runs identically with every sink.
+    fn finish_phase_stats(&mut self) {
+        let stats = &mut self.stats;
+        for f in &self.families {
+            let committed = matches!(f.phase, Phase::Done);
+            stats.phases.aggregate.merge(&f.phase_times);
+            if committed {
+                stats
+                    .phases
+                    .lock_wait_histogram
+                    .record(f.phase_times.lock_wait.as_nanos());
+                stats
+                    .phases
+                    .transfer_wait_histogram
+                    .record(f.phase_times.transfer_wait.as_nanos());
+                stats
+                    .phases
+                    .compute_histogram
+                    .record(f.phase_times.running.as_nanos());
+            }
+            stats.phases.per_family.push(crate::metrics::FamilyPhases {
+                family_index: f.index,
+                times: f.phase_times,
+                committed,
+            });
         }
     }
 
@@ -348,11 +454,20 @@ impl<'a> Engine<'a> {
         } else {
             LockMode::Write
         };
-        let outcome = self.table.acquire(object, txn, mode, &self.tree)?;
+        let outcome =
+            self.table
+                .acquire_probed(object, txn, mode, &self.tree, now, &mut self.sink)?;
         match outcome {
             Acquire::LocalGrant => {
                 self.stats.local_lock_grants += 1;
-                self.families[fam].phase = Phase::GrantInFlight { global: false, holders: 0 };
+                self.set_phase(
+                    now,
+                    fam,
+                    Phase::GrantInFlight {
+                        global: false,
+                        holders: 0,
+                    },
+                );
                 let delay = self.config.costs.local_lock_op;
                 self.sim.schedule_at(now + delay, Event::GrantArrived(fam));
             }
@@ -360,8 +475,10 @@ impl<'a> Engine<'a> {
                 self.stats.global_lock_grants += 1;
                 let home = self.config.gdo_home(object);
                 let req_bytes = self.config.sizes.lock_request();
-                let grant_bytes =
-                    self.config.sizes.lock_grant(holders, self.registry.num_pages(object));
+                let grant_bytes = self
+                    .config
+                    .sizes
+                    .lock_grant(holders, self.registry.num_pages(object));
                 let mut delay = self.send(MessageKind::LockRequest, node, home, object, req_bytes)
                     + self.config.costs.gdo_processing
                     + self.send(MessageKind::LockGrant, home, node, object, grant_bytes);
@@ -379,7 +496,14 @@ impl<'a> Engine<'a> {
                         delay = delay.saturating_sub(elapsed);
                     }
                 }
-                self.families[fam].phase = Phase::GrantInFlight { global: true, holders };
+                self.set_phase(
+                    now,
+                    fam,
+                    Phase::GrantInFlight {
+                        global: true,
+                        holders,
+                    },
+                );
                 self.sim.schedule_at(now + delay, Event::GrantArrived(fam));
                 self.replicate_gdo(object, self.config.sizes.lock_request());
             }
@@ -388,8 +512,8 @@ impl<'a> Engine<'a> {
                 let home = self.config.gdo_home(object);
                 let req_bytes = self.config.sizes.lock_request();
                 self.send(MessageKind::LockRequest, node, home, object, req_bytes);
-                self.families[fam].phase = Phase::WaitingGrant;
-                self.break_deadlocks(now)?;
+                self.set_phase(now, fam, Phase::WaitingGrant);
+                self.break_deadlocks(now, home)?;
             }
         }
         Ok(())
@@ -397,7 +521,11 @@ impl<'a> Engine<'a> {
 
     /// Delivers a deferred grant (produced by some release) to its family.
     fn deliver_grant(&mut self, now: SimTime, grant: &Grant) {
-        debug_assert_eq!(grant.requests.len(), 1, "one outstanding request per family");
+        debug_assert_eq!(
+            grant.requests.len(),
+            1,
+            "one outstanding request per family"
+        );
         let req = grant.requests[0];
         let family_root = self.tree.root_of(req.txn);
         let fam = *self
@@ -411,8 +539,21 @@ impl<'a> Engine<'a> {
             .sizes
             .lock_grant(grant.holders, self.registry.num_pages(grant.object));
         let delay = self.config.costs.gdo_processing
-            + self.send(MessageKind::LockGrant, home, req.node, grant.object, grant_bytes);
-        self.families[fam].phase = Phase::GrantInFlight { global: true, holders: grant.holders };
+            + self.send(
+                MessageKind::LockGrant,
+                home,
+                req.node,
+                grant.object,
+                grant_bytes,
+            );
+        self.set_phase(
+            now,
+            fam,
+            Phase::GrantInFlight {
+                global: true,
+                holders: grant.holders,
+            },
+        );
         self.sim.schedule_at(now + delay, Event::GrantArrived(fam));
         self.replicate_gdo(grant.object, self.config.sizes.lock_request());
     }
@@ -436,7 +577,11 @@ impl<'a> Engine<'a> {
             family: self.tree.root_of(self.families[fam].top().txn).get(),
             node,
             object,
-            mode: if compiled.is_read_only(method) { LockMode::Read } else { LockMode::Write },
+            mode: if compiled.is_read_only(method) {
+                LockMode::Read
+            } else {
+                LockMode::Write
+            },
             global,
             holders,
             predicted: predicted.clone(),
@@ -451,12 +596,17 @@ impl<'a> Engine<'a> {
         let prefetch: PageSet = if kind.uses_prediction() {
             if self.config.prediction_miss_rate > 0.0 {
                 let rate = self.config.prediction_miss_rate;
-                predicted.iter().filter(|_| !self.miss_rng.chance(rate)).collect()
+                predicted
+                    .iter()
+                    .filter(|_| !self.miss_rng.chance(rate))
+                    .collect()
             } else {
                 predicted.clone()
             }
         } else {
-            (0..self.registry.num_pages(object)).map(PageIndex::new).collect()
+            (0..self.registry.num_pages(object))
+                .map(PageIndex::new)
+                .collect()
         };
 
         // Plan against the *pre-grant* placement (last_holder still points
@@ -470,6 +620,21 @@ impl<'a> Engine<'a> {
             };
             plan_transfer(kind, &view, node, object, &prefetch)
         };
+        if self.sink.enabled() {
+            self.sink.emit(ObsEvent {
+                at: now,
+                node: node.index(),
+                kind: ObsEventKind::GrantPlan {
+                    family: fam as u64,
+                    object: object.index(),
+                    predicted: predicted.iter().map(|p| p.get()).collect(),
+                    actual_reads: actual_reads.iter().map(|p| p.get()).collect(),
+                    actual_writes: actual_writes.iter().map(|p| p.get()).collect(),
+                    planned_pages: plan.num_pages() as u32,
+                    sources: plan.num_sources() as u32,
+                },
+            });
+        }
         self.last_holder.insert(object, node);
         self.table
             .entry_mut(object)
@@ -520,6 +685,18 @@ impl<'a> Engine<'a> {
                 };
                 if stale {
                     debug_assert_ne!(source, node, "owner cannot be stale at itself");
+                    if self.sink.enabled() {
+                        self.sink.emit(ObsEvent {
+                            at: now,
+                            node: node.index(),
+                            kind: ObsEventKind::DemandFetch {
+                                family: fam as u64,
+                                object: object.index(),
+                                page: page.get(),
+                                source: source.index(),
+                            },
+                        });
+                    }
                     let req = self.config.sizes.page_request(1);
                     let xfer = transfer_message_bytes(self.config, self.registry, object, &[page]);
                     demand_delay = demand_delay
@@ -538,8 +715,9 @@ impl<'a> Engine<'a> {
         if max_delay == SimDuration::ZERO {
             self.begin_compute(now, fam);
         } else {
-            self.families[fam].phase = Phase::Fetching;
-            self.sim.schedule_at(now + max_delay, Event::FetchArrived(fam));
+            self.set_phase(now, fam, Phase::Fetching);
+            self.sim
+                .schedule_at(now + max_delay, Event::FetchArrived(fam));
         }
         Ok(())
     }
@@ -565,8 +743,16 @@ impl<'a> Engine<'a> {
                 (pid, p.version(), p.data().to_vec())
             }
             None => {
-                debug_assert_eq!(loc.version, Version::INITIAL, "missing non-initial page {pid}");
-                (pid, Version::INITIAL, vec![0; self.config.page_size as usize])
+                debug_assert_eq!(
+                    loc.version,
+                    Version::INITIAL,
+                    "missing non-initial page {pid}"
+                );
+                (
+                    pid,
+                    Version::INITIAL,
+                    vec![0; self.config.page_size as usize],
+                )
             }
         }
     }
@@ -586,7 +772,11 @@ impl<'a> Engine<'a> {
             let chain = store.chain(PageId::new(object, page.get()));
             self.families[fam].ops.push(family::AttemptOp {
                 txn,
-                op: FamilyOp::Read { object, page, chain },
+                op: FamilyOp::Read {
+                    object,
+                    page,
+                    chain,
+                },
             });
         }
         for page in writes.iter() {
@@ -596,7 +786,11 @@ impl<'a> Engine<'a> {
             store.apply_stamp(pid, stamp);
             self.families[fam].ops.push(family::AttemptOp {
                 txn,
-                op: FamilyOp::Write { object, page, stamp },
+                op: FamilyOp::Write {
+                    object,
+                    page,
+                    stamp,
+                },
             });
         }
 
@@ -609,7 +803,10 @@ impl<'a> Engine<'a> {
             for idx in 0..spec.children.len() {
                 let mut child_ptr = ptr.clone();
                 child_ptr.push(idx);
-                self.families[fam].prefetch_at.entry(child_ptr).or_insert(now);
+                self.families[fam]
+                    .prefetch_at
+                    .entry(child_ptr)
+                    .or_insert(now);
             }
         }
 
@@ -618,8 +815,9 @@ impl<'a> Engine<'a> {
             + self.config.costs.per_page_access * touched
             + self.families[fam].fetch_extra;
         self.families[fam].fetch_extra = SimDuration::ZERO;
-        self.families[fam].phase = Phase::Computing;
-        self.sim.schedule_at(now + duration, Event::ComputeDone(fam));
+        self.set_phase(now, fam, Phase::Computing);
+        self.sim
+            .schedule_at(now + duration, Event::ComputeDone(fam));
     }
 
     /// After compute or after a child finished: start the next child or
@@ -661,10 +859,23 @@ impl<'a> Engine<'a> {
                 .recovery
                 .rollback(txn.get(), &mut self.stores[node.index() as usize]);
             let undo_delay = self.config.costs.undo_per_page * restored.len() as u64;
-            let rel = self.table.release_abort(txn, &self.tree);
+            let rel = self
+                .table
+                .release_abort_probed(txn, &self.tree, now, &mut self.sink);
             self.tree.abort(txn);
             self.families[fam].discard_subtree_effects(&subtree);
             self.stats.subtxn_aborts += 1;
+            if self.sink.enabled() {
+                self.sink.emit(ObsEvent {
+                    at: now,
+                    node: node.index(),
+                    kind: ObsEventKind::SubAbort {
+                        family: fam as u64,
+                        txn: txn.get(),
+                        released: rel.released.len() as u32,
+                    },
+                });
+            }
             // Globally released locks (no retaining ancestor) forward to
             // GlobalLockRelease with no dirty info (Alg. 4.3).
             if !rel.released.is_empty() {
@@ -699,7 +910,8 @@ impl<'a> Engine<'a> {
         // Sub-transaction pre-commit: parent inherits and retains (rule 3);
         // purely local.
         let parent = self.tree.parent(txn).expect("non-root has a parent");
-        self.table.release_pre_commit(txn, &self.tree);
+        self.table
+            .release_pre_commit_probed(txn, &self.tree, now, &mut self.sink);
         self.recovery.inherit(txn.get(), parent.get());
         self.tree.pre_commit(txn);
         self.families[fam].frames.pop();
@@ -713,9 +925,14 @@ impl<'a> Engine<'a> {
         let node = self.workload[fam].node;
         let dirty = self.families[fam].surviving_dirty();
 
-        let rel = self
-            .table
-            .release_root_commit(root, &self.tree, &dirty, node);
+        let rel = self.table.release_root_commit_probed(
+            root,
+            &self.tree,
+            &dirty,
+            node,
+            now,
+            &mut self.sink,
+        );
 
         // Publish local pages at their new per-page versions.
         for (object, pages) in &dirty {
@@ -727,7 +944,8 @@ impl<'a> Engine<'a> {
                     .page_map()
                     .location(page)
                     .version;
-                self.stores[node.index() as usize].publish_page(PageId::new(*object, page.get()), v);
+                self.stores[node.index() as usize]
+                    .publish_page(PageId::new(*object, page.get()), v);
             }
         }
 
@@ -799,8 +1017,8 @@ impl<'a> Engine<'a> {
             self.deliver_grant(now, grant);
         }
 
+        self.set_phase(now, fam, Phase::Done);
         let runtime = &mut self.families[fam];
-        runtime.phase = Phase::Done;
         runtime.frames.clear();
         self.stats.committed_families += 1;
         let latency = now.duration_since(runtime.arrival);
@@ -819,9 +1037,17 @@ impl<'a> Engine<'a> {
 
     // ---- deadlock handling -------------------------------------------
 
-    fn break_deadlocks(&mut self, now: SimTime) -> Result<(), CoreError> {
+    /// `detector` is the GDO partition whose queueing triggered the check
+    /// (named as the site of the probe's `Deadlock` events).
+    fn break_deadlocks(&mut self, now: SimTime, detector: NodeId) -> Result<(), CoreError> {
         loop {
-            let Some(cycle) = lotec_txn::find_deadlock_cycle(&self.table, &self.tree) else {
+            let Some(cycle) = lotec_txn::find_deadlock_cycle_probed(
+                &self.table,
+                &self.tree,
+                now,
+                detector.index(),
+                &mut self.sink,
+            ) else {
                 return Ok(());
             };
             let victim_root = lotec_txn::pick_victim(&cycle);
@@ -850,14 +1076,19 @@ impl<'a> Engine<'a> {
         for txn in self.tree.active_subtree_post_order(root) {
             self.recovery
                 .rollback(txn.get(), &mut self.stores[node.index() as usize]);
-            let rel = self.table.release_abort(txn, &self.tree);
+            let rel = self
+                .table
+                .release_abort_probed(txn, &self.tree, now, &mut self.sink);
             released.extend(rel.released);
             grants.extend(rel.grants);
             self.tree.abort(txn);
         }
         let touched = self.table.cancel_family_waiters(root);
         debug_assert!(touched.len() <= 1, "a family has one outstanding request");
-        grants.extend(self.table.regrant(&touched, &self.tree));
+        grants.extend(
+            self.table
+                .regrant_probed(&touched, &self.tree, now, &mut self.sink),
+        );
         // Each globally released lock costs an (empty) release message to
         // its GDO partition.
         for object in &released.clone() {
@@ -873,6 +1104,15 @@ impl<'a> Engine<'a> {
             released,
             cancelled_request: touched.first().copied(),
         });
+        self.set_phase(
+            now,
+            fam,
+            if restart {
+                Phase::Restarting
+            } else {
+                Phase::Failed
+            },
+        );
         self.families[fam].reset_for_restart();
 
         if restart {
@@ -880,14 +1120,27 @@ impl<'a> Engine<'a> {
             self.stats.restarts += 1;
             let restarts = self.families[fam].restarts;
             if restarts > self.config.max_restarts {
-                return Err(CoreError::RestartBudgetExhausted { family_index: fam, restarts });
+                return Err(CoreError::RestartBudgetExhausted {
+                    family_index: fam,
+                    restarts,
+                });
             }
             let base = self.config.costs.retry_backoff_base;
             let backoff = base * (1u64 << (restarts - 1).min(10))
                 + SimDuration::from_nanos(self.jitter_rng.next_below(base.as_nanos().max(1)));
+            if self.sink.enabled() {
+                self.sink.emit(ObsEvent {
+                    at: now,
+                    node: node.index(),
+                    kind: ObsEventKind::Restart {
+                        family: fam as u64,
+                        attempt: restarts,
+                        backoff_ns: backoff.as_nanos(),
+                    },
+                });
+            }
             self.sim.schedule_at(now + backoff, Event::Restart(fam));
         } else {
-            self.families[fam].phase = Phase::Failed;
             self.stats.aborted_families += 1;
         }
         for grant in &grants {
@@ -903,8 +1156,8 @@ impl<'a> Engine<'a> {
         for inst in self.registry.objects() {
             let entry = self.table.entry(inst.id).expect("registered");
             for (page, loc) in entry.page_map().entries() {
-                let chain = self.stores[loc.node.index() as usize]
-                    .chain(PageId::new(inst.id, page.get()));
+                let chain =
+                    self.stores[loc.node.index() as usize].chain(PageId::new(inst.id, page.get()));
                 out.insert((inst.id, page), chain);
             }
         }
@@ -938,6 +1191,37 @@ pub fn run_engine(
     Engine::new(config, registry, workload)?.run()
 }
 
+/// Like [`run_engine`], but with probe instrumentation delivered to
+/// `sink`. Lend a [`lotec_obs::RecordingSink`] (`&mut sink`) to keep the
+/// recorded events after the run:
+///
+/// ```
+/// use lotec_core::engine::run_engine_with_probe;
+/// use lotec_core::spec::demo_workload;
+/// use lotec_core::SystemConfig;
+/// use lotec_obs::RecordingSink;
+///
+/// let config = SystemConfig::default();
+/// let (registry, families) = demo_workload(&config, 7);
+/// let mut sink = RecordingSink::new();
+/// let report = run_engine_with_probe(&config, &registry, &families, &mut sink)?;
+/// assert_eq!(report.stats.committed_families as usize, families.len());
+/// assert!(!sink.is_empty(), "a run emits events");
+/// # Ok::<(), lotec_core::CoreError>(())
+/// ```
+///
+/// # Errors
+///
+/// See [`Engine::new`] and [`Engine::run`].
+pub fn run_engine_with_probe<S: EventSink>(
+    config: &SystemConfig,
+    registry: &ObjectRegistry,
+    workload: &[FamilySpec],
+    sink: S,
+) -> Result<RunReport, CoreError> {
+    Engine::with_probe(config, registry, workload, sink)?.run()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -945,7 +1229,11 @@ mod tests {
     use crate::spec::demo_workload;
 
     fn run_demo(protocol: ProtocolKind, seed: u64) -> RunReport {
-        let config = SystemConfig { protocol, seed, ..SystemConfig::default() };
+        let config = SystemConfig {
+            protocol,
+            seed,
+            ..SystemConfig::default()
+        };
         let (registry, families) = demo_workload(&config, seed);
         run_engine(&config, &registry, &families).expect("demo runs")
     }
@@ -982,11 +1270,13 @@ mod tests {
     #[test]
     fn engine_ledger_matches_replay_of_own_trace() {
         for protocol in ProtocolKind::ALL {
-            let config = SystemConfig { protocol, ..SystemConfig::default() };
+            let config = SystemConfig {
+                protocol,
+                ..SystemConfig::default()
+            };
             let (registry, families) = demo_workload(&config, 3);
             let report = run_engine(&config, &registry, &families).unwrap();
-            let replayed =
-                crate::replay::replay_trace(protocol, &report.trace, &registry, &config);
+            let replayed = crate::replay::replay_trace(protocol, &report.trace, &registry, &config);
             assert_eq!(
                 report.traffic.total(),
                 replayed.total(),
@@ -1046,8 +1336,8 @@ mod tests {
     #[test]
     fn per_class_override_falls_back_to_default() {
         use lotec_object::ClassId;
-        let config = SystemConfig::default()
-            .with_class_protocol(ClassId::new(1), ProtocolKind::Cotec);
+        let config =
+            SystemConfig::default().with_class_protocol(ClassId::new(1), ProtocolKind::Cotec);
         assert_eq!(config.protocol_for(ClassId::new(1)), ProtocolKind::Cotec);
         assert_eq!(config.protocol_for(ClassId::new(0)), ProtocolKind::Lotec);
         let uniform = SystemConfig::default();
@@ -1056,14 +1346,23 @@ mod tests {
 
     #[test]
     fn lock_prefetch_hides_latency_without_changing_traffic() {
-        let base = SystemConfig { seed: 9, ..SystemConfig::default() };
+        let base = SystemConfig {
+            seed: 9,
+            ..SystemConfig::default()
+        };
         let (registry, families) = crate::spec::demo_workload(&base, 9);
         let plain = run_engine(&base, &registry, &families).unwrap();
-        let pre_cfg = SystemConfig { lock_prefetch: true, ..base };
+        let pre_cfg = SystemConfig {
+            lock_prefetch: true,
+            ..base
+        };
         let prefetched = run_engine(&pre_cfg, &registry, &families).unwrap();
 
         crate::oracle::verify(&prefetched).expect("prefetching preserves correctness");
-        assert!(prefetched.stats.prefetch_hits > 0, "nested demo must prefetch");
+        assert!(
+            prefetched.stats.prefetch_hits > 0,
+            "nested demo must prefetch"
+        );
         assert!(
             prefetched.stats.prefetch_saved > lotec_sim::SimDuration::ZERO,
             "some latency must be absorbed"
@@ -1087,7 +1386,10 @@ mod tests {
         };
         let (registry, families) = crate::spec::demo_workload(&unicast, 12);
         let uni = run_engine(&unicast, &registry, &families).unwrap();
-        let multicast_cfg = SystemConfig { multicast: true, ..unicast.clone() };
+        let multicast_cfg = SystemConfig {
+            multicast: true,
+            ..unicast.clone()
+        };
         let multi = run_engine(&multicast_cfg, &registry, &families).unwrap();
         crate::oracle::verify(&multi).expect("multicast preserves correctness");
 
@@ -1107,10 +1409,16 @@ mod tests {
 
     #[test]
     fn dsd_transfers_shrink_bytes_and_match_replay() {
-        let page_cfg = SystemConfig { seed: 21, ..SystemConfig::default() };
+        let page_cfg = SystemConfig {
+            seed: 21,
+            ..SystemConfig::default()
+        };
         let (registry, families) = crate::spec::demo_workload(&page_cfg, 21);
         let page_run = run_engine(&page_cfg, &registry, &families).unwrap();
-        let dsd_cfg = SystemConfig { dsd_transfers: true, ..page_cfg };
+        let dsd_cfg = SystemConfig {
+            dsd_transfers: true,
+            ..page_cfg
+        };
         let dsd_run = run_engine(&dsd_cfg, &registry, &families).unwrap();
         crate::oracle::verify(&dsd_run).expect("dsd mode stays serializable");
 
@@ -1132,7 +1440,10 @@ mod tests {
     #[test]
     fn central_gdo_matches_replay_and_costs_more_lock_traffic() {
         use crate::config::GdoPlacement;
-        let part_cfg = SystemConfig { seed: 31, ..SystemConfig::default() };
+        let part_cfg = SystemConfig {
+            seed: 31,
+            ..SystemConfig::default()
+        };
         let (registry, families) = crate::spec::demo_workload(&part_cfg, 31);
         let part = run_engine(&part_cfg, &registry, &families).unwrap();
         let central_cfg = SystemConfig {
@@ -1170,17 +1481,27 @@ mod tests {
 
     #[test]
     fn gdo_replication_adds_small_messages_and_matches_replay() {
-        let plain = SystemConfig { seed: 41, ..SystemConfig::default() };
+        let plain = SystemConfig {
+            seed: 41,
+            ..SystemConfig::default()
+        };
         let (registry, families) = crate::spec::demo_workload(&plain, 41);
         let unreplicated = run_engine(&plain, &registry, &families).unwrap();
-        let repl_cfg = SystemConfig { gdo_replication: 3, ..plain };
+        let repl_cfg = SystemConfig {
+            gdo_replication: 3,
+            ..plain
+        };
         let replicated = run_engine(&repl_cfg, &registry, &families).unwrap();
         crate::oracle::verify(&replicated).expect("replication is pure accounting");
 
         let repl = replicated.traffic.ledger().kind(MessageKind::GdoReplicate);
         assert!(repl.messages > 0, "factor 3 must replicate");
         assert_eq!(
-            unreplicated.traffic.ledger().kind(MessageKind::GdoReplicate).messages,
+            unreplicated
+                .traffic
+                .ledger()
+                .kind(MessageKind::GdoReplicate)
+                .messages,
             0,
             "factor 1 must not"
         );
@@ -1192,10 +1513,61 @@ mod tests {
     }
 
     #[test]
+    fn probed_run_matches_plain_run_and_accounts_phases() {
+        let config = SystemConfig {
+            seed: 7,
+            ..SystemConfig::default()
+        };
+        let (registry, families) = demo_workload(&config, 7);
+        let plain = run_engine(&config, &registry, &families).unwrap();
+        let mut sink = lotec_obs::RecordingSink::new();
+        let probed = run_engine_with_probe(&config, &registry, &families, &mut sink).unwrap();
+
+        // Attaching a recording sink must not perturb the simulation.
+        assert_eq!(plain.trace, probed.trace);
+        assert_eq!(plain.traffic.total(), probed.traffic.total());
+        assert_eq!(plain.final_chains, probed.final_chains);
+        assert_eq!(plain.stats.makespan, probed.stats.makespan);
+        assert_eq!(plain.stats.phases.aggregate, probed.stats.phases.aggregate);
+
+        // The event stream is non-empty, time-ordered, and its replayed
+        // phase attribution equals the engine's own accounting.
+        let events = sink.events();
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(w[0].at <= w[1].at, "events must be time-ordered");
+        }
+        let summary = lotec_obs::TraceSummary::of(events);
+        assert_eq!(summary.aggregate, probed.stats.phases.aggregate);
+        assert_eq!(summary.family_phases.len(), families.len());
+        assert_eq!(
+            summary
+                .family_outcome
+                .values()
+                .filter(|&&p| p == lotec_obs::ObsPhase::Committed)
+                .count() as u64,
+            probed.stats.committed_families
+        );
+
+        // Phase accounting fills even the unprobed report: compute time is
+        // nonzero and every family has a per-family entry.
+        assert!(plain.stats.phases.aggregate.running > SimDuration::ZERO);
+        assert_eq!(plain.stats.phases.per_family.len(), families.len());
+        assert!(plain.stats.phases.per_family.iter().all(|f| f.committed));
+    }
+
+    #[test]
     fn rc_sends_pushes_lotec_does_not() {
         let rc = run_demo(ProtocolKind::ReleaseConsistency, 4);
         let lotec = run_demo(ProtocolKind::Lotec, 4);
         assert!(rc.traffic.ledger().kind(MessageKind::UpdatePush).messages > 0);
-        assert_eq!(lotec.traffic.ledger().kind(MessageKind::UpdatePush).messages, 0);
+        assert_eq!(
+            lotec
+                .traffic
+                .ledger()
+                .kind(MessageKind::UpdatePush)
+                .messages,
+            0
+        );
     }
 }

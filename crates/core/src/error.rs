@@ -28,7 +28,10 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::InvalidSpec(msg) => write!(f, "invalid workload spec: {msg}"),
             CoreError::Lock(e) => write!(f, "lock manager rejection: {e}"),
-            CoreError::RestartBudgetExhausted { family_index, restarts } => write!(
+            CoreError::RestartBudgetExhausted {
+                family_index,
+                restarts,
+            } => write!(
                 f,
                 "family #{family_index} exhausted its restart budget after {restarts} attempts"
             ),
@@ -60,7 +63,10 @@ mod tests {
     fn display_is_informative() {
         let e = CoreError::InvalidSpec("bad".into());
         assert!(e.to_string().contains("bad"));
-        let e = CoreError::RestartBudgetExhausted { family_index: 3, restarts: 25 };
+        let e = CoreError::RestartBudgetExhausted {
+            family_index: 3,
+            restarts: 25,
+        };
         assert!(e.to_string().contains("#3"));
         assert!(e.to_string().contains("25"));
     }

@@ -30,7 +30,10 @@ pub fn occupied_bytes(
     let total = registry.class_of(object).layout().total_bytes();
     let ps = u64::from(page_size);
     let start = u64::from(page.get()) * ps;
-    assert!(start < total || (start == 0 && total == 0), "page {page} outside {object}");
+    assert!(
+        start < total || (start == 0 && total == 0),
+        "page {page} outside {object}"
+    );
     (total - start).min(ps)
 }
 
@@ -49,7 +52,9 @@ pub fn transfer_message_bytes(
             .collect();
         config.sizes.data_transfer(&occupied)
     } else {
-        config.sizes.page_transfer(pages.len(), u64::from(config.page_size))
+        config
+            .sizes
+            .page_transfer(pages.len(), u64::from(config.page_size))
     }
 }
 
@@ -74,7 +79,11 @@ mod tests {
         let o = ObjectId::new(0);
         assert_eq!(occupied_bytes(&reg, 100, o, PageIndex::new(0)), 100);
         assert_eq!(occupied_bytes(&reg, 100, o, PageIndex::new(1)), 100);
-        assert_eq!(occupied_bytes(&reg, 100, o, PageIndex::new(2)), 50, "last page half full");
+        assert_eq!(
+            occupied_bytes(&reg, 100, o, PageIndex::new(2)),
+            50,
+            "last page half full"
+        );
     }
 
     #[test]
@@ -82,8 +91,14 @@ mod tests {
         let reg = registry();
         let o = ObjectId::new(0);
         let pages: Vec<PageIndex> = (0..3).map(PageIndex::new).collect();
-        let page_cfg = SystemConfig { page_size: 100, ..SystemConfig::default() };
-        let dsd_cfg = SystemConfig { dsd_transfers: true, ..page_cfg.clone() };
+        let page_cfg = SystemConfig {
+            page_size: 100,
+            ..SystemConfig::default()
+        };
+        let dsd_cfg = SystemConfig {
+            dsd_transfers: true,
+            ..page_cfg.clone()
+        };
         let full = transfer_message_bytes(&page_cfg, &reg, o, &pages);
         let dsd = transfer_message_bytes(&dsd_cfg, &reg, o, &pages);
         assert!(dsd < full, "dsd {dsd} >= page {full}");
@@ -94,7 +109,10 @@ mod tests {
     #[test]
     fn page_mode_matches_messagesizes_directly() {
         let reg = registry();
-        let cfg = SystemConfig { page_size: 100, ..SystemConfig::default() };
+        let cfg = SystemConfig {
+            page_size: 100,
+            ..SystemConfig::default()
+        };
         let pages = [PageIndex::new(0), PageIndex::new(2)];
         assert_eq!(
             transfer_message_bytes(&cfg, &reg, ObjectId::new(0), &pages),

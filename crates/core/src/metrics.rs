@@ -2,8 +2,64 @@
 
 use lotec_mem::ObjectId;
 use lotec_net::{NetworkConfig, ObjectTraffic, TrafficLedger};
+use lotec_obs::PhaseTimes;
 use lotec_sim::stats::Histogram;
 use lotec_sim::SimDuration;
+
+/// One family's phase-attributed time, as folded into
+/// [`PhaseBreakdown::per_family`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FamilyPhases {
+    /// Index into the workload's family list.
+    pub family_index: usize,
+    /// Cumulative time per coarse phase, across all attempts.
+    pub times: PhaseTimes,
+    /// Whether the family ultimately committed.
+    pub committed: bool,
+}
+
+/// Where each family's wall-clock went: lock wait vs. page transfer vs.
+/// compute vs. restart backoff. Filled by the engine for every run — the
+/// accounting is pure bookkeeping on phase transitions, so it costs the
+/// same whether or not an event sink is attached and is byte-identical
+/// between probed and unprobed runs.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseBreakdown {
+    /// Totals over all families (committed and failed).
+    pub aggregate: PhaseTimes,
+    /// Per-family breakdown, in workload order.
+    pub per_family: Vec<FamilyPhases>,
+    /// Distribution of per-family lock-wait time (committed families), ns.
+    pub lock_wait_histogram: Histogram,
+    /// Distribution of per-family transfer-wait time (committed), ns.
+    pub transfer_wait_histogram: Histogram,
+    /// Distribution of per-family compute time (committed), ns.
+    pub compute_histogram: Histogram,
+}
+
+impl PhaseBreakdown {
+    /// Fraction of all attributed time spent in each phase, in
+    /// `(lock_wait, transfer_wait, running, backoff)` order; `None` when
+    /// no time was attributed at all.
+    pub fn fractions(&self) -> Option<[f64; 4]> {
+        let total = self.aggregate.total().as_nanos();
+        (total > 0).then(|| {
+            [
+                self.aggregate.lock_wait,
+                self.aggregate.transfer_wait,
+                self.aggregate.running,
+                self.aggregate.backoff,
+            ]
+            .map(|d| d.as_nanos() as f64 / total as f64)
+        })
+    }
+
+    /// Fraction of attributed time spent waiting on locks — the headline
+    /// contention indicator. `None` when nothing was attributed.
+    pub fn lock_wait_fraction(&self) -> Option<f64> {
+        self.fractions().map(|f| f[0])
+    }
+}
 
 /// Aggregated statistics of one engine run.
 #[derive(Debug, Clone, Default)]
@@ -39,6 +95,9 @@ pub struct RunStats {
     pub total_latency: SimDuration,
     /// Distribution of per-family commit latencies, in nanoseconds.
     pub latency_histogram: Histogram,
+    /// Phase-attributed latency breakdown (lock wait / transfer / compute
+    /// / backoff), aggregate and per family.
+    pub phases: PhaseBreakdown,
 }
 
 impl RunStats {
@@ -48,14 +107,19 @@ impl RunStats {
     }
 
     /// Approximate latency quantile (bucket resolution), e.g. `0.5` for the
-    /// median or `0.99` for the tail the throughput motivation of §2 cares
-    /// least about.
+    /// median or `0.99` for the tail that dominates a user-facing
+    /// workload's worst-case response time.
     ///
-    /// # Panics
-    ///
-    /// Panics if `q` is outside `[0, 1]`.
+    /// Returns `None` when no family committed, or when `q` falls outside
+    /// `[0, 1]` (including NaN) — an out-of-range quantile is a caller
+    /// bug, but a plotting script deserves a `None`, not a panic.
     pub fn latency_quantile(&self, q: f64) -> Option<SimDuration> {
-        self.latency_histogram.quantile(q).map(SimDuration::from_nanos)
+        if !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        self.latency_histogram
+            .quantile(q)
+            .map(SimDuration::from_nanos)
     }
 
     /// Total lock acquisition operations (local + global + queued).
@@ -139,7 +203,11 @@ impl ProtocolTraffic {
             // the page payload by stripping framing.
             let framed = t.bytes - sizes.header * t.messages;
             let per_page = sizes.page_header + u64::from(page_size);
-            debug_assert_eq!(framed % per_page, 0, "page transfer sizes must be page-framed");
+            debug_assert_eq!(
+                framed % per_page,
+                0,
+                "page transfer sizes must be page-framed"
+            );
             payload += (framed / per_page) * u64::from(page_size);
         }
         payload
@@ -175,6 +243,30 @@ mod tests {
         let stats = RunStats::default();
         assert_eq!(stats.mean_latency(), None);
         assert_eq!(stats.throughput_per_sec(), 0.0);
+        assert_eq!(stats.phases.fractions(), None);
+        assert_eq!(stats.phases.lock_wait_fraction(), None);
+    }
+
+    #[test]
+    fn out_of_range_quantiles_are_none_not_panics() {
+        let mut stats = RunStats::default();
+        stats.latency_histogram.record(100);
+        assert!(stats.latency_quantile(0.5).is_some());
+        assert_eq!(stats.latency_quantile(-0.1), None);
+        assert_eq!(stats.latency_quantile(1.5), None);
+        assert_eq!(stats.latency_quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn phase_fractions_sum_to_one() {
+        let mut b = PhaseBreakdown::default();
+        b.aggregate.lock_wait = SimDuration::from_micros(1);
+        b.aggregate.transfer_wait = SimDuration::from_micros(2);
+        b.aggregate.running = SimDuration::from_micros(5);
+        b.aggregate.backoff = SimDuration::from_micros(2);
+        let f = b.fractions().unwrap();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(b.lock_wait_fraction(), Some(0.1));
     }
 
     #[test]
@@ -206,7 +298,10 @@ mod tests {
             sizes.page_request(3),
         ));
         let t = ProtocolTraffic::new(ledger);
-        assert_eq!(t.page_payload_bytes(&sizes, page_size), 4 * u64::from(page_size));
+        assert_eq!(
+            t.page_payload_bytes(&sizes, page_size),
+            4 * u64::from(page_size)
+        );
     }
 
     #[test]
@@ -224,7 +319,10 @@ mod tests {
         assert_eq!(t.total().messages, 1);
         let net = NetworkConfig::new(Bandwidth::ethernet10(), SoftwareCost::MICROS_100);
         // 100us + 800us wire.
-        assert_eq!(t.object_time(ObjectId::new(3), net), SimDuration::from_micros(900));
+        assert_eq!(
+            t.object_time(ObjectId::new(3), net),
+            SimDuration::from_micros(900)
+        );
         assert_eq!(t.total_time(net), SimDuration::from_micros(900));
     }
 }

@@ -38,7 +38,11 @@ pub fn verify(report: &RunReport) -> Result<(), CoreError> {
     for fam in &report.committed {
         for op in &fam.ops {
             match *op {
-                FamilyOp::Read { object, page, chain } => {
+                FamilyOp::Read {
+                    object,
+                    page,
+                    chain,
+                } => {
                     let expected = model.get(&(object, page)).copied().unwrap_or(0);
                     if chain != expected {
                         return Err(CoreError::OracleViolation(format!(
@@ -47,7 +51,11 @@ pub fn verify(report: &RunReport) -> Result<(), CoreError> {
                         )));
                     }
                 }
-                FamilyOp::Write { object, page, stamp } => {
+                FamilyOp::Write {
+                    object,
+                    page,
+                    stamp,
+                } => {
                     let entry = model.entry((object, page)).or_insert(0);
                     *entry = mix(*entry, stamp);
                 }
@@ -90,11 +98,19 @@ mod tests {
     }
 
     fn w(o: u32, p: u16, stamp: u64) -> FamilyOp {
-        FamilyOp::Write { object: ObjectId::new(o), page: PageIndex::new(p), stamp }
+        FamilyOp::Write {
+            object: ObjectId::new(o),
+            page: PageIndex::new(p),
+            stamp,
+        }
     }
 
     fn r(o: u32, p: u16, chain: u64) -> FamilyOp {
-        FamilyOp::Read { object: ObjectId::new(o), page: PageIndex::new(p), chain }
+        FamilyOp::Read {
+            object: ObjectId::new(o),
+            page: PageIndex::new(p),
+            chain,
+        }
     }
 
     #[test]
@@ -107,8 +123,16 @@ mod tests {
         let c1 = mix(0, 7);
         let c2 = mix(c1, 9);
         let committed = vec![
-            CommittedFamily { family: 1, index: 0, ops: vec![r(0, 0, 0), w(0, 0, 7)] },
-            CommittedFamily { family: 2, index: 1, ops: vec![r(0, 0, c1), w(0, 0, 9)] },
+            CommittedFamily {
+                family: 1,
+                index: 0,
+                ops: vec![r(0, 0, 0), w(0, 0, 7)],
+            },
+            CommittedFamily {
+                family: 2,
+                index: 1,
+                ops: vec![r(0, 0, c1), w(0, 0, 9)],
+            },
         ];
         verify(&report(committed, vec![((0, 0), c2)])).unwrap();
     }
@@ -116,9 +140,17 @@ mod tests {
     #[test]
     fn stale_read_detected() {
         let committed = vec![
-            CommittedFamily { family: 1, index: 0, ops: vec![w(0, 0, 7)] },
+            CommittedFamily {
+                family: 1,
+                index: 0,
+                ops: vec![w(0, 0, 7)],
+            },
             // Family 2 read chain 0 — it missed family 1's committed write.
-            CommittedFamily { family: 2, index: 1, ops: vec![r(0, 0, 0)] },
+            CommittedFamily {
+                family: 2,
+                index: 1,
+                ops: vec![r(0, 0, 0)],
+            },
         ];
         let err = verify(&report(committed, vec![])).unwrap_err();
         assert!(err.to_string().contains("serial order expects"));
@@ -126,7 +158,11 @@ mod tests {
 
     #[test]
     fn lost_update_detected() {
-        let committed = vec![CommittedFamily { family: 1, index: 0, ops: vec![w(0, 0, 7)] }];
+        let committed = vec![CommittedFamily {
+            family: 1,
+            index: 0,
+            ops: vec![w(0, 0, 7)],
+        }];
         // Final state still 0: the write vanished.
         let err = verify(&report(committed, vec![((0, 0), 0)])).unwrap_err();
         assert!(err.to_string().contains("final state"));
@@ -151,8 +187,16 @@ mod tests {
         let c_wrong = mix(mix(0, 9), 5);
         assert_ne!(c_right, c_wrong);
         let committed = vec![
-            CommittedFamily { family: 1, index: 0, ops: vec![w(0, 0, 5)] },
-            CommittedFamily { family: 2, index: 1, ops: vec![w(0, 0, 9)] },
+            CommittedFamily {
+                family: 1,
+                index: 0,
+                ops: vec![w(0, 0, 5)],
+            },
+            CommittedFamily {
+                family: 2,
+                index: 1,
+                ops: vec![w(0, 0, 9)],
+            },
         ];
         let err = verify(&report(committed, vec![((0, 0), c_wrong)])).unwrap_err();
         assert!(err.to_string().contains("final state"));

@@ -76,11 +76,17 @@ impl PlacementModel {
                     global: vec![Version::INITIAL; num_pages as usize],
                     owner: vec![inst.home; num_pages as usize],
                     caching: BTreeSet::from([inst.home]),
-                    local: BTreeMap::from([(inst.home, vec![Some(Version::INITIAL); num_pages as usize])]),
+                    local: BTreeMap::from([(
+                        inst.home,
+                        vec![Some(Version::INITIAL); num_pages as usize],
+                    )]),
                 }
             })
             .collect();
-        PlacementModel { kind: default, objects }
+        PlacementModel {
+            kind: default,
+            objects,
+        }
     }
 
     /// The default protocol this model evolves under (individual objects
@@ -122,8 +128,7 @@ impl PlacementModel {
         let o = self.obj_mut(object);
         match kind {
             ProtocolKind::Cotec | ProtocolKind::Otec | ProtocolKind::ReleaseConsistency => {
-                let versions: Vec<Option<Version>> =
-                    o.global.iter().map(|&v| Some(v)).collect();
+                let versions: Vec<Option<Version>> = o.global.iter().map(|&v| Some(v)).collect();
                 o.local.insert(node, versions);
             }
             ProtocolKind::Lotec => {
@@ -152,7 +157,12 @@ impl PlacementModel {
     /// Demand fetch of a single page at `node` (LOTEC misprediction path).
     /// Returns the source node, or `None` if no transfer is needed (local
     /// copy already current or page demand-zeroable).
-    pub fn demand_fetch(&mut self, node: NodeId, object: ObjectId, page: PageIndex) -> Option<NodeId> {
+    pub fn demand_fetch(
+        &mut self,
+        node: NodeId,
+        object: ObjectId,
+        page: PageIndex,
+    ) -> Option<NodeId> {
         let o = self.obj(object);
         let idx = page.get() as usize;
         let global = o.global[idx];
@@ -191,12 +201,7 @@ impl PlacementModel {
     /// `dirty` pages of `object`. Bumps global versions and ownership;
     /// under RC also computes the eager pushes to every other caching
     /// site and applies them.
-    pub fn on_commit(
-        &mut self,
-        node: NodeId,
-        object: ObjectId,
-        dirty: &[PageIndex],
-    ) -> PushPlan {
+    pub fn on_commit(&mut self, node: NodeId, object: ObjectId, dirty: &[PageIndex]) -> PushPlan {
         let o = self.obj_mut(object);
         let kind = o.kind;
         debug_assert!(o.caching.contains(&node), "committer must cache the object");
@@ -442,7 +447,11 @@ mod tests {
             let writes: Vec<PageIndex> = pred.iter().filter(|_| rng.chance(0.6)).collect();
             for (i, m) in models.iter_mut().enumerate() {
                 let full: PageSet = (0..4).map(PageIndex::new).collect();
-                let prefetch = if m.kind() == ProtocolKind::Lotec { &pred } else { &full };
+                let prefetch = if m.kind() == ProtocolKind::Lotec {
+                    &pred
+                } else {
+                    &full
+                };
                 let plan = m.on_grant(node, obj(), prefetch);
                 moved[i] += plan.num_pages();
                 m.on_commit(node, obj(), &writes);

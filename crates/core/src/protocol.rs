@@ -174,7 +174,11 @@ pub fn plan_transfer(
             for i in 0..num_pages {
                 let page = PageIndex::new(i);
                 if is_stale(view, node, object, page) {
-                    let src = if source == node { view.page_owner(object, page) } else { source };
+                    let src = if source == node {
+                        view.page_owner(object, page)
+                    } else {
+                        source
+                    };
                     if src != node {
                         plan.add(src, page);
                     }
@@ -261,7 +265,12 @@ mod tests {
         local.insert((n(0), 1u16), Version::new(1)); // stale (global 2)
         FakeView {
             num_pages: 4,
-            global: vec![Version::new(1), Version::new(2), Version::new(1), Version::INITIAL],
+            global: vec![
+                Version::new(1),
+                Version::new(2),
+                Version::new(1),
+                Version::INITIAL,
+            ],
             owners: vec![n(1), n(2), n(3), n(1)],
             last_holder: n(2),
             local,
@@ -341,7 +350,11 @@ mod tests {
             last_holder: n(1),
             local: BTreeMap::new(),
         };
-        for kind in [ProtocolKind::Otec, ProtocolKind::Lotec, ProtocolKind::ReleaseConsistency] {
+        for kind in [
+            ProtocolKind::Otec,
+            ProtocolKind::Lotec,
+            ProtocolKind::ReleaseConsistency,
+        ] {
             let plan = plan_transfer(kind, &v, n(0), obj(), &all_pages(3));
             assert!(plan.is_empty(), "{kind}: fresh object needs no transfers");
         }

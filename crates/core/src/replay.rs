@@ -85,7 +85,12 @@ fn replay_with_model(
                 let node = *node;
                 let home = config.gdo_home(object);
                 if *global {
-                    charge_gdo_replication(&mut ledger, config, object, config.sizes.lock_request());
+                    charge_gdo_replication(
+                        &mut ledger,
+                        config,
+                        object,
+                        config.sizes.lock_request(),
+                    );
                 }
                 if *global && home != node {
                     ledger.record(&Message::new(
@@ -100,7 +105,9 @@ fn replay_with_model(
                         home,
                         node,
                         object,
-                        config.sizes.lock_grant(*holders, registry.num_pages(object)),
+                        config
+                            .sizes
+                            .lock_grant(*holders, registry.num_pages(object)),
                     ));
                 }
                 // Prefetch set: LOTEC uses the prediction (optionally
@@ -117,11 +124,22 @@ fn replay_with_model(
                         predicted.clone()
                     }
                 } else {
-                    (0..registry.num_pages(object)).map(PageIndex::new).collect()
+                    (0..registry.num_pages(object))
+                        .map(PageIndex::new)
+                        .collect()
                 };
                 let plan = model.on_grant(node, object, &prefetch);
                 for (source, pages) in plan.sources() {
-                    charge_fetch(&mut ledger, config, registry, node, source, object, pages, false);
+                    charge_fetch(
+                        &mut ledger,
+                        config,
+                        registry,
+                        node,
+                        source,
+                        object,
+                        pages,
+                        false,
+                    );
                 }
                 // Demand fetches: pages actually touched but still stale
                 // locally (possible only when prediction was degraded or,
@@ -130,12 +148,26 @@ fn replay_with_model(
                     let touched = actual_reads.union(actual_writes);
                     for page in touched.iter() {
                         if let Some(source) = model.demand_fetch(node, object, page) {
-                            charge_fetch(&mut ledger, config, registry, node, source, object, &[page], true);
+                            charge_fetch(
+                                &mut ledger,
+                                config,
+                                registry,
+                                node,
+                                source,
+                                object,
+                                &[page],
+                                true,
+                            );
                         }
                     }
                 }
             }
-            TraceEvent::RootCommit { node, dirty, released, .. } => {
+            TraceEvent::RootCommit {
+                node,
+                dirty,
+                released,
+                ..
+            } => {
                 let node = *node;
                 for object in released {
                     let object = *object;
@@ -182,7 +214,12 @@ fn replay_with_model(
             TraceEvent::SubAbortRelease { node, released, .. } => {
                 charge_abort_releases(&mut ledger, config, *node, released);
             }
-            TraceEvent::FamilyAbort { node, released, cancelled_request, .. } => {
+            TraceEvent::FamilyAbort {
+                node,
+                released,
+                cancelled_request,
+                ..
+            } => {
                 charge_abort_releases(&mut ledger, config, *node, released);
                 // The victim's still-queued lock request was paid when it
                 // queued but will never be granted.
@@ -239,7 +276,13 @@ fn charge_gdo_replication(
     }
     let home = config.gdo_home(object);
     for replica in config.gdo_replicas(object) {
-        ledger.record(&Message::new(MessageKind::GdoReplicate, home, replica, object, bytes));
+        ledger.record(&Message::new(
+            MessageKind::GdoReplicate,
+            home,
+            replica,
+            object,
+            bytes,
+        ));
     }
 }
 
@@ -256,7 +299,10 @@ fn charge_fetch(
 ) {
     debug_assert_ne!(node, source, "self-fetch must not be charged");
     let (req_kind, xfer_kind) = if demand {
-        (MessageKind::DemandPageRequest, MessageKind::DemandPageTransfer)
+        (
+            MessageKind::DemandPageRequest,
+            MessageKind::DemandPageTransfer,
+        )
     } else {
         (MessageKind::PageRequest, MessageKind::PageTransfer)
     };

@@ -35,17 +35,32 @@ pub struct InvocationSpec {
 impl InvocationSpec {
     /// A leaf invocation (no children, no fault).
     pub fn leaf(object: ObjectId, method: MethodId, path: PathId) -> Self {
-        InvocationSpec { object, method, path, children: Vec::new(), abort: false }
+        InvocationSpec {
+            object,
+            method,
+            path,
+            children: Vec::new(),
+            abort: false,
+        }
     }
 
     /// Number of invocations in this subtree (including self).
     pub fn size(&self) -> usize {
-        1 + self.children.iter().map(InvocationSpec::size).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(InvocationSpec::size)
+            .sum::<usize>()
     }
 
     /// Maximum nesting depth of this subtree (1 for a leaf).
     pub fn depth(&self) -> usize {
-        1 + self.children.iter().map(InvocationSpec::depth).max().unwrap_or(0)
+        1 + self
+            .children
+            .iter()
+            .map(InvocationSpec::depth)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -103,7 +118,10 @@ fn validate_invocation(
     lock_chain: &mut Vec<ObjectId>,
 ) -> Result<(), CoreError> {
     if inv.object.index() as usize >= registry.num_objects() {
-        return Err(CoreError::InvalidSpec(format!("unknown object {}", inv.object)));
+        return Err(CoreError::InvalidSpec(format!(
+            "unknown object {}",
+            inv.object
+        )));
     }
     if lock_chain.contains(&inv.object) {
         return Err(CoreError::InvalidSpec(format!(
@@ -188,7 +206,11 @@ pub fn demo_workload(config: &SystemConfig, seed: u64) -> (ObjectRegistry, Vec<F
         .attribute("bulk", config.page_size * 3)
         .attribute("index", config.page_size)
         .method("touch_header", |m| {
-            m.path(|p| p.reads(&["header"]).writes(&["header"]).invokes(ClassId::new(1), MethodId::new(0)))
+            m.path(|p| {
+                p.reads(&["header"])
+                    .writes(&["header"])
+                    .invokes(ClassId::new(1), MethodId::new(0))
+            })
         })
         .method("rebuild", |m| {
             m.path(|p| p.reads(&["bulk"]).writes(&["bulk", "index"]))
@@ -197,7 +219,9 @@ pub fn demo_workload(config: &SystemConfig, seed: u64) -> (ObjectRegistry, Vec<F
         .build();
     let item = ClassBuilder::new("Item")
         .attribute("value", 64)
-        .method("bump", |m| m.path(|p| p.reads(&["value"]).writes(&["value"])))
+        .method("bump", |m| {
+            m.path(|p| p.reads(&["value"]).writes(&["value"]))
+        })
         .build();
 
     let num_containers = 4u32;

@@ -119,7 +119,9 @@ impl ScheduleTrace {
     /// Panics (debug builds) if events go backwards in time.
     pub fn push(&mut self, event: TraceEvent) {
         debug_assert!(
-            self.events.last().is_none_or(|last| last.at() <= event.at()),
+            self.events
+                .last()
+                .is_none_or(|last| last.at() <= event.at()),
             "trace events must be time-ordered"
         );
         self.events.push(event);
@@ -142,12 +144,18 @@ impl ScheduleTrace {
 
     /// Number of grants recorded.
     pub fn num_grants(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e, TraceEvent::Grant { .. })).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Grant { .. }))
+            .count()
     }
 
     /// Number of root commits recorded.
     pub fn num_commits(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e, TraceEvent::RootCommit { .. })).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RootCommit { .. }))
+            .count()
     }
 }
 

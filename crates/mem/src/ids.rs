@@ -64,7 +64,10 @@ pub struct PageId {
 impl PageId {
     /// Constructs the id of page `index` of `object`.
     pub const fn new(object: ObjectId, index: u16) -> Self {
-        PageId { object, index: PageIndex::new(index) }
+        PageId {
+            object,
+            index: PageIndex::new(index),
+        }
     }
 
     /// The owning object.
@@ -153,7 +156,10 @@ mod tests {
 
     #[test]
     fn object_all_enumerates() {
-        assert_eq!(ObjectId::all(2).collect::<Vec<_>>(), vec![ObjectId::new(0), ObjectId::new(1)]);
+        assert_eq!(
+            ObjectId::all(2).collect::<Vec<_>>(),
+            vec![ObjectId::new(0), ObjectId::new(1)]
+        );
     }
 
     #[test]

@@ -22,9 +22,7 @@ pub struct Page {
 /// probability and *order matters*: `mix(mix(h, a), b) != mix(mix(h, b), a)`
 /// in general.
 pub fn mix(chain: u64, stamp: u64) -> u64 {
-    let mut z = chain
-        .rotate_left(17)
-        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+    let mut z = chain.rotate_left(17).wrapping_add(0x9E37_79B9_7F4A_7C15)
         ^ stamp.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -40,7 +38,10 @@ impl Page {
     /// chain.
     pub fn zeroed(size: usize) -> Self {
         assert!(size >= 8, "page size must be at least 8 bytes");
-        Page { version: Version::INITIAL, data: vec![0; size] }
+        Page {
+            version: Version::INITIAL,
+            data: vec![0; size],
+        }
     }
 
     /// Creates a page from explicit parts.
@@ -145,7 +146,10 @@ mod tests {
         let base = mix(0xDEAD_BEEF, 42);
         let flipped = mix(0xDEAD_BEEF, 43);
         let differing = (base ^ flipped).count_ones();
-        assert!((16..=48).contains(&differing), "differing bits: {differing}");
+        assert!(
+            (16..=48).contains(&differing),
+            "differing bits: {differing}"
+        );
     }
 
     #[test]

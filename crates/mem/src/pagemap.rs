@@ -43,7 +43,13 @@ impl PageMap {
     pub fn new(num_pages: u16, home: NodeId) -> Self {
         assert!(num_pages > 0, "object must span at least one page");
         PageMap {
-            locations: vec![PageLocation { node: home, version: Version::INITIAL }; num_pages as usize],
+            locations: vec![
+                PageLocation {
+                    node: home,
+                    version: Version::INITIAL
+                };
+                num_pages as usize
+            ],
             caching_sites: BTreeSet::from([home]),
         }
     }
@@ -132,7 +138,13 @@ mod tests {
         let m = PageMap::new(3, n(2));
         assert_eq!(m.num_pages(), 3);
         for (_, loc) in m.entries() {
-            assert_eq!(loc, PageLocation { node: n(2), version: Version::INITIAL });
+            assert_eq!(
+                loc,
+                PageLocation {
+                    node: n(2),
+                    version: Version::INITIAL
+                }
+            );
         }
         assert_eq!(m.caching_sites().collect::<Vec<_>>(), vec![n(2)]);
     }
@@ -142,7 +154,13 @@ mod tests {
         let mut m = PageMap::new(2, n(0));
         let v = m.record_update(PageIndex::new(1), n(3));
         assert_eq!(v, Version::new(1));
-        assert_eq!(m.location(PageIndex::new(1)), PageLocation { node: n(3), version: Version::new(1) });
+        assert_eq!(
+            m.location(PageIndex::new(1)),
+            PageLocation {
+                node: n(3),
+                version: Version::new(1)
+            }
+        );
         // Page 0 untouched.
         assert_eq!(m.location(PageIndex::new(0)).version, Version::INITIAL);
         // Updating site became a caching site.
@@ -162,8 +180,8 @@ mod tests {
         let mut m = PageMap::new(3, n(0));
         m.record_update(PageIndex::new(0), n(1)); // v1
         m.record_update(PageIndex::new(2), n(1)); // v1
-        // Acquirer caches page 0 at v1 (current), page 2 at v0 (stale),
-        // and does not cache page 1 at all.
+                                                  // Acquirer caches page 0 at v1 (current), page 2 at v0 (stale),
+                                                  // and does not cache page 1 at all.
         let stale = m.stale_pages(|idx| match idx.get() {
             0 => Some(Version::new(1)),
             2 => Some(Version::INITIAL),

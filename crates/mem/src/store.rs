@@ -27,7 +27,11 @@ impl PageStore {
     /// Panics if `page_size < 8` (see [`Page::zeroed`]).
     pub fn new(page_size: usize) -> Self {
         assert!(page_size >= 8, "page size must be at least 8 bytes");
-        PageStore { page_size, pages: BTreeMap::new(), dirty: BTreeSet::new() }
+        PageStore {
+            page_size,
+            pages: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+        }
     }
 
     /// The configured page size in bytes.
@@ -85,7 +89,10 @@ impl PageStore {
     pub fn apply_stamp(&mut self, page: PageId, stamp: u64) -> u64 {
         self.ensure(page);
         self.dirty.insert(page);
-        self.pages.get_mut(&page).expect("just ensured").apply_stamp(stamp)
+        self.pages
+            .get_mut(&page)
+            .expect("just ensured")
+            .apply_stamp(stamp)
     }
 
     /// Overwrites the payload prefix of `page` and marks it dirty.
@@ -96,7 +103,10 @@ impl PageStore {
     pub fn write(&mut self, page: PageId, bytes: &[u8]) {
         self.ensure(page);
         self.dirty.insert(page);
-        self.pages.get_mut(&page).expect("just ensured").write(bytes);
+        self.pages
+            .get_mut(&page)
+            .expect("just ensured")
+            .write(bytes);
     }
 
     /// The content chain of `page` (zero if the page is absent).
@@ -116,7 +126,11 @@ impl PageStore {
 
     /// Dirty pages belonging to `object`, in page-index order.
     pub fn dirty_pages_of(&self, object: ObjectId) -> Vec<PageId> {
-        self.dirty.iter().copied().filter(|p| p.object() == object).collect()
+        self.dirty
+            .iter()
+            .copied()
+            .filter(|p| p.object() == object)
+            .collect()
     }
 
     /// Publishes the dirty pages of `object` at `new_version` (the family's

@@ -244,7 +244,10 @@ mod tests {
         assert_eq!(store.chain(pid(0, 0)), before);
         assert_eq!(store.version_of(pid(0, 0)), Some(Version::new(2)));
         assert!(!store.is_dirty(pid(0, 0)));
-        assert!(!store.contains(pid(0, 1)), "absent page evicted on rollback");
+        assert!(
+            !store.contains(pid(0, 1)),
+            "absent page evicted on rollback"
+        );
     }
 
     #[test]
@@ -319,7 +322,11 @@ mod tests {
         let after = store.chain(pid(0, 0));
         rec.forget(1);
         assert_eq!(rec.rollback(1, &mut store), vec![]);
-        assert_eq!(store.chain(pid(0, 0)), after, "forgotten txn can't roll back");
+        assert_eq!(
+            store.chain(pid(0, 0)),
+            after,
+            "forgotten txn can't roll back"
+        );
     }
 
     #[test]
@@ -341,7 +348,11 @@ mod tests {
         store.apply_stamp(pid(0, 1), 2);
         let t2_chain = store.chain(pid(0, 1));
         rec.rollback(1, &mut store);
-        assert_eq!(store.chain(pid(0, 1)), t2_chain, "token 2's pages untouched");
+        assert_eq!(
+            store.chain(pid(0, 1)),
+            t2_chain,
+            "token 2's pages untouched"
+        );
         assert_eq!(rec.len(), 1);
     }
 }

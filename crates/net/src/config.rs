@@ -4,10 +4,9 @@
 use std::fmt;
 
 use lotec_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Link bandwidth in bits per second.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Bandwidth(u64);
 
 impl Bandwidth {
@@ -62,9 +61,9 @@ impl Bandwidth {
 
 impl fmt::Display for Bandwidth {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1_000_000_000 && self.0 % 1_000_000_000 == 0 {
+        if self.0 >= 1_000_000_000 && self.0.is_multiple_of(1_000_000_000) {
             write!(f, "{}Gbps", self.0 / 1_000_000_000)
-        } else if self.0 >= 1_000_000 && self.0 % 1_000_000 == 0 {
+        } else if self.0 >= 1_000_000 && self.0.is_multiple_of(1_000_000) {
             write!(f, "{}Mbps", self.0 / 1_000_000)
         } else {
             write!(f, "{}bps", self.0)
@@ -80,20 +79,6 @@ impl fmt::Display for Bandwidth {
 /// active-message-style path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SoftwareCost(SimDuration);
-
-// `SimDuration` (from the dependency-free kernel crate) has no serde
-// support, so serialize the cost as a plain nanosecond count.
-impl Serialize for SoftwareCost {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_u64(self.0.as_nanos())
-    }
-}
-
-impl<'de> Deserialize<'de> for SoftwareCost {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        u64::deserialize(deserializer).map(|ns| SoftwareCost(SimDuration::from_nanos(ns)))
-    }
-}
 
 impl SoftwareCost {
     /// 100 µs — a conventional kernel TCP/IP stack.
@@ -145,7 +130,7 @@ impl fmt::Display for SoftwareCost {
 /// updates) bypass the heavyweight protocol stack while bulk page
 /// transfers still pay it. Model that split with
 /// [`NetworkConfig::with_active_messages`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NetworkConfig {
     bandwidth: Bandwidth,
     software_cost: SoftwareCost,
@@ -155,7 +140,11 @@ pub struct NetworkConfig {
 impl NetworkConfig {
     /// Combines a bandwidth and a per-message software cost.
     pub const fn new(bandwidth: Bandwidth, software_cost: SoftwareCost) -> Self {
-        NetworkConfig { bandwidth, software_cost, control_software_cost: None }
+        NetworkConfig {
+            bandwidth,
+            software_cost,
+            control_software_cost: None,
+        }
     }
 
     /// Enables the active-message path: non-page-carrying messages pay
@@ -240,15 +229,21 @@ mod tests {
         let t = Bandwidth::ethernet10().wire_time(1000);
         assert_eq!(t, SimDuration::from_micros(800));
         // Same payload at 1 Gbps = 8 us.
-        assert_eq!(Bandwidth::gigabit().wire_time(1000), SimDuration::from_micros(8));
+        assert_eq!(
+            Bandwidth::gigabit().wire_time(1000),
+            SimDuration::from_micros(8)
+        );
     }
 
     #[test]
     fn wire_time_rounds_up() {
         // 1 byte at 1 Gbps = 8 ns exactly; 1 byte at 3 bps rounds up.
-        assert_eq!(Bandwidth::gigabit().wire_time(1), SimDuration::from_nanos(8));
+        assert_eq!(
+            Bandwidth::gigabit().wire_time(1),
+            SimDuration::from_nanos(8)
+        );
         let t = Bandwidth::from_bits_per_sec(3).wire_time(1);
-        assert_eq!(t.as_nanos(), (8 * 1_000_000_000 + 2) / 3);
+        assert_eq!(t.as_nanos(), (8u64 * 1_000_000_000).div_ceil(3));
     }
 
     #[test]
@@ -290,14 +285,32 @@ mod tests {
         use crate::MessageKind;
         let plain = NetworkConfig::new(Bandwidth::gigabit(), SoftwareCost::MICROS_100);
         // Without AM every kind pays the bulk stack.
-        assert_eq!(plain.startup_for(MessageKind::LockRequest), SoftwareCost::MICROS_100);
-        assert_eq!(plain.startup_for(MessageKind::PageTransfer), SoftwareCost::MICROS_100);
+        assert_eq!(
+            plain.startup_for(MessageKind::LockRequest),
+            SoftwareCost::MICROS_100
+        );
+        assert_eq!(
+            plain.startup_for(MessageKind::PageTransfer),
+            SoftwareCost::MICROS_100
+        );
         let am = plain.with_active_messages(SoftwareCost::NANOS_500);
-        assert_eq!(am.startup_for(MessageKind::LockRequest), SoftwareCost::NANOS_500);
-        assert_eq!(am.startup_for(MessageKind::GdoReplicate), SoftwareCost::NANOS_500);
+        assert_eq!(
+            am.startup_for(MessageKind::LockRequest),
+            SoftwareCost::NANOS_500
+        );
+        assert_eq!(
+            am.startup_for(MessageKind::GdoReplicate),
+            SoftwareCost::NANOS_500
+        );
         // Bulk transfers still pay the full stack.
-        assert_eq!(am.startup_for(MessageKind::PageTransfer), SoftwareCost::MICROS_100);
-        assert_eq!(am.startup_for(MessageKind::UpdatePush), SoftwareCost::MICROS_100);
+        assert_eq!(
+            am.startup_for(MessageKind::PageTransfer),
+            SoftwareCost::MICROS_100
+        );
+        assert_eq!(
+            am.startup_for(MessageKind::UpdatePush),
+            SoftwareCost::MICROS_100
+        );
         // transfer_time_for composes startup + wire.
         let t = am.transfer_time_for(MessageKind::LockRequest, 125); // 1000 bits @1Gbps = 1us
         assert_eq!(t, SimDuration::from_nanos(500 + 1_000));
@@ -310,13 +323,31 @@ mod tests {
         use lotec_sim::NodeId;
         let mut ledger = TrafficLedger::new();
         let obj = ObjectId::new(0);
-        ledger.record(&Message::new(MessageKind::LockRequest, NodeId::new(0), NodeId::new(1), obj, 125));
-        ledger.record(&Message::new(MessageKind::PageTransfer, NodeId::new(1), NodeId::new(0), obj, 125));
+        ledger.record(&Message::new(
+            MessageKind::LockRequest,
+            NodeId::new(0),
+            NodeId::new(1),
+            obj,
+            125,
+        ));
+        ledger.record(&Message::new(
+            MessageKind::PageTransfer,
+            NodeId::new(1),
+            NodeId::new(0),
+            obj,
+            125,
+        ));
         let plain = NetworkConfig::new(Bandwidth::gigabit(), SoftwareCost::MICROS_100);
         let am = plain.with_active_messages(SoftwareCost::NANOS_500);
         // Plain: 2 * 100us + 2us wire; AM: 100us + 500ns + 2us wire.
-        assert_eq!(ledger.object_time(obj, plain), SimDuration::from_nanos(200_000 + 2_000));
-        assert_eq!(ledger.object_time(obj, am), SimDuration::from_nanos(100_000 + 500 + 2_000));
+        assert_eq!(
+            ledger.object_time(obj, plain),
+            SimDuration::from_nanos(200_000 + 2_000)
+        );
+        assert_eq!(
+            ledger.object_time(obj, am),
+            SimDuration::from_nanos(100_000 + 500 + 2_000)
+        );
         assert_eq!(ledger.total_time(am), ledger.object_time(obj, am));
     }
 

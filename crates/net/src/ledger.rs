@@ -83,9 +83,18 @@ impl TrafficLedger {
     /// Panics (in debug builds) if the message is node-local — local
     /// operations never reach the network and must not be accounted.
     pub fn record(&mut self, msg: &Message) {
-        debug_assert!(!msg.is_local(), "local message reached the network ledger: {msg}");
-        let delta = ObjectTraffic { messages: 1, bytes: msg.bytes() };
-        self.per_object.entry(msg.object()).or_default().merge(delta);
+        debug_assert!(
+            !msg.is_local(),
+            "local message reached the network ledger: {msg}"
+        );
+        let delta = ObjectTraffic {
+            messages: 1,
+            bytes: msg.bytes(),
+        };
+        self.per_object
+            .entry(msg.object())
+            .or_default()
+            .merge(delta);
         self.per_kind.entry(msg.kind()).or_default().merge(delta);
         self.per_object_kind
             .entry((msg.object(), msg.kind()))
@@ -96,7 +105,10 @@ impl TrafficLedger {
 
     /// Traffic charged to `object` under one message kind.
     pub fn object_kind(&self, object: ObjectId, kind: MessageKind) -> ObjectTraffic {
-        self.per_object_kind.get(&(object, kind)).copied().unwrap_or_default()
+        self.per_object_kind
+            .get(&(object, kind))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Total message time for `object` under `net`, respecting the
@@ -165,7 +177,13 @@ mod tests {
     use lotec_sim::NodeId;
 
     fn msg(kind: MessageKind, obj: u32, bytes: u64) -> Message {
-        Message::new(kind, NodeId::new(0), NodeId::new(1), ObjectId::new(obj), bytes)
+        Message::new(
+            kind,
+            NodeId::new(0),
+            NodeId::new(1),
+            ObjectId::new(obj),
+            bytes,
+        )
     }
 
     #[test]
@@ -182,15 +200,42 @@ mod tests {
         l.record(&msg(MessageKind::LockRequest, 0, 44));
         l.record(&msg(MessageKind::PageTransfer, 0, 4144));
         l.record(&msg(MessageKind::LockRequest, 1, 44));
-        assert_eq!(l.object(ObjectId::new(0)), ObjectTraffic { messages: 2, bytes: 4188 });
-        assert_eq!(l.object(ObjectId::new(1)), ObjectTraffic { messages: 1, bytes: 44 });
-        assert_eq!(l.kind(MessageKind::LockRequest), ObjectTraffic { messages: 2, bytes: 88 });
-        assert_eq!(l.total(), ObjectTraffic { messages: 3, bytes: 4232 });
+        assert_eq!(
+            l.object(ObjectId::new(0)),
+            ObjectTraffic {
+                messages: 2,
+                bytes: 4188
+            }
+        );
+        assert_eq!(
+            l.object(ObjectId::new(1)),
+            ObjectTraffic {
+                messages: 1,
+                bytes: 44
+            }
+        );
+        assert_eq!(
+            l.kind(MessageKind::LockRequest),
+            ObjectTraffic {
+                messages: 2,
+                bytes: 88
+            }
+        );
+        assert_eq!(
+            l.total(),
+            ObjectTraffic {
+                messages: 3,
+                bytes: 4232
+            }
+        );
     }
 
     #[test]
     fn message_time_is_linear_model() {
-        let t = ObjectTraffic { messages: 10, bytes: 1_000 };
+        let t = ObjectTraffic {
+            messages: 10,
+            bytes: 1_000,
+        };
         let net = NetworkConfig::new(Bandwidth::ethernet10(), SoftwareCost::MICROS_100);
         // 10 * 100us + 8000 bits / 10 Mbps (= 800us) = 1800us.
         assert_eq!(t.message_time(net), SimDuration::from_micros(1_800));
@@ -200,8 +245,14 @@ mod tests {
     fn more_messages_cost_more_time_at_high_software_cost() {
         // LOTEC's trade-off: fewer bytes but more messages can lose on
         // slow stacks. 5 msgs/2000B vs 2 msgs/4000B at 100us software cost:
-        let many_small = ObjectTraffic { messages: 5, bytes: 2_000 };
-        let few_large = ObjectTraffic { messages: 2, bytes: 4_000 };
+        let many_small = ObjectTraffic {
+            messages: 5,
+            bytes: 2_000,
+        };
+        let few_large = ObjectTraffic {
+            messages: 2,
+            bytes: 4_000,
+        };
         let slow_stack = NetworkConfig::new(Bandwidth::gigabit(), SoftwareCost::MICROS_100);
         assert!(many_small.message_time(slow_stack) > few_large.message_time(slow_stack));
         // ...but win once the stack is fast and bandwidth is the bottleneck.
@@ -218,7 +269,13 @@ mod tests {
         b.record(&msg(MessageKind::UpdatePush, 2, 500));
         a.merge(&b);
         assert_eq!(a.object(ObjectId::new(0)).bytes, 150);
-        assert_eq!(a.total(), ObjectTraffic { messages: 3, bytes: 650 });
+        assert_eq!(
+            a.total(),
+            ObjectTraffic {
+                messages: 3,
+                bytes: 650
+            }
+        );
     }
 
     #[test]

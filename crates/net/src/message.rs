@@ -98,7 +98,13 @@ pub struct Message {
 impl Message {
     /// Constructs a message.
     pub fn new(kind: MessageKind, src: NodeId, dst: NodeId, object: ObjectId, bytes: u64) -> Self {
-        Message { kind, src, dst, object, bytes }
+        Message {
+            kind,
+            src,
+            dst,
+            object,
+            bytes,
+        }
     }
 
     /// The message kind.

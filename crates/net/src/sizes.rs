@@ -6,12 +6,10 @@
 //! dirty-page information. This module turns those structures into byte
 //! counts so the simulated messages have realistic sizes.
 
-use serde::{Deserialize, Serialize};
-
 /// Byte sizes for each wire structure. All fields are public configuration
 /// in the spirit of a plain parameter block; [`MessageSizes::default`]
 /// gives the values used for the figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MessageSizes {
     /// Fixed per-message header (addressing, type, object id, …).
     pub header: u64,

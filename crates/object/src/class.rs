@@ -114,7 +114,10 @@ impl AttributeDef {
     /// Panics if `size` is zero.
     pub fn new(name: impl Into<String>, size: u32) -> Self {
         assert!(size > 0, "attribute size must be positive");
-        AttributeDef { name: name.into(), size }
+        AttributeDef {
+            name: name.into(),
+            size,
+        }
     }
 
     /// The attribute's name.
@@ -152,7 +155,11 @@ pub struct PathSpec {
 impl PathSpec {
     /// Creates a path from explicit parts.
     pub fn new(reads: AttrSet, writes: AttrSet, invokes: Vec<InvocationSite>) -> Self {
-        PathSpec { reads, writes, invokes }
+        PathSpec {
+            reads,
+            writes,
+            invokes,
+        }
     }
 
     /// Attributes read along this path.
@@ -192,7 +199,10 @@ impl MethodDef {
     /// path.
     pub fn new(name: impl Into<String>, paths: Vec<PathSpec>) -> Self {
         let name = name.into();
-        assert!(!paths.is_empty(), "method {name} must have at least one path");
+        assert!(
+            !paths.is_empty(),
+            "method {name} must have at least one path"
+        );
         MethodDef { name, paths }
     }
 
@@ -244,7 +254,11 @@ impl ClassDef {
         let name = name.into();
         assert!(!attributes.is_empty(), "class {name} must have attributes");
         assert!(!methods.is_empty(), "class {name} must have methods");
-        ClassDef { name, attributes, methods }
+        ClassDef {
+            name,
+            attributes,
+            methods,
+        }
     }
 
     /// The class's name.
@@ -314,7 +328,11 @@ pub struct ClassBuilder {
 impl ClassBuilder {
     /// Starts a class named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        ClassBuilder { name: name.into(), attributes: Vec::new(), methods: Vec::new() }
+        ClassBuilder {
+            name: name.into(),
+            attributes: Vec::new(),
+            methods: Vec::new(),
+        }
     }
 
     /// Declares an attribute. Declaration order is layout order.
@@ -335,7 +353,10 @@ impl ClassBuilder {
         name: impl Into<String>,
         build: impl FnOnce(MethodBuilder<'_>) -> MethodBuilder<'_>,
     ) -> Self {
-        let builder = build(MethodBuilder { attrs: &self.attributes, paths: Vec::new() });
+        let builder = build(MethodBuilder {
+            attrs: &self.attributes,
+            paths: Vec::new(),
+        });
         self.methods.push(MethodDef::new(name, builder.paths));
         self
     }
@@ -487,7 +508,11 @@ mod tests {
                 })
             })
             .build();
-        let sites = c.method(MethodId::new(0)).path(PathId::new(0)).invokes().to_vec();
+        let sites = c
+            .method(MethodId::new(0))
+            .path(PathId::new(0))
+            .invokes()
+            .to_vec();
         assert_eq!(sites.len(), 2);
         assert_eq!(sites[0].class, ClassId::new(1));
         assert_eq!(sites[1].method, MethodId::new(3));

@@ -197,10 +197,18 @@ pub fn compile(class: &ClassDef, page_size: u32) -> Result<CompiledClass, Compil
             pred_writes.union_with(&writes);
             accesses.push(PathAccess { reads, writes });
         }
-        predictions.push(Prediction { reads: pred_reads, writes: pred_writes });
+        predictions.push(Prediction {
+            reads: pred_reads,
+            writes: pred_writes,
+        });
         path_access.push(accesses);
     }
-    let compiled = CompiledClass { class: class.clone(), layout, predictions, path_access };
+    let compiled = CompiledClass {
+        class: class.clone(),
+        layout,
+        predictions,
+        path_access,
+    };
     debug_assert!(compiled.verify().is_ok());
     Ok(compiled)
 }

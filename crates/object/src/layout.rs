@@ -43,8 +43,17 @@ impl Layout {
         }
         let total_bytes = cursor.max(1);
         let num_pages = total_bytes.div_ceil(page_size as u64);
-        assert!(num_pages <= u16::MAX as u64, "object too large for u16 page indices");
-        Layout { page_size, offsets, sizes, total_bytes, num_pages: num_pages as u16 }
+        assert!(
+            num_pages <= u16::MAX as u64,
+            "object too large for u16 page indices"
+        );
+        Layout {
+            page_size,
+            offsets,
+            sizes,
+            total_bytes,
+            num_pages: num_pages as u16,
+        }
     }
 
     /// Page size in bytes.
@@ -142,7 +151,10 @@ mod tests {
     fn attr_page_ranges() {
         let l = Layout::of(&class(), 100);
         let pages = |i: u16| -> Vec<u16> {
-            l.pages_of_attr(AttrIndex::new(i)).iter().map(|p| p.get()).collect()
+            l.pages_of_attr(AttrIndex::new(i))
+                .iter()
+                .map(|p| p.get())
+                .collect()
         };
         assert_eq!(pages(0), vec![0]);
         assert_eq!(pages(1), vec![0, 1]); // straddles the boundary

@@ -124,10 +124,18 @@ impl ObjectRegistry {
                 if class.index() as usize >= compiled.len() {
                     return Err(RegistryError::UnknownClass { class });
                 }
-                Ok(ObjectInstance { id: ObjectId::new(i as u32), class, home })
+                Ok(ObjectInstance {
+                    id: ObjectId::new(i as u32),
+                    class,
+                    home,
+                })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(ObjectRegistry { page_size, classes: compiled, objects })
+        Ok(ObjectRegistry {
+            page_size,
+            classes: compiled,
+            objects,
+        })
     }
 
     /// The DSM page size this registry was compiled for.
@@ -211,7 +219,10 @@ mod tests {
     fn builds_and_resolves() {
         let reg = ObjectRegistry::build(
             &classes(),
-            &[(ClassId::new(0), NodeId::new(0)), (ClassId::new(1), NodeId::new(1))],
+            &[
+                (ClassId::new(0), NodeId::new(0)),
+                (ClassId::new(1), NodeId::new(1)),
+            ],
             128,
         )
         .unwrap();
@@ -227,7 +238,10 @@ mod tests {
     fn object_ids_assigned_in_order() {
         let reg = ObjectRegistry::build(
             &classes(),
-            &[(ClassId::new(1), NodeId::new(0)), (ClassId::new(0), NodeId::new(0))],
+            &[
+                (ClassId::new(1), NodeId::new(0)),
+                (ClassId::new(0), NodeId::new(0)),
+            ],
             128,
         )
         .unwrap();
@@ -239,7 +253,12 @@ mod tests {
     fn unknown_class_for_object_rejected() {
         let err = ObjectRegistry::build(&classes(), &[(ClassId::new(9), NodeId::new(0))], 128)
             .unwrap_err();
-        assert_eq!(err, RegistryError::UnknownClass { class: ClassId::new(9) });
+        assert_eq!(
+            err,
+            RegistryError::UnknownClass {
+                class: ClassId::new(9)
+            }
+        );
         assert!(err.to_string().contains("unknown class C9"));
     }
 
@@ -247,22 +266,34 @@ mod tests {
     fn dangling_invocation_class_rejected() {
         let bad = vec![ClassBuilder::new("Bad")
             .attribute("x", 8)
-            .method("m", |m| m.path(|p| p.reads(&["x"]).invokes(ClassId::new(5), MethodId::new(0))))
+            .method("m", |m| {
+                m.path(|p| p.reads(&["x"]).invokes(ClassId::new(5), MethodId::new(0)))
+            })
             .build()];
         let err = ObjectRegistry::build(&bad, &[], 128).unwrap_err();
-        assert_eq!(err, RegistryError::UnknownClass { class: ClassId::new(5) });
+        assert_eq!(
+            err,
+            RegistryError::UnknownClass {
+                class: ClassId::new(5)
+            }
+        );
     }
 
     #[test]
     fn dangling_invocation_method_rejected() {
         let bad = vec![ClassBuilder::new("Bad")
             .attribute("x", 8)
-            .method("m", |m| m.path(|p| p.reads(&["x"]).invokes(ClassId::new(0), MethodId::new(7))))
+            .method("m", |m| {
+                m.path(|p| p.reads(&["x"]).invokes(ClassId::new(0), MethodId::new(7)))
+            })
             .build()];
         let err = ObjectRegistry::build(&bad, &[], 128).unwrap_err();
         assert_eq!(
             err,
-            RegistryError::UnknownMethod { class: ClassId::new(0), method: MethodId::new(7) }
+            RegistryError::UnknownMethod {
+                class: ClassId::new(0),
+                method: MethodId::new(7)
+            }
         );
     }
 

@@ -1,0 +1,256 @@
+//! Structured, sim-time-stamped observability events.
+//!
+//! Events deliberately carry *primitive* identifiers (`u64` transaction
+//! ids, `u32` node/object indices, `u16` page indices) rather than the
+//! newtypes from the `txn`/`mem` crates: the probe layer sits *below*
+//! those crates in the dependency graph so that the lock table itself can
+//! emit events without a dependency cycle. The emitting site is
+//! responsible for unwrapping its ids (`TxnId::get()`, `ObjectId::index()`,
+//! …) — a one-way, lossless projection.
+
+use lotec_sim::SimTime;
+
+/// Lock mode as seen by the probe layer (mirrors `lotec_txn::LockMode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsLockMode {
+    /// Shared read lock.
+    Read,
+    /// Exclusive write lock.
+    Write,
+}
+
+impl ObsLockMode {
+    /// Stable wire name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ObsLockMode::Read => "read",
+            ObsLockMode::Write => "write",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "read" => Some(ObsLockMode::Read),
+            "write" => Some(ObsLockMode::Write),
+            _ => None,
+        }
+    }
+}
+
+/// Why a lock left a holder's possession.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseCause {
+    /// Root commit: the family finished and the lock is free for others.
+    RootCommit,
+    /// Abort: the holder (sub)transaction rolled back.
+    Abort,
+}
+
+impl ReleaseCause {
+    /// Stable wire name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ReleaseCause::RootCommit => "root_commit",
+            ReleaseCause::Abort => "abort",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "root_commit" => Some(ReleaseCause::RootCommit),
+            "abort" => Some(ReleaseCause::Abort),
+            _ => None,
+        }
+    }
+}
+
+/// Coarse family phase, the unit of the latency breakdown and of the
+/// Perfetto slices (one slice per contiguous stay in a phase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ObsPhase {
+    /// Waiting for a lock grant (queued at the GDO or grant in flight).
+    LockWait,
+    /// Waiting for page transfers (planned gather or demand fetches).
+    TransferWait,
+    /// Executing method bodies (compute).
+    Running,
+    /// Backing off before a restart after a family abort.
+    Backoff,
+    /// Root committed (terminal).
+    Committed,
+    /// Permanently failed after exhausting restarts (terminal).
+    Failed,
+}
+
+impl ObsPhase {
+    /// Stable wire name (also the Perfetto slice name).
+    pub const fn name(self) -> &'static str {
+        match self {
+            ObsPhase::LockWait => "lock_wait",
+            ObsPhase::TransferWait => "transfer_wait",
+            ObsPhase::Running => "running",
+            ObsPhase::Backoff => "backoff",
+            ObsPhase::Committed => "committed",
+            ObsPhase::Failed => "failed",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "lock_wait" => Some(ObsPhase::LockWait),
+            "transfer_wait" => Some(ObsPhase::TransferWait),
+            "running" => Some(ObsPhase::Running),
+            "backoff" => Some(ObsPhase::Backoff),
+            "committed" => Some(ObsPhase::Committed),
+            "failed" => Some(ObsPhase::Failed),
+            _ => None,
+        }
+    }
+
+    /// True for phases a family never leaves.
+    pub const fn is_terminal(self) -> bool {
+        matches!(self, ObsPhase::Committed | ObsPhase::Failed)
+    }
+}
+
+/// What happened. See module docs for the id conventions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsEventKind {
+    /// A lock request had to queue behind conflicting holders at the GDO.
+    LockQueued {
+        /// Object index.
+        object: u32,
+        /// Requesting (sub)transaction id.
+        txn: u64,
+        /// Requested mode.
+        mode: ObsLockMode,
+        /// Queue depth *including* this request.
+        waiters: u32,
+    },
+    /// A lock was granted (immediately or after queuing).
+    LockGranted {
+        /// Object index.
+        object: u32,
+        /// Grantee (sub)transaction id.
+        txn: u64,
+        /// Granted mode.
+        mode: ObsLockMode,
+        /// False when the grant was served locally from a retainer
+        /// (Algorithm 4.2), true when the GDO had to be consulted.
+        global: bool,
+        /// Number of page-holding sites named in the grant.
+        holders: u32,
+    },
+    /// A pre-committing subtransaction's lock was inherited by its parent
+    /// (lock retention, Algorithm 4.3).
+    LockRetained {
+        /// Object index.
+        object: u32,
+        /// The pre-committed child that held the lock.
+        txn: u64,
+        /// The parent that now retains it.
+        parent: u64,
+    },
+    /// A lock left the table for good.
+    LockReleased {
+        /// Object index.
+        object: u32,
+        /// The releasing (sub)transaction id.
+        txn: u64,
+        /// Why it was released.
+        cause: ReleaseCause,
+    },
+    /// The GDO detected a waits-for cycle and chose a victim.
+    Deadlock {
+        /// Root transaction ids forming the cycle, in detection order.
+        cycle: Vec<u64>,
+        /// The victim root (youngest in the cycle).
+        victim: u64,
+    },
+    /// A family entered a new phase.
+    PhaseEnter {
+        /// Family index (workload order).
+        family: u64,
+        /// The phase being entered.
+        phase: ObsPhase,
+    },
+    /// A subtransaction aborted without killing its family.
+    SubAbort {
+        /// Family index.
+        family: u64,
+        /// The aborting subtransaction.
+        txn: u64,
+        /// Locks it freed at the GDO.
+        released: u32,
+    },
+    /// A family-level abort scheduled a restart.
+    Restart {
+        /// Family index.
+        family: u64,
+        /// Restart attempt number (1 = first retry).
+        attempt: u32,
+        /// Backoff delay before the retry, in sim nanoseconds.
+        backoff_ns: u64,
+    },
+    /// The transfer planner resolved one grant: what the compile-time
+    /// analysis predicted vs. what the method body actually touched.
+    GrantPlan {
+        /// Family index.
+        family: u64,
+        /// Object index.
+        object: u32,
+        /// Predicted page indices (compile-time estimate).
+        predicted: Vec<u16>,
+        /// Pages the method actually read.
+        actual_reads: Vec<u16>,
+        /// Pages the method actually wrote.
+        actual_writes: Vec<u16>,
+        /// Pages the planner decided to move now.
+        planned_pages: u32,
+        /// Distinct source sites in the gather (fan-out).
+        sources: u32,
+    },
+    /// A page miss during compute forced a synchronous demand fetch.
+    DemandFetch {
+        /// Family index.
+        family: u64,
+        /// Object index.
+        object: u32,
+        /// The missed page.
+        page: u16,
+        /// Site the page is fetched from.
+        source: u32,
+    },
+}
+
+impl ObsEventKind {
+    /// Stable wire name for the event kind.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            ObsEventKind::LockQueued { .. } => "lock_queued",
+            ObsEventKind::LockGranted { .. } => "lock_granted",
+            ObsEventKind::LockRetained { .. } => "lock_retained",
+            ObsEventKind::LockReleased { .. } => "lock_released",
+            ObsEventKind::Deadlock { .. } => "deadlock",
+            ObsEventKind::PhaseEnter { .. } => "phase_enter",
+            ObsEventKind::SubAbort { .. } => "sub_abort",
+            ObsEventKind::Restart { .. } => "restart",
+            ObsEventKind::GrantPlan { .. } => "grant_plan",
+            ObsEventKind::DemandFetch { .. } => "demand_fetch",
+        }
+    }
+}
+
+/// One observability event: where and when, plus what happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsEvent {
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// Site the event occurred at.
+    pub node: u32,
+    /// The event payload.
+    pub kind: ObsEventKind,
+}

@@ -1,0 +1,530 @@
+//! Trace export: JSONL (one event per line, lossless round-trip) and
+//! Chrome trace-event JSON (loadable in Perfetto / `chrome://tracing`).
+//!
+//! The JSONL form is the archival one — `jsonl_decode(jsonl_encode(ev))`
+//! returns events identical to the originals, which a facade test asserts.
+//! The Chrome form is a *view*: one track per node (`pid`), one row per
+//! family (`tid`), one complete slice (`"ph":"X"`) per contiguous stay in
+//! a phase, plus instant markers for deadlocks, sub-aborts, restarts and
+//! demand fetches.
+
+use std::collections::BTreeMap;
+
+use lotec_sim::SimTime;
+
+use crate::event::{ObsEvent, ObsEventKind, ObsLockMode, ObsPhase, ReleaseCause};
+use crate::json::{Json, JsonError};
+
+fn pages_json(pages: &[u16]) -> Json {
+    Json::Arr(pages.iter().map(|&p| Json::U64(p as u64)).collect())
+}
+
+fn pages_from(json: &Json, key: &str) -> Result<Vec<u16>, JsonError> {
+    json.require(key)?
+        .as_array()
+        .ok_or_else(|| JsonError::new(format!("`{key}` must be an array")))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .and_then(|n| u16::try_from(n).ok())
+                .ok_or_else(|| JsonError::new(format!("`{key}` entries must be u16")))
+        })
+        .collect()
+}
+
+fn u64_field(json: &Json, key: &str) -> Result<u64, JsonError> {
+    json.require(key)?
+        .as_u64()
+        .ok_or_else(|| JsonError::new(format!("`{key}` must be a non-negative integer")))
+}
+
+fn u32_field(json: &Json, key: &str) -> Result<u32, JsonError> {
+    u64_field(json, key).and_then(|v| {
+        u32::try_from(v).map_err(|_| JsonError::new(format!("`{key}` out of u32 range")))
+    })
+}
+
+fn u16_field(json: &Json, key: &str) -> Result<u16, JsonError> {
+    u64_field(json, key).and_then(|v| {
+        u16::try_from(v).map_err(|_| JsonError::new(format!("`{key}` out of u16 range")))
+    })
+}
+
+fn str_field<'j>(json: &'j Json, key: &str) -> Result<&'j str, JsonError> {
+    json.require(key)?
+        .as_str()
+        .ok_or_else(|| JsonError::new(format!("`{key}` must be a string")))
+}
+
+/// Converts one event to its JSONL object form.
+pub fn event_to_json(event: &ObsEvent) -> Json {
+    let mut pairs = vec![
+        ("at", Json::U64(event.at.as_nanos())),
+        ("node", Json::U64(event.node as u64)),
+        ("kind", Json::str(event.kind.name())),
+    ];
+    match &event.kind {
+        ObsEventKind::LockQueued {
+            object,
+            txn,
+            mode,
+            waiters,
+        } => {
+            pairs.push(("object", Json::U64(*object as u64)));
+            pairs.push(("txn", Json::U64(*txn)));
+            pairs.push(("mode", Json::str(mode.name())));
+            pairs.push(("waiters", Json::U64(*waiters as u64)));
+        }
+        ObsEventKind::LockGranted {
+            object,
+            txn,
+            mode,
+            global,
+            holders,
+        } => {
+            pairs.push(("object", Json::U64(*object as u64)));
+            pairs.push(("txn", Json::U64(*txn)));
+            pairs.push(("mode", Json::str(mode.name())));
+            pairs.push(("global", Json::Bool(*global)));
+            pairs.push(("holders", Json::U64(*holders as u64)));
+        }
+        ObsEventKind::LockRetained {
+            object,
+            txn,
+            parent,
+        } => {
+            pairs.push(("object", Json::U64(*object as u64)));
+            pairs.push(("txn", Json::U64(*txn)));
+            pairs.push(("parent", Json::U64(*parent)));
+        }
+        ObsEventKind::LockReleased { object, txn, cause } => {
+            pairs.push(("object", Json::U64(*object as u64)));
+            pairs.push(("txn", Json::U64(*txn)));
+            pairs.push(("cause", Json::str(cause.name())));
+        }
+        ObsEventKind::Deadlock { cycle, victim } => {
+            pairs.push((
+                "cycle",
+                Json::Arr(cycle.iter().map(|&t| Json::U64(t)).collect()),
+            ));
+            pairs.push(("victim", Json::U64(*victim)));
+        }
+        ObsEventKind::PhaseEnter { family, phase } => {
+            pairs.push(("family", Json::U64(*family)));
+            pairs.push(("phase", Json::str(phase.name())));
+        }
+        ObsEventKind::SubAbort {
+            family,
+            txn,
+            released,
+        } => {
+            pairs.push(("family", Json::U64(*family)));
+            pairs.push(("txn", Json::U64(*txn)));
+            pairs.push(("released", Json::U64(*released as u64)));
+        }
+        ObsEventKind::Restart {
+            family,
+            attempt,
+            backoff_ns,
+        } => {
+            pairs.push(("family", Json::U64(*family)));
+            pairs.push(("attempt", Json::U64(*attempt as u64)));
+            pairs.push(("backoff_ns", Json::U64(*backoff_ns)));
+        }
+        ObsEventKind::GrantPlan {
+            family,
+            object,
+            predicted,
+            actual_reads,
+            actual_writes,
+            planned_pages,
+            sources,
+        } => {
+            pairs.push(("family", Json::U64(*family)));
+            pairs.push(("object", Json::U64(*object as u64)));
+            pairs.push(("predicted", pages_json(predicted)));
+            pairs.push(("actual_reads", pages_json(actual_reads)));
+            pairs.push(("actual_writes", pages_json(actual_writes)));
+            pairs.push(("planned_pages", Json::U64(*planned_pages as u64)));
+            pairs.push(("sources", Json::U64(*sources as u64)));
+        }
+        ObsEventKind::DemandFetch {
+            family,
+            object,
+            page,
+            source,
+        } => {
+            pairs.push(("family", Json::U64(*family)));
+            pairs.push(("object", Json::U64(*object as u64)));
+            pairs.push(("page", Json::U64(*page as u64)));
+            pairs.push(("source", Json::U64(*source as u64)));
+        }
+    }
+    Json::obj(pairs)
+}
+
+/// Parses one JSONL object back into an event.
+pub fn event_from_json(json: &Json) -> Result<ObsEvent, JsonError> {
+    let at = SimTime::from_nanos(u64_field(json, "at")?);
+    let node = u32_field(json, "node")?;
+    let kind_name = str_field(json, "kind")?;
+    let mode = |j: &Json| -> Result<ObsLockMode, JsonError> {
+        let name = str_field(j, "mode")?;
+        ObsLockMode::from_name(name)
+            .ok_or_else(|| JsonError::new(format!("unknown lock mode `{name}`")))
+    };
+    let kind = match kind_name {
+        "lock_queued" => ObsEventKind::LockQueued {
+            object: u32_field(json, "object")?,
+            txn: u64_field(json, "txn")?,
+            mode: mode(json)?,
+            waiters: u32_field(json, "waiters")?,
+        },
+        "lock_granted" => ObsEventKind::LockGranted {
+            object: u32_field(json, "object")?,
+            txn: u64_field(json, "txn")?,
+            mode: mode(json)?,
+            global: json
+                .require("global")?
+                .as_bool()
+                .ok_or_else(|| JsonError::new("`global` must be a bool"))?,
+            holders: u32_field(json, "holders")?,
+        },
+        "lock_retained" => ObsEventKind::LockRetained {
+            object: u32_field(json, "object")?,
+            txn: u64_field(json, "txn")?,
+            parent: u64_field(json, "parent")?,
+        },
+        "lock_released" => ObsEventKind::LockReleased {
+            object: u32_field(json, "object")?,
+            txn: u64_field(json, "txn")?,
+            cause: {
+                let name = str_field(json, "cause")?;
+                ReleaseCause::from_name(name)
+                    .ok_or_else(|| JsonError::new(format!("unknown release cause `{name}`")))?
+            },
+        },
+        "deadlock" => ObsEventKind::Deadlock {
+            cycle: json
+                .require("cycle")?
+                .as_array()
+                .ok_or_else(|| JsonError::new("`cycle` must be an array"))?
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .ok_or_else(|| JsonError::new("`cycle` entries must be u64"))
+                })
+                .collect::<Result<_, _>>()?,
+            victim: u64_field(json, "victim")?,
+        },
+        "phase_enter" => ObsEventKind::PhaseEnter {
+            family: u64_field(json, "family")?,
+            phase: {
+                let name = str_field(json, "phase")?;
+                ObsPhase::from_name(name)
+                    .ok_or_else(|| JsonError::new(format!("unknown phase `{name}`")))?
+            },
+        },
+        "sub_abort" => ObsEventKind::SubAbort {
+            family: u64_field(json, "family")?,
+            txn: u64_field(json, "txn")?,
+            released: u32_field(json, "released")?,
+        },
+        "restart" => ObsEventKind::Restart {
+            family: u64_field(json, "family")?,
+            attempt: u32_field(json, "attempt")?,
+            backoff_ns: u64_field(json, "backoff_ns")?,
+        },
+        "grant_plan" => ObsEventKind::GrantPlan {
+            family: u64_field(json, "family")?,
+            object: u32_field(json, "object")?,
+            predicted: pages_from(json, "predicted")?,
+            actual_reads: pages_from(json, "actual_reads")?,
+            actual_writes: pages_from(json, "actual_writes")?,
+            planned_pages: u32_field(json, "planned_pages")?,
+            sources: u32_field(json, "sources")?,
+        },
+        "demand_fetch" => ObsEventKind::DemandFetch {
+            family: u64_field(json, "family")?,
+            object: u32_field(json, "object")?,
+            page: u16_field(json, "page")?,
+            source: u32_field(json, "source")?,
+        },
+        other => return Err(JsonError::new(format!("unknown event kind `{other}`"))),
+    };
+    Ok(ObsEvent { at, node, kind })
+}
+
+/// Encodes events as JSONL: one compact JSON object per line.
+pub fn jsonl_encode(events: &[ObsEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event_to_json(event).render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Decodes a JSONL document produced by [`jsonl_encode`].
+///
+/// Blank lines are skipped; any malformed line aborts with an error naming
+/// the line number.
+pub fn jsonl_decode(text: &str) -> Result<Vec<ObsEvent>, JsonError> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let json =
+            Json::parse(line).map_err(|e| JsonError::new(format!("line {}: {e}", lineno + 1)))?;
+        let event = event_from_json(&json)
+            .map_err(|e| JsonError::new(format!("line {}: {e}", lineno + 1)))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+fn micros(t: SimTime) -> Json {
+    Json::F64(t.as_nanos() as f64 / 1000.0)
+}
+
+/// Builds a Chrome trace-event JSON document from recorded events.
+///
+/// Layout: `pid` = simulated node, `tid` = family index; each contiguous
+/// stay in a phase becomes one complete (`"ph":"X"`) slice named after the
+/// phase. Deadlocks, sub-aborts, restarts and demand fetches become
+/// instant (`"ph":"i"`) markers on the same rows. Events are sorted by
+/// `ts`, so the output satisfies Perfetto's monotonicity expectations.
+pub fn chrome_trace(events: &[ObsEvent]) -> Json {
+    // family -> (node, phase, entered-at) for the currently open slice.
+    let mut open: BTreeMap<u64, (u32, ObsPhase, SimTime)> = BTreeMap::new();
+    let mut seen_nodes: BTreeMap<u32, ()> = BTreeMap::new();
+    let mut slices: Vec<(SimTime, Json)> = Vec::new();
+    let mut last_at = SimTime::ZERO;
+
+    fn close_slice(
+        open: &mut BTreeMap<u64, (u32, ObsPhase, SimTime)>,
+        slices: &mut Vec<(SimTime, Json)>,
+        family: u64,
+        until: SimTime,
+    ) {
+        if let Some((node, phase, since)) = open.remove(&family) {
+            let dur = until.saturating_duration_since(since);
+            let slice = Json::obj(vec![
+                ("name", Json::str(phase.name())),
+                ("cat", Json::str("phase")),
+                ("ph", Json::str("X")),
+                ("ts", micros(since)),
+                ("dur", Json::F64(dur.as_nanos() as f64 / 1000.0)),
+                ("pid", Json::U64(node as u64)),
+                ("tid", Json::U64(family)),
+            ]);
+            slices.push((since, slice));
+        }
+    }
+
+    for event in events {
+        last_at = last_at.max(event.at);
+        seen_nodes.entry(event.node).or_insert(());
+        match &event.kind {
+            ObsEventKind::PhaseEnter { family, phase } => {
+                close_slice(&mut open, &mut slices, *family, event.at);
+                if !phase.is_terminal() {
+                    open.insert(*family, (event.node, *phase, event.at));
+                }
+            }
+            ObsEventKind::Deadlock { victim, cycle } => {
+                let marker = Json::obj(vec![
+                    (
+                        "name",
+                        Json::str(format!(
+                            "deadlock (victim T{victim}, cycle {})",
+                            cycle.len()
+                        )),
+                    ),
+                    ("cat", Json::str("lock")),
+                    ("ph", Json::str("i")),
+                    ("s", Json::str("g")),
+                    ("ts", micros(event.at)),
+                    ("pid", Json::U64(event.node as u64)),
+                    ("tid", Json::U64(0)),
+                ]);
+                slices.push((event.at, marker));
+            }
+            ObsEventKind::SubAbort { family, txn, .. } => {
+                let marker = Json::obj(vec![
+                    ("name", Json::str(format!("sub-abort T{txn}"))),
+                    ("cat", Json::str("abort")),
+                    ("ph", Json::str("i")),
+                    ("s", Json::str("t")),
+                    ("ts", micros(event.at)),
+                    ("pid", Json::U64(event.node as u64)),
+                    ("tid", Json::U64(*family)),
+                ]);
+                slices.push((event.at, marker));
+            }
+            ObsEventKind::Restart {
+                family, attempt, ..
+            } => {
+                let marker = Json::obj(vec![
+                    ("name", Json::str(format!("restart #{attempt}"))),
+                    ("cat", Json::str("abort")),
+                    ("ph", Json::str("i")),
+                    ("s", Json::str("t")),
+                    ("ts", micros(event.at)),
+                    ("pid", Json::U64(event.node as u64)),
+                    ("tid", Json::U64(*family)),
+                ]);
+                slices.push((event.at, marker));
+            }
+            ObsEventKind::DemandFetch {
+                family,
+                object,
+                page,
+                ..
+            } => {
+                let marker = Json::obj(vec![
+                    ("name", Json::str(format!("demand fetch O{object}/p{page}"))),
+                    ("cat", Json::str("transfer")),
+                    ("ph", Json::str("i")),
+                    ("s", Json::str("t")),
+                    ("ts", micros(event.at)),
+                    ("pid", Json::U64(event.node as u64)),
+                    ("tid", Json::U64(*family)),
+                ]);
+                slices.push((event.at, marker));
+            }
+            _ => {}
+        }
+    }
+    // Close any slice still open at the end of the recording.
+    let families: Vec<u64> = open.keys().copied().collect();
+    for family in families {
+        close_slice(&mut open, &mut slices, family, last_at);
+    }
+
+    let mut trace_events: Vec<Json> = seen_nodes
+        .keys()
+        .map(|&node| {
+            Json::obj(vec![
+                ("name", Json::str("process_name")),
+                ("ph", Json::str("M")),
+                ("ts", Json::F64(0.0)),
+                ("pid", Json::U64(node as u64)),
+                (
+                    "args",
+                    Json::obj(vec![("name", Json::str(format!("node {node}")))]),
+                ),
+            ])
+        })
+        .collect();
+    slices.sort_by_key(|a| a.0);
+    trace_events.extend(slices.into_iter().map(|(_, j)| j));
+
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(trace_events)),
+        ("displayTimeUnit", Json::str("ns")),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<ObsEvent> {
+        vec![
+            ObsEvent {
+                at: SimTime::from_nanos(100),
+                node: 0,
+                kind: ObsEventKind::LockQueued {
+                    object: 3,
+                    txn: 7,
+                    mode: ObsLockMode::Write,
+                    waiters: 2,
+                },
+            },
+            ObsEvent {
+                at: SimTime::from_nanos(150),
+                node: 1,
+                kind: ObsEventKind::PhaseEnter {
+                    family: 2,
+                    phase: ObsPhase::LockWait,
+                },
+            },
+            ObsEvent {
+                at: SimTime::from_nanos(200),
+                node: 1,
+                kind: ObsEventKind::PhaseEnter {
+                    family: 2,
+                    phase: ObsPhase::Running,
+                },
+            },
+            ObsEvent {
+                at: SimTime::from_nanos(250),
+                node: 0,
+                kind: ObsEventKind::Deadlock {
+                    cycle: vec![1, 5, 9],
+                    victim: 9,
+                },
+            },
+            ObsEvent {
+                at: SimTime::from_nanos(300),
+                node: 1,
+                kind: ObsEventKind::GrantPlan {
+                    family: 2,
+                    object: 3,
+                    predicted: vec![0, 1, 4],
+                    actual_reads: vec![0, 1],
+                    actual_writes: vec![4, 5],
+                    planned_pages: 3,
+                    sources: 2,
+                },
+            },
+            ObsEvent {
+                at: SimTime::from_nanos(400),
+                node: 1,
+                kind: ObsEventKind::PhaseEnter {
+                    family: 2,
+                    phase: ObsPhase::Committed,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_exactly() {
+        let events = sample_events();
+        let text = jsonl_encode(&events);
+        let back = jsonl_decode(&text).unwrap();
+        assert_eq!(events, back);
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        assert!(jsonl_decode("{\"kind\": \"nope\"}\n").is_err());
+        assert!(jsonl_decode("not json\n").is_err());
+        let missing_field = "{\"at\":1,\"node\":0,\"kind\":\"phase_enter\",\"family\":1}";
+        assert!(jsonl_decode(missing_field).is_err());
+    }
+
+    #[test]
+    fn chrome_trace_has_monotonic_ts_and_slices() {
+        let trace = chrome_trace(&sample_events());
+        let events = trace.get("traceEvents").unwrap().as_array().unwrap();
+        let mut last = f64::NEG_INFINITY;
+        let mut slice_count = 0;
+        for e in events {
+            let ts = e.get("ts").unwrap().as_f64().unwrap();
+            assert!(ts >= last, "ts went backwards: {ts} < {last}");
+            last = ts;
+            if e.get("ph").unwrap().as_str() == Some("X") {
+                slice_count += 1;
+                assert!(e.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+            }
+        }
+        // lock_wait [150,200) and running [200,400) for family 2.
+        assert_eq!(slice_count, 2);
+        // The whole document survives a JSON re-parse.
+        assert_eq!(Json::parse(&trace.render_pretty()).unwrap(), trace);
+    }
+}

@@ -1,0 +1,33 @@
+//! Structured observability for the LOTEC reproduction.
+//!
+//! The paper's evaluation (§5) is entirely about *attribution*: where do
+//! lock-operation overhead, page propagation and misprediction-triggered
+//! demand fetches spend their time and bytes? This crate provides the
+//! probe layer that makes those questions answerable on any run:
+//!
+//! * [`EventSink`] / [`NoopSink`] / [`RecordingSink`] — the probe trait
+//!   the engine, lock table and transfer planner are generic over. The
+//!   no-op default monomorphizes to nothing (zero cost when disabled).
+//! * [`ObsEvent`] — structured, sim-time-stamped events with primitive
+//!   ids, so this crate sits below `txn`/`core` in the dependency graph.
+//! * [`export`] — lossless JSONL round-trip plus Chrome trace-event JSON
+//!   loadable in Perfetto (one track per node, one slice per family
+//!   phase).
+//! * [`report`] — trace summarization: event census, phase-attributed
+//!   time, prediction precision/recall, gather fan-out.
+//! * [`json`] — the dependency-free JSON value type everything above (and
+//!   the workload persistence layer) serializes through.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod report;
+pub mod sink;
+
+pub use event::{ObsEvent, ObsEventKind, ObsLockMode, ObsPhase, ReleaseCause};
+pub use export::{chrome_trace, event_from_json, event_to_json, jsonl_decode, jsonl_encode};
+pub use json::{Json, JsonError};
+pub use report::{PhaseTimes, PredictionTotals, TraceSummary};
+pub use sink::{EventSink, NoopSink, RecordingSink};

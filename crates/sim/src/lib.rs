@@ -65,7 +65,11 @@ impl<E> Default for Simulator<E> {
 impl<E> Simulator<E> {
     /// Creates an empty simulator with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        Self { queue: EventQueue::new(), now: SimTime::ZERO, delivered: 0 }
+        Self {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            delivered: 0,
+        }
     }
 
     /// The current virtual time.
@@ -95,7 +99,11 @@ impl<E> Simulator<E> {
     /// Panics if `at` is earlier than the current clock — scheduling into
     /// the past would silently corrupt causality.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
         self.queue.push(at, event);
     }
 

@@ -62,7 +62,13 @@ impl Default for Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Histogram { buckets: [0; 65], count: 0, sum: 0, min: u64::MAX, max: 0 }
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
     }
 
     /// Records one sample.

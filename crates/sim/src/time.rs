@@ -234,7 +234,11 @@ mod tests {
 
     #[test]
     fn duration_sum_and_scale() {
-        let parts = [SimDuration::from_nanos(1), SimDuration::from_nanos(2), SimDuration::from_nanos(3)];
+        let parts = [
+            SimDuration::from_nanos(1),
+            SimDuration::from_nanos(2),
+            SimDuration::from_nanos(3),
+        ];
         let total: SimDuration = parts.iter().copied().sum();
         assert_eq!(total, SimDuration::from_nanos(6));
         assert_eq!(total * 2, SimDuration::from_nanos(12));
@@ -244,7 +248,10 @@ mod tests {
     #[test]
     fn from_secs_f64_rounds_and_clamps() {
         assert_eq!(SimDuration::from_secs_f64(1e-9), SimDuration::from_nanos(1));
-        assert_eq!(SimDuration::from_secs_f64(0.5e-9), SimDuration::from_nanos(1)); // round-half-up
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5e-9),
+            SimDuration::from_nanos(1)
+        ); // round-half-up
         assert_eq!(SimDuration::from_secs_f64(-4.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
     }
@@ -264,7 +271,10 @@ mod tests {
         assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
         assert_eq!(b.saturating_sub(a), SimDuration::from_nanos(4));
         let t = SimTime::from_nanos(5);
-        assert_eq!(t.saturating_duration_since(SimTime::from_nanos(9)), SimDuration::ZERO);
+        assert_eq!(
+            t.saturating_duration_since(SimTime::from_nanos(9)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

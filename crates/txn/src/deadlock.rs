@@ -105,6 +105,31 @@ pub fn find_deadlock_cycle(table: &LockTable, tree: &TxnTree) -> Option<Vec<TxnI
     None
 }
 
+/// [`find_deadlock_cycle`] with probe instrumentation: when a cycle is
+/// found, emits a `Deadlock` event naming the cycle members and the
+/// victim [`pick_victim`] would select. `node` is the site running the
+/// detector (by convention the GDO partition that noticed the wait).
+pub fn find_deadlock_cycle_probed<S: lotec_obs::EventSink>(
+    table: &LockTable,
+    tree: &TxnTree,
+    at: lotec_sim::SimTime,
+    node: u32,
+    sink: &mut S,
+) -> Option<Vec<TxnId>> {
+    let cycle = find_deadlock_cycle(table, tree)?;
+    if sink.enabled() {
+        sink.emit(lotec_obs::ObsEvent {
+            at,
+            node,
+            kind: lotec_obs::ObsEventKind::Deadlock {
+                cycle: cycle.iter().map(|t| t.get()).collect(),
+                victim: pick_victim(&cycle).get(),
+            },
+        });
+    }
+    Some(cycle)
+}
+
 /// Chooses the victim of a deadlock cycle: the youngest family (largest
 /// root transaction id — least work lost on restart).
 ///
@@ -170,7 +195,9 @@ mod tests {
         }
         let fams: Vec<TxnId> = (0..3).map(|i| tree.begin_root(n(i))).collect();
         for (i, &f) in fams.iter().enumerate() {
-            table.acquire(obj(i as u32), f, LockMode::Write, &tree).unwrap();
+            table
+                .acquire(obj(i as u32), f, LockMode::Write, &tree)
+                .unwrap();
         }
         for (i, &f) in fams.iter().enumerate() {
             // Each waits on the next object, forming a 3-cycle.
@@ -240,7 +267,7 @@ mod tests {
         table.acquire(obj(1), b, LockMode::Write, &tree).unwrap(); // b holds O1
         table.acquire(obj(0), c, LockMode::Write, &tree).unwrap(); // c queued on O0
         table.acquire(obj(0), b, LockMode::Write, &tree).unwrap(); // b queued behind c
-        // No cycle yet: c -> a, b -> {a, c}.
+                                                                   // No cycle yet: c -> a, b -> {a, c}.
         assert_eq!(find_deadlock_cycle(&table, &tree), None);
         // c additionally waits on O1 (held by b): cycle b <-> c closes,
         // visible only because of the FIFO edge b -> c.

@@ -177,7 +177,12 @@ impl GdoEntry {
     // ---- mutation primitives used by the lock table ----
 
     pub(crate) fn add_holder(&mut self, holder: Holder) {
-        debug_assert!(!self.is_held_by(holder.txn), "{} already holds {}", holder.txn, self.object);
+        debug_assert!(
+            !self.is_held_by(holder.txn),
+            "{} already holds {}",
+            holder.txn,
+            self.object
+        );
         self.holders.push(holder);
     }
 
@@ -216,7 +221,10 @@ impl GdoEntry {
         if let Some(fw) = self.waiting.iter_mut().find(|f| f.family == family) {
             fw.requests.push_back(request);
         } else {
-            self.waiting.push_back(FamilyWaiters { family, requests: VecDeque::from([request]) });
+            self.waiting.push_back(FamilyWaiters {
+                family,
+                requests: VecDeque::from([request]),
+            });
         }
     }
 
@@ -294,7 +302,11 @@ mod tests {
     fn state_flag_tracks_holders_and_retainers() {
         let mut e = entry();
         let t = tid(0);
-        e.add_holder(Holder { txn: t, node: NodeId::new(1), mode: LockMode::Read });
+        e.add_holder(Holder {
+            txn: t,
+            node: NodeId::new(1),
+            mode: LockMode::Read,
+        });
         assert_eq!(e.lock_state(), LockState::Read);
         assert_eq!(e.read_count(), 1);
         e.upgrade_holder(t);
@@ -321,7 +333,11 @@ mod tests {
     fn family_waiter_lists_group_by_family() {
         let mut e = entry();
         let (f1, f2) = (tid(0), tid(1));
-        let req = |t: TxnId| QueuedRequest { txn: t, node: NodeId::new(0), mode: LockMode::Read };
+        let req = |t: TxnId| QueuedRequest {
+            txn: t,
+            node: NodeId::new(0),
+            mode: LockMode::Read,
+        };
         e.enqueue(f1, req(f1));
         e.enqueue(f2, req(f2));
         e.enqueue(f1, req(f1));
@@ -337,7 +353,11 @@ mod tests {
     fn remove_family_waiters_only_hits_target() {
         let mut e = entry();
         let (f1, f2) = (tid(0), tid(1));
-        let req = |t: TxnId| QueuedRequest { txn: t, node: NodeId::new(0), mode: LockMode::Write };
+        let req = |t: TxnId| QueuedRequest {
+            txn: t,
+            node: NodeId::new(0),
+            mode: LockMode::Write,
+        };
         e.enqueue(f1, req(f1));
         e.enqueue(f2, req(f2));
         let removed = e.remove_family_waiters(f1);
@@ -364,7 +384,10 @@ mod tests {
             counts[gdo_home(ObjectId::new(obj), 4).index() as usize] += 1;
         }
         for &c in &counts {
-            assert!((50..=150).contains(&c), "imbalanced partitioning: {counts:?}");
+            assert!(
+                (50..=150).contains(&c),
+                "imbalanced partitioning: {counts:?}"
+            );
         }
     }
 }

@@ -51,10 +51,11 @@ pub mod lock;
 pub mod table;
 pub mod tree;
 
-pub use deadlock::{find_deadlock_cycle, pick_victim};
+pub use deadlock::{find_deadlock_cycle, find_deadlock_cycle_probed, pick_victim};
 pub use gdo::{gdo_home, GdoEntry, LockState, QueuedRequest};
 pub use lock::LockMode;
 pub use table::{
-    AbortRelease, Acquire, CommitRelease, Grant, LockError, LockTable, PreCommitRelease,
+    emit_grant_events, obs_mode, AbortRelease, Acquire, CommitRelease, Grant, LockError, LockTable,
+    PreCommitRelease,
 };
 pub use tree::{TxnId, TxnState, TxnTree};

@@ -31,11 +31,44 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use lotec_mem::{ObjectId, PageIndex};
-use lotec_sim::NodeId;
+use lotec_obs::{EventSink, ObsEvent, ObsEventKind, ObsLockMode, ReleaseCause};
+use lotec_sim::{NodeId, SimTime};
 
 use crate::gdo::{GdoEntry, Holder, QueuedRequest};
 use crate::lock::LockMode;
 use crate::tree::{TxnId, TxnTree};
+
+/// Projects a [`LockMode`] into the probe layer's mirror enum.
+pub fn obs_mode(mode: LockMode) -> ObsLockMode {
+    match mode {
+        LockMode::Read => ObsLockMode::Read,
+        LockMode::Write => ObsLockMode::Write,
+    }
+}
+
+/// Emits one `LockGranted` event per request of each deferred [`Grant`].
+/// Used by the probed release operations; public so the engine can reuse
+/// it for grants it materializes itself.
+pub fn emit_grant_events<S: EventSink>(grants: &[Grant], at: SimTime, sink: &mut S) {
+    if !sink.enabled() {
+        return;
+    }
+    for grant in grants {
+        for req in &grant.requests {
+            sink.emit(ObsEvent {
+                at,
+                node: req.node.index(),
+                kind: ObsEventKind::LockGranted {
+                    object: grant.object.index(),
+                    txn: req.txn.get(),
+                    mode: obs_mode(req.mode),
+                    global: true,
+                    holders: grant.holders as u32,
+                },
+            });
+        }
+    }
+}
 
 /// Outcome of a successful (non-erroring) acquisition attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -166,7 +199,9 @@ impl LockTable {
     ///
     /// Panics if the object is already registered or `num_pages` is zero.
     pub fn register_object(&mut self, object: ObjectId, num_pages: u16, home: NodeId) {
-        let prev = self.entries.insert(object, GdoEntry::new(object, num_pages, home));
+        let prev = self
+            .entries
+            .insert(object, GdoEntry::new(object, num_pages, home));
         assert!(prev.is_none(), "object {object} registered twice");
     }
 
@@ -176,7 +211,9 @@ impl LockTable {
     ///
     /// Returns [`LockError::UnknownObject`] if unregistered.
     pub fn entry(&self, object: ObjectId) -> Result<&GdoEntry, LockError> {
-        self.entries.get(&object).ok_or(LockError::UnknownObject(object))
+        self.entries
+            .get(&object)
+            .ok_or(LockError::UnknownObject(object))
     }
 
     /// Mutable GDO entry access (page-map updates by the engine).
@@ -185,7 +222,9 @@ impl LockTable {
     ///
     /// Returns [`LockError::UnknownObject`] if unregistered.
     pub fn entry_mut(&mut self, object: ObjectId) -> Result<&mut GdoEntry, LockError> {
-        self.entries.get_mut(&object).ok_or(LockError::UnknownObject(object))
+        self.entries
+            .get_mut(&object)
+            .ok_or(LockError::UnknownObject(object))
     }
 
     /// Objects currently held by `txn`.
@@ -231,7 +270,10 @@ impl LockTable {
     ) -> Result<Acquire, LockError> {
         let node = tree.node_of(txn);
         let family = tree.root_of(txn);
-        let entry = self.entries.get_mut(&object).ok_or(LockError::UnknownObject(object))?;
+        let entry = self
+            .entries
+            .get_mut(&object)
+            .ok_or(LockError::UnknownObject(object))?;
 
         // Re-request / upgrade by the same transaction.
         if let Some(held) = entry.held_mode(txn) {
@@ -246,15 +288,25 @@ impl LockTable {
                 entry.upgrade_holder(txn);
                 // Upgrades consult the GDO (the read lock may be shared
                 // elsewhere); treat as a global operation.
-                return Ok(Acquire::GlobalGrant { holders: entry.holders().len() });
+                return Ok(Acquire::GlobalGrant {
+                    holders: entry.holders().len(),
+                });
             }
             entry.enqueue(family, QueuedRequest { txn, node, mode });
             return Ok(Acquire::Queued);
         }
 
         // Mutual recursion check: lock *held* by an ancestor (§3.4).
-        if let Some(h) = entry.holders().iter().find(|h| tree.is_ancestor(h.txn, txn)) {
-            return Err(LockError::RecursionPrecluded { txn, ancestor: h.txn, object });
+        if let Some(h) = entry
+            .holders()
+            .iter()
+            .find(|h| tree.is_ancestor(h.txn, txn))
+        {
+            return Err(LockError::RecursionPrecluded {
+                txn,
+                ancestor: h.txn,
+                object,
+            });
         }
 
         // Conflicts with current holders (necessarily non-ancestors now).
@@ -299,8 +351,63 @@ impl LockTable {
         if local {
             Ok(Acquire::LocalGrant)
         } else {
-            Ok(Acquire::GlobalGrant { holders: holders_after })
+            Ok(Acquire::GlobalGrant {
+                holders: holders_after,
+            })
         }
+    }
+
+    /// [`LockTable::acquire`] with probe instrumentation: emits a
+    /// `LockQueued` or `LockGranted` event describing the outcome. The
+    /// sink's `enabled()` gate makes this identical to plain `acquire`
+    /// when observation is off.
+    pub fn acquire_probed<S: EventSink>(
+        &mut self,
+        object: ObjectId,
+        txn: TxnId,
+        mode: LockMode,
+        tree: &TxnTree,
+        at: SimTime,
+        sink: &mut S,
+    ) -> Result<Acquire, LockError> {
+        let result = self.acquire(object, txn, mode, tree);
+        if sink.enabled() {
+            let node = tree.node_of(txn).index();
+            match &result {
+                Ok(Acquire::Queued) => {
+                    let waiters = self.entries[&object].num_waiting() as u32;
+                    sink.emit(ObsEvent {
+                        at,
+                        node,
+                        kind: ObsEventKind::LockQueued {
+                            object: object.index(),
+                            txn: txn.get(),
+                            mode: obs_mode(mode),
+                            waiters,
+                        },
+                    });
+                }
+                Ok(grant @ (Acquire::LocalGrant | Acquire::GlobalGrant { .. })) => {
+                    let holders = match grant {
+                        Acquire::GlobalGrant { holders } => *holders,
+                        _ => self.entries[&object].holders().len(),
+                    };
+                    sink.emit(ObsEvent {
+                        at,
+                        node,
+                        kind: ObsEventKind::LockGranted {
+                            object: object.index(),
+                            txn: txn.get(),
+                            mode: obs_mode(mode),
+                            global: matches!(grant, Acquire::GlobalGrant { .. }),
+                            holders: holders as u32,
+                        },
+                    });
+                }
+                Err(_) => {}
+            }
+        }
+        result
     }
 
     // ---------------------------------------------------------------
@@ -319,14 +426,20 @@ impl LockTable {
         let mut inherited = Vec::new();
 
         for object in self.held_by.remove(&txn).unwrap_or_default() {
-            let entry = self.entries.get_mut(&object).expect("held object registered");
+            let entry = self
+                .entries
+                .get_mut(&object)
+                .expect("held object registered");
             let holder = entry.remove_holder(txn).expect("index said txn holds");
             entry.add_retainer(parent, holder.mode);
             self.retained_by.entry(parent).or_default().insert(object);
             inherited.push(object);
         }
         for object in self.retained_by.remove(&txn).unwrap_or_default() {
-            let entry = self.entries.get_mut(&object).expect("retained object registered");
+            let entry = self
+                .entries
+                .get_mut(&object)
+                .expect("retained object registered");
             let mode = entry.remove_retainer(txn).expect("index said txn retains");
             entry.add_retainer(parent, mode);
             self.retained_by.entry(parent).or_default().insert(object);
@@ -337,6 +450,35 @@ impl LockTable {
         PreCommitRelease { inherited }
     }
 
+    /// [`LockTable::release_pre_commit`] with probe instrumentation: one
+    /// `LockRetained` event per inherited object.
+    pub fn release_pre_commit_probed<S: EventSink>(
+        &mut self,
+        txn: TxnId,
+        tree: &TxnTree,
+        at: SimTime,
+        sink: &mut S,
+    ) -> PreCommitRelease {
+        let parent = tree.parent(txn);
+        let out = self.release_pre_commit(txn, tree);
+        if sink.enabled() {
+            let node = tree.node_of(txn).index();
+            let parent = parent.expect("pre-commit of a root transaction").get();
+            for &object in &out.inherited {
+                sink.emit(ObsEvent {
+                    at,
+                    node,
+                    kind: ObsEventKind::LockRetained {
+                        object: object.index(),
+                        txn: txn.get(),
+                        parent,
+                    },
+                });
+            }
+        }
+        out
+    }
+
     /// Abort of [sub-]transaction `txn` (rule 4): locks return to a
     /// retaining ancestor when one exists, otherwise they are released —
     /// possibly unblocking waiting families.
@@ -345,8 +487,16 @@ impl LockTable {
         let held = self.held_by.remove(&txn).unwrap_or_default();
         let retained = self.retained_by.remove(&txn).unwrap_or_default();
 
-        for object in held.iter().chain(retained.iter()).copied().collect::<BTreeSet<_>>() {
-            let entry = self.entries.get_mut(&object).expect("indexed object registered");
+        for object in held
+            .iter()
+            .chain(retained.iter())
+            .copied()
+            .collect::<BTreeSet<_>>()
+        {
+            let entry = self
+                .entries
+                .get_mut(&object)
+                .expect("indexed object registered");
             entry.remove_holder(txn);
             entry.remove_retainer(txn);
             let ancestor_retains = entry
@@ -361,6 +511,35 @@ impl LockTable {
         // Collect grants after all of txn's presence is gone.
         for &object in &out.released {
             self.try_grant_next(object, tree, &mut out.grants);
+        }
+        out
+    }
+
+    /// [`LockTable::release_abort`] with probe instrumentation: one
+    /// `LockReleased` event per globally released object, plus
+    /// `LockGranted` events for any unblocked waiters.
+    pub fn release_abort_probed<S: EventSink>(
+        &mut self,
+        txn: TxnId,
+        tree: &TxnTree,
+        at: SimTime,
+        sink: &mut S,
+    ) -> AbortRelease {
+        let out = self.release_abort(txn, tree);
+        if sink.enabled() {
+            let node = tree.node_of(txn).index();
+            for &object in &out.released {
+                sink.emit(ObsEvent {
+                    at,
+                    node,
+                    kind: ObsEventKind::LockReleased {
+                        object: object.index(),
+                        txn: txn.get(),
+                        cause: ReleaseCause::Abort,
+                    },
+                });
+            }
+            emit_grant_events(&out.grants, at, sink);
         }
         out
     }
@@ -385,7 +564,10 @@ impl LockTable {
         assert!(tree.parent(root).is_none(), "{root} is not a root");
         // Record dirty info in the page maps first (Alg. 4.4's first loop).
         for (object, pages) in dirty {
-            let entry = self.entries.get_mut(object).expect("dirty object registered");
+            let entry = self
+                .entries
+                .get_mut(object)
+                .expect("dirty object registered");
             for &page in pages {
                 entry.page_map_mut().record_update(page, node);
             }
@@ -394,8 +576,16 @@ impl LockTable {
         let mut out = CommitRelease::default();
         let held = self.held_by.remove(&root).unwrap_or_default();
         let retained = self.retained_by.remove(&root).unwrap_or_default();
-        for object in held.iter().chain(retained.iter()).copied().collect::<BTreeSet<_>>() {
-            let entry = self.entries.get_mut(&object).expect("indexed object registered");
+        for object in held
+            .iter()
+            .chain(retained.iter())
+            .copied()
+            .collect::<BTreeSet<_>>()
+        {
+            let entry = self
+                .entries
+                .get_mut(&object)
+                .expect("indexed object registered");
             entry.remove_holder(root);
             entry.remove_retainer(root);
             debug_assert!(
@@ -406,6 +596,36 @@ impl LockTable {
         }
         for &object in &out.released {
             self.try_grant_next(object, tree, &mut out.grants);
+        }
+        out
+    }
+
+    /// [`LockTable::release_root_commit`] with probe instrumentation: one
+    /// `LockReleased` event per released object, plus `LockGranted`
+    /// events for unblocked waiters.
+    pub fn release_root_commit_probed<S: EventSink>(
+        &mut self,
+        root: TxnId,
+        tree: &TxnTree,
+        dirty: &[(ObjectId, Vec<PageIndex>)],
+        node: NodeId,
+        at: SimTime,
+        sink: &mut S,
+    ) -> CommitRelease {
+        let out = self.release_root_commit(root, tree, dirty, node);
+        if sink.enabled() {
+            for &object in &out.released {
+                sink.emit(ObsEvent {
+                    at,
+                    node: node.index(),
+                    kind: ObsEventKind::LockReleased {
+                        object: object.index(),
+                        txn: root.get(),
+                        cause: ReleaseCause::RootCommit,
+                    },
+                });
+            }
+            emit_grant_events(&out.grants, at, sink);
         }
         out
     }
@@ -439,15 +659,29 @@ impl LockTable {
             debug_assert_eq!(fw.family, family);
             let mut requests = Vec::with_capacity(fw.requests.len());
             for req in fw.requests {
-                entry.add_holder(Holder { txn: req.txn, node: req.node, mode: req.mode });
+                entry.add_holder(Holder {
+                    txn: req.txn,
+                    node: req.node,
+                    mode: req.mode,
+                });
                 self.held_by.entry(req.txn).or_default().insert(object);
                 requests.push(req);
             }
             let holders = self.entries[&object].holders().len();
-            grants.push(Grant { object, requests, holders });
+            grants.push(Grant {
+                object,
+                requests,
+                holders,
+            });
             // Read batching: if the grant was read-only, the following
             // family may also be read-compatible — loop and try again.
-            if grants.last().expect("just pushed").requests.iter().any(|r| r.mode.is_write()) {
+            if grants
+                .last()
+                .expect("just pushed")
+                .requests
+                .iter()
+                .any(|r| r.mode.is_write())
+            {
                 return;
             }
         }
@@ -481,12 +715,30 @@ impl LockTable {
         grants
     }
 
+    /// [`LockTable::regrant`] with probe instrumentation: `LockGranted`
+    /// events for every grant materialized.
+    pub fn regrant_probed<S: EventSink>(
+        &mut self,
+        objects: &[ObjectId],
+        tree: &TxnTree,
+        at: SimTime,
+        sink: &mut S,
+    ) -> Vec<Grant> {
+        let grants = self.regrant(objects, tree);
+        emit_grant_events(&grants, at, sink);
+        grants
+    }
+
     /// Internal consistency check used by tests and debug assertions:
     /// indexes match entries; at most one write holder per object; write
     /// holder excludes other holders from different families.
     pub fn check_invariants(&self, tree: &TxnTree) -> Result<(), String> {
         for (object, entry) in &self.entries {
-            let writers: Vec<_> = entry.holders().iter().filter(|h| h.mode.is_write()).collect();
+            let writers: Vec<_> = entry
+                .holders()
+                .iter()
+                .filter(|h| h.mode.is_write())
+                .collect();
             if writers.len() > 1 {
                 return Err(format!("{object}: multiple write holders"));
             }
@@ -558,8 +810,14 @@ mod tests {
         let (mut tree, mut table) = setup(1);
         let a = tree.begin_root(n(1));
         let b = tree.begin_root(n(2));
-        assert!(table.acquire(obj(0), a, LockMode::Read, &tree).unwrap().is_granted());
-        assert!(table.acquire(obj(0), b, LockMode::Read, &tree).unwrap().is_granted());
+        assert!(table
+            .acquire(obj(0), a, LockMode::Read, &tree)
+            .unwrap()
+            .is_granted());
+        assert!(table
+            .acquire(obj(0), b, LockMode::Read, &tree)
+            .unwrap()
+            .is_granted());
         assert_eq!(table.entry(obj(0)).unwrap().read_count(), 2);
         table.check_invariants(&tree).unwrap();
     }
@@ -570,7 +828,10 @@ mod tests {
         let a = tree.begin_root(n(1));
         let b = tree.begin_root(n(2));
         table.acquire(obj(0), a, LockMode::Write, &tree).unwrap();
-        assert_eq!(table.acquire(obj(0), b, LockMode::Read, &tree).unwrap(), Acquire::Queued);
+        assert_eq!(
+            table.acquire(obj(0), b, LockMode::Read, &tree).unwrap(),
+            Acquire::Queued
+        );
         assert_eq!(table.entry(obj(0)).unwrap().num_waiting(), 1);
     }
 
@@ -580,7 +841,10 @@ mod tests {
         let a = tree.begin_root(n(1));
         let b = tree.begin_root(n(2));
         table.acquire(obj(0), a, LockMode::Read, &tree).unwrap();
-        assert_eq!(table.acquire(obj(0), b, LockMode::Write, &tree).unwrap(), Acquire::Queued);
+        assert_eq!(
+            table.acquire(obj(0), b, LockMode::Write, &tree).unwrap(),
+            Acquire::Queued
+        );
     }
 
     #[test]
@@ -590,7 +854,14 @@ mod tests {
         table.acquire(obj(0), r, LockMode::Write, &tree).unwrap();
         let c = tree.begin_child(r);
         let err = table.acquire(obj(0), c, LockMode::Read, &tree).unwrap_err();
-        assert_eq!(err, LockError::RecursionPrecluded { txn: c, ancestor: r, object: obj(0) });
+        assert_eq!(
+            err,
+            LockError::RecursionPrecluded {
+                txn: c,
+                ancestor: r,
+                object: obj(0)
+            }
+        );
     }
 
     #[test]
@@ -618,7 +889,9 @@ mod tests {
         table.release_pre_commit(c, &tree);
         let foreign = tree.begin_root(n(2));
         assert_eq!(
-            table.acquire(obj(0), foreign, LockMode::Read, &tree).unwrap(),
+            table
+                .acquire(obj(0), foreign, LockMode::Read, &tree)
+                .unwrap(),
             Acquire::Queued,
             "retained write lock blocks foreign readers"
         );
@@ -633,9 +906,17 @@ mod tests {
         tree.pre_commit(c);
         table.release_pre_commit(c, &tree);
         let reader = tree.begin_root(n(2));
-        assert!(table.acquire(obj(0), reader, LockMode::Read, &tree).unwrap().is_granted());
+        assert!(table
+            .acquire(obj(0), reader, LockMode::Read, &tree)
+            .unwrap()
+            .is_granted());
         let writer = tree.begin_root(n(3));
-        assert_eq!(table.acquire(obj(0), writer, LockMode::Write, &tree).unwrap(), Acquire::Queued);
+        assert_eq!(
+            table
+                .acquire(obj(0), writer, LockMode::Write, &tree)
+                .unwrap(),
+            Acquire::Queued
+        );
     }
 
     #[test]
@@ -644,7 +925,10 @@ mod tests {
         let a = tree.begin_root(n(1));
         let b = tree.begin_root(n(2));
         table.acquire(obj(0), a, LockMode::Write, &tree).unwrap();
-        assert_eq!(table.acquire(obj(0), b, LockMode::Write, &tree).unwrap(), Acquire::Queued);
+        assert_eq!(
+            table.acquire(obj(0), b, LockMode::Write, &tree).unwrap(),
+            Acquire::Queued
+        );
         tree.commit_root(a);
         let rel = table.release_root_commit(a, &tree, &[], n(1));
         assert_eq!(rel.released, vec![obj(0)]);
@@ -673,7 +957,12 @@ mod tests {
         assert!(!table.entry(obj(0)).unwrap().is_retained_by(c));
         // Only root commit frees it for others.
         let foreign = tree.begin_root(n(2));
-        assert_eq!(table.acquire(obj(0), foreign, LockMode::Write, &tree).unwrap(), Acquire::Queued);
+        assert_eq!(
+            table
+                .acquire(obj(0), foreign, LockMode::Write, &tree)
+                .unwrap(),
+            Acquire::Queued
+        );
         tree.commit_root(r);
         let rel = table.release_root_commit(r, &tree, &[], n(1));
         assert_eq!(rel.grants.len(), 1);
@@ -695,7 +984,10 @@ mod tests {
         let rel = table.release_abort(c2, &tree);
         assert_eq!(rel.returned_to_ancestor, vec![obj(0)]);
         assert!(rel.released.is_empty());
-        assert!(table.entry(obj(0)).unwrap().is_retained_by(r), "r retains again");
+        assert!(
+            table.entry(obj(0)).unwrap().is_retained_by(r),
+            "r retains again"
+        );
         table.check_invariants(&tree).unwrap();
     }
 
@@ -706,7 +998,12 @@ mod tests {
         let c = tree.begin_child(r);
         table.acquire(obj(0), c, LockMode::Write, &tree).unwrap();
         let foreign = tree.begin_root(n(2));
-        assert_eq!(table.acquire(obj(0), foreign, LockMode::Read, &tree).unwrap(), Acquire::Queued);
+        assert_eq!(
+            table
+                .acquire(obj(0), foreign, LockMode::Read, &tree)
+                .unwrap(),
+            Acquire::Queued
+        );
         tree.abort(c);
         let rel = table.release_abort(c, &tree);
         assert_eq!(rel.released, vec![obj(0)]);
@@ -739,11 +1036,17 @@ mod tests {
         let a = tree.begin_root(n(1));
         table.acquire(obj(0), a, LockMode::Read, &tree).unwrap();
         let w = tree.begin_root(n(2));
-        assert_eq!(table.acquire(obj(0), w, LockMode::Write, &tree).unwrap(), Acquire::Queued);
+        assert_eq!(
+            table.acquire(obj(0), w, LockMode::Write, &tree).unwrap(),
+            Acquire::Queued
+        );
         // A new foreign reader would be compatible with the held read lock,
         // but must not barge past the queued writer.
         let late = tree.begin_root(n(3));
-        assert_eq!(table.acquire(obj(0), late, LockMode::Read, &tree).unwrap(), Acquire::Queued);
+        assert_eq!(
+            table.acquire(obj(0), late, LockMode::Read, &tree).unwrap(),
+            Acquire::Queued
+        );
     }
 
     #[test]
@@ -760,7 +1063,12 @@ mod tests {
         table.release_pre_commit(c1, &tree);
         // Foreign family queues on the retained lock.
         let foreign = tree.begin_root(n(2));
-        assert_eq!(table.acquire(obj(0), foreign, LockMode::Write, &tree).unwrap(), Acquire::Queued);
+        assert_eq!(
+            table
+                .acquire(obj(0), foreign, LockMode::Write, &tree)
+                .unwrap(),
+            Acquire::Queued
+        );
         // A second child of r must still get the lock locally.
         let c2 = tree.begin_child(r);
         assert_eq!(
@@ -776,11 +1084,23 @@ mod tests {
         // the family behind it to be granted, or it waits forever.
         let (mut tree, mut table) = setup(1);
         let holder = tree.begin_root(n(1));
-        table.acquire(obj(0), holder, LockMode::Read, &tree).unwrap();
+        table
+            .acquire(obj(0), holder, LockMode::Read, &tree)
+            .unwrap();
         let victim = tree.begin_root(n(2));
-        assert_eq!(table.acquire(obj(0), victim, LockMode::Write, &tree).unwrap(), Acquire::Queued);
+        assert_eq!(
+            table
+                .acquire(obj(0), victim, LockMode::Write, &tree)
+                .unwrap(),
+            Acquire::Queued
+        );
         let reader = tree.begin_root(n(3));
-        assert_eq!(table.acquire(obj(0), reader, LockMode::Read, &tree).unwrap(), Acquire::Queued);
+        assert_eq!(
+            table
+                .acquire(obj(0), reader, LockMode::Read, &tree)
+                .unwrap(),
+            Acquire::Queued
+        );
         // The victim family is aborted while waiting; its entry vanishes.
         tree.abort(victim);
         let touched = table.cancel_family_waiters(victim);
@@ -800,7 +1120,10 @@ mod tests {
         table.acquire(obj(0), r, LockMode::Read, &tree).unwrap();
         let got = table.acquire(obj(0), r, LockMode::Write, &tree).unwrap();
         assert!(got.is_granted());
-        assert_eq!(table.entry(obj(0)).unwrap().held_mode(r), Some(LockMode::Write));
+        assert_eq!(
+            table.entry(obj(0)).unwrap().held_mode(r),
+            Some(LockMode::Write)
+        );
     }
 
     #[test]
@@ -810,7 +1133,10 @@ mod tests {
         let b = tree.begin_root(n(2));
         table.acquire(obj(0), a, LockMode::Read, &tree).unwrap();
         table.acquire(obj(0), b, LockMode::Read, &tree).unwrap();
-        assert_eq!(table.acquire(obj(0), a, LockMode::Write, &tree).unwrap(), Acquire::Queued);
+        assert_eq!(
+            table.acquire(obj(0), a, LockMode::Write, &tree).unwrap(),
+            Acquire::Queued
+        );
     }
 
     #[test]
@@ -818,8 +1144,16 @@ mod tests {
         let (mut tree, mut table) = setup(1);
         let r = tree.begin_root(n(1));
         table.acquire(obj(0), r, LockMode::Write, &tree).unwrap();
-        let err = table.acquire(obj(0), r, LockMode::Write, &tree).unwrap_err();
-        assert_eq!(err, LockError::AlreadyHeld { txn: r, object: obj(0) });
+        let err = table
+            .acquire(obj(0), r, LockMode::Write, &tree)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            LockError::AlreadyHeld {
+                txn: r,
+                object: obj(0)
+            }
+        );
     }
 
     #[test]
@@ -841,7 +1175,11 @@ mod tests {
         let map = table.entry(obj(0)).unwrap().page_map();
         assert_eq!(map.location(PageIndex::new(1)).node, n(3));
         assert_eq!(map.location(PageIndex::new(1)).version.get(), 1);
-        assert_eq!(map.location(PageIndex::new(0)).version.get(), 0, "untouched page");
+        assert_eq!(
+            map.location(PageIndex::new(0)).version.get(),
+            0,
+            "untouched page"
+        );
     }
 
     #[test]
@@ -856,6 +1194,82 @@ mod tests {
         let touched = table.cancel_family_waiters(b);
         assert_eq!(touched, vec![obj(0), obj(1)]);
         assert_eq!(table.entry(obj(0)).unwrap().num_waiting(), 0);
+    }
+
+    #[test]
+    fn probed_ops_match_plain_ops_and_record_events() {
+        use lotec_obs::{NoopSink, ObsEventKind, RecordingSink};
+        let t0 = SimTime::ZERO;
+
+        // Drive the same schedule through plain and probed paths.
+        let run = |probed: bool, sink: &mut RecordingSink| {
+            let (mut tree, mut table) = setup(1);
+            let a = tree.begin_root(n(1));
+            let b = tree.begin_root(n(2));
+            let c = tree.begin_child(a);
+            let acquire =
+                |table: &mut LockTable, tree: &TxnTree, sink: &mut RecordingSink, txn, mode| {
+                    if probed {
+                        table
+                            .acquire_probed(obj(0), txn, mode, tree, t0, sink)
+                            .unwrap()
+                    } else {
+                        table.acquire(obj(0), txn, mode, tree).unwrap()
+                    }
+                };
+            let g1 = acquire(&mut table, &tree, sink, c, LockMode::Write);
+            let q = acquire(&mut table, &tree, sink, b, LockMode::Read);
+            tree.pre_commit(c);
+            let pre = if probed {
+                table.release_pre_commit_probed(c, &tree, t0, sink)
+            } else {
+                table.release_pre_commit(c, &tree)
+            };
+            tree.commit_root(a);
+            let rel = if probed {
+                table.release_root_commit_probed(a, &tree, &[], n(1), t0, sink)
+            } else {
+                table.release_root_commit(a, &tree, &[], n(1))
+            };
+            (g1, q, pre, rel)
+        };
+
+        let mut ignored = RecordingSink::new();
+        let plain = run(false, &mut ignored);
+        assert!(ignored.is_empty(), "plain path must not emit");
+        let mut sink = RecordingSink::new();
+        let probed = run(true, &mut sink);
+        assert_eq!(plain, probed, "probing must not change outcomes");
+
+        let kinds: Vec<&str> = sink.events().iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "lock_granted",
+                "lock_queued",
+                "lock_retained",
+                "lock_released",
+                "lock_granted"
+            ]
+        );
+        // The deferred grant names the queued reader.
+        match &sink.events().last().unwrap().kind {
+            ObsEventKind::LockGranted { global, mode, .. } => {
+                assert!(*global);
+                assert_eq!(*mode, lotec_obs::ObsLockMode::Read);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+
+        // A NoopSink through the probed path also records nothing and
+        // still returns identical results.
+        let (mut tree, mut table) = setup(1);
+        let r = tree.begin_root(n(1));
+        let mut noop = NoopSink;
+        let got = table
+            .acquire_probed(obj(0), r, LockMode::Write, &tree, t0, &mut noop)
+            .unwrap();
+        assert_eq!(got, Acquire::GlobalGrant { holders: 1 });
     }
 
     #[test]
@@ -878,7 +1292,10 @@ mod tests {
         assert_eq!(rel.released.len(), 3);
         table.check_invariants(&tree).unwrap();
         for i in 0..3 {
-            assert_eq!(table.entry(obj(i)).unwrap().lock_state(), crate::gdo::LockState::Free);
+            assert_eq!(
+                table.entry(obj(i)).unwrap().lock_state(),
+                crate::gdo::LockState::Free
+            );
         }
     }
 }

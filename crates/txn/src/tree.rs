@@ -73,7 +73,14 @@ impl TxnTree {
         self.next_id += 1;
         self.records.insert(
             id,
-            TxnRecord { parent: None, root: id, node, state: TxnState::Active, children: Vec::new(), depth: 0 },
+            TxnRecord {
+                parent: None,
+                root: id,
+                node,
+                state: TxnState::Active,
+                children: Vec::new(),
+                depth: 0,
+            },
         );
         id
     }
@@ -93,14 +100,27 @@ impl TxnTree {
         self.next_id += 1;
         self.records.insert(
             id,
-            TxnRecord { parent: Some(parent), root, node, state: TxnState::Active, children: Vec::new(), depth },
+            TxnRecord {
+                parent: Some(parent),
+                root,
+                node,
+                state: TxnState::Active,
+                children: Vec::new(),
+                depth,
+            },
         );
-        self.records.get_mut(&parent).expect("parent exists").children.push(id);
+        self.records
+            .get_mut(&parent)
+            .expect("parent exists")
+            .children
+            .push(id);
         id
     }
 
     fn record(&self, txn: TxnId) -> &TxnRecord {
-        self.records.get(&txn).unwrap_or_else(|| panic!("unknown transaction {txn}"))
+        self.records
+            .get(&txn)
+            .unwrap_or_else(|| panic!("unknown transaction {txn}"))
     }
 
     /// The transaction's current state.
@@ -192,7 +212,10 @@ impl TxnTree {
     /// has active children — rule 3 of §4.1: a transaction cannot
     /// pre-commit until all its sub-transactions have finished.
     pub fn pre_commit(&mut self, txn: TxnId) {
-        assert!(self.record(txn).parent.is_some(), "{txn} is a root; use commit_root");
+        assert!(
+            self.record(txn).parent.is_some(),
+            "{txn} is a root; use commit_root"
+        );
         self.transition(txn, TxnState::PreCommitted);
     }
 
@@ -223,7 +246,10 @@ impl TxnTree {
             .iter()
             .filter(|&&c| self.record(c).state == TxnState::Active)
             .count();
-        assert_eq!(active_children, 0, "{txn} still has {active_children} active children");
+        assert_eq!(
+            active_children, 0,
+            "{txn} still has {active_children} active children"
+        );
         let rec = self.records.get_mut(&txn).expect("checked above");
         assert_eq!(rec.state, TxnState::Active, "{txn} is not active");
         rec.state = to;

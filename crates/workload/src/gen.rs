@@ -81,7 +81,10 @@ pub struct Scenario {
 impl Scenario {
     /// Creates a scenario.
     pub fn new(name: impl Into<String>, config: WorkloadConfig) -> Self {
-        Scenario { name: name.into(), config }
+        Scenario {
+            name: name.into(),
+            config,
+        }
     }
 
     /// Generates the registry and families.
@@ -123,7 +126,9 @@ impl Scenario {
 /// Returns [`WorkloadError`] if the schema fails to compile or a generated
 /// family fails validation (both indicate generator bugs, surfaced rather
 /// than panicking so the bench harness can report them).
-pub fn generate(config: &WorkloadConfig) -> Result<(ObjectRegistry, Vec<FamilySpec>), WorkloadError> {
+pub fn generate(
+    config: &WorkloadConfig,
+) -> Result<(ObjectRegistry, Vec<FamilySpec>), WorkloadError> {
     let root_rng = SimRng::seed_from_u64(config.seed);
     let mut schema_rng = root_rng.fork(1);
     let mut placement_rng = root_rng.fork(2);
@@ -193,7 +198,11 @@ pub fn generate(config: &WorkloadConfig) -> Result<(ObjectRegistry, Vec<FamilySp
             // has an instance when num_objects >= 1.
             continue;
         };
-        let family = FamilySpec { node, start: clock, root };
+        let family = FamilySpec {
+            node,
+            start: clock,
+            root,
+        };
         validate_family(&family, &registry, &sys)
             .map_err(|e| WorkloadError::InvalidFamily(e.to_string()))?;
         families.push(family);
@@ -235,8 +244,8 @@ fn build_invocation(
     let num_methods = compiled.class().methods().len();
     // A nested invocation's method is dictated by the parent's invocation
     // site; only the root draws freely.
-    let method = required_method
-        .unwrap_or_else(|| MethodId::new(rng.next_below(num_methods as u64) as u32));
+    let method =
+        required_method.unwrap_or_else(|| MethodId::new(rng.next_below(num_methods as u64) as u32));
     let num_paths = compiled.num_paths(method);
     let path = PathId::new(rng.next_below(num_paths as u64) as u32);
 
@@ -273,7 +282,13 @@ fn build_invocation(
     locked.pop();
 
     let abort = !is_root && rng.chance(abort_prob);
-    Some(InvocationSpec { object, method, path, children, abort })
+    Some(InvocationSpec {
+        object,
+        method,
+        path,
+        children,
+        abort,
+    })
 }
 
 #[cfg(test)]
@@ -293,8 +308,15 @@ mod tests {
     fn generates_valid_families() {
         let (registry, families) = generate(&small_config()).unwrap();
         assert_eq!(registry.num_objects(), 12);
-        assert!(families.len() >= 25, "most draws should succeed: {}", families.len());
-        let sys = SystemConfig { num_nodes: 4, ..SystemConfig::default() };
+        assert!(
+            families.len() >= 25,
+            "most draws should succeed: {}",
+            families.len()
+        );
+        let sys = SystemConfig {
+            num_nodes: 4,
+            ..SystemConfig::default()
+        };
         for f in &families {
             validate_family(f, &registry, &sys).unwrap();
         }
@@ -306,7 +328,10 @@ mod tests {
         let (r2, f2) = generate(&small_config()).unwrap();
         assert_eq!(f1, f2);
         assert_eq!(r1.num_objects(), r2.num_objects());
-        let other = WorkloadConfig { seed: 1, ..small_config() };
+        let other = WorkloadConfig {
+            seed: 1,
+            ..small_config()
+        };
         let (_, f3) = generate(&other).unwrap();
         assert_ne!(f1, f3);
     }
@@ -334,18 +359,28 @@ mod tests {
         }
         let max = counts.values().copied().max().unwrap();
         let avg = families.len() as u32 / counts.len().max(1) as u32;
-        assert!(max > avg * 2, "skew should produce hot objects: max {max}, avg {avg}");
+        assert!(
+            max > avg * 2,
+            "skew should produce hot objects: max {max}, avg {avg}"
+        );
     }
 
     #[test]
     fn abort_injection_marks_subtransactions_only() {
-        let config = WorkloadConfig { abort_prob: 0.5, num_families: 100, ..small_config() };
+        let config = WorkloadConfig {
+            abort_prob: 0.5,
+            num_families: 100,
+            ..small_config()
+        };
         let (_, families) = generate(&config).unwrap();
         let mut injected = 0;
         for f in &families {
             assert!(!f.root.abort, "roots are never fault-injected");
             fn count(inv: &InvocationSpec) -> u32 {
-                inv.children.iter().map(|c| u32::from(c.abort) + count(c)).sum()
+                inv.children
+                    .iter()
+                    .map(|c| u32::from(c.abort) + count(c))
+                    .sum()
             }
             injected += count(&f.root);
         }

@@ -5,131 +5,132 @@
 //! reproduce a workload bit-for-bit anywhere — handy for sharing
 //! regression cases and for pinning the exact parameters behind a
 //! published figure.
+//!
+//! Serialization goes through the dependency-free [`lotec_obs::json`]
+//! value type (the build environment cannot fetch `serde`).
 
-use serde::{Deserialize, Serialize};
-
+use lotec_obs::json::{Json, JsonError};
 use lotec_sim::SimDuration;
 
 use crate::gen::{Scenario, WorkloadConfig};
 use crate::schema::SchemaConfig;
 
-/// Serializable mirror of [`SchemaConfig`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct SchemaConfigDto {
-    num_classes: u32,
-    pages_min: u16,
-    pages_max: u16,
-    page_size: u32,
-    attrs_min: u16,
-    attrs_max: u16,
-    methods_per_class: u32,
-    paths_per_method: u32,
-    attr_touch_prob: f64,
-    write_prob: f64,
-    read_only_method_prob: f64,
-    invoke_prob: f64,
-    #[serde(default = "default_max_sites")]
-    max_sites_per_path: u32,
+fn u64_field(json: &Json, key: &str) -> Result<u64, JsonError> {
+    json.require(key)?
+        .as_u64()
+        .ok_or_else(|| JsonError::new(format!("`{key}` must be a non-negative integer")))
 }
 
-fn default_max_sites() -> u32 {
-    1
+fn u32_field(json: &Json, key: &str) -> Result<u32, JsonError> {
+    u64_field(json, key).and_then(|v| {
+        u32::try_from(v).map_err(|_| JsonError::new(format!("`{key}` out of u32 range")))
+    })
 }
 
-/// Serializable mirror of [`Scenario`] (durations as nanoseconds).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct ScenarioDto {
-    name: String,
-    schema: SchemaConfigDto,
-    num_objects: u32,
-    num_families: u32,
-    num_nodes: u32,
-    zipf_theta: f64,
-    mean_arrival_gap_ns: u64,
-    abort_prob: f64,
-    seed: u64,
+fn u16_field(json: &Json, key: &str) -> Result<u16, JsonError> {
+    u64_field(json, key).and_then(|v| {
+        u16::try_from(v).map_err(|_| JsonError::new(format!("`{key}` out of u16 range")))
+    })
 }
 
-impl From<&Scenario> for ScenarioDto {
-    fn from(s: &Scenario) -> Self {
-        let c = &s.config;
-        ScenarioDto {
-            name: s.name.clone(),
-            schema: SchemaConfigDto {
-                num_classes: c.schema.num_classes,
-                pages_min: c.schema.pages_min,
-                pages_max: c.schema.pages_max,
-                page_size: c.schema.page_size,
-                attrs_min: c.schema.attrs_min,
-                attrs_max: c.schema.attrs_max,
-                methods_per_class: c.schema.methods_per_class,
-                paths_per_method: c.schema.paths_per_method,
-                attr_touch_prob: c.schema.attr_touch_prob,
-                write_prob: c.schema.write_prob,
-                read_only_method_prob: c.schema.read_only_method_prob,
-                invoke_prob: c.schema.invoke_prob,
-                max_sites_per_path: c.schema.max_sites_per_path,
-            },
-            num_objects: c.num_objects,
-            num_families: c.num_families,
-            num_nodes: c.num_nodes,
-            zipf_theta: c.zipf_theta,
-            mean_arrival_gap_ns: c.mean_arrival_gap.as_nanos(),
-            abort_prob: c.abort_prob,
-            seed: c.seed,
-        }
-    }
+fn f64_field(json: &Json, key: &str) -> Result<f64, JsonError> {
+    json.require(key)?
+        .as_f64()
+        .ok_or_else(|| JsonError::new(format!("`{key}` must be a number")))
 }
 
-impl From<ScenarioDto> for Scenario {
-    fn from(d: ScenarioDto) -> Self {
-        Scenario::new(
-            d.name,
-            WorkloadConfig {
-                schema: SchemaConfig {
-                    num_classes: d.schema.num_classes,
-                    pages_min: d.schema.pages_min,
-                    pages_max: d.schema.pages_max,
-                    page_size: d.schema.page_size,
-                    attrs_min: d.schema.attrs_min,
-                    attrs_max: d.schema.attrs_max,
-                    methods_per_class: d.schema.methods_per_class,
-                    paths_per_method: d.schema.paths_per_method,
-                    attr_touch_prob: d.schema.attr_touch_prob,
-                    write_prob: d.schema.write_prob,
-                    read_only_method_prob: d.schema.read_only_method_prob,
-                    invoke_prob: d.schema.invoke_prob,
-                    max_sites_per_path: d.schema.max_sites_per_path,
-                },
-                num_objects: d.num_objects,
-                num_families: d.num_families,
-                num_nodes: d.num_nodes,
-                zipf_theta: d.zipf_theta,
-                mean_arrival_gap: SimDuration::from_nanos(d.mean_arrival_gap_ns),
-                abort_prob: d.abort_prob,
-                seed: d.seed,
-            },
-        )
-    }
+fn schema_to_json(s: &SchemaConfig) -> Json {
+    Json::obj(vec![
+        ("num_classes", Json::U64(s.num_classes as u64)),
+        ("pages_min", Json::U64(s.pages_min as u64)),
+        ("pages_max", Json::U64(s.pages_max as u64)),
+        ("page_size", Json::U64(s.page_size as u64)),
+        ("attrs_min", Json::U64(s.attrs_min as u64)),
+        ("attrs_max", Json::U64(s.attrs_max as u64)),
+        ("methods_per_class", Json::U64(s.methods_per_class as u64)),
+        ("paths_per_method", Json::U64(s.paths_per_method as u64)),
+        ("attr_touch_prob", Json::F64(s.attr_touch_prob)),
+        ("write_prob", Json::F64(s.write_prob)),
+        ("read_only_method_prob", Json::F64(s.read_only_method_prob)),
+        ("invoke_prob", Json::F64(s.invoke_prob)),
+        ("max_sites_per_path", Json::U64(s.max_sites_per_path as u64)),
+    ])
+}
+
+fn schema_from_json(json: &Json) -> Result<SchemaConfig, JsonError> {
+    Ok(SchemaConfig {
+        num_classes: u32_field(json, "num_classes")?,
+        pages_min: u16_field(json, "pages_min")?,
+        pages_max: u16_field(json, "pages_max")?,
+        page_size: u32_field(json, "page_size")?,
+        attrs_min: u16_field(json, "attrs_min")?,
+        attrs_max: u16_field(json, "attrs_max")?,
+        methods_per_class: u32_field(json, "methods_per_class")?,
+        paths_per_method: u32_field(json, "paths_per_method")?,
+        attr_touch_prob: f64_field(json, "attr_touch_prob")?,
+        write_prob: f64_field(json, "write_prob")?,
+        read_only_method_prob: f64_field(json, "read_only_method_prob")?,
+        invoke_prob: f64_field(json, "invoke_prob")?,
+        // Older scenario files predate multi-site paths; default to 1.
+        max_sites_per_path: match json.get("max_sites_per_path") {
+            Some(_) => u32_field(json, "max_sites_per_path")?,
+            None => 1,
+        },
+    })
 }
 
 /// Serializes a scenario to pretty JSON.
 ///
 /// # Errors
 ///
-/// Returns the underlying `serde_json` error (practically unreachable for
-/// this plain-data structure).
-pub fn to_json(scenario: &Scenario) -> Result<String, serde_json::Error> {
-    serde_json::to_string_pretty(&ScenarioDto::from(scenario))
+/// Never fails in practice (kept fallible for signature stability with
+/// the loading direction).
+pub fn to_json(scenario: &Scenario) -> Result<String, JsonError> {
+    let c = &scenario.config;
+    let doc = Json::obj(vec![
+        ("name", Json::str(scenario.name.clone())),
+        ("schema", schema_to_json(&c.schema)),
+        ("num_objects", Json::U64(c.num_objects as u64)),
+        ("num_families", Json::U64(c.num_families as u64)),
+        ("num_nodes", Json::U64(c.num_nodes as u64)),
+        ("zipf_theta", Json::F64(c.zipf_theta)),
+        (
+            "mean_arrival_gap_ns",
+            Json::U64(c.mean_arrival_gap.as_nanos()),
+        ),
+        ("abort_prob", Json::F64(c.abort_prob)),
+        ("seed", Json::U64(c.seed)),
+    ]);
+    Ok(doc.render_pretty())
 }
 
 /// Deserializes a scenario from JSON produced by [`to_json`].
 ///
 /// # Errors
 ///
-/// Returns the underlying `serde_json` error on malformed input.
-pub fn from_json(json: &str) -> Result<Scenario, serde_json::Error> {
-    serde_json::from_str::<ScenarioDto>(json).map(Scenario::from)
+/// Returns a [`JsonError`] on malformed JSON or missing / mistyped
+/// fields.
+pub fn from_json(json: &str) -> Result<Scenario, JsonError> {
+    let doc = Json::parse(json)?;
+    let name = doc
+        .require("name")?
+        .as_str()
+        .ok_or_else(|| JsonError::new("`name` must be a string"))?
+        .to_string();
+    let schema = schema_from_json(doc.require("schema")?)?;
+    Ok(Scenario::new(
+        name,
+        WorkloadConfig {
+            schema,
+            num_objects: u32_field(&doc, "num_objects")?,
+            num_families: u32_field(&doc, "num_families")?,
+            num_nodes: u32_field(&doc, "num_nodes")?,
+            zipf_theta: f64_field(&doc, "zipf_theta")?,
+            mean_arrival_gap: SimDuration::from_nanos(u64_field(&doc, "mean_arrival_gap_ns")?),
+            abort_prob: f64_field(&doc, "abort_prob")?,
+            seed: u64_field(&doc, "seed")?,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -164,8 +165,27 @@ mod tests {
     }
 
     #[test]
+    fn missing_max_sites_defaults_to_one() {
+        let scenario = presets::quick(presets::fig2());
+        let json = to_json(&scenario).unwrap();
+        let stripped: String = json
+            .lines()
+            .filter(|l| !l.contains("max_sites_per_path"))
+            .collect::<Vec<_>>()
+            .join("\n")
+            // Removing the last schema field leaves a trailing comma.
+            .replace("\"invoke_prob\": 0.5,", "\"invoke_prob\": 0.5");
+        let back = from_json(&stripped).expect("legacy file should load");
+        assert_eq!(back.config.schema.max_sites_per_path, 1);
+    }
+
+    #[test]
     fn malformed_json_is_an_error_not_a_panic() {
         assert!(from_json("{\"name\": 42}").is_err());
         assert!(from_json("").is_err());
+        assert!(
+            from_json("{\"name\": \"x\"}").is_err(),
+            "missing fields error"
+        );
     }
 }

@@ -78,7 +78,7 @@ pub fn fig2() -> Scenario {
             zipf_theta: 0.9,
             mean_arrival_gap: SimDuration::from_micros(40),
             abort_prob: 0.0,
-            seed: 0xF16_2,
+            seed: 0xF162,
         },
     )
 }
@@ -95,7 +95,7 @@ pub fn fig3() -> Scenario {
             zipf_theta: 0.9,
             mean_arrival_gap: SimDuration::from_micros(60),
             abort_prob: 0.0,
-            seed: 0xF16_3,
+            seed: 0xF163,
         },
     )
 }
@@ -113,7 +113,7 @@ pub fn fig4() -> Scenario {
             zipf_theta: 0.5,
             mean_arrival_gap: SimDuration::from_micros(40),
             abort_prob: 0.0,
-            seed: 0xF16_4,
+            seed: 0xF164,
         },
     )
 }
@@ -130,7 +130,7 @@ pub fn fig5() -> Scenario {
             zipf_theta: 0.5,
             mean_arrival_gap: SimDuration::from_micros(60),
             abort_prob: 0.0,
-            seed: 0xF16_5,
+            seed: 0xF165,
         },
     )
 }
@@ -232,7 +232,12 @@ mod tests {
         for scenario in [quick(fig2()), quick(fig4())] {
             let (registry, families) = scenario.generate().unwrap();
             assert!(registry.num_objects() >= 20);
-            assert!(families.len() >= 20, "{}: {}", scenario.name, families.len());
+            assert!(
+                families.len() >= 20,
+                "{}: {}",
+                scenario.name,
+                families.len()
+            );
         }
     }
 
@@ -241,10 +246,18 @@ mod tests {
         for (scenario, lo, hi) in [(fig2(), 1u16, 5u16), (fig3(), 10, 20)] {
             let (registry, _) = quick(scenario).generate().unwrap();
             let classes: Vec<_> = (0..registry.num_classes())
-                .map(|i| registry.class(lotec_object::ClassId::new(i as u32)).class().clone())
+                .map(|i| {
+                    registry
+                        .class(lotec_object::ClassId::new(i as u32))
+                        .class()
+                        .clone()
+                })
                 .collect();
             let summary = summarize(&classes, 4096);
-            assert!(summary.min_pages >= lo && summary.max_pages <= hi, "{summary:?}");
+            assert!(
+                summary.min_pages >= lo && summary.max_pages <= hi,
+                "{summary:?}"
+            );
         }
     }
 

@@ -89,6 +89,10 @@ pub fn generate_classes(config: &SchemaConfig, rng: &mut SimRng) -> Vec<ClassDef
         .collect()
 }
 
+/// Pre-drawn shape of one method path: touched attribute indices, the
+/// subset written, and (callee class, callee method) invocation sites.
+type PathSpec = (Vec<usize>, Vec<usize>, Vec<(u32, u32)>);
+
 fn generate_class(config: &SchemaConfig, class_idx: u32, rng: &mut SimRng) -> ClassDef {
     // Pick a total size in bytes within the page range; shave a little off
     // the top so the last page is partially filled (realistic layouts).
@@ -98,8 +102,7 @@ fn generate_class(config: &SchemaConfig, class_idx: u32, rng: &mut SimRng) -> Cl
     let total = rng.range_inclusive(min_bytes as u64, max_bytes as u64) as u32;
 
     // Split the total into attribute sizes.
-    let n_attrs =
-        rng.range_inclusive(config.attrs_min as u64, config.attrs_max as u64) as u32;
+    let n_attrs = rng.range_inclusive(config.attrs_min as u64, config.attrs_max as u64) as u32;
     let n_attrs = n_attrs.min(total); // every attribute needs >= 1 byte
     let mut cuts: Vec<u32> = (0..n_attrs - 1)
         .map(|_| rng.range_inclusive(1, (total - 1) as u64) as u32)
@@ -126,7 +129,7 @@ fn generate_class(config: &SchemaConfig, class_idx: u32, rng: &mut SimRng) -> Cl
         let read_only = rng.chance(config.read_only_method_prob);
         let n_paths = config.paths_per_method.max(1);
         // Pre-draw everything path-related so the closure stays simple.
-        let mut path_specs: Vec<(Vec<usize>, Vec<usize>, Vec<(u32, u32)>)> = Vec::new();
+        let mut path_specs: Vec<PathSpec> = Vec::new();
         for _ in 0..n_paths {
             let mut touched: Vec<usize> = (0..names.len())
                 .filter(|_| rng.chance(config.attr_touch_prob))
@@ -154,9 +157,10 @@ fn generate_class(config: &SchemaConfig, class_idx: u32, rng: &mut SimRng) -> Cl
             if class_idx + 1 < config.num_classes {
                 for _ in 0..config.max_sites_per_path.max(1) {
                     if rng.chance(config.invoke_prob) {
-                        let target_class = rng
-                            .range_inclusive((class_idx + 1) as u64, (config.num_classes - 1) as u64)
-                            as u32;
+                        let target_class = rng.range_inclusive(
+                            (class_idx + 1) as u64,
+                            (config.num_classes - 1) as u64,
+                        ) as u32;
                         let target_method = rng.next_below(config.methods_per_class as u64) as u32;
                         sites.push((target_class, target_method));
                     }
@@ -168,8 +172,10 @@ fn generate_class(config: &SchemaConfig, class_idx: u32, rng: &mut SimRng) -> Cl
         builder = builder.method(format!("m{m}"), |mut mb| {
             for (touched, writes, sites) in &path_specs {
                 mb = mb.path(|mut pb| {
-                    let read_names: Vec<&str> = touched.iter().map(|&i| names[i].as_str()).collect();
-                    let write_names: Vec<&str> = writes.iter().map(|&i| names[i].as_str()).collect();
+                    let read_names: Vec<&str> =
+                        touched.iter().map(|&i| names[i].as_str()).collect();
+                    let write_names: Vec<&str> =
+                        writes.iter().map(|&i| names[i].as_str()).collect();
                     pb = pb.reads(&read_names).writes(&write_names);
                     for (c, m) in sites {
                         pb = pb.invokes(ClassId::new(*c), MethodId::new(*m));
@@ -208,7 +214,12 @@ pub fn summarize(classes: &[ClassDef], page_size: u32) -> SchemaSummary {
         max_pages = max_pages.max(layout.num_pages());
         methods += class.methods().len();
     }
-    SchemaSummary { classes: classes.len(), min_pages, max_pages, methods }
+    SchemaSummary {
+        classes: classes.len(),
+        min_pages,
+        max_pages,
+        methods,
+    }
 }
 
 #[cfg(test)]
@@ -217,7 +228,11 @@ mod tests {
     use lotec_object::compile;
 
     fn cfg(pages_min: u16, pages_max: u16) -> SchemaConfig {
-        SchemaConfig { pages_min, pages_max, ..SchemaConfig::default() }
+        SchemaConfig {
+            pages_min,
+            pages_max,
+            ..SchemaConfig::default()
+        }
     }
 
     #[test]
@@ -263,7 +278,10 @@ mod tests {
     #[test]
     fn read_only_methods_exist_and_write_methods_write() {
         let mut rng = SimRng::seed_from_u64(4);
-        let config = SchemaConfig { read_only_method_prob: 0.5, ..cfg(1, 5) };
+        let config = SchemaConfig {
+            read_only_method_prob: 0.5,
+            ..cfg(1, 5)
+        };
         let mut saw_read_only = false;
         let mut saw_writer = false;
         for _ in 0..10 {
@@ -296,7 +314,10 @@ mod tests {
     #[test]
     fn every_path_touches_something() {
         let mut rng = SimRng::seed_from_u64(8);
-        let config = SchemaConfig { attr_touch_prob: 0.01, ..cfg(1, 2) };
+        let config = SchemaConfig {
+            attr_touch_prob: 0.01,
+            ..cfg(1, 2)
+        };
         for class in generate_classes(&config, &mut rng) {
             for method in class.methods() {
                 for path in method.paths() {

@@ -35,7 +35,10 @@ impl Zipf {
     /// Panics if `n` is zero, or `theta` is negative or not finite.
     pub fn new(n: usize, theta: f64) -> Self {
         assert!(n > 0, "zipf over empty domain");
-        assert!(theta >= 0.0 && theta.is_finite(), "theta must be finite and non-negative");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "theta must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for i in 0..n {
@@ -63,7 +66,10 @@ impl Zipf {
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let u = rng.f64();
         // Binary search for the first cdf entry >= u.
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf has no NaN")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf has no NaN"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -95,7 +101,10 @@ mod tests {
         for _ in 0..40_000 {
             counts[z.sample(&mut rng)] += 1;
         }
-        assert!(counts[0] > counts[5] && counts[5] > counts[19], "{counts:?}");
+        assert!(
+            counts[0] > counts[5] && counts[5] > counts[19],
+            "{counts:?}"
+        );
         // Item 0 should absorb roughly 1/H(20) ~ 28% of draws.
         assert!(counts[0] > 8_000, "{counts:?}");
     }

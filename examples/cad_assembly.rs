@@ -46,10 +46,15 @@ fn schema() -> Vec<lotec::object::ClassDef> {
         // re-solves constraints.
         .method("reshape", |m| {
             m.path(|p| p.reads(&["mesh"]).writes(&["mesh", "meta"]))
-                .path(|p| p.reads(&["mesh", "constraints"]).writes(&["mesh", "constraints", "meta"]))
+                .path(|p| {
+                    p.reads(&["mesh", "constraints"])
+                        .writes(&["mesh", "constraints", "meta"])
+                })
         })
         // annotate(): touches only the metadata page.
-        .method("annotate", |m| m.path(|p| p.reads(&["meta"]).writes(&["meta"])))
+        .method("annotate", |m| {
+            m.path(|p| p.reads(&["meta"]).writes(&["meta"]))
+        })
         // inspect(): read-only constraint check.
         .method("inspect", |m| m.path(|p| p.reads(&["constraints", "meta"])))
         .build();
@@ -58,7 +63,11 @@ fn schema() -> Vec<lotec::object::ClassDef> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = SystemConfig { num_nodes: 5, page_size: PAGE, ..SystemConfig::default() };
+    let config = SystemConfig {
+        num_nodes: 5,
+        page_size: PAGE,
+        ..SystemConfig::default()
+    };
 
     // 2 assemblies, 8 parts homed around the cluster.
     let mut instances = Vec::new();
@@ -112,7 +121,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // large parts, whose annotate/inspect calls never need the 12-page
     // mesh.
     println!("consistency bytes per part (16-page objects):");
-    println!("{:>6} {:>12} {:>12} {:>12}", "part", "COTEC", "OTEC", "LOTEC");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "part", "COTEC", "OTEC", "LOTEC"
+    );
     for i in 0..8u32 {
         let id = ObjectId::new(2 + i);
         println!(

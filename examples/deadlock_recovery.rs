@@ -32,15 +32,23 @@ fn schema() -> Vec<lotec::object::ClassDef> {
                     .invokes(ClassId::new(0), MethodId::new(1))
             })
         })
-        .method("touch", |m| m.path(|p| p.reads(&["state"]).writes(&["state"])))
+        .method("touch", |m| {
+            m.path(|p| p.reads(&["state"]).writes(&["state"]))
+        })
         .build()]
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = SystemConfig { num_nodes: 2, ..SystemConfig::default() };
+    let config = SystemConfig {
+        num_nodes: 2,
+        ..SystemConfig::default()
+    };
     let registry = ObjectRegistry::build(
         &schema(),
-        &[(ClassId::new(0), NodeId::new(0)), (ClassId::new(0), NodeId::new(1))],
+        &[
+            (ClassId::new(0), NodeId::new(0)),
+            (ClassId::new(0), NodeId::new(1)),
+        ],
         config.page_size,
     )?;
 
@@ -60,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 object: first,
                 method: MethodId::new(0), // touch_then -> nested touch
                 path: PathId::new(0),
-                children: vec![InvocationSpec::leaf(second, MethodId::new(1), PathId::new(0))],
+                children: vec![InvocationSpec::leaf(
+                    second,
+                    MethodId::new(1),
+                    PathId::new(0),
+                )],
                 abort: false,
             },
         });
@@ -69,13 +81,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = run_engine(&config, &registry, &families)?;
     oracle::verify(&report)?;
 
-    println!("deadly-embrace workload: {} families, 2 nodes, 2 hot objects", families.len());
-    println!("  deadlocks detected and broken : {}", report.stats.deadlocks);
-    println!("  victim restarts               : {}", report.stats.restarts);
-    println!("  committed families            : {}", report.stats.committed_families);
-    println!("  makespan                      : {}", report.stats.makespan);
-    assert_eq!(report.stats.committed_families, 20, "every family must commit eventually");
-    assert!(report.stats.deadlocks > 0, "this workload is built to deadlock");
+    println!(
+        "deadly-embrace workload: {} families, 2 nodes, 2 hot objects",
+        families.len()
+    );
+    println!(
+        "  deadlocks detected and broken : {}",
+        report.stats.deadlocks
+    );
+    println!(
+        "  victim restarts               : {}",
+        report.stats.restarts
+    );
+    println!(
+        "  committed families            : {}",
+        report.stats.committed_families
+    );
+    println!(
+        "  makespan                      : {}",
+        report.stats.makespan
+    );
+    assert_eq!(
+        report.stats.committed_families, 20,
+        "every family must commit eventually"
+    );
+    assert!(
+        report.stats.deadlocks > 0,
+        "this workload is built to deadlock"
+    );
     println!(
         "\nEvery family committed despite {} deadlocks; the serializability \
          oracle confirms the surviving execution is equivalent to some serial \

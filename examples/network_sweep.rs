@@ -38,8 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .iter()
                 .map(|&k| cmp.total_time(k, net))
                 .collect();
-            let winner = ProtocolKind::PAPER_TRIO
-                [times.iter().enumerate().min_by_key(|(_, t)| **t).expect("3 entries").0];
+            let winner = ProtocolKind::PAPER_TRIO[times
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| **t)
+                .expect("3 entries")
+                .0];
             println!(
                 "{:>10} {:>14} {:>14} {:>14}   {winner}",
                 sc.to_string(),

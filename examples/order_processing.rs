@@ -48,9 +48,14 @@ fn schema() -> Vec<lotec::object::ClassDef> {
         // updated them.
         .method("charge", |m| {
             m.path(|p| p.reads(&["balance"]).writes(&["balance"]))
-                .path(|p| p.reads(&["balance", "history"]).writes(&["balance", "history"]))
+                .path(|p| {
+                    p.reads(&["balance", "history"])
+                        .writes(&["balance", "history"])
+                })
         })
-        .method("statement", |m| m.path(|p| p.reads(&["balance", "history"])))
+        .method("statement", |m| {
+            m.path(|p| p.reads(&["balance", "history"]))
+        })
         .build();
 
     let inventory = ClassBuilder::new("Inventory")
@@ -66,7 +71,10 @@ fn schema() -> Vec<lotec::object::ClassDef> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = SystemConfig { num_nodes: 6, ..SystemConfig::default() };
+    let config = SystemConfig {
+        num_nodes: 6,
+        ..SystemConfig::default()
+    };
 
     // 6 order objects, 4 customers, 3 inventory shards, spread over nodes.
     let mut instances = Vec::new();
@@ -130,19 +138,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = run_engine(&config, &registry, &families)?;
     oracle::verify(&report)?;
 
-    println!("order processing on {} nodes under {}:", config.num_nodes, report.protocol);
+    println!(
+        "order processing on {} nodes under {}:",
+        config.num_nodes, report.protocol
+    );
     println!("  committed families : {}", report.stats.committed_families);
-    println!("  sub-txn aborts     : {} (fault-injected debits, rolled back locally)", report.stats.subtxn_aborts);
+    println!(
+        "  sub-txn aborts     : {} (fault-injected debits, rolled back locally)",
+        report.stats.subtxn_aborts
+    );
     println!("  deadlocks broken   : {}", report.stats.deadlocks);
     println!("  demand fetches     : {}", report.stats.demand_fetches);
     println!("  makespan           : {}", report.stats.makespan);
     if let Some(mean) = report.stats.mean_latency() {
         println!("  mean order latency : {mean}");
     }
-    println!("  throughput         : {:.0} txn/s (simulated)", report.stats.throughput_per_sec());
+    println!(
+        "  throughput         : {:.0} txn/s (simulated)",
+        report.stats.throughput_per_sec()
+    );
     let t = report.traffic.total();
-    println!("  consistency traffic: {} bytes in {} messages", t.bytes, t.messages);
-    println!("\nserializability oracle: OK — the distributed execution is \
-              equivalent to serial execution in commit order.");
+    println!(
+        "  consistency traffic: {} bytes in {} messages",
+        t.bytes, t.messages
+    );
+    println!(
+        "\nserializability oracle: OK — the distributed execution is \
+              equivalent to serial execution in commit order."
+    );
     Ok(())
 }

@@ -29,7 +29,10 @@ fn registry(num_nodes: u32) -> ObjectRegistry {
         .attribute("summary", 256)
         .method("post", |m| {
             m.path(|p| p.reads(&["index", "summary"]).writes(&["index", "summary"]))
-                .path(|p| p.reads(&["entries", "index"]).writes(&["entries", "index", "summary"]))
+                .path(|p| {
+                    p.reads(&["entries", "index"])
+                        .writes(&["entries", "index", "summary"])
+                })
         })
         .method("report", |m| m.path(|p| p.reads(&["summary"])))
         .build();
@@ -92,7 +95,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let num_nodes = 6;
     let registry = registry(num_nodes);
     let families = workload(num_nodes);
-    let base = SystemConfig { num_nodes, page_size: PAGE, ..SystemConfig::default() };
+    let base = SystemConfig {
+        num_nodes,
+        page_size: PAGE,
+        ..SystemConfig::default()
+    };
 
     println!(
         "{:<34} {:>12} {:>8} {:>14} {:>12}",
@@ -111,12 +118,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .clone()
         .with_protocol(ProtocolKind::Lotec)
         .with_class_protocol(ClassId::new(1), ProtocolKind::ReleaseConsistency);
-    measure("per-class: LOTEC + RC counters", &mixed, &registry, &families);
+    measure(
+        "per-class: LOTEC + RC counters",
+        &mixed,
+        &registry,
+        &families,
+    );
     // Step 2: multicast rescues the RC class's pushes.
-    let mixed_mc = SystemConfig { multicast: true, ..mixed };
+    let mixed_mc = SystemConfig {
+        multicast: true,
+        ..mixed
+    };
     measure("  + multicast pushes", &mixed_mc, &registry, &families);
     // Step 3: DSD granularity shaves partial pages off every transfer.
-    let mixed_dsd = SystemConfig { dsd_transfers: true, ..mixed_mc };
+    let mixed_dsd = SystemConfig {
+        dsd_transfers: true,
+        ..mixed_mc
+    };
     measure("  + DSD transfers", &mixed_dsd, &registry, &families);
     // Step 4: hide child lock latency and replicate the directory.
     let tuned = SystemConfig {

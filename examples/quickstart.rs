@@ -49,15 +49,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Message time depends on the network: sweep the paper's three
     // Ethernet generations at a 20us software cost.
     println!("\ntotal message time (20us per-message software cost):");
-    println!("{:>8} {:>14} {:>14} {:>14}", "protocol", "10Mbps", "100Mbps", "1Gbps");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "protocol", "10Mbps", "100Mbps", "1Gbps"
+    );
     for kind in ProtocolKind::PAPER_TRIO {
         let times: Vec<String> = Bandwidth::paper_sweep()
             .into_iter()
             .map(|bw| {
-                cmp.total_time(kind, NetworkConfig::new(bw, SoftwareCost::MICROS_20)).to_string()
+                cmp.total_time(kind, NetworkConfig::new(bw, SoftwareCost::MICROS_20))
+                    .to_string()
             })
             .collect();
-        println!("{:>8} {:>14} {:>14} {:>14}", kind.to_string(), times[0], times[1], times[2]);
+        println!(
+            "{:>8} {:>14} {:>14} {:>14}",
+            kind.to_string(),
+            times[0],
+            times[1],
+            times[2]
+        );
     }
     Ok(())
 }

@@ -45,6 +45,7 @@
 //! | [`txn`] | transaction trees, nested O2PL, GDO entries, deadlock |
 //! | [`core`] | the protocols, the engine, replay comparison, oracle |
 //! | [`workload`] | randomized scenario generation, figure presets |
+//! | [`obs`] | event probes, trace summaries, JSONL/Chrome export |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +54,7 @@ pub use lotec_core as core;
 pub use lotec_mem as mem;
 pub use lotec_net as net;
 pub use lotec_object as object;
+pub use lotec_obs as obs;
 pub use lotec_sim as sim;
 pub use lotec_txn as txn;
 pub use lotec_workload as workload;
@@ -61,13 +63,14 @@ pub use lotec_workload as workload;
 pub mod prelude {
     pub use lotec_core::compare::{compare_protocols, ProtocolComparison};
     pub use lotec_core::config::SystemConfig;
-    pub use lotec_core::engine::{run_engine, Engine, RunReport};
+    pub use lotec_core::engine::{run_engine, run_engine_with_probe, Engine, RunReport};
     pub use lotec_core::oracle;
     pub use lotec_core::protocol::ProtocolKind;
     pub use lotec_core::spec::{FamilySpec, InvocationSpec};
     pub use lotec_mem::{ObjectId, PageIndex};
     pub use lotec_net::{Bandwidth, NetworkConfig, SoftwareCost};
     pub use lotec_object::{ClassBuilder, ClassId, MethodId, ObjectRegistry, PathId};
+    pub use lotec_obs::{EventSink, NoopSink, RecordingSink, TraceSummary};
     pub use lotec_sim::{NodeId, SimDuration, SimTime};
     pub use lotec_workload::{Scenario, WorkloadConfig};
 }

@@ -56,11 +56,13 @@ fn load_scenario(source: &str) -> Result<Scenario, String> {
         return Ok(preset);
     }
     if source.ends_with(".json") {
-        let text = std::fs::read_to_string(source)
-            .map_err(|e| format!("cannot read {source}: {e}"))?;
+        let text =
+            std::fs::read_to_string(source).map_err(|e| format!("cannot read {source}: {e}"))?;
         return persist::from_json(&text).map_err(|e| format!("bad scenario JSON: {e}"));
     }
-    Err(format!("unknown preset `{source}` (try `lotec presets`) and not a .json file"))
+    Err(format!(
+        "unknown preset `{source}` (try `lotec presets`) and not a .json file"
+    ))
 }
 
 fn cmd_presets() {
@@ -105,14 +107,23 @@ fn cmd_sweep(quick: bool) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     for bw in Bandwidth::paper_sweep() {
         println!("== {bw} ==");
-        println!("{:>10} {:>14} {:>14} {:>14}", "sw cost", "COTEC", "OTEC", "LOTEC");
+        println!(
+            "{:>10} {:>14} {:>14} {:>14}",
+            "sw cost", "COTEC", "OTEC", "LOTEC"
+        );
         for sc in SoftwareCost::paper_sweep() {
             let net = NetworkConfig::new(bw, sc);
             let row: Vec<String> = ProtocolKind::PAPER_TRIO
                 .iter()
                 .map(|&k| cmp.total_time(k, net).to_string())
                 .collect();
-            println!("{:>10} {:>14} {:>14} {:>14}", sc.to_string(), row[0], row[1], row[2]);
+            println!(
+                "{:>10} {:>14} {:>14} {:>14}",
+                sc.to_string(),
+                row[0],
+                row[1],
+                row[2]
+            );
         }
         println!();
     }
@@ -149,23 +160,32 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     println!("{} under {}:", scenario.name, report.protocol);
     let s = &report.stats;
-    println!("  committed {} / aborted {} families, {} sub-txn aborts", s.committed_families, s.aborted_families, s.subtxn_aborts);
-    println!("  deadlocks {} (restarts {}), demand fetches {}", s.deadlocks, s.restarts, s.demand_fetches);
+    println!(
+        "  committed {} / aborted {} families, {} sub-txn aborts",
+        s.committed_families, s.aborted_families, s.subtxn_aborts
+    );
+    println!(
+        "  deadlocks {} (restarts {}), demand fetches {}",
+        s.deadlocks, s.restarts, s.demand_fetches
+    );
     println!(
         "  lock ops: {} local / {} global / {} queued",
         s.local_lock_grants, s.global_lock_grants, s.queued_lock_requests
     );
     let t = report.traffic.total();
     println!("  traffic: {} bytes in {} messages", t.bytes, t.messages);
-    println!("  makespan {}  throughput {:.0} txn/s", s.makespan, s.throughput_per_sec());
+    println!(
+        "  makespan {}  throughput {:.0} txn/s",
+        s.makespan,
+        s.throughput_per_sec()
+    );
     println!("  serializability oracle: OK");
     Ok(())
 }
 
 fn cmd_export(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("export: missing <preset>")?;
-    let scenario =
-        preset_by_name(name).ok_or_else(|| format!("unknown preset `{name}`"))?;
+    let scenario = preset_by_name(name).ok_or_else(|| format!("unknown preset `{name}`"))?;
     let json = persist::to_json(&scenario).map_err(|e| e.to_string())?;
     println!("{json}");
     Ok(())

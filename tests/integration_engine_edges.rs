@@ -45,14 +45,19 @@ fn empty_workload_is_a_clean_noop() {
 
 #[test]
 fn single_node_cluster_sends_no_messages() {
-    let config = Cfg { num_nodes: 1, ..Cfg::default() };
+    let config = Cfg {
+        num_nodes: 1,
+        ..Cfg::default()
+    };
     let registry = two_object_registry(1, config.page_size);
-    let families: Vec<FamilySpec> =
-        (0..10).map(|i| family(0, i * 10, (i % 2) as u32, 0)).collect();
+    let families: Vec<FamilySpec> = (0..10)
+        .map(|i| family(0, i * 10, (i % 2) as u32, 0))
+        .collect();
     let report = run_engine(&config, &registry, &families).expect("runs");
     assert_eq!(report.stats.committed_families, 10);
     assert_eq!(
-        report.traffic.total().messages, 0,
+        report.traffic.total().messages,
+        0,
         "one node: every GDO partition and page is local"
     );
     oracle::verify(&report).expect("serializable");
@@ -62,17 +67,28 @@ fn single_node_cluster_sends_no_messages() {
 fn restart_budget_exhaustion_is_reported_not_hung() {
     // A guaranteed deadly embrace with a zero restart budget: the first
     // victim must surface as an error instead of silently failing.
-    let config = Cfg { num_nodes: 2, max_restarts: 0, ..Cfg::default() };
+    let config = Cfg {
+        num_nodes: 2,
+        max_restarts: 0,
+        ..Cfg::default()
+    };
     let class = ClassBuilder::new("Hot")
         .attribute("x", 64)
         .method("grab_both", |m| {
-            m.path(|p| p.reads(&["x"]).writes(&["x"]).invokes(ClassId::new(0), MethodId::new(1)))
+            m.path(|p| {
+                p.reads(&["x"])
+                    .writes(&["x"])
+                    .invokes(ClassId::new(0), MethodId::new(1))
+            })
         })
         .method("grab", |m| m.path(|p| p.reads(&["x"]).writes(&["x"])))
         .build();
     let registry = ObjectRegistry::build(
         &[class],
-        &[(ClassId::new(0), NodeId::new(0)), (ClassId::new(0), NodeId::new(1))],
+        &[
+            (ClassId::new(0), NodeId::new(0)),
+            (ClassId::new(0), NodeId::new(1)),
+        ],
         config.page_size,
     )
     .unwrap();
@@ -121,8 +137,9 @@ fn read_only_workload_shares_locks_and_moves_nothing_after_warmup() {
     let registry = two_object_registry(config.num_nodes, config.page_size);
     // Everyone peeks (method 1 is read-only); nothing is ever written, so
     // every page stays version 0 and demand-zeroable: no page transfers.
-    let families: Vec<FamilySpec> =
-        (0..12).map(|i| family(i % 4, i as u64 * 20, (i % 2) as u32, 1)).collect();
+    let families: Vec<FamilySpec> = (0..12)
+        .map(|i| family(i % 4, i as u64 * 20, i % 2, 1))
+        .collect();
     let report = run_engine(&config, &registry, &families).expect("runs");
     assert_eq!(report.stats.committed_families, 12);
     let ledger = report.traffic.ledger();
@@ -139,7 +156,7 @@ fn read_only_workload_shares_locks_and_moves_nothing_after_warmup() {
 fn simultaneous_arrivals_are_deterministic() {
     let config = Cfg::default();
     let registry = two_object_registry(config.num_nodes, config.page_size);
-    let families: Vec<FamilySpec> = (0..8).map(|i| family(i % 4, 0, (i % 2) as u32, 0)).collect();
+    let families: Vec<FamilySpec> = (0..8).map(|i| family(i % 4, 0, i % 2, 0)).collect();
     let a = run_engine(&config, &registry, &families).expect("run a");
     let b = run_engine(&config, &registry, &families).expect("run b");
     assert_eq!(a.trace, b.trace);
@@ -148,10 +165,15 @@ fn simultaneous_arrivals_are_deterministic() {
 
 #[test]
 fn tiny_pages_and_many_nodes_work() {
-    let config = Cfg { num_nodes: 32, page_size: 64, ..Cfg::default() };
+    let config = Cfg {
+        num_nodes: 32,
+        page_size: 64,
+        ..Cfg::default()
+    };
     let registry = two_object_registry(32, 64);
-    let families: Vec<FamilySpec> =
-        (0..20).map(|i| family(i % 32, i as u64 * 7, (i % 2) as u32, 0)).collect();
+    let families: Vec<FamilySpec> = (0..20)
+        .map(|i| family(i % 32, i as u64 * 7, i % 2, 0))
+        .collect();
     let report = run_engine(&config, &registry, &families).expect("runs");
     assert_eq!(report.stats.committed_families, 20);
     oracle::verify(&report).expect("serializable");

@@ -68,7 +68,11 @@ fn persisted_scenario_reproduces_full_pipeline_results() {
             cmp.total(ProtocolKind::Cotec),
         )
     };
-    assert_eq!(run(&scenario), run(&reloaded), "JSON roundtrip preserves every result");
+    assert_eq!(
+        run(&scenario),
+        run(&reloaded),
+        "JSON roundtrip preserves every result"
+    );
 }
 
 #[test]
@@ -81,9 +85,15 @@ fn dsd_never_increases_any_objects_bytes_on_the_same_schedule() {
     let base = scenario.system_config();
     let report = run_engine(&base, &registry, &families).expect("schedule run");
     let page = lotec_core::replay::replay_run(&report.trace, &registry, &base);
-    let dsd_cfg = Cfg { dsd_transfers: true, ..base };
+    let dsd_cfg = Cfg {
+        dsd_transfers: true,
+        ..base
+    };
     let dsd = lotec_core::replay::replay_run(&report.trace, &registry, &dsd_cfg);
-    assert!(dsd.total().bytes < page.total().bytes, "dsd must shave fragmentation");
+    assert!(
+        dsd.total().bytes < page.total().bytes,
+        "dsd must shave fragmentation"
+    );
     assert_eq!(dsd.total().messages, page.total().messages);
     for inst in registry.objects() {
         let p = page.object(inst.id).bytes;

@@ -18,7 +18,11 @@ fn registry(n: u32, num_nodes: u32) -> ObjectRegistry {
         .method("write", |m| m.path(|p| p.reads(&["v"]).writes(&["v"])))
         .method("read", |m| m.path(|p| p.reads(&["v"])))
         .method("write_then_one", |m| {
-            m.path(|p| p.reads(&["v"]).writes(&["v"]).invokes(ClassId::new(0), MethodId::new(0)))
+            m.path(|p| {
+                p.reads(&["v"])
+                    .writes(&["v"])
+                    .invokes(ClassId::new(0), MethodId::new(0))
+            })
         })
         .method("write_then_two", |m| {
             m.path(|p| {
@@ -29,8 +33,9 @@ fn registry(n: u32, num_nodes: u32) -> ObjectRegistry {
             })
         })
         .build();
-    let instances: Vec<(ClassId, NodeId)> =
-        (0..n).map(|i| (ClassId::new(0), NodeId::new(i % num_nodes))).collect();
+    let instances: Vec<(ClassId, NodeId)> = (0..n)
+        .map(|i| (ClassId::new(0), NodeId::new(i % num_nodes)))
+        .collect();
     ObjectRegistry::build(&[class], &instances, PAGE).expect("registry builds")
 }
 
@@ -44,7 +49,10 @@ fn closedness_foreign_reader_waits_for_root_commit() {
     // asks to read O0 *while A's root still runs* — under closed nesting B
     // must not be granted until A's root commits, even though A's work on
     // O0 finished long before.
-    let config = Cfg { num_nodes: 2, ..Cfg::default() };
+    let config = Cfg {
+        num_nodes: 2,
+        ..Cfg::default()
+    };
     let registry = registry(2, 2);
     let family_a = FamilySpec {
         node: NodeId::new(0),
@@ -71,9 +79,9 @@ fn closedness_foreign_reader_waits_for_root_commit() {
     for event in report.trace.events() {
         match event {
             TraceEvent::RootCommit { at, family: 0, .. } => a_commit = Some(*at),
-            TraceEvent::Grant { at, family, object, .. }
-                if *object == ObjectId::new(0) && *family != 0 =>
-            {
+            TraceEvent::Grant {
+                at, family, object, ..
+            } if *object == ObjectId::new(0) && *family != 0 => {
                 b_grant = Some(*at);
             }
             _ => {}
@@ -95,7 +103,10 @@ fn sibling_reuses_retained_lock_locally() {
     // One family: the root writes O0 and invokes two children that both
     // write O1. The second child's acquisition must be served locally from
     // the root's retained lock (no GDO messages).
-    let config = Cfg { num_nodes: 2, ..Cfg::default() };
+    let config = Cfg {
+        num_nodes: 2,
+        ..Cfg::default()
+    };
     let registry = registry(2, 2);
     let family = FamilySpec {
         node: NodeId::new(0),
@@ -110,10 +121,17 @@ fn sibling_reuses_retained_lock_locally() {
     };
     let report = run_engine(&config, &registry, &[family]).expect("runs");
     oracle::verify(&report).expect("serializable");
-    assert_eq!(report.stats.local_lock_grants, 1, "second sibling is a local grant");
+    assert_eq!(
+        report.stats.local_lock_grants, 1,
+        "second sibling is a local grant"
+    );
     // Both writes survive: O1's chain is two stamps deep.
     let chain = report.final_chains[&(ObjectId::new(1), PageIndex::new(0))];
-    assert_eq!(chain, mix(mix(0, 1), 2), "both sibling writes committed (txns T1, T2)");
+    assert_eq!(
+        chain,
+        mix(mix(0, 1), 2),
+        "both sibling writes committed (txns T1, T2)"
+    );
 }
 
 #[test]
@@ -121,7 +139,10 @@ fn aborted_child_work_is_invisible_but_siblings_survive() {
     // Root writes O0; child 1 writes O1 and is fault-injected to abort;
     // child 2 writes O2 and succeeds. After commit: O0 and O2 carry the
     // writes, O1 is untouched.
-    let config = Cfg { num_nodes: 2, ..Cfg::default() };
+    let config = Cfg {
+        num_nodes: 2,
+        ..Cfg::default()
+    };
     let registry = registry(3, 2);
     let mut doomed = leaf(1, 0);
     doomed.abort = true;
@@ -150,7 +171,10 @@ fn aborted_child_work_is_invisible_but_siblings_survive() {
         0,
         "surviving sibling's write must commit"
     );
-    assert_ne!(report.final_chains[&(ObjectId::new(0), PageIndex::new(0))], 0);
+    assert_ne!(
+        report.final_chains[&(ObjectId::new(0), PageIndex::new(0))],
+        0
+    );
 }
 
 #[test]
@@ -175,7 +199,13 @@ fn two_phase_rule_no_lock_released_before_root_commit() {
     // be granted O before F's commit.
     let events = report.trace.events();
     for (i, event) in events.iter().enumerate() {
-        let TraceEvent::Grant { family, object, mode, .. } = event else {
+        let TraceEvent::Grant {
+            family,
+            object,
+            mode,
+            ..
+        } = event
+        else {
             continue;
         };
         if *mode != lotec::txn::LockMode::Write {
@@ -188,7 +218,12 @@ fn two_phase_rule_no_lock_released_before_root_commit() {
             if later.at() >= commit {
                 break;
             }
-            if let TraceEvent::Grant { family: f2, object: o2, .. } = later {
+            if let TraceEvent::Grant {
+                family: f2,
+                object: o2,
+                ..
+            } = later
+            {
                 assert!(
                     !(o2 == object && f2 != family),
                     "strict 2PL violated: {f2} granted {o2} before {family} committed"
@@ -200,9 +235,16 @@ fn two_phase_rule_no_lock_released_before_root_commit() {
 
 #[test]
 fn read_only_family_never_appears_in_dirty_info() {
-    let config = Cfg { num_nodes: 2, ..Cfg::default() };
+    let config = Cfg {
+        num_nodes: 2,
+        ..Cfg::default()
+    };
     let registry = registry(1, 2);
-    let writer = FamilySpec { node: NodeId::new(0), start: SimTime::ZERO, root: leaf(0, 0) };
+    let writer = FamilySpec {
+        node: NodeId::new(0),
+        start: SimTime::ZERO,
+        root: leaf(0, 0),
+    };
     let reader = FamilySpec {
         node: NodeId::new(1),
         start: SimTime::from_micros(1),
@@ -212,7 +254,13 @@ fn read_only_family_never_appears_in_dirty_info() {
     oracle::verify(&report).expect("serializable");
     let mut commits = 0;
     for event in report.trace.events() {
-        if let TraceEvent::RootCommit { family, dirty, released, .. } = event {
+        if let TraceEvent::RootCommit {
+            family,
+            dirty,
+            released,
+            ..
+        } = event
+        {
             commits += 1;
             if *family == 1 {
                 assert!(dirty.is_empty(), "reader must piggyback no dirty info");

@@ -31,13 +31,14 @@ fn byte_ordering_holds_on_every_figure_scenario() {
 fn page_payload_ordering_is_strict_per_object_quantity() {
     // Whole-message bytes can tie or wobble by header sizes; the page
     // payload itself must be strictly ordered LOTEC <= OTEC <= COTEC.
-    for scenario in [presets::quick(presets::fig2()), presets::quick(presets::fig3())] {
+    for scenario in [
+        presets::quick(presets::fig2()),
+        presets::quick(presets::fig3()),
+    ] {
         let config = scenario.system_config();
         let (_, cmp) = run(scenario);
         let sizes = config.sizes;
-        let payload = |k: ProtocolKind| {
-            cmp.traffic(k).page_payload_bytes(&sizes, config.page_size)
-        };
+        let payload = |k: ProtocolKind| cmp.traffic(k).page_payload_bytes(&sizes, config.page_size);
         assert!(payload(ProtocolKind::Lotec) <= payload(ProtocolKind::Otec));
         assert!(payload(ProtocolKind::Otec) <= payload(ProtocolKind::Cotec));
     }
@@ -49,16 +50,28 @@ fn lotec_sends_more_smaller_messages_than_otec() {
     let (_, cmp) = run(presets::quick(presets::fig3()));
     let o = cmp.total(ProtocolKind::Otec);
     let l = cmp.total(ProtocolKind::Lotec);
-    assert!(l.messages >= o.messages, "LOTEC {} < OTEC {} messages", l.messages, o.messages);
+    assert!(
+        l.messages >= o.messages,
+        "LOTEC {} < OTEC {} messages",
+        l.messages,
+        o.messages
+    );
     let mean = |t: lotec_net::ObjectTraffic| t.bytes as f64 / t.messages as f64;
-    assert!(mean(l) < mean(o), "LOTEC's messages should be smaller on average");
+    assert!(
+        mean(l) < mean(o),
+        "LOTEC's messages should be smaller on average"
+    );
 }
 
 #[test]
 fn lock_traffic_is_protocol_independent() {
     // O2PL is shared; only page traffic differs between the paper's trio.
     let (_, cmp) = run(presets::quick(presets::fig4()));
-    for kind in [MessageKind::LockRequest, MessageKind::LockGrant, MessageKind::LockRelease] {
+    for kind in [
+        MessageKind::LockRequest,
+        MessageKind::LockGrant,
+        MessageKind::LockRelease,
+    ] {
         let c = cmp.traffic(ProtocolKind::Cotec).ledger().kind(kind);
         assert_eq!(c, cmp.traffic(ProtocolKind::Otec).ledger().kind(kind));
         assert_eq!(c, cmp.traffic(ProtocolKind::Lotec).ledger().kind(kind));
@@ -80,7 +93,10 @@ fn network_sweep_exhibits_the_papers_crossover_structure() {
     };
     let slow_adv = advantage(slow);
     let fast_adv = advantage(fast);
-    assert!(slow_adv > 1.0, "LOTEC must win on 10Mbps: advantage {slow_adv:.3}");
+    assert!(
+        slow_adv > 1.0,
+        "LOTEC must win on 10Mbps: advantage {slow_adv:.3}"
+    );
     assert!(
         fast_adv < slow_adv,
         "LOTEC's advantage must shrink at 1Gbps: {fast_adv:.3} vs {slow_adv:.3}"
@@ -95,7 +111,10 @@ fn faster_software_always_helps_and_never_reorders_causality() {
         for sc in SoftwareCost::paper_sweep() {
             let t = cmp.total_time(kind, NetworkConfig::new(Bandwidth::fast_ethernet(), sc));
             if let Some(prev) = last {
-                assert!(t <= prev, "{kind}: cheaper software must not cost more time");
+                assert!(
+                    t <= prev,
+                    "{kind}: cheaper software must not cost more time"
+                );
             }
             last = Some(t);
         }
@@ -107,13 +126,27 @@ fn rc_extension_trades_fetches_for_pushes() {
     let (_, cmp) = run(presets::quick(presets::fig3()));
     let rc = cmp.traffic(ProtocolKind::ReleaseConsistency).ledger();
     let lotec = cmp.traffic(ProtocolKind::Lotec).ledger();
-    assert!(rc.kind(MessageKind::UpdatePush).messages > 0, "RC must push");
-    assert_eq!(lotec.kind(MessageKind::UpdatePush).messages, 0, "LOTEC never pushes");
+    assert!(
+        rc.kind(MessageKind::UpdatePush).messages > 0,
+        "RC must push"
+    );
+    assert_eq!(
+        lotec.kind(MessageKind::UpdatePush).messages,
+        0,
+        "LOTEC never pushes"
+    );
     // RC acquirers fetch less than OTEC acquirers (caching sites are kept
     // current by the pushes).
     let rc_fetch = rc.kind(MessageKind::PageTransfer).bytes;
-    let otec_fetch = cmp.traffic(ProtocolKind::Otec).ledger().kind(MessageKind::PageTransfer).bytes;
-    assert!(rc_fetch <= otec_fetch, "RC fetch {rc_fetch} > OTEC fetch {otec_fetch}");
+    let otec_fetch = cmp
+        .traffic(ProtocolKind::Otec)
+        .ledger()
+        .kind(MessageKind::PageTransfer)
+        .bytes;
+    assert!(
+        rc_fetch <= otec_fetch,
+        "RC fetch {rc_fetch} > OTEC fetch {otec_fetch}"
+    );
 }
 
 #[test]

@@ -8,13 +8,19 @@ use lotec_core::SystemConfig as Cfg;
 
 fn engine_report(scenario: &lotec::workload::Scenario, protocol: ProtocolKind) -> RunReport {
     let (registry, families) = scenario.generate().expect("generates");
-    let config = Cfg { protocol, ..scenario.system_config() };
+    let config = Cfg {
+        protocol,
+        ..scenario.system_config()
+    };
     run_engine(&config, &registry, &families).expect("engine runs")
 }
 
 #[test]
 fn every_protocol_is_serializable_on_contended_workloads() {
-    for scenario in [presets::quick(presets::fig2()), presets::quick(presets::fig3())] {
+    for scenario in [
+        presets::quick(presets::fig2()),
+        presets::quick(presets::fig3()),
+    ] {
         for protocol in ProtocolKind::ALL {
             let report = engine_report(&scenario, protocol);
             oracle::verify(&report)
@@ -89,7 +95,10 @@ fn prediction_misses_force_demand_fetches_but_not_corruption() {
         ..scenario.system_config()
     };
     let report = run_engine(&config, &registry, &families).expect("runs");
-    assert!(report.stats.demand_fetches > 0, "40% misses must cause demand fetches");
+    assert!(
+        report.stats.demand_fetches > 0,
+        "40% misses must cause demand fetches"
+    );
     oracle::verify(&report).expect("demand fetching preserves correctness");
 }
 
@@ -100,13 +109,19 @@ fn recovery_mechanisms_are_interchangeable() {
     let (registry, families) = scenario.generate().expect("generates");
     let base = scenario.system_config();
     let undo = run_engine(
-        &Cfg { recovery: RecoveryKind::UndoLog, ..base.clone() },
+        &Cfg {
+            recovery: RecoveryKind::UndoLog,
+            ..base.clone()
+        },
         &registry,
         &families,
     )
     .expect("undo run");
     let shadow = run_engine(
-        &Cfg { recovery: RecoveryKind::ShadowPages, ..base },
+        &Cfg {
+            recovery: RecoveryKind::ShadowPages,
+            ..base
+        },
         &registry,
         &families,
     )

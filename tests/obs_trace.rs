@@ -1,0 +1,137 @@
+//! End-to-end observability tests at the facade level: recording a trace
+//! from a real engine run must not perturb the simulation, and the two
+//! export formats must be faithful (JSONL losslessly, Chrome trace as
+//! valid, monotonic JSON).
+
+use lotec::obs::{chrome_trace, jsonl_decode, jsonl_encode, Json, ObsEventKind};
+use lotec::prelude::*;
+
+fn quickstart() -> (SystemConfig, ObjectRegistry, Vec<FamilySpec>) {
+    let scenario = lotec::workload::presets::quick(lotec::workload::presets::fig2());
+    let (registry, families) = scenario.generate().expect("generates");
+    let config = scenario.system_config();
+    (config, registry, families)
+}
+
+/// Recording a trace changes nothing observable about the run: every
+/// `RunStats` counter and the traffic ledger totals are identical to the
+/// no-op-sink run, on a quickstart-sized workload.
+#[test]
+fn recording_sink_does_not_perturb_the_simulation() {
+    let (config, registry, families) = quickstart();
+    let plain = run_engine(&config, &registry, &families).expect("plain run");
+    let mut sink = RecordingSink::new();
+    let probed =
+        run_engine_with_probe(&config, &registry, &families, &mut sink).expect("probed run");
+    assert!(!sink.is_empty(), "a real run must record events");
+
+    // Counters, one by one (RunStats holds histograms, so no blanket Eq).
+    let a = &plain.stats;
+    let b = &probed.stats;
+    assert_eq!(a.committed_families, b.committed_families);
+    assert_eq!(a.aborted_families, b.aborted_families);
+    assert_eq!(a.subtxn_aborts, b.subtxn_aborts);
+    assert_eq!(a.deadlocks, b.deadlocks);
+    assert_eq!(a.restarts, b.restarts);
+    assert_eq!(a.demand_fetches, b.demand_fetches);
+    assert_eq!(a.local_lock_grants, b.local_lock_grants);
+    assert_eq!(a.global_lock_grants, b.global_lock_grants);
+    assert_eq!(a.queued_lock_requests, b.queued_lock_requests);
+    assert_eq!(a.prefetch_hits, b.prefetch_hits);
+    assert_eq!(a.prefetch_saved, b.prefetch_saved);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.total_latency, b.total_latency);
+    assert_eq!(a.phases.aggregate, b.phases.aggregate);
+    assert_eq!(a.phases.per_family, b.phases.per_family);
+
+    // The full schedule, final memory state and traffic ledger agree.
+    assert_eq!(plain.trace, probed.trace);
+    assert_eq!(plain.final_chains, probed.final_chains);
+    assert_eq!(plain.traffic.total(), probed.traffic.total());
+    assert_eq!(
+        plain.traffic.ledger().total_time(NetworkConfig::default()),
+        probed.traffic.ledger().total_time(NetworkConfig::default())
+    );
+}
+
+/// JSONL encode/decode round-trips a real engine trace exactly.
+#[test]
+fn jsonl_round_trips_an_engine_trace() {
+    let (config, registry, families) = quickstart();
+    let mut sink = RecordingSink::new();
+    run_engine_with_probe(&config, &registry, &families, &mut sink).expect("runs");
+    let events = sink.into_events();
+    assert!(
+        events.len() > families.len(),
+        "at least one event per family"
+    );
+    let text = jsonl_encode(&events);
+    assert_eq!(text.lines().count(), events.len());
+    let back = jsonl_decode(&text).expect("decodes");
+    assert_eq!(events, back);
+}
+
+/// The Chrome trace built from a real run is valid JSON, has monotonically
+/// non-decreasing `ts`, and contains at least one phase slice per
+/// committed family — the shape Perfetto needs to load it.
+#[test]
+fn chrome_trace_is_valid_and_monotonic() {
+    let (config, registry, families) = quickstart();
+    let mut sink = RecordingSink::new();
+    let report = run_engine_with_probe(&config, &registry, &families, &mut sink).expect("runs");
+    let events = sink.into_events();
+    let trace = chrome_trace(&events);
+
+    // Survives a full render → re-parse cycle.
+    let rendered = trace.render_pretty();
+    assert_eq!(Json::parse(&rendered).expect("valid JSON"), trace);
+
+    let items = trace
+        .get("traceEvents")
+        .expect("traceEvents")
+        .as_array()
+        .expect("array");
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut slices = 0u64;
+    let mut families_with_slices = std::collections::BTreeSet::new();
+    for item in items {
+        let ts = item.get("ts").expect("ts").as_f64().expect("numeric ts");
+        assert!(ts >= last_ts, "ts must be monotonic: {ts} < {last_ts}");
+        last_ts = ts;
+        if item.get("ph").and_then(|p| p.as_str()) == Some("X") {
+            slices += 1;
+            assert!(item.get("dur").expect("dur").as_f64().expect("numeric dur") >= 0.0);
+            families_with_slices.extend(item.get("tid").and_then(lotec::obs::Json::as_u64));
+        }
+    }
+    assert!(slices > 0, "a real run produces phase slices");
+    assert_eq!(
+        families_with_slices.len() as u64,
+        report.stats.committed_families + report.stats.aborted_families,
+        "every family gets at least one slice"
+    );
+}
+
+/// The trace's phase events replay to exactly the engine's own
+/// phase-attributed accounting.
+#[test]
+fn trace_summary_agrees_with_engine_accounting() {
+    let (config, registry, families) = quickstart();
+    let mut sink = RecordingSink::new();
+    let report = run_engine_with_probe(&config, &registry, &families, &mut sink).expect("runs");
+    let summary = TraceSummary::of(sink.events());
+    assert_eq!(summary.aggregate, report.stats.phases.aggregate);
+    // Every recorded event kind census entry is non-zero by construction.
+    assert!(summary.kind_counts.values().all(|&c| c > 0));
+    let grants = sink
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, ObsEventKind::LockGranted { .. }))
+        .count() as u64;
+    // Immediate grants all emit; queued requests emit when (and only
+    // when) a release eventually grants them, so cancelled waiters —
+    // deadlock victims — account for any shortfall.
+    let immediate = report.stats.local_lock_grants + report.stats.global_lock_grants;
+    assert!(grants >= immediate);
+    assert!(grants <= immediate + report.stats.queued_lock_requests);
+}

@@ -1,57 +1,45 @@
-//! Property-based tests over randomized workload configurations: the core
+//! Randomized-property tests over workload configurations: the core
 //! invariants of DESIGN.md §5 must hold for *any* generated workload, not
-//! just the figure presets.
-
-use proptest::prelude::*;
+//! just the figure presets. Cases are drawn from a seeded [`SimRng`]
+//! stream, so every run checks the same deterministic sample.
 
 use lotec::prelude::*;
+use lotec::sim::SimRng;
 use lotec::workload::schema::SchemaConfig;
 use lotec::workload::WorkloadConfig;
 use lotec_core::SystemConfig as Cfg;
 
-/// Strategy over small-but-diverse workload configurations.
-fn workload_strategy() -> impl Strategy<Value = WorkloadConfig> {
-    (
-        1u16..=3,     // pages_min
-        0u16..=8,     // extra pages
-        2u32..=4,     // classes
-        3u16..=10,    // attrs_min
-        1u32..=3,     // paths per method
-        0.15f64..0.7, // attr touch prob
-        0.0f64..1.2,  // zipf theta
-        4u32..=24,    // families
-        2u32..=6,     // nodes
-        any::<u64>(), // seed
-        0.0f64..0.2,  // abort prob
-    )
-        .prop_map(
-            |(pmin, pextra, classes, attrs, paths, touch, theta, families, nodes, seed, abort)| {
-                WorkloadConfig {
-                    schema: SchemaConfig {
-                        num_classes: classes,
-                        pages_min: pmin,
-                        pages_max: pmin + pextra,
-                        page_size: 512, // small pages keep runs fast
-                        attrs_min: attrs,
-                        attrs_max: attrs + 5,
-                        methods_per_class: 3,
-                        paths_per_method: paths,
-                        attr_touch_prob: touch,
-                        write_prob: 0.8,
-                        read_only_method_prob: 0.2,
-                        invoke_prob: 0.4,
-                        max_sites_per_path: 2,
-                    },
-                    num_objects: 8,
-                    num_families: families,
-                    num_nodes: nodes,
-                    zipf_theta: theta,
-                    mean_arrival_gap: SimDuration::from_micros(30),
-                    abort_prob: abort,
-                    seed,
-                }
-            },
-        )
+const CASES: u64 = 24;
+
+/// One random small-but-diverse workload configuration.
+fn random_workload(rng: &mut SimRng) -> WorkloadConfig {
+    let pages_min = rng.range_inclusive(1, 3) as u16;
+    let pages_extra = rng.range_inclusive(0, 8) as u16;
+    let attrs_min = rng.range_inclusive(3, 10) as u16;
+    WorkloadConfig {
+        schema: SchemaConfig {
+            num_classes: rng.range_inclusive(2, 4) as u32,
+            pages_min,
+            pages_max: pages_min + pages_extra,
+            page_size: 512, // small pages keep runs fast
+            attrs_min,
+            attrs_max: attrs_min + 5,
+            methods_per_class: 3,
+            paths_per_method: rng.range_inclusive(1, 3) as u32,
+            attr_touch_prob: 0.15 + rng.f64() * 0.55,
+            write_prob: 0.8,
+            read_only_method_prob: 0.2,
+            invoke_prob: 0.4,
+            max_sites_per_path: 2,
+        },
+        num_objects: 8,
+        num_families: rng.range_inclusive(4, 24) as u32,
+        num_nodes: rng.range_inclusive(2, 6) as u32,
+        zipf_theta: rng.f64() * 1.2,
+        mean_arrival_gap: SimDuration::from_micros(30),
+        abort_prob: rng.f64() * 0.2,
+        seed: rng.next_u64(),
+    }
 }
 
 fn system_for(w: &WorkloadConfig, protocol: ProtocolKind) -> Cfg {
@@ -64,108 +52,137 @@ fn system_for(w: &WorkloadConfig, protocol: ProtocolKind) -> Cfg {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+/// Runs `body` for each sampled workload that generates non-degenerately.
+fn for_each_workload(stream: u64, mut body: impl FnMut(&WorkloadConfig, &mut SimRng)) {
+    let mut rng = SimRng::seed_from_u64(0x1237_AB5E ^ stream);
+    for _ in 0..CASES {
+        let w = random_workload(&mut rng);
+        body(&w, &mut rng);
+    }
+}
 
-    /// Invariant 1 (DESIGN.md): page-payload ordering
-    /// LOTEC <= OTEC <= COTEC for any workload on an identical schedule.
-    #[test]
-    fn payload_ordering_universal(w in workload_strategy()) {
-        let Ok((registry, families)) = lotec::workload::gen::generate(&w) else {
-            return Ok(()); // degenerate config; nothing to check
+/// Invariant 1 (DESIGN.md): page-payload ordering
+/// LOTEC <= OTEC <= COTEC for any workload on an identical schedule.
+#[test]
+fn payload_ordering_universal() {
+    for_each_workload(1, |w, _| {
+        let Ok((registry, families)) = lotec::workload::gen::generate(w) else {
+            return; // degenerate config; nothing to check
         };
-        prop_assume!(!families.is_empty());
-        let config = system_for(&w, ProtocolKind::Lotec);
+        if families.is_empty() {
+            return;
+        }
+        let config = system_for(w, ProtocolKind::Lotec);
         let cmp = compare_protocols(&config, &registry, &families).expect("runs");
-        let payload =
-            |k: ProtocolKind| cmp.traffic(k).page_payload_bytes(&config.sizes, config.page_size);
+        let payload = |k: ProtocolKind| {
+            cmp.traffic(k)
+                .page_payload_bytes(&config.sizes, config.page_size)
+        };
         let (l, o, c) = (
             payload(ProtocolKind::Lotec),
             payload(ProtocolKind::Otec),
             payload(ProtocolKind::Cotec),
         );
-        prop_assert!(l <= o, "LOTEC {l} > OTEC {o}");
-        prop_assert!(o <= c, "OTEC {o} > COTEC {c}");
-    }
+        assert!(l <= o, "LOTEC {l} > OTEC {o} for {w:?}");
+        assert!(o <= c, "OTEC {o} > COTEC {c} for {w:?}");
+    });
+}
 
-    /// Invariant 2: serializability under every protocol, with faults and
-    /// contention drawn at random.
-    #[test]
-    fn serializability_universal(w in workload_strategy(), proto_idx in 0usize..4) {
-        let Ok((registry, families)) = lotec::workload::gen::generate(&w) else {
-            return Ok(());
+/// Invariant 2: serializability under every protocol, with faults and
+/// contention drawn at random.
+#[test]
+fn serializability_universal() {
+    for_each_workload(2, |w, rng| {
+        let Ok((registry, families)) = lotec::workload::gen::generate(w) else {
+            return;
         };
-        prop_assume!(!families.is_empty());
-        let protocol = ProtocolKind::ALL[proto_idx];
-        let config = system_for(&w, protocol);
+        if families.is_empty() {
+            return;
+        }
+        let protocol = ProtocolKind::ALL[rng.next_below(4) as usize];
+        let config = system_for(w, protocol);
         let report = run_engine(&config, &registry, &families).expect("engine runs");
-        prop_assert!(oracle::verify(&report).is_ok(), "oracle rejected {protocol}");
+        assert!(
+            oracle::verify(&report).is_ok(),
+            "oracle rejected {protocol} for {w:?}"
+        );
         // Every family must terminate: committed or (fault-aborted) failed.
-        prop_assert_eq!(
+        assert_eq!(
             report.stats.committed_families + report.stats.aborted_families,
             families.len() as u64
         );
-    }
+    });
+}
 
-    /// Invariant 8: bit-for-bit determinism from the seed.
-    #[test]
-    fn determinism_universal(w in workload_strategy()) {
-        let Ok((registry, families)) = lotec::workload::gen::generate(&w) else {
-            return Ok(());
+/// Invariant 8: bit-for-bit determinism from the seed.
+#[test]
+fn determinism_universal() {
+    for_each_workload(3, |w, _| {
+        let Ok((registry, families)) = lotec::workload::gen::generate(w) else {
+            return;
         };
-        prop_assume!(!families.is_empty());
-        let config = system_for(&w, ProtocolKind::Lotec);
+        if families.is_empty() {
+            return;
+        }
+        let config = system_for(w, ProtocolKind::Lotec);
         let a = run_engine(&config, &registry, &families).expect("run a");
         let b = run_engine(&config, &registry, &families).expect("run b");
-        prop_assert_eq!(a.trace, b.trace);
-        prop_assert_eq!(a.final_chains, b.final_chains);
-        prop_assert_eq!(a.traffic.total(), b.traffic.total());
-    }
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.final_chains, b.final_chains);
+        assert_eq!(a.traffic.total(), b.traffic.total());
+    });
+}
 
-    /// Invariant 6: conservative prediction — every path's actual access
-    /// set is a subset of its method's prediction, for any generated
-    /// schema.
-    #[test]
-    fn conservative_prediction_universal(w in workload_strategy()) {
-        let Ok((registry, _)) = lotec::workload::gen::generate(&w) else {
-            return Ok(());
+/// Invariant 6: conservative prediction — every path's actual access set
+/// is a subset of its method's prediction, for any generated schema.
+#[test]
+fn conservative_prediction_universal() {
+    for_each_workload(4, |w, _| {
+        let Ok((registry, _)) = lotec::workload::gen::generate(w) else {
+            return;
         };
         for class_idx in 0..registry.num_classes() {
             let compiled = registry.class(ClassId::new(class_idx as u32));
-            prop_assert_eq!(compiled.verify(), Ok(()));
+            assert_eq!(compiled.verify(), Ok(()));
         }
-    }
+    });
+}
 
-    /// JSON persistence round-trips any workload configuration exactly:
-    /// the reloaded scenario regenerates an identical workload.
-    #[test]
-    fn persistence_roundtrip_universal(w in workload_strategy()) {
-        let scenario = lotec::workload::Scenario::new("prop", w);
+/// JSON persistence round-trips any workload configuration exactly: the
+/// reloaded scenario regenerates an identical workload.
+#[test]
+fn persistence_roundtrip_universal() {
+    for_each_workload(5, |w, _| {
+        let scenario = lotec::workload::Scenario::new("prop", w.clone());
         let json = lotec::workload::persist::to_json(&scenario).expect("serializes");
         let back = lotec::workload::persist::from_json(&json).expect("deserializes");
-        prop_assert_eq!(&back, &scenario);
+        assert_eq!(&back, &scenario);
         let a = lotec::workload::gen::generate(&scenario.config);
         let b = lotec::workload::gen::generate(&back.config);
         match (a, b) {
-            (Ok((_, fa)), Ok((_, fb))) => prop_assert_eq!(fa, fb),
+            (Ok((_, fa)), Ok((_, fb))) => assert_eq!(fa, fb),
             (Err(_), Err(_)) => {}
-            _ => prop_assert!(false, "generate outcome diverged after roundtrip"),
+            _ => panic!("generate outcome diverged after roundtrip"),
         }
-    }
+    });
+}
 
-    /// Engine accounting must equal replaying its own trace under the same
-    /// protocol — the two cost models can never drift.
-    #[test]
-    fn engine_matches_replay_universal(w in workload_strategy(), proto_idx in 0usize..4) {
-        let Ok((registry, families)) = lotec::workload::gen::generate(&w) else {
-            return Ok(());
+/// Engine accounting must equal replaying its own trace under the same
+/// protocol — the two cost models can never drift.
+#[test]
+fn engine_matches_replay_universal() {
+    for_each_workload(6, |w, rng| {
+        let Ok((registry, families)) = lotec::workload::gen::generate(w) else {
+            return;
         };
-        prop_assume!(!families.is_empty());
-        let protocol = ProtocolKind::ALL[proto_idx];
-        let config = system_for(&w, protocol);
+        if families.is_empty() {
+            return;
+        }
+        let protocol = ProtocolKind::ALL[rng.next_below(4) as usize];
+        let config = system_for(w, protocol);
         let report = run_engine(&config, &registry, &families).expect("engine runs");
         let replayed =
             lotec_core::replay::replay_trace(protocol, &report.trace, &registry, &config);
-        prop_assert_eq!(report.traffic.total(), replayed.total());
-    }
+        assert_eq!(report.traffic.total(), replayed.total());
+    });
 }

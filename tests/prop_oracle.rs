@@ -3,9 +3,8 @@
 //! corrupt them in targeted ways, and assert the oracle rejects every
 //! corruption.
 
-use proptest::prelude::*;
-
 use lotec::prelude::*;
+use lotec::sim::SimRng;
 use lotec_core::engine::{FamilyOp, RunReport};
 use lotec_mem::{ObjectId, PageIndex};
 
@@ -40,7 +39,10 @@ fn oracle_rejects_flipped_final_chain() {
         .expect("some page was written")
         .0;
     *report.final_chains.get_mut(&key).expect("key exists") ^= 0xDEAD_BEEF;
-    assert!(oracle::verify(&report).is_err(), "corrupted final state must be caught");
+    assert!(
+        oracle::verify(&report).is_err(),
+        "corrupted final state must be caught"
+    );
 }
 
 #[test]
@@ -91,19 +93,22 @@ fn oracle_rejects_dropped_write() {
         .position(|op| matches!(op, FamilyOp::Write { .. }))
         .expect("writer has a write");
     report.committed[idx].ops.remove(pos);
-    assert!(oracle::verify(&report).is_err(), "a lost write must be caught");
+    assert!(
+        oracle::verify(&report).is_err(),
+        "a lost write must be caught"
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
-    /// Any single stamp mutation in any committed write is detected.
-    #[test]
-    fn oracle_rejects_any_stamp_mutation(seed in 0u64..4, pick in any::<prop::sample::Index>(), bit in 0u32..64) {
-        let mut report = healthy_report(seed);
+/// Any single stamp mutation in any committed write is detected. Twelve
+/// deterministic cases drawn from a seeded [`SimRng`] stream.
+#[test]
+fn oracle_rejects_any_stamp_mutation() {
+    let mut rng = SimRng::seed_from_u64(0x0AC1_E57A);
+    for _ in 0..12 {
+        let mut report = healthy_report(rng.next_below(4));
         let writers = writer_indices(&report);
-        prop_assume!(!writers.is_empty());
-        let fam = writers[pick.index(writers.len())];
+        assert!(!writers.is_empty(), "fig2 always has writers");
+        let fam = writers[rng.next_below(writers.len() as u64) as usize];
         let write_positions: Vec<usize> = report.committed[fam]
             .ops
             .iter()
@@ -111,17 +116,25 @@ proptest! {
             .filter(|(_, op)| matches!(op, FamilyOp::Write { .. }))
             .map(|(i, _)| i)
             .collect();
-        let pos = write_positions[pick.index(write_positions.len())];
+        let pos = write_positions[rng.next_below(write_positions.len() as u64) as usize];
+        let bit = rng.next_below(64) as u32;
         if let FamilyOp::Write { stamp, .. } = &mut report.committed[fam].ops[pos] {
             *stamp ^= 1u64 << bit;
         }
-        prop_assert!(oracle::verify(&report).is_err(), "mutated stamp must be caught");
+        assert!(
+            oracle::verify(&report).is_err(),
+            "mutated stamp must be caught"
+        );
     }
+}
 
-    /// Any read-chain mutation is detected.
-    #[test]
-    fn oracle_rejects_any_read_mutation(seed in 0u64..4, pick in any::<prop::sample::Index>()) {
-        let mut report = healthy_report(seed);
+/// Any read-chain mutation is detected. Twelve deterministic cases drawn
+/// from a seeded [`SimRng`] stream.
+#[test]
+fn oracle_rejects_any_read_mutation() {
+    let mut rng = SimRng::seed_from_u64(0x0AC1_E57B);
+    for _ in 0..12 {
+        let mut report = healthy_report(rng.next_below(4));
         let readers: Vec<(usize, usize)> = report
             .committed
             .iter()
@@ -134,11 +147,14 @@ proptest! {
                     .map(move |(oi, _)| (fi, oi))
             })
             .collect();
-        prop_assume!(!readers.is_empty());
-        let (fi, oi) = readers[pick.index(readers.len())];
+        assert!(!readers.is_empty(), "fig2 always has readers");
+        let (fi, oi) = readers[rng.next_below(readers.len() as u64) as usize];
         if let FamilyOp::Read { chain, .. } = &mut report.committed[fi].ops[oi] {
             *chain = chain.wrapping_add(1);
         }
-        prop_assert!(oracle::verify(&report).is_err(), "mutated read must be caught");
+        assert!(
+            oracle::verify(&report).is_err(),
+            "mutated read must be caught"
+        );
     }
 }
