@@ -1,0 +1,170 @@
+//! Fault-injection sweep: the protocol trio under lossy links and node
+//! outages.
+//!
+//! Sweeps message-drop rates (with proportionate duplicate/delay noise)
+//! and one calibrated two-outage crash scenario across the paper trio,
+//! verifying the serializability oracle on every cell, and writes
+//! `BENCH_chaos.json` (`drop_sweep` and `crash` sections keyed by
+//! protocol). The interesting output is the *cost* of faults — extra
+//! messages retransmitted, latency lost to retransmission stalls and
+//! restarts — because the correctness outcome is always the same: every
+//! cell must commit its full workload and pass the oracle.
+//!
+//! Reproduce any cell from its printed seed: the fault plan is pure data
+//! and every draw comes from the engine's seeded fault RNG stream.
+
+use lotec_core::config::FaultConfig;
+use lotec_core::engine::{run_engine, RunReport};
+use lotec_core::oracle;
+use lotec_core::protocol::ProtocolKind;
+use lotec_core::SystemConfig;
+use lotec_obs::Json;
+use lotec_sim::{CrashWindow, FaultPlan, SimDuration, SimTime};
+use lotec_workload::presets;
+
+const SEED: u64 = 0xC4A05;
+const DROP_RATES: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
+
+fn fault_config(drop: f64) -> FaultConfig {
+    if drop == 0.0 {
+        return FaultConfig::default();
+    }
+    FaultConfig {
+        plan: FaultPlan {
+            drop_prob: drop,
+            duplicate_prob: drop / 2.0,
+            delay_prob: drop,
+            max_extra_delay: SimDuration::from_micros(25),
+            rto: SimDuration::from_micros(50),
+            crashes: Vec::new(),
+        },
+        ..FaultConfig::default()
+    }
+}
+
+fn cell_json(report: &RunReport) -> Json {
+    let stats = &report.stats;
+    Json::obj(vec![
+        ("committed", Json::U64(stats.committed_families)),
+        ("retransmits", Json::U64(stats.retransmits)),
+        ("duplicates", Json::U64(stats.duplicates)),
+        ("crashes", Json::U64(stats.crashes)),
+        ("crash_aborts", Json::U64(stats.crash_aborts)),
+        ("restarts", Json::U64(stats.restarts)),
+        (
+            "retransmit_wait_ns",
+            Json::U64(stats.retransmit_wait.as_nanos()),
+        ),
+        (
+            "mean_latency_ns",
+            Json::U64(stats.mean_latency().map_or(0, |d| d.as_nanos())),
+        ),
+        ("makespan_ns", Json::U64(stats.makespan.as_nanos())),
+        ("total_messages", Json::U64(report.traffic.total().messages)),
+        ("total_bytes", Json::U64(report.traffic.total().bytes)),
+        ("oracle", Json::str("ok")),
+    ])
+}
+
+fn main() {
+    let scenario = presets::quick(presets::fig3());
+    let (registry, families) = scenario.generate().expect("workload generates");
+    let base = |protocol| SystemConfig {
+        protocol,
+        seed: SEED,
+        num_nodes: scenario.config.num_nodes,
+        page_size: scenario.config.schema.page_size,
+        ..SystemConfig::default()
+    };
+
+    println!(
+        "chaos sweep: {} families, seed {SEED:#x}, drop rates {DROP_RATES:?}",
+        families.len()
+    );
+
+    // Drop-rate sweep across the trio. Every cell is oracle-verified; the
+    // run aborts loudly if a fault configuration ever costs correctness.
+    let mut drop_section = Vec::new();
+    for protocol in ProtocolKind::PAPER_TRIO {
+        let mut cells = Vec::new();
+        for drop in DROP_RATES {
+            let config = SystemConfig {
+                faults: fault_config(drop),
+                ..base(protocol)
+            };
+            let report = run_engine(&config, &registry, &families)
+                .unwrap_or_else(|e| panic!("{protocol} drop={drop}: {e}"));
+            oracle::verify(&report)
+                .unwrap_or_else(|e| panic!("{protocol} drop={drop}: oracle: {e}"));
+            assert_eq!(
+                report.stats.committed_families as usize,
+                families.len(),
+                "{protocol} drop={drop}: lost families"
+            );
+            println!(
+                "  {protocol:>6} drop={drop:.2}: retransmits={:<5} dup={:<4} \
+                 stall={:>9}ns makespan={}ns",
+                report.stats.retransmits,
+                report.stats.duplicates,
+                report.stats.retransmit_wait.as_nanos(),
+                report.stats.makespan.as_nanos(),
+            );
+            cells.push((format!("{drop:.2}"), cell_json(&report)));
+        }
+        drop_section.push((protocol.to_string(), Json::Obj(cells)));
+    }
+
+    // Crash scenario: two staggered outages placed against each
+    // protocol's own fault-free makespan so they overlap live traffic.
+    let mut crash_section = Vec::new();
+    for protocol in ProtocolKind::PAPER_TRIO {
+        let plain = run_engine(&base(protocol), &registry, &families).expect("calibration");
+        let makespan = plain.stats.makespan;
+        let nodes = scenario.config.num_nodes;
+        let config = SystemConfig {
+            faults: FaultConfig {
+                plan: FaultPlan {
+                    rto: SimDuration::from_micros(50),
+                    crashes: vec![
+                        CrashWindow {
+                            node: lotec_sim::NodeId::new((SEED % u64::from(nodes)) as u32),
+                            at: SimTime::ZERO + makespan / 8,
+                            until: SimTime::ZERO + makespan / 3,
+                        },
+                        CrashWindow {
+                            node: lotec_sim::NodeId::new(((SEED + 1) % u64::from(nodes)) as u32),
+                            at: SimTime::ZERO + makespan / 2,
+                            until: SimTime::ZERO + makespan * 3 / 4,
+                        },
+                    ],
+                    ..FaultPlan::default()
+                },
+                ..FaultConfig::default()
+            },
+            ..base(protocol)
+        };
+        let report = run_engine(&config, &registry, &families)
+            .unwrap_or_else(|e| panic!("{protocol} crash: {e}"));
+        oracle::verify(&report).unwrap_or_else(|e| panic!("{protocol} crash: oracle: {e}"));
+        assert_eq!(
+            report.stats.crashes, 2,
+            "{protocol}: both windows must open"
+        );
+        println!(
+            "  {protocol:>6} crash: aborts={} restarts={} makespan={}ns (+{}%)",
+            report.stats.crash_aborts,
+            report.stats.restarts,
+            report.stats.makespan.as_nanos(),
+            (report.stats.makespan.as_nanos() * 100) / makespan.as_nanos().max(1) - 100,
+        );
+        crash_section.push((protocol.to_string(), cell_json(&report)));
+    }
+
+    let json = Json::obj(vec![
+        ("seed", Json::U64(SEED)),
+        ("drop_sweep", Json::Obj(drop_section)),
+        ("crash", Json::Obj(crash_section)),
+    ]);
+    std::fs::write("BENCH_chaos.json", json.render_pretty()).expect("write BENCH_chaos.json");
+    println!("wrote BENCH_chaos.json");
+}

@@ -30,6 +30,7 @@
 //! | `variance_check` | 5-seed stability of the headline ratios |
 //! | `tune` | internal knob-calibration sweep (how the presets were fit) |
 //! | `smoke` | fast end-to-end sanity run |
+//! | `chaos` | fault-injection sweep: drop rates and node crashes, oracle-checked (`BENCH_chaos.json`) |
 //!
 //! Pass `--quick` to any figure binary for a reduced run; `--csv [path]`
 //! additionally writes the figure's data as CSV (default

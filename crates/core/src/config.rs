@@ -67,6 +67,40 @@ pub enum RecoveryKind {
     ShadowPages,
 }
 
+/// Fault-injection configuration: a [`FaultPlan`](lotec_sim::FaultPlan)
+/// for the network and node layer, plus engine-level fault knobs.
+///
+/// The default is fully disabled ([`FaultConfig::enabled`] is false) and
+/// the engine's fault path is then zero-cost: no RNG draws, no extra
+/// ledger entries, no behavior change relative to a fault-free build.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultConfig {
+    /// Message-loss/duplication/delay probabilities and node crash
+    /// windows, interpreted deterministically from the engine seed.
+    pub plan: lotec_sim::FaultPlan,
+    /// Lock-request timeout: a request still queued after this long is
+    /// cancelled and requeued at the tail (modelling a timed-out waiter
+    /// re-issuing its request). [`SimDuration::ZERO`] disables timeouts.
+    pub lock_timeout: SimDuration,
+}
+
+impl FaultConfig {
+    /// True when any fault mechanism can fire.
+    pub fn enabled(&self) -> bool {
+        self.plan.enabled() || self.lock_timeout > SimDuration::ZERO
+    }
+
+    /// Validates the embedded plan against the cluster size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions documented for
+    /// [`FaultPlan::validate`](lotec_sim::FaultPlan::validate).
+    pub fn validate(&self, num_nodes: u32) {
+        self.plan.validate(num_nodes);
+    }
+}
+
 /// Full configuration of a simulated system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
@@ -126,6 +160,9 @@ pub struct SystemConfig {
     /// Give up restarting a deadlock-victim family after this many
     /// attempts.
     pub max_restarts: u32,
+    /// Deterministic fault injection (lossy links, node crashes, lock
+    /// timeouts). Disabled by default; see [`FaultConfig`].
+    pub faults: FaultConfig,
     /// Seed for the engine's internal randomness (backoff jitter,
     /// prediction-miss draws). Workload generation has its own seed.
     pub seed: u64,
@@ -149,6 +186,7 @@ impl Default for SystemConfig {
             lock_prefetch: false,
             prediction_miss_rate: 0.0,
             max_restarts: 25,
+            faults: FaultConfig::default(),
             seed: 0,
         }
     }
@@ -166,6 +204,13 @@ impl SystemConfig {
     #[must_use]
     pub fn with_network(mut self, network: NetworkConfig) -> Self {
         self.network = network;
+        self
+    }
+
+    /// Convenience: the same config with a fault-injection setup.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -237,6 +282,7 @@ impl SystemConfig {
             (0.0..=1.0).contains(&self.prediction_miss_rate),
             "prediction_miss_rate must be a probability"
         );
+        self.faults.validate(self.num_nodes);
     }
 }
 
@@ -259,6 +305,38 @@ mod tests {
         );
         let cfg = cfg.with_network(net);
         assert_eq!(cfg.network, net);
+    }
+
+    #[test]
+    fn fault_config_defaults_to_disabled() {
+        let cfg = SystemConfig::default();
+        assert!(!cfg.faults.enabled());
+        let cfg = cfg.with_faults(FaultConfig {
+            lock_timeout: SimDuration::from_millis(5),
+            ..FaultConfig::default()
+        });
+        assert!(cfg.faults.enabled());
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn fault_plan_checked_against_cluster_size() {
+        let cfg = SystemConfig {
+            faults: FaultConfig {
+                plan: lotec_sim::FaultPlan {
+                    crashes: vec![lotec_sim::CrashWindow {
+                        node: lotec_sim::NodeId::new(99),
+                        at: lotec_sim::SimTime::ZERO,
+                        until: lotec_sim::SimTime::from_micros(1),
+                    }],
+                    ..lotec_sim::FaultPlan::default()
+                },
+                ..FaultConfig::default()
+            },
+            ..SystemConfig::default()
+        };
+        cfg.validate();
     }
 
     #[test]

@@ -114,6 +114,11 @@ pub(crate) struct FamilyRuntime {
     pub phase: Phase,
     /// Restarts performed so far.
     pub restarts: u32,
+    /// Attempt generation, bumped on every reset. Timed events carry the
+    /// generation they were scheduled under; a crash-abort invalidates the
+    /// attempt's in-flight events by bumping this, so stale deliveries
+    /// are recognized and dropped instead of corrupting the new attempt.
+    pub generation: u32,
     /// Arrival time (first attempt) — end-to-end latency baseline.
     pub arrival: SimTime,
     /// Data operations of the current attempt, in execution order.
@@ -126,6 +131,18 @@ pub(crate) struct FamilyRuntime {
     pub prefetch_at: std::collections::BTreeMap<SpecPtr, SimTime>,
     /// When the current phase was entered (phase-latency attribution).
     pub phase_entered: SimTime,
+    /// Fault injection: retransmit wait baked into delays of events that
+    /// have since fired — elapsed sender-idle time to be re-attributed
+    /// from the enclosing phase to the backoff bucket at the next phase
+    /// transition.
+    pub ready_retransmit_wait: SimDuration,
+    /// Fault injection: retransmit wait accrued *at the current instant*
+    /// (the delayed event has not fired yet). Promoted into
+    /// [`FamilyRuntime::ready_retransmit_wait`] once the clock moves past
+    /// [`FamilyRuntime::fresh_wait_at`].
+    pub fresh_retransmit_wait: SimDuration,
+    /// Instant at which `fresh_retransmit_wait` was accrued.
+    pub fresh_wait_at: SimTime,
     /// Cumulative time per coarse phase, across *all* attempts (restart
     /// backoff and redone work both count — the breakdown explains
     /// end-to-end latency, not just the winning attempt).
@@ -141,13 +158,28 @@ impl FamilyRuntime {
             frames: Vec::new(),
             phase: Phase::NotStarted,
             restarts: 0,
+            generation: 0,
             arrival,
             ops: Vec::new(),
             fetch_extra: SimDuration::ZERO,
             prefetch_at: std::collections::BTreeMap::new(),
             phase_entered: arrival,
+            ready_retransmit_wait: SimDuration::ZERO,
+            fresh_retransmit_wait: SimDuration::ZERO,
+            fresh_wait_at: arrival,
             phase_times: PhaseTimes::default(),
         }
+    }
+
+    /// Folds `fresh_retransmit_wait` into `ready_retransmit_wait` once the
+    /// clock has moved past the instant it was accrued at (by then the
+    /// delayed event has fired and the wait has genuinely elapsed).
+    pub fn promote_retransmit_wait(&mut self, now: SimTime) {
+        if now > self.fresh_wait_at && self.fresh_retransmit_wait > SimDuration::ZERO {
+            self.ready_retransmit_wait += self.fresh_retransmit_wait;
+            self.fresh_retransmit_wait = SimDuration::ZERO;
+        }
+        self.fresh_wait_at = now;
     }
 
     /// The current (innermost) frame.
@@ -178,6 +210,11 @@ impl FamilyRuntime {
         self.ops.clear();
         self.fetch_extra = SimDuration::ZERO;
         self.prefetch_at.clear();
+        // Invalidate the attempt's in-flight events and drop wait accrued
+        // for deliveries that will now never be consumed.
+        self.generation += 1;
+        self.ready_retransmit_wait = SimDuration::ZERO;
+        self.fresh_retransmit_wait = SimDuration::ZERO;
     }
 
     /// Drops the operations of an aborted subtree (identified by its member
@@ -288,15 +325,36 @@ mod tests {
     }
 
     #[test]
+    fn retransmit_wait_promotes_only_after_clock_moves() {
+        let mut fam = FamilyRuntime::new(0, SimTime::ZERO);
+        fam.promote_retransmit_wait(SimTime::from_micros(1));
+        fam.fresh_retransmit_wait = SimDuration::from_micros(4);
+        // Same instant: the delayed event has not fired yet.
+        fam.promote_retransmit_wait(SimTime::from_micros(1));
+        assert_eq!(fam.ready_retransmit_wait, SimDuration::ZERO);
+        // Clock moved past the accrual instant: the wait has elapsed.
+        fam.promote_retransmit_wait(SimTime::from_micros(2));
+        assert_eq!(fam.ready_retransmit_wait, SimDuration::from_micros(4));
+        assert_eq!(fam.fresh_retransmit_wait, SimDuration::ZERO);
+    }
+
+    #[test]
     fn reset_for_restart_clears_attempt_state() {
         let mut fam = FamilyRuntime::new(3, SimTime::from_micros(5));
         fam.restarts = 2;
         fam.phase_times
             .add(lotec_obs::ObsPhase::Running, SimDuration::from_micros(7));
         fam.ops.push(write(mk_txn(0), 0, 0));
+        fam.ready_retransmit_wait = SimDuration::from_micros(3);
         fam.reset_for_restart();
         assert!(fam.ops.is_empty());
         assert!(fam.frames.is_empty());
+        assert_eq!(fam.generation, 1, "generation bumps to invalidate events");
+        assert_eq!(
+            fam.ready_retransmit_wait,
+            SimDuration::ZERO,
+            "stale retransmit wait dropped"
+        );
         assert_eq!(fam.restarts, 2, "restart count survives");
         assert_eq!(fam.arrival, SimTime::from_micros(5), "arrival survives");
         assert_eq!(

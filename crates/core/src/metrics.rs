@@ -89,6 +89,22 @@ pub struct RunStats {
     pub prefetch_hits: u64,
     /// Total grant latency absorbed by prefetching.
     pub prefetch_saved: SimDuration,
+    /// Fault injection: message transmission attempts beyond the first
+    /// (lost copies that had to be resent after an RTO).
+    pub retransmits: u64,
+    /// Fault injection: duplicate copies delivered by the lossy link.
+    pub duplicates: u64,
+    /// Fault injection: node crashes that occurred during the run.
+    pub crashes: u64,
+    /// Fault injection: in-flight families crash-aborted because their
+    /// executing node died.
+    pub crash_aborts: u64,
+    /// Fault injection: queued lock requests that timed out and were
+    /// requeued.
+    pub lock_timeouts: u64,
+    /// Fault injection: total sender idle time spent waiting out RTOs on
+    /// latency-critical messages (attributed to the backoff phase).
+    pub retransmit_wait: SimDuration,
     /// Total simulated wall-clock until the last commit.
     pub makespan: SimDuration,
     /// Sum of per-family latencies (start → commit).

@@ -88,6 +88,26 @@ impl PageMap {
         self.caching_sites.insert(node);
     }
 
+    /// Crash repair: repoints page `index` at `survivor` *without*
+    /// advancing the version — the survivor holds a byte-identical copy of
+    /// the same committed version, so this is a directory fix-up, not a
+    /// new write. Used when the recorded owner's node crashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn reassign_owner(&mut self, index: PageIndex, survivor: NodeId) {
+        self.locations[index.get() as usize].node = survivor;
+        self.caching_sites.insert(survivor);
+    }
+
+    /// Crash repair: drops `node` from the caching-site set (its caches
+    /// are cold after a crash). The owner locations are untouched — use
+    /// [`PageMap::reassign_owner`] for pages the crashed node owned.
+    pub fn forget_caching_site(&mut self, node: NodeId) {
+        self.caching_sites.remove(&node);
+    }
+
     /// Sites holding cached copies of the object (current or stale). Used
     /// by the release-consistency extension, which must eagerly push
     /// updates to all of them.
@@ -198,6 +218,31 @@ mod tests {
         let m = PageMap::new(1, n(0));
         let stale = m.stale_pages(|_| None);
         assert_eq!(stale, vec![PageIndex::new(0)]);
+    }
+
+    #[test]
+    fn reassign_owner_keeps_version() {
+        let mut m = PageMap::new(2, n(0));
+        m.record_update(PageIndex::new(0), n(3)); // v1 at node 3
+        m.reassign_owner(PageIndex::new(0), n(1));
+        assert_eq!(
+            m.location(PageIndex::new(0)),
+            PageLocation {
+                node: n(1),
+                version: Version::new(1)
+            },
+            "owner moves, version does not advance"
+        );
+        assert!(m.caching_sites().any(|s| s == n(1)));
+    }
+
+    #[test]
+    fn forget_caching_site_drops_cold_caches() {
+        let mut m = PageMap::new(1, n(0));
+        m.record_cached(n(2));
+        assert_eq!(m.num_caching_sites(), 2);
+        m.forget_caching_site(n(2));
+        assert_eq!(m.caching_sites().collect::<Vec<_>>(), vec![n(0)]);
     }
 
     #[test]

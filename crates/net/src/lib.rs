@@ -36,10 +36,12 @@
 
 pub mod config;
 pub mod ledger;
+pub mod lossy;
 pub mod message;
 pub mod sizes;
 
 pub use config::{Bandwidth, NetworkConfig, SoftwareCost};
 pub use ledger::{ObjectTraffic, TrafficLedger};
+pub use lossy::{plan_delivery, DeliveryReport};
 pub use message::{Message, MessageKind};
 pub use sizes::MessageSizes;

@@ -1,0 +1,264 @@
+//! Lossy delivery on top of the traffic ledger: retransmit accounting.
+//!
+//! The simulator does not model individual packets in flight; the engine
+//! charges each logical message to the [`TrafficLedger`](crate::ledger)
+//! and adds the analytic transfer time to the receiver's schedule. Fault
+//! injection keeps that shape: [`plan_delivery`] resolves, *at send time
+//! and deterministically from the caller's RNG fork*, how many
+//! transmission attempts a message needs before it gets through a lossy
+//! link (or a crashed receiver), how many duplicate copies arrive, and
+//! how much extra queueing delay the surviving copy suffers.
+//!
+//! The caller then charges every attempt and duplicate to the ledger
+//! (wasted wire bytes are real bytes) and adds
+//! [`DeliveryReport::latency_penalty`] to the message's delivery time.
+//! The retransmission scheme is the classic fixed-RTO stop-and-wait: a
+//! sender that has not heard a delivery within
+//! [`FaultPlan::rto`](lotec_sim::FaultPlan) resends, so a message that
+//! needs `n` attempts is delayed by `(n - 1) * rto`.
+//!
+//! Receiver outages are handled arithmetically rather than by looping
+//! once per RTO: every retransmission that would arrive inside the crash
+//! window is lost without consuming randomness (a dead node drops
+//! everything regardless), so the report stays cheap even for long
+//! outages with short RTOs.
+
+use lotec_sim::{FaultPlan, NodeId, SimDuration, SimRng, SimTime};
+
+/// Defensive bound on modelled transmission attempts per message. With
+/// `drop_prob < 1` (enforced by [`FaultPlan::validate`]) the expected
+/// attempt count is `1 / (1 - p)`; hitting this bound means a
+/// mis-validated plan, not bad luck.
+const MAX_ATTEMPTS: u32 = 10_000;
+
+/// How one logical message fared on a lossy link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryReport {
+    /// Total transmission attempts, including the successful one
+    /// (1 = clean first-try delivery).
+    pub attempts: u32,
+    /// Extra copies of the successful attempt that also arrived
+    /// (duplicate-delivery faults). They waste wire bytes but carry no
+    /// new information.
+    pub duplicates: u32,
+    /// Retransmission wait: `(attempts - 1) * rto`. This is *idle sender
+    /// time*, not wire time — the stats layer attributes it to the
+    /// backoff phase.
+    pub retransmit_wait: SimDuration,
+    /// Extra queueing delay suffered by the surviving copy.
+    pub extra_delay: SimDuration,
+}
+
+impl DeliveryReport {
+    /// A clean, fault-free delivery.
+    pub const CLEAN: DeliveryReport = DeliveryReport {
+        attempts: 1,
+        duplicates: 0,
+        retransmit_wait: SimDuration::ZERO,
+        extra_delay: SimDuration::ZERO,
+    };
+
+    /// Total added latency versus a fault-free send: retransmit waits
+    /// plus queueing delay.
+    pub fn latency_penalty(&self) -> SimDuration {
+        self.retransmit_wait + self.extra_delay
+    }
+
+    /// Ledger charges beyond the first copy: lost attempts plus
+    /// duplicates.
+    pub fn wasted_copies(&self) -> u32 {
+        (self.attempts - 1) + self.duplicates
+    }
+}
+
+/// Resolves the fate of one message sent at `send_at` towards `dst`,
+/// whose clean one-way transfer time is `one_way`.
+///
+/// Deterministic: the same `(plan, rng state, dst, send_at, one_way)`
+/// always yields the same report. Callers must gate on
+/// [`FaultPlan::enabled`] if they need the disabled configuration to
+/// consume no randomness at all.
+pub fn plan_delivery(
+    plan: &FaultPlan,
+    rng: &mut SimRng,
+    dst: NodeId,
+    send_at: SimTime,
+    one_way: SimDuration,
+) -> DeliveryReport {
+    let mut attempts: u32 = 1;
+    loop {
+        // Attempt `attempts` leaves the sender after (attempts - 1) RTO
+        // waits and lands one_way later.
+        let arrival = send_at + plan.rto * u64::from(attempts - 1) + one_way;
+        if plan.is_down(dst, arrival) {
+            // Every retransmission arriving inside the outage is lost
+            // deterministically; skip them all at once.
+            let up = plan.up_at(dst, arrival);
+            let blackout = up.duration_since(arrival);
+            let extra = blackout.as_nanos().div_ceil(plan.rto.as_nanos().max(1));
+            attempts = attempts
+                .saturating_add(u32::try_from(extra).unwrap_or(u32::MAX).max(1))
+                .min(MAX_ATTEMPTS);
+            continue;
+        }
+        if attempts < MAX_ATTEMPTS && rng.chance(plan.drop_prob) {
+            attempts += 1;
+            continue;
+        }
+        // This attempt gets through; resolve its delivery-side faults.
+        let extra_delay = if rng.chance(plan.delay_prob) {
+            SimDuration::from_nanos(rng.next_below(plan.max_extra_delay.as_nanos() + 1))
+        } else {
+            SimDuration::ZERO
+        };
+        let duplicates = u32::from(rng.chance(plan.duplicate_prob));
+        return DeliveryReport {
+            attempts,
+            duplicates,
+            retransmit_wait: plan.rto * u64::from(attempts - 1),
+            extra_delay,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotec_sim::CrashWindow;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn benign_plan_delivers_clean() {
+        let plan = FaultPlan::default();
+        let mut rng = SimRng::seed_from_u64(7);
+        let r = plan_delivery(
+            &plan,
+            &mut rng,
+            n(1),
+            SimTime::ZERO,
+            SimDuration::from_micros(20),
+        );
+        assert_eq!(r.attempts, 1);
+        assert_eq!(r.duplicates, 0);
+        assert_eq!(r.latency_penalty(), SimDuration::ZERO);
+        assert_eq!(r.wasted_copies(), 0);
+    }
+
+    #[test]
+    fn deliveries_are_deterministic_from_seed() {
+        let plan = FaultPlan {
+            drop_prob: 0.4,
+            duplicate_prob: 0.2,
+            delay_prob: 0.3,
+            max_extra_delay: SimDuration::from_micros(50),
+            ..FaultPlan::default()
+        };
+        let run = || {
+            let mut rng = SimRng::seed_from_u64(42);
+            (0..256)
+                .map(|i| {
+                    plan_delivery(
+                        &plan,
+                        &mut rng,
+                        n(i % 4),
+                        SimTime::from_micros(u64::from(i) * 10),
+                        SimDuration::from_micros(20),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn drops_cost_one_rto_each() {
+        let plan = FaultPlan {
+            drop_prob: 0.5,
+            rto: SimDuration::from_micros(100),
+            ..FaultPlan::default()
+        };
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut saw_retry = false;
+        for _ in 0..128 {
+            let r = plan_delivery(
+                &plan,
+                &mut rng,
+                n(1),
+                SimTime::ZERO,
+                SimDuration::from_micros(20),
+            );
+            assert_eq!(
+                r.retransmit_wait,
+                plan.rto * u64::from(r.attempts - 1),
+                "wait is exactly (attempts - 1) RTOs"
+            );
+            saw_retry |= r.attempts > 1;
+        }
+        assert!(saw_retry, "p = 0.5 over 128 sends must retry at least once");
+    }
+
+    #[test]
+    fn crashed_receiver_forces_wait_past_recovery() {
+        let rto = SimDuration::from_micros(100);
+        let plan = FaultPlan {
+            rto,
+            crashes: vec![CrashWindow {
+                node: n(2),
+                at: SimTime::ZERO,
+                until: SimTime::from_millis(1),
+            }],
+            ..FaultPlan::default()
+        };
+        let mut rng = SimRng::seed_from_u64(9);
+        let one_way = SimDuration::from_micros(20);
+        let r = plan_delivery(&plan, &mut rng, n(2), SimTime::ZERO, one_way);
+        // The surviving attempt must arrive at or after recovery.
+        let arrival = SimTime::ZERO + r.retransmit_wait + one_way;
+        assert!(arrival >= SimTime::from_millis(1), "arrived at {arrival}");
+        assert!(r.attempts > 1);
+        // A send towards an up node at the same instant is untouched.
+        let r2 = plan_delivery(&plan, &mut rng, n(1), SimTime::ZERO, one_way);
+        assert_eq!(r2.attempts, 1);
+    }
+
+    #[test]
+    fn extra_delay_bounded_by_plan() {
+        let plan = FaultPlan {
+            delay_prob: 1.0,
+            max_extra_delay: SimDuration::from_micros(30),
+            ..FaultPlan::default()
+        };
+        let mut rng = SimRng::seed_from_u64(11);
+        for _ in 0..64 {
+            let r = plan_delivery(
+                &plan,
+                &mut rng,
+                n(1),
+                SimTime::ZERO,
+                SimDuration::from_micros(20),
+            );
+            assert!(r.extra_delay <= plan.max_extra_delay);
+        }
+    }
+
+    #[test]
+    fn certain_duplicates_charge_one_copy() {
+        let plan = FaultPlan {
+            duplicate_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut rng = SimRng::seed_from_u64(5);
+        let r = plan_delivery(
+            &plan,
+            &mut rng,
+            n(1),
+            SimTime::ZERO,
+            SimDuration::from_micros(20),
+        );
+        assert_eq!(r.duplicates, 1);
+        assert_eq!(r.wasted_copies(), 1);
+    }
+}

@@ -224,6 +224,51 @@ pub enum ObsEventKind {
         /// Site the page is fetched from.
         source: u32,
     },
+    /// Fault injection: a message needed retransmissions (or duplicate
+    /// copies arrived). Emitted by the sending site.
+    Retransmit {
+        /// Destination site.
+        dst: u32,
+        /// Total transmission attempts, including the successful one.
+        attempts: u32,
+        /// Duplicate copies delivered alongside the surviving attempt.
+        duplicates: u32,
+        /// Sender idle time spent waiting out RTOs, in sim nanoseconds.
+        wait_ns: u64,
+    },
+    /// Fault injection: a node crashed (the event's `node` is the
+    /// casualty).
+    NodeCrashed {
+        /// In-flight families that were crash-aborted with it.
+        aborted_families: u32,
+    },
+    /// Fault injection: a crashed node came back up with cold caches.
+    NodeRecovered {
+        /// Length of the outage, in sim nanoseconds.
+        outage_ns: u64,
+    },
+    /// Fault injection: a queued lock request waited past the timeout and
+    /// was cancelled and requeued at the tail.
+    LockTimeout {
+        /// Object index.
+        object: u32,
+        /// The waiting (sub)transaction id.
+        txn: u64,
+        /// How long it had been queued, in sim nanoseconds.
+        waited_ns: u64,
+    },
+    /// Fault injection recovery: a page whose owner crashed was repointed
+    /// in the GDO page map to a surviving same-version copy.
+    PageMapRepaired {
+        /// Object index.
+        object: u32,
+        /// The repaired page.
+        page: u16,
+        /// The crashed former owner.
+        from: u32,
+        /// The surviving copy now serving the page.
+        to: u32,
+    },
 }
 
 impl ObsEventKind {
@@ -240,6 +285,11 @@ impl ObsEventKind {
             ObsEventKind::Restart { .. } => "restart",
             ObsEventKind::GrantPlan { .. } => "grant_plan",
             ObsEventKind::DemandFetch { .. } => "demand_fetch",
+            ObsEventKind::Retransmit { .. } => "retransmit",
+            ObsEventKind::NodeCrashed { .. } => "node_crashed",
+            ObsEventKind::NodeRecovered { .. } => "node_recovered",
+            ObsEventKind::LockTimeout { .. } => "lock_timeout",
+            ObsEventKind::PageMapRepaired { .. } => "page_map_repaired",
         }
     }
 }

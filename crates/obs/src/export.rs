@@ -159,6 +159,43 @@ pub fn event_to_json(event: &ObsEvent) -> Json {
             pairs.push(("page", Json::U64(*page as u64)));
             pairs.push(("source", Json::U64(*source as u64)));
         }
+        ObsEventKind::Retransmit {
+            dst,
+            attempts,
+            duplicates,
+            wait_ns,
+        } => {
+            pairs.push(("dst", Json::U64(*dst as u64)));
+            pairs.push(("attempts", Json::U64(*attempts as u64)));
+            pairs.push(("duplicates", Json::U64(*duplicates as u64)));
+            pairs.push(("wait_ns", Json::U64(*wait_ns)));
+        }
+        ObsEventKind::NodeCrashed { aborted_families } => {
+            pairs.push(("aborted_families", Json::U64(*aborted_families as u64)));
+        }
+        ObsEventKind::NodeRecovered { outage_ns } => {
+            pairs.push(("outage_ns", Json::U64(*outage_ns)));
+        }
+        ObsEventKind::LockTimeout {
+            object,
+            txn,
+            waited_ns,
+        } => {
+            pairs.push(("object", Json::U64(*object as u64)));
+            pairs.push(("txn", Json::U64(*txn)));
+            pairs.push(("waited_ns", Json::U64(*waited_ns)));
+        }
+        ObsEventKind::PageMapRepaired {
+            object,
+            page,
+            from,
+            to,
+        } => {
+            pairs.push(("object", Json::U64(*object as u64)));
+            pairs.push(("page", Json::U64(*page as u64)));
+            pairs.push(("from", Json::U64(*from as u64)));
+            pairs.push(("to", Json::U64(*to as u64)));
+        }
     }
     Json::obj(pairs)
 }
@@ -249,6 +286,29 @@ pub fn event_from_json(json: &Json) -> Result<ObsEvent, JsonError> {
             object: u32_field(json, "object")?,
             page: u16_field(json, "page")?,
             source: u32_field(json, "source")?,
+        },
+        "retransmit" => ObsEventKind::Retransmit {
+            dst: u32_field(json, "dst")?,
+            attempts: u32_field(json, "attempts")?,
+            duplicates: u32_field(json, "duplicates")?,
+            wait_ns: u64_field(json, "wait_ns")?,
+        },
+        "node_crashed" => ObsEventKind::NodeCrashed {
+            aborted_families: u32_field(json, "aborted_families")?,
+        },
+        "node_recovered" => ObsEventKind::NodeRecovered {
+            outage_ns: u64_field(json, "outage_ns")?,
+        },
+        "lock_timeout" => ObsEventKind::LockTimeout {
+            object: u32_field(json, "object")?,
+            txn: u64_field(json, "txn")?,
+            waited_ns: u64_field(json, "waited_ns")?,
+        },
+        "page_map_repaired" => ObsEventKind::PageMapRepaired {
+            object: u32_field(json, "object")?,
+            page: u16_field(json, "page")?,
+            from: u32_field(json, "from")?,
+            to: u32_field(json, "to")?,
         },
         other => return Err(JsonError::new(format!("unknown event kind `{other}`"))),
     };
@@ -394,6 +454,33 @@ pub fn chrome_trace(events: &[ObsEvent]) -> Json {
                 ]);
                 slices.push((event.at, marker));
             }
+            ObsEventKind::NodeCrashed { aborted_families } => {
+                let marker = Json::obj(vec![
+                    (
+                        "name",
+                        Json::str(format!("node crash ({aborted_families} aborted)")),
+                    ),
+                    ("cat", Json::str("fault")),
+                    ("ph", Json::str("i")),
+                    ("s", Json::str("g")),
+                    ("ts", micros(event.at)),
+                    ("pid", Json::U64(event.node as u64)),
+                    ("tid", Json::U64(0)),
+                ]);
+                slices.push((event.at, marker));
+            }
+            ObsEventKind::NodeRecovered { .. } => {
+                let marker = Json::obj(vec![
+                    ("name", Json::str("node recovered")),
+                    ("cat", Json::str("fault")),
+                    ("ph", Json::str("i")),
+                    ("s", Json::str("g")),
+                    ("ts", micros(event.at)),
+                    ("pid", Json::U64(event.node as u64)),
+                    ("tid", Json::U64(0)),
+                ]);
+                slices.push((event.at, marker));
+            }
             _ => {}
         }
     }
@@ -478,6 +565,47 @@ mod tests {
                     actual_writes: vec![4, 5],
                     planned_pages: 3,
                     sources: 2,
+                },
+            },
+            ObsEvent {
+                at: SimTime::from_nanos(320),
+                node: 0,
+                kind: ObsEventKind::Retransmit {
+                    dst: 3,
+                    attempts: 3,
+                    duplicates: 1,
+                    wait_ns: 200_000,
+                },
+            },
+            ObsEvent {
+                at: SimTime::from_nanos(340),
+                node: 3,
+                kind: ObsEventKind::NodeCrashed {
+                    aborted_families: 2,
+                },
+            },
+            ObsEvent {
+                at: SimTime::from_nanos(350),
+                node: 3,
+                kind: ObsEventKind::NodeRecovered { outage_ns: 10 },
+            },
+            ObsEvent {
+                at: SimTime::from_nanos(360),
+                node: 0,
+                kind: ObsEventKind::LockTimeout {
+                    object: 3,
+                    txn: 7,
+                    waited_ns: 50_000,
+                },
+            },
+            ObsEvent {
+                at: SimTime::from_nanos(370),
+                node: 0,
+                kind: ObsEventKind::PageMapRepaired {
+                    object: 3,
+                    page: 4,
+                    from: 3,
+                    to: 1,
                 },
             },
             ObsEvent {

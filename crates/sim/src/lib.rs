@@ -11,6 +11,8 @@
 //! * [`Simulator`] — clock + queue glue with run-loop helpers,
 //! * [`SimRng`] — a small, fully deterministic PRNG (xoshiro256**) so that
 //!   every experiment is reproducible from a single seed,
+//! * [`FaultPlan`] — a seeded fault-injection schedule (message loss,
+//!   duplication, delay, node crash windows) interpreted by upper layers,
 //! * [`stats`] — counters and histograms used by the instrumentation layer.
 //!
 //! # Example
@@ -32,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -39,6 +42,7 @@ pub mod time;
 mod node;
 
 pub use event::EventQueue;
+pub use fault::{CrashWindow, FaultPlan};
 pub use node::NodeId;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

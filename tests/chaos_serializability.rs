@@ -1,0 +1,195 @@
+//! Chaos suite: seeded fault-injection scenarios over the whole engine.
+//!
+//! Every scenario runs a demo workload under an enabled fault plan —
+//! lossy links, scheduled node outages, or both plus lock-request
+//! timeouts — and must (a) reproduce itself exactly from its seed,
+//! (b) commit a nonzero number of families, and (c) pass the
+//! serializability oracle. Faults may slow the system down arbitrarily;
+//! they may never make it wrong.
+//!
+//! The suite enumerates `4 protocols x 3 fault modes x CHAOS_SEEDS
+//! seeds` scenarios (60 at the default of 5 seeds). CI sets
+//! `CHAOS_SEEDS` lower to bound wall time.
+
+use lotec::prelude::*;
+use lotec::sim::{CrashWindow, FaultPlan};
+use lotec_core::config::FaultConfig;
+use lotec_core::spec::demo_workload;
+
+/// Seeds for the sweep; override the count with `CHAOS_SEEDS=n`.
+fn seeds() -> Vec<u64> {
+    let n: u64 = std::env::var("CHAOS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    (0..n).map(|i| 101 + 37 * i).collect()
+}
+
+fn config_for(protocol: ProtocolKind, seed: u64, faults: FaultConfig) -> SystemConfig {
+    SystemConfig {
+        protocol,
+        seed,
+        faults,
+        ..SystemConfig::default()
+    }
+}
+
+/// Fault-free makespan of the scenario, used to place crash windows where
+/// they are guaranteed to overlap live traffic.
+fn calibrate_makespan(protocol: ProtocolKind, seed: u64) -> SimDuration {
+    let config = config_for(protocol, seed, FaultConfig::default());
+    let (registry, families) = demo_workload(&config, seed);
+    run_engine(&config, &registry, &families)
+        .expect("fault-free calibration run")
+        .stats
+        .makespan
+}
+
+/// Runs one chaos scenario twice and checks determinism, liveness, and
+/// serializability.
+fn check_scenario(protocol: ProtocolKind, seed: u64, faults: FaultConfig, label: &str) {
+    let config = config_for(protocol, seed, faults);
+    let (registry, families) = demo_workload(&config, seed);
+    let a = run_engine(&config, &registry, &families)
+        .unwrap_or_else(|e| panic!("{label}/{protocol}/seed {seed}: run failed: {e}"));
+    let b = run_engine(&config, &registry, &families).expect("second run");
+
+    // (a) Deterministic from the seed: both runs are byte-identical.
+    assert_eq!(a.trace, b.trace, "{label}/{protocol}/seed {seed}");
+    assert_eq!(a.final_chains, b.final_chains, "{label}/{protocol}/{seed}");
+    assert_eq!(
+        a.traffic.total(),
+        b.traffic.total(),
+        "{label}/{protocol}/{seed}"
+    );
+    assert_eq!(
+        a.stats.makespan, b.stats.makespan,
+        "{label}/{protocol}/{seed}"
+    );
+
+    // (b) Liveness: faults delay commits, they do not eat them. The demo
+    // workload has no programmed root faults, so every family commits.
+    assert!(
+        a.stats.committed_families > 0,
+        "{label}/{protocol}/seed {seed}: nothing committed"
+    );
+    assert_eq!(
+        a.stats.committed_families as usize,
+        families.len(),
+        "{label}/{protocol}/seed {seed}: families lost"
+    );
+
+    // (c) Safety: the chaos run is still serializable.
+    oracle::verify(&a)
+        .unwrap_or_else(|e| panic!("{label}/{protocol}/seed {seed}: not serializable: {e}"));
+}
+
+fn drop_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        drop_prob: 0.10 + 0.02 * (seed % 5) as f64,
+        duplicate_prob: 0.05,
+        delay_prob: 0.10,
+        max_extra_delay: SimDuration::from_micros(25),
+        rto: SimDuration::from_micros(50),
+        crashes: Vec::new(),
+    }
+}
+
+fn crash_plan(protocol: ProtocolKind, seed: u64) -> FaultPlan {
+    let makespan = calibrate_makespan(protocol, seed);
+    let num_nodes = SystemConfig::default().num_nodes;
+    let first = NodeId::new((seed % u64::from(num_nodes)) as u32);
+    let second = NodeId::new(((seed + 1) % u64::from(num_nodes)) as u32);
+    FaultPlan {
+        rto: SimDuration::from_micros(50),
+        crashes: vec![
+            CrashWindow {
+                node: first,
+                at: SimTime::ZERO + makespan / 8,
+                until: SimTime::ZERO + makespan / 3,
+            },
+            CrashWindow {
+                node: second,
+                at: SimTime::ZERO + makespan / 2,
+                until: SimTime::ZERO + makespan * 3 / 4,
+            },
+        ],
+        ..FaultPlan::default()
+    }
+}
+
+#[test]
+fn chaos_drop_only() {
+    for protocol in ProtocolKind::ALL {
+        for seed in seeds() {
+            let faults = FaultConfig {
+                plan: drop_plan(seed),
+                ..FaultConfig::default()
+            };
+            check_scenario(protocol, seed, faults, "drop");
+        }
+    }
+}
+
+#[test]
+fn chaos_crash_only() {
+    for protocol in ProtocolKind::ALL {
+        for seed in seeds() {
+            let faults = FaultConfig {
+                plan: crash_plan(protocol, seed),
+                ..FaultConfig::default()
+            };
+            check_scenario(protocol, seed, faults, "crash");
+        }
+    }
+}
+
+#[test]
+fn chaos_combined() {
+    for protocol in ProtocolKind::ALL {
+        for seed in seeds() {
+            let mut plan = crash_plan(protocol, seed);
+            // Milder drops than the drop-only mode: combined scenarios
+            // stack three fault kinds on the same run.
+            plan.drop_prob = 0.08;
+            plan.duplicate_prob = 0.04;
+            plan.delay_prob = 0.08;
+            plan.max_extra_delay = SimDuration::from_micros(20);
+            let faults = FaultConfig {
+                plan,
+                lock_timeout: SimDuration::from_micros(150),
+            };
+            check_scenario(protocol, seed, faults, "combined");
+        }
+    }
+}
+
+/// Differential guard on the zero-cost-off property: with the fault
+/// machinery compiled in but disabled, the live engine and the
+/// figure-replay path still produce identical per-protocol transfer
+/// totals — byte for byte, object for object.
+#[test]
+fn fault_free_engine_matches_figure_replay_per_protocol() {
+    for protocol in ProtocolKind::ALL {
+        for seed in [3u64, 14] {
+            let config = config_for(protocol, seed, FaultConfig::default());
+            let (registry, families) = demo_workload(&config, seed);
+            let report = run_engine(&config, &registry, &families).expect("fault-free run");
+            let replayed =
+                lotec_core::replay::replay_trace(protocol, &report.trace, &registry, &config);
+            assert_eq!(
+                report.traffic.total(),
+                replayed.total(),
+                "{protocol}/seed {seed}: live engine diverged from figure replay"
+            );
+            for inst in registry.objects() {
+                assert_eq!(
+                    report.traffic.object(inst.id),
+                    replayed.object(inst.id),
+                    "{protocol}/seed {seed}/{}: per-object totals diverged",
+                    inst.id
+                );
+            }
+        }
+    }
+}

@@ -186,3 +186,166 @@ fn engine_matches_replay_universal() {
         assert_eq!(report.traffic.total(), replayed.total());
     });
 }
+
+/// Invariant 7: deadlock detection is sound and complete on the family
+/// waits-for graph. For random lock-table states built through real
+/// acquire/pre-commit operations, [`find_deadlock_cycle`] reports a cycle
+/// iff an independently reconstructed waits-for graph has one; the
+/// reported cycle's edges all exist in that graph; and the chosen victim
+/// lies on the cycle.
+#[test]
+fn deadlock_detector_victim_iff_cycle() {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    use lotec::txn::{
+        find_deadlock_cycle, pick_victim, Acquire, LockMode, LockTable, TxnId, TxnTree,
+    };
+
+    /// Independent reconstruction of the family-level waits-for graph from
+    /// the table's public entry state: a waiting family is blocked by every
+    /// conflicting holder or retainer of another family, and by every
+    /// family queued ahead of it (FIFO ordering).
+    fn rebuild_graph(table: &LockTable, tree: &TxnTree) -> BTreeMap<TxnId, BTreeSet<TxnId>> {
+        let mut graph: BTreeMap<TxnId, BTreeSet<TxnId>> = BTreeMap::new();
+        for entry in table.entries() {
+            let waiting: Vec<_> = entry.waiting().collect();
+            for (i, fw) in waiting.iter().enumerate() {
+                let mut blockers = BTreeSet::new();
+                for req in &fw.requests {
+                    for h in entry.holders() {
+                        let holder_family = tree.root_of(h.txn);
+                        if holder_family != fw.family && h.mode.conflicts_with(req.mode) {
+                            blockers.insert(holder_family);
+                        }
+                    }
+                    for (r, m) in entry.retainers() {
+                        let retainer_family = tree.root_of(r);
+                        if retainer_family != fw.family && m.conflicts_with(req.mode) {
+                            blockers.insert(retainer_family);
+                        }
+                    }
+                }
+                for earlier in &waiting[..i] {
+                    blockers.insert(earlier.family);
+                }
+                if !blockers.is_empty() {
+                    graph.entry(fw.family).or_default().extend(blockers);
+                }
+            }
+        }
+        graph
+    }
+
+    /// Cycle existence via Kahn's algorithm (a deliberately different
+    /// algorithm from the detector's DFS): the graph is acyclic iff every
+    /// node can be peeled in topological order.
+    fn has_cycle(graph: &BTreeMap<TxnId, BTreeSet<TxnId>>) -> bool {
+        let mut nodes: BTreeSet<TxnId> = graph.keys().copied().collect();
+        for succs in graph.values() {
+            nodes.extend(succs.iter().copied());
+        }
+        let mut indegree: BTreeMap<TxnId, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+        for succs in graph.values() {
+            for &s in succs {
+                *indegree.get_mut(&s).expect("known node") += 1;
+            }
+        }
+        let mut queue: Vec<TxnId> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut peeled = 0usize;
+        while let Some(n) = queue.pop() {
+            peeled += 1;
+            for &s in graph.get(&n).map(|s| s.iter()).into_iter().flatten() {
+                let d = indegree.get_mut(&s).expect("known node");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        peeled < nodes.len()
+    }
+
+    let mut rng = SimRng::seed_from_u64(0x0D_EAD_10C);
+    let mut cyclic_cases = 0u32;
+    let mut acyclic_cases = 0u32;
+    for _ in 0..250 {
+        let num_nodes = 4u32;
+        let num_objects = rng.range_inclusive(2, 6) as u32;
+        let num_families = rng.range_inclusive(2, 8) as usize;
+        let mut table = LockTable::new();
+        for o in 0..num_objects {
+            table.register_object(ObjectId::new(o), 1, NodeId::new(o % num_nodes));
+        }
+        let mut tree = TxnTree::new();
+        let roots: Vec<TxnId> = (0..num_families)
+            .map(|i| tree.begin_root(NodeId::new(i as u32 % num_nodes)))
+            .collect();
+        // A family with a queued request is blocked and issues nothing
+        // further (one outstanding request, as in the engine).
+        let mut blocked = vec![false; num_families];
+        for _ in 0..rng.range_inclusive(4, 20) {
+            let f = rng.next_below(num_families as u64) as usize;
+            if blocked[f] {
+                continue;
+            }
+            let object = ObjectId::new(rng.next_below(u64::from(num_objects)) as u32);
+            let mode = if rng.chance(0.6) {
+                LockMode::Write
+            } else {
+                LockMode::Read
+            };
+            if rng.chance(0.35) {
+                // Acquire through a child and pre-commit it on success, so
+                // the lock surfaces as a *retained* lock of the family.
+                let child = tree.begin_child(roots[f]);
+                match table.acquire(object, child, mode, &tree) {
+                    Ok(Acquire::Queued) => blocked[f] = true,
+                    Ok(_) => {
+                        table.release_pre_commit(child, &tree);
+                        tree.pre_commit(child);
+                    }
+                    Err(_) => tree.abort(child),
+                }
+            } else if let Ok(Acquire::Queued) = table.acquire(object, roots[f], mode, &tree) {
+                blocked[f] = true;
+            }
+        }
+
+        let graph = rebuild_graph(&table, &tree);
+        let cycle = find_deadlock_cycle(&table, &tree);
+        assert_eq!(
+            cycle.is_some(),
+            has_cycle(&graph),
+            "detector and independent cycle check disagree"
+        );
+        match cycle {
+            None => acyclic_cases += 1,
+            Some(cycle) => {
+                cyclic_cases += 1;
+                assert!(!cycle.is_empty());
+                // Every consecutive hop (wrapping) is a real waits-for edge.
+                for (i, &from) in cycle.iter().enumerate() {
+                    let to = cycle[(i + 1) % cycle.len()];
+                    assert!(
+                        graph.get(&from).is_some_and(|s| s.contains(&to)),
+                        "reported cycle edge {from:?} -> {to:?} not in the waits-for graph"
+                    );
+                }
+                // The victim is on the cycle (and is its youngest member).
+                let victim = pick_victim(&cycle);
+                assert!(cycle.contains(&victim), "victim must lie on the cycle");
+                assert_eq!(Some(victim), cycle.iter().copied().max());
+            }
+        }
+    }
+    // The sampled state space must actually exercise both outcomes.
+    assert!(cyclic_cases > 10, "too few cyclic samples: {cyclic_cases}");
+    assert!(
+        acyclic_cases > 10,
+        "too few acyclic samples: {acyclic_cases}"
+    );
+}
