@@ -61,6 +61,29 @@ fn bench_page_store() {
     });
 }
 
+fn bench_page_transfer() {
+    // The engine's gather loop: read the owner's copy of each page and
+    // install it into another node's store. Dominated by payload handling,
+    // so it is the micro-benchmark that shows the copy-on-write win.
+    let mut owner = PageStore::new(4096);
+    let object = ObjectId::new(0);
+    for p in 0..20u16 {
+        let pid = PageId::new(object, p);
+        owner.ensure(pid);
+        owner.apply_stamp(pid, u64::from(p) + 1);
+        owner.publish_page(pid, Version::new(1));
+    }
+    let mut cache = PageStore::new(4096);
+    bench("page_transfer_install_20p", move || {
+        for p in 0..20u16 {
+            let pid = PageId::new(object, p);
+            let page = owner.get(pid).expect("owner copy");
+            cache.install(pid, page.version(), page.payload());
+        }
+        cache.len()
+    });
+}
+
 fn bench_undo_log() {
     let mut store = PageStore::new(4096);
     let object = ObjectId::new(0);
@@ -83,5 +106,6 @@ fn main() {
     bench_rng();
     bench_pageset();
     bench_page_store();
+    bench_page_transfer();
     bench_undo_log();
 }

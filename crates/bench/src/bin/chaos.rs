@@ -13,6 +13,7 @@
 //! Reproduce any cell from its printed seed: the fault plan is pure data
 //! and every draw comes from the engine's seeded fault RNG stream.
 
+use lotec_bench::runner;
 use lotec_core::config::FaultConfig;
 use lotec_core::engine::{run_engine, RunReport};
 use lotec_core::oracle;
@@ -84,23 +85,36 @@ fn main() {
 
     // Drop-rate sweep across the trio. Every cell is oracle-verified; the
     // run aborts loudly if a fault configuration ever costs correctness.
+    // Cells are independent seeded runs, so they fan out across the sweep
+    // runner's workers; printing and JSON assembly happen after the merge,
+    // in the same protocol-major order a serial loop produced.
+    let drop_cells: Vec<(ProtocolKind, f64)> = ProtocolKind::PAPER_TRIO
+        .into_iter()
+        .flat_map(|p| DROP_RATES.map(|d| (p, d)))
+        .collect();
+    let drop_reports = runner::run_indexed(drop_cells.len(), |i| {
+        let (protocol, drop) = drop_cells[i];
+        let config = SystemConfig {
+            faults: fault_config(drop),
+            ..base(protocol)
+        };
+        let report = run_engine(&config, &registry, &families)
+            .unwrap_or_else(|e| panic!("{protocol} drop={drop}: {e}"));
+        oracle::verify(&report).unwrap_or_else(|e| panic!("{protocol} drop={drop}: oracle: {e}"));
+        assert_eq!(
+            report.stats.committed_families as usize,
+            families.len(),
+            "{protocol} drop={drop}: lost families"
+        );
+        report
+    });
     let mut drop_section = Vec::new();
-    for protocol in ProtocolKind::PAPER_TRIO {
+    for (protocol, chunk) in ProtocolKind::PAPER_TRIO
+        .into_iter()
+        .zip(drop_reports.chunks(DROP_RATES.len()))
+    {
         let mut cells = Vec::new();
-        for drop in DROP_RATES {
-            let config = SystemConfig {
-                faults: fault_config(drop),
-                ..base(protocol)
-            };
-            let report = run_engine(&config, &registry, &families)
-                .unwrap_or_else(|e| panic!("{protocol} drop={drop}: {e}"));
-            oracle::verify(&report)
-                .unwrap_or_else(|e| panic!("{protocol} drop={drop}: oracle: {e}"));
-            assert_eq!(
-                report.stats.committed_families as usize,
-                families.len(),
-                "{protocol} drop={drop}: lost families"
-            );
+        for (drop, report) in DROP_RATES.into_iter().zip(chunk) {
             println!(
                 "  {protocol:>6} drop={drop:.2}: retransmits={:<5} dup={:<4} \
                  stall={:>9}ns makespan={}ns",
@@ -109,15 +123,16 @@ fn main() {
                 report.stats.retransmit_wait.as_nanos(),
                 report.stats.makespan.as_nanos(),
             );
-            cells.push((format!("{drop:.2}"), cell_json(&report)));
+            cells.push((format!("{drop:.2}"), cell_json(report)));
         }
         drop_section.push((protocol.to_string(), Json::Obj(cells)));
     }
 
     // Crash scenario: two staggered outages placed against each
     // protocol's own fault-free makespan so they overlap live traffic.
-    let mut crash_section = Vec::new();
-    for protocol in ProtocolKind::PAPER_TRIO {
+    // Calibration and crash run stay paired inside one cell.
+    let crash_reports = runner::run_indexed(ProtocolKind::PAPER_TRIO.len(), |i| {
+        let protocol = ProtocolKind::PAPER_TRIO[i];
         let plain = run_engine(&base(protocol), &registry, &families).expect("calibration");
         let makespan = plain.stats.makespan;
         let nodes = scenario.config.num_nodes;
@@ -150,6 +165,10 @@ fn main() {
             report.stats.crashes, 2,
             "{protocol}: both windows must open"
         );
+        (makespan, report)
+    });
+    let mut crash_section = Vec::new();
+    for (protocol, (makespan, report)) in ProtocolKind::PAPER_TRIO.into_iter().zip(&crash_reports) {
         println!(
             "  {protocol:>6} crash: aborts={} restarts={} makespan={}ns (+{}%)",
             report.stats.crash_aborts,
@@ -157,7 +176,7 @@ fn main() {
             report.stats.makespan.as_nanos(),
             (report.stats.makespan.as_nanos() * 100) / makespan.as_nanos().max(1) - 100,
         );
-        crash_section.push((protocol.to_string(), cell_json(&report)));
+        crash_section.push((protocol.to_string(), cell_json(report)));
     }
 
     let json = Json::obj(vec![

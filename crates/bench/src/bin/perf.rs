@@ -1,0 +1,296 @@
+//! Wall-clock performance baseline for the deterministic engine.
+//!
+//! Unlike the figure binaries (which report *simulated* quantities), this
+//! binary measures real host time: how fast the engine chews through
+//! simulator events, per protocol, fault-free and under chaos-style
+//! faults, plus how much a multi-seed fig3 sweep gains from the parallel
+//! sweep runner. Results go to `BENCH_perf.json`; refresh it with
+//! `cargo run --release --bin perf` after engine changes.
+//!
+//! Flags:
+//!
+//! * `--quick` — fewer repeats and sweep seeds (CI-sized run);
+//! * `--fingerprint-out <path>` — additionally write the *simulated*
+//!   outputs (chain hashes, committed counts, traffic totals) of every
+//!   measured cell. Timings never enter the fingerprint, so two runs of
+//!   the same build must produce byte-identical fingerprint files — the
+//!   CI `perf-smoke` job diffs exactly that.
+//!
+//! Timing protocol: each cell runs `repeats` times; the JSON reports the
+//! minimum (least-noise estimate) and the mean. Every repeat is asserted
+//! to simulate the identical event count — a wall-clock bench on top of a
+//! nondeterministic engine would be measuring two things at once.
+
+use std::time::Instant;
+
+use lotec_bench::runner;
+use lotec_core::config::FaultConfig;
+use lotec_core::engine::{run_engine, RunReport};
+use lotec_core::oracle;
+use lotec_core::protocol::ProtocolKind;
+use lotec_core::SystemConfig;
+use lotec_mem::mix;
+use lotec_obs::Json;
+use lotec_sim::{FaultPlan, SimDuration};
+use lotec_workload::{presets, Scenario};
+
+/// Folds a report's simulated outputs into one order-sensitive hash.
+fn chain_hash(report: &RunReport) -> u64 {
+    let mut h = 0u64;
+    for (&(object, page), &chain) in &report.final_chains {
+        h = mix(h, u64::from(object.index()));
+        h = mix(h, u64::from(page.get()));
+        h = mix(h, chain);
+    }
+    h
+}
+
+/// The simulated-output fingerprint of one cell (no timings).
+fn cell_fingerprint(report: &RunReport) -> Json {
+    Json::obj(vec![
+        ("committed", Json::U64(report.stats.committed_families)),
+        ("makespan_ns", Json::U64(report.stats.makespan.as_nanos())),
+        ("total_messages", Json::U64(report.traffic.total().messages)),
+        ("total_bytes", Json::U64(report.traffic.total().bytes)),
+        ("chain_hash", Json::U64(chain_hash(report))),
+    ])
+}
+
+struct Timed {
+    report: RunReport,
+    min_ns: u128,
+    mean_ns: u128,
+}
+
+/// Runs `f` `repeats` times, asserting deterministic event counts, and
+/// keeps the last report plus min/mean wall-clock.
+fn time_cell(repeats: usize, f: impl Fn() -> RunReport) -> Timed {
+    assert!(repeats > 0);
+    let mut min_ns = u128::MAX;
+    let mut total_ns = 0u128;
+    let mut last: Option<RunReport> = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let report = f();
+        let elapsed = start.elapsed().as_nanos();
+        min_ns = min_ns.min(elapsed);
+        total_ns += elapsed;
+        if let Some(prev) = &last {
+            assert_eq!(
+                prev.stats.sim_events, report.stats.sim_events,
+                "engine must be deterministic across repeats"
+            );
+        }
+        last = Some(report);
+    }
+    Timed {
+        report: last.expect("at least one repeat"),
+        min_ns,
+        mean_ns: total_ns / repeats as u128,
+    }
+}
+
+fn events_per_sec(events: u64, ns: u128) -> u64 {
+    if ns == 0 {
+        return 0;
+    }
+    ((events as u128 * 1_000_000_000) / ns) as u64
+}
+
+fn fig3_config(scenario: &Scenario, protocol: ProtocolKind) -> SystemConfig {
+    SystemConfig {
+        protocol,
+        seed: 0xF163,
+        num_nodes: scenario.config.num_nodes,
+        page_size: scenario.config.schema.page_size,
+        ..SystemConfig::default()
+    }
+}
+
+fn chaos_faults() -> FaultConfig {
+    FaultConfig {
+        plan: FaultPlan {
+            drop_prob: 0.10,
+            duplicate_prob: 0.05,
+            delay_prob: 0.10,
+            max_extra_delay: SimDuration::from_micros(25),
+            rto: SimDuration::from_micros(50),
+            crashes: Vec::new(),
+        },
+        ..FaultConfig::default()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let fingerprint_out = args
+        .iter()
+        .position(|a| a == "--fingerprint-out")
+        .map(|idx| match args.get(idx + 1) {
+            Some(p) if !p.starts_with("--") => std::path::PathBuf::from(p),
+            _ => std::path::PathBuf::from("BENCH_perf_fingerprint.json"),
+        });
+    let repeats = if quick { 2 } else { 5 };
+    let sweep_seeds: u64 = if quick { 4 } else { 8 };
+
+    let scenario = if quick {
+        presets::quick(presets::fig3())
+    } else {
+        presets::fig3()
+    };
+    let (registry, families) = scenario.generate().expect("workload generates");
+
+    println!(
+        "perf baseline: fig3 {} families, {repeats} repeats/cell, {} sweep threads",
+        families.len(),
+        runner::threads()
+    );
+
+    // Engine cells: the paper trio fault-free, plus LOTEC under the chaos
+    // suite's lossy-link faults. Single-threaded, min-of-repeats timing.
+    let mut engine_section = Vec::new();
+    let mut fingerprint_cells = Vec::new();
+    for protocol in ProtocolKind::PAPER_TRIO {
+        let config = fig3_config(&scenario, protocol);
+        let timed = time_cell(repeats, || {
+            run_engine(&config, &registry, &families).expect("engine runs")
+        });
+        oracle::verify(&timed.report).expect("serializable");
+        let events = timed.report.stats.sim_events;
+        println!(
+            "  fig3/{protocol:<6} min {:>12} ns  mean {:>12} ns  {:>8} events  {:>10} events/s",
+            timed.min_ns,
+            timed.mean_ns,
+            events,
+            events_per_sec(events, timed.min_ns)
+        );
+        let label = format!("fig3/{protocol}");
+        engine_section.push((
+            label.clone(),
+            Json::obj(vec![
+                ("min_ns", Json::U64(timed.min_ns as u64)),
+                ("mean_ns", Json::U64(timed.mean_ns as u64)),
+                ("sim_events", Json::U64(events)),
+                (
+                    "events_per_sec",
+                    Json::U64(events_per_sec(events, timed.min_ns)),
+                ),
+            ]),
+        ));
+        fingerprint_cells.push((label, cell_fingerprint(&timed.report)));
+    }
+    {
+        let config = SystemConfig {
+            faults: chaos_faults(),
+            ..fig3_config(&scenario, ProtocolKind::Lotec)
+        };
+        let timed = time_cell(repeats, || {
+            run_engine(&config, &registry, &families).expect("chaos cell runs")
+        });
+        oracle::verify(&timed.report).expect("serializable under faults");
+        let events = timed.report.stats.sim_events;
+        println!(
+            "  chaos/LOTEC  min {:>12} ns  mean {:>12} ns  {:>8} events  {:>10} events/s",
+            timed.min_ns,
+            timed.mean_ns,
+            events,
+            events_per_sec(events, timed.min_ns)
+        );
+        let label = "chaos/LOTEC/drop=0.10".to_string();
+        engine_section.push((
+            label.clone(),
+            Json::obj(vec![
+                ("min_ns", Json::U64(timed.min_ns as u64)),
+                ("mean_ns", Json::U64(timed.mean_ns as u64)),
+                ("sim_events", Json::U64(events)),
+                (
+                    "events_per_sec",
+                    Json::U64(events_per_sec(events, timed.min_ns)),
+                ),
+            ]),
+        ));
+        fingerprint_cells.push((label, cell_fingerprint(&timed.report)));
+    }
+
+    // Sweep cell: independent seeded LOTEC runs of the (quick) fig3
+    // workload, serial vs. the parallel sweep runner. Both orders must
+    // produce identical simulated outputs — parallelism buys wall-clock
+    // only.
+    let sweep_scenario = presets::quick(presets::fig3());
+    let run_seed = |seed: u64| {
+        let mut s = sweep_scenario.clone();
+        s.config.seed = seed;
+        let (reg, fams) = s.generate().expect("sweep workload generates");
+        let config = SystemConfig {
+            protocol: ProtocolKind::Lotec,
+            seed,
+            num_nodes: s.config.num_nodes,
+            page_size: s.config.schema.page_size,
+            ..SystemConfig::default()
+        };
+        let report = run_engine(&config, &reg, &fams).expect("sweep run");
+        chain_hash(&report)
+    };
+    let serial_start = Instant::now();
+    let serial_hashes = runner::run_indexed_on(1, sweep_seeds as usize, |i| run_seed(i as u64));
+    let serial_ns = serial_start.elapsed().as_nanos();
+    let parallel_start = Instant::now();
+    let parallel_hashes = runner::run_indexed(sweep_seeds as usize, |i| run_seed(i as u64));
+    let parallel_ns = parallel_start.elapsed().as_nanos();
+    assert_eq!(
+        serial_hashes, parallel_hashes,
+        "parallel sweep changed simulated outputs"
+    );
+    let runs_per_sec = |ns: u128| {
+        if ns == 0 {
+            0.0
+        } else {
+            sweep_seeds as f64 * 1e9 / ns as f64
+        }
+    };
+    let speedup = serial_ns as f64 / parallel_ns.max(1) as f64;
+    println!(
+        "  sweep: {} runs  serial {:.3} s ({:.2} runs/s)  parallel {:.3} s ({:.2} runs/s)  {speedup:.2}x on {} threads",
+        sweep_seeds,
+        serial_ns as f64 / 1e9,
+        runs_per_sec(serial_ns),
+        parallel_ns as f64 / 1e9,
+        runs_per_sec(parallel_ns),
+        runner::threads()
+    );
+
+    let json = Json::obj(vec![
+        ("quick", Json::Bool(quick)),
+        ("repeats", Json::U64(repeats as u64)),
+        ("threads", Json::U64(runner::threads() as u64)),
+        ("engine", Json::Obj(engine_section)),
+        (
+            "sweep",
+            Json::obj(vec![
+                ("runs", Json::U64(sweep_seeds)),
+                ("serial_ns", Json::U64(serial_ns as u64)),
+                ("parallel_ns", Json::U64(parallel_ns as u64)),
+                ("serial_runs_per_sec", Json::F64(runs_per_sec(serial_ns))),
+                (
+                    "parallel_runs_per_sec",
+                    Json::F64(runs_per_sec(parallel_ns)),
+                ),
+                ("speedup", Json::F64(speedup)),
+            ]),
+        ),
+    ]);
+    std::fs::write("BENCH_perf.json", json.render_pretty()).expect("write BENCH_perf.json");
+    println!("wrote BENCH_perf.json");
+
+    if let Some(path) = fingerprint_out {
+        let mut cells = fingerprint_cells;
+        cells.push((
+            "sweep/chain_hashes".to_string(),
+            Json::Arr(serial_hashes.into_iter().map(Json::U64).collect()),
+        ));
+        std::fs::write(&path, Json::Obj(cells).render_pretty())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("wrote fingerprint to {}", path.display());
+    }
+}

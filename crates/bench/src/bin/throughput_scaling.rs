@@ -16,7 +16,7 @@
 //! quantity is how much of that ideal each protocol retains once the data
 //! is distributed, i.e. the throughput cost of consistency maintenance.
 
-use lotec_bench::maybe_quick;
+use lotec_bench::{maybe_quick, runner};
 use lotec_core::engine::run_engine;
 use lotec_core::protocol::ProtocolKind;
 use lotec_core::SystemConfig;
@@ -28,8 +28,12 @@ fn main() {
         "{:>6} {:>14} {:>14} {:>14} {:>12}",
         "nodes", "LOTEC txn/s", "OTEC txn/s", "COTEC txn/s", "deadlocks"
     );
-    let mut ideal = None;
-    for nodes in [1u32, 2, 4, 8, 16] {
+    // Each cluster-size row is an independent workload + trio of runs;
+    // compute them across the sweep runner's workers and print after the
+    // merge so the table reads identically to a serial sweep.
+    const NODE_COUNTS: [u32; 5] = [1, 2, 4, 8, 16];
+    let rows = runner::run_indexed(NODE_COUNTS.len(), |i| {
+        let nodes = NODE_COUNTS[i];
         let mut scenario = maybe_quick(presets::fig4());
         scenario.config.num_nodes = nodes;
         let (registry, families) = scenario.generate().expect("workload generates");
@@ -49,6 +53,10 @@ fn main() {
             row.push(report.stats.throughput_per_sec());
             deadlocks = deadlocks.max(report.stats.deadlocks);
         }
+        (row, deadlocks)
+    });
+    let mut ideal = None;
+    for (nodes, (row, deadlocks)) in NODE_COUNTS.into_iter().zip(&rows) {
         if nodes == 1 {
             ideal = Some(row[0]);
         }

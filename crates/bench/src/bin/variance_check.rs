@@ -6,8 +6,7 @@
 //! orderings held for one lucky seed only, the reproduction would be
 //! worthless. Five seeds per scenario, run in parallel.
 
-use std::thread;
-
+use lotec_bench::runner;
 use lotec_core::compare::compare_protocols;
 use lotec_core::protocol::ProtocolKind;
 use lotec_workload::presets;
@@ -21,27 +20,15 @@ fn main() {
     );
     for scenario in presets::all_figures() {
         let base = presets::quick(scenario);
-        let results: Vec<(f64, f64, bool)> = thread::scope(|scope| {
-            let handles: Vec<_> = seeds
-                .iter()
-                .map(|&seed| {
-                    let mut s = base.clone();
-                    scope.spawn(move || {
-                        s.config.seed = seed;
-                        let (registry, families) = s.generate().expect("generates");
-                        let cmp = compare_protocols(&s.system_config(), &registry, &families)
-                            .expect("runs");
-                        let c = cmp.total(ProtocolKind::Cotec).bytes as f64;
-                        let o = cmp.total(ProtocolKind::Otec).bytes as f64;
-                        let l = cmp.total(ProtocolKind::Lotec).bytes as f64;
-                        (o / c, l / o, l <= o && o <= c)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("seed run panicked"))
-                .collect()
+        let results: Vec<(f64, f64, bool)> = runner::run_indexed(seeds.len(), |i| {
+            let mut s = base.clone();
+            s.config.seed = seeds[i];
+            let (registry, families) = s.generate().expect("generates");
+            let cmp = compare_protocols(&s.system_config(), &registry, &families).expect("runs");
+            let c = cmp.total(ProtocolKind::Cotec).bytes as f64;
+            let o = cmp.total(ProtocolKind::Otec).bytes as f64;
+            let l = cmp.total(ProtocolKind::Lotec).bytes as f64;
+            (o / c, l / o, l <= o && o <= c)
         });
         let min_oc = results.iter().map(|r| r.0).fold(f64::INFINITY, f64::min);
         let max_oc = results.iter().map(|r| r.0).fold(0.0, f64::max);

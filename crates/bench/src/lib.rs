@@ -31,6 +31,7 @@
 //! | `tune` | internal knob-calibration sweep (how the presets were fit) |
 //! | `smoke` | fast end-to-end sanity run |
 //! | `chaos` | fault-injection sweep: drop rates and node crashes, oracle-checked (`BENCH_chaos.json`) |
+//! | `perf` | wall-clock baseline: engine events/sec and parallel-sweep speedup (`BENCH_perf.json`) |
 //!
 //! Pass `--quick` to any figure binary for a reduced run; `--csv [path]`
 //! additionally writes the figure's data as CSV (default
@@ -57,6 +58,7 @@ use lotec_obs::{chrome_trace, jsonl_encode, RecordingSink, TraceSummary};
 use lotec_workload::{presets, Scenario};
 
 pub mod harness;
+pub mod runner;
 
 /// Runs a scenario end-to-end and returns the protocol comparison.
 ///

@@ -1,0 +1,138 @@
+//! Bounded parallel sweep runner for the figure/ablation/chaos binaries.
+//!
+//! Sweep cells are independent seeded simulations, so wall-clock scales
+//! with cores — but every binary's *output* must stay byte-identical to a
+//! serial run. The contract here makes that easy: [`run_indexed`] computes
+//! cells concurrently yet returns results in index order, so callers do
+//! all printing and JSON assembly *after* the merge, in the same order a
+//! serial loop would have.
+//!
+//! The worker count comes from `LOTEC_BENCH_THREADS` when set (use `1` to
+//! force a serial run), else from [`std::thread::available_parallelism`].
+//! The workspace stays dependency-free: this is `std::thread::scope` plus
+//! an atomic work counter, not a thread-pool crate.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "LOTEC_BENCH_THREADS";
+
+/// The sweep worker count: `LOTEC_BENCH_THREADS` if set, else the host's
+/// available parallelism, else 1.
+///
+/// # Panics
+///
+/// Panics if `LOTEC_BENCH_THREADS` is set to anything but a positive
+/// integer — a typo'd override should fail loudly, not silently serialize.
+pub fn threads() -> usize {
+    parse_threads(std::env::var(THREADS_ENV).ok().as_deref())
+}
+
+fn parse_threads(var: Option<&str>) -> usize {
+    match var {
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("{THREADS_ENV} must be a positive integer, got {v:?}"),
+        },
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Runs `f(0), f(1), …, f(n-1)` across [`threads`] workers and returns the
+/// results in index order.
+///
+/// # Panics
+///
+/// Propagates the first panic from any worker.
+pub fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_on(threads(), n, f)
+}
+
+/// [`run_indexed`] with an explicit worker count (1 runs inline on the
+/// calling thread).
+///
+/// # Panics
+///
+/// Propagates the first panic from any worker.
+pub fn run_indexed_on<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for workers in [1, 2, 7] {
+            let out = run_indexed_on(workers, 20, |i| i * i);
+            assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        assert_eq!(run_indexed_on(8, 2, |i| i), vec![0, 1]);
+        assert_eq!(run_indexed_on(8, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_stateful_work() {
+        // Each cell hashes its own index stream; any cross-cell
+        // interference or misordered merge would break equality.
+        let cell = |i: usize| (0..100u64).fold(i as u64, |acc, x| acc.wrapping_mul(31) ^ x);
+        assert_eq!(run_indexed_on(4, 33, cell), run_indexed_on(1, 33, cell));
+    }
+
+    #[test]
+    fn env_override_parses() {
+        assert_eq!(parse_threads(Some("3")), 3);
+        assert_eq!(parse_threads(Some(" 12 ")), 12);
+        assert!(parse_threads(None) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn zero_threads_rejected() {
+        parse_threads(Some("0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn garbage_threads_rejected() {
+        parse_threads(Some("many"));
+    }
+}

@@ -29,7 +29,7 @@ pub use family::FamilyOp;
 
 use std::collections::BTreeMap;
 
-use lotec_mem::{ObjectId, PageId, PageIndex, Recovery, ShadowPages, UndoLog};
+use lotec_mem::{ObjectId, PageData, PageId, PageIndex, Recovery, ShadowPages, UndoLog};
 use lotec_mem::{PageStore, Version};
 use lotec_net::{plan_delivery, Message, MessageKind, TrafficLedger};
 use lotec_object::{ObjectRegistry, PageSet};
@@ -118,10 +118,14 @@ pub struct Engine<'a, S: EventSink = NoopSink> {
     tree: TxnTree,
     table: LockTable,
     stores: Vec<PageStore>,
+    /// Shared zero-filled payload handed out for never-written pages —
+    /// cloning it is a refcount bump, not a fresh allocation.
+    zero_page: PageData,
     recovery: Box<dyn Recovery>,
     families: Vec<FamilyRuntime>,
     root_to_family: BTreeMap<TxnId, usize>,
-    last_holder: BTreeMap<ObjectId, NodeId>,
+    /// Last lock holder per object, indexed by dense object id.
+    last_holder: Vec<NodeId>,
     ledger: TrafficLedger,
     trace: ScheduleTrace,
     stats: RunStats,
@@ -147,7 +151,7 @@ struct EngineView<'b> {
     table: &'b LockTable,
     stores: &'b [PageStore],
     registry: &'b ObjectRegistry,
-    last_holder: &'b BTreeMap<ObjectId, NodeId>,
+    last_holder: &'b [NodeId],
 }
 
 impl PlacementView for EngineView<'_> {
@@ -174,10 +178,7 @@ impl PlacementView for EngineView<'_> {
     }
 
     fn last_holder(&self, object: ObjectId) -> NodeId {
-        *self
-            .last_holder
-            .get(&object)
-            .expect("last_holder seeded for every object")
+        self.last_holder[object.index() as usize]
     }
 
     fn num_pages(&self, object: ObjectId) -> u16 {
@@ -233,14 +234,20 @@ impl<'a, S: EventSink> Engine<'a, S> {
             validate_family(family, registry, config)?;
         }
         let mut table = LockTable::new();
+        // One dense page numbering over the fixed object layout, shared by
+        // every node's store: page state lives in flat slot-indexed Vecs.
+        let atlas = std::sync::Arc::new(registry.page_atlas());
         let mut stores: Vec<PageStore> = (0..config.num_nodes)
-            .map(|_| PageStore::new(config.page_size as usize))
+            .map(|_| {
+                PageStore::with_atlas(config.page_size as usize, std::sync::Arc::clone(&atlas))
+            })
             .collect();
-        let mut last_holder = BTreeMap::new();
+        let mut last_holder = Vec::with_capacity(registry.num_objects());
         for inst in registry.objects() {
             let num_pages = registry.num_pages(inst.id);
             table.register_object(inst.id, num_pages, inst.home);
-            last_holder.insert(inst.id, inst.home);
+            debug_assert_eq!(last_holder.len(), inst.id.index() as usize);
+            last_holder.push(inst.home);
             // Materialize the initial (version 0, zero-filled) image at the
             // object's home so first transfers have a source.
             let home_store = &mut stores[inst.home.index() as usize];
@@ -277,6 +284,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             tree: TxnTree::new(),
             table,
             stores,
+            zero_page: PageData::zeroed(config.page_size as usize),
             recovery,
             families,
             root_to_family: BTreeMap::new(),
@@ -309,6 +317,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             .iter()
             .all(|f| matches!(f.phase, Phase::Done | Phase::Failed)));
         self.finish_phase_stats();
+        self.stats.sim_events = self.sim.delivered();
         let final_chains = self.collect_final_chains();
         Ok(RunReport {
             protocol: self.config.protocol,
@@ -683,7 +692,10 @@ impl<'a, S: EventSink> Engine<'a, S> {
                         Event::LockTimeout(fam, gen),
                     );
                 }
-                self.break_deadlocks(now, home)?;
+                let root = self.families[fam]
+                    .root_txn
+                    .expect("queued family has a root");
+                self.break_deadlocks(now, home, root)?;
             }
         }
         Ok(())
@@ -742,7 +754,9 @@ impl<'a, S: EventSink> Engine<'a, S> {
         let node = self.workload[fam].node;
         let compiled = self.registry.class_of(object);
         let actual = compiled.path_access(method, path);
-        let (actual_reads, actual_writes) = (actual.reads().clone(), actual.writes().clone());
+        // Borrow the access sets out of the compiled class; the only owned
+        // copies made below are the ones the trace event keeps.
+        let (actual_reads, actual_writes) = (actual.reads(), actual.writes());
         let predicted = compiled.prediction(method).touched();
 
         self.trace.push(TraceEvent::Grant {
@@ -808,7 +822,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 },
             });
         }
-        self.last_holder.insert(object, node);
+        self.last_holder[object.index() as usize] = node;
         self.table
             .entry_mut(object)
             .expect("registered object")
@@ -819,7 +833,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         // pair per source; batches travel in parallel, so the phase ends at
         // the slowest batch.
         let mut max_delay = SimDuration::ZERO;
-        let mut to_install: Vec<(PageId, Version, Vec<u8>)> = Vec::new();
+        let mut to_install: Vec<(PageId, Version, PageData)> = Vec::new();
         for (source, pages) in plan.sources() {
             let req = self.config.sizes.page_request(pages.len());
             let xfer = transfer_message_bytes(self.config, self.registry, object, pages);
@@ -857,7 +871,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         // latency into the compute phase.
         let mut demand_delay = SimDuration::ZERO;
         if kind.uses_prediction() || self.config.faults.plan.enabled() {
-            let touched = actual_reads.union(&actual_writes);
+            let touched = actual_reads.union(actual_writes);
             let mut demand_installs = Vec::new();
             for page in touched.iter() {
                 let (stale, source) = {
@@ -927,10 +941,10 @@ impl<'a, S: EventSink> Engine<'a, S> {
         Ok(())
     }
 
-    /// Byte-accurate copy of the newest committed version of a page, taken
-    /// from its owner's store (zero-filled if the page was never written
-    /// anywhere).
-    fn current_page_copy(&self, object: ObjectId, page: PageIndex) -> (PageId, Version, Vec<u8>) {
+    /// Copy-on-write handle to the newest committed version of a page,
+    /// taken from its owner's store (the shared zero page if it was never
+    /// written anywhere). A refcount bump, not a byte copy.
+    fn current_page_copy(&self, object: ObjectId, page: PageIndex) -> (PageId, Version, PageData) {
         let loc = self
             .table
             .entry(object)
@@ -945,7 +959,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     loc.version,
                     "owner copy of {pid} out of sync with the page map"
                 );
-                (pid, p.version(), p.data().to_vec())
+                (pid, p.version(), p.payload())
             }
             None => {
                 debug_assert_eq!(
@@ -953,11 +967,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     Version::INITIAL,
                     "missing non-initial page {pid}"
                 );
-                (
-                    pid,
-                    Version::INITIAL,
-                    vec![0; self.config.page_size as usize],
-                )
+                (pid, Version::INITIAL, self.zero_page.clone())
             }
         }
     }
@@ -970,7 +980,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         let node = self.workload[fam].node;
         let compiled = self.registry.class_of(object);
         let access = compiled.path_access(method, path);
-        let (reads, writes) = (access.reads().clone(), access.writes().clone());
+        let (reads, writes) = (access.reads(), access.writes());
         let store = &mut self.stores[node.index() as usize];
 
         for page in reads.iter() {
@@ -1015,7 +1025,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             }
         }
 
-        let touched = reads.union(&writes).len() as u64;
+        let touched = reads.union(writes).len() as u64;
         let duration = self.config.costs.invocation_base
             + self.config.costs.per_page_access * touched
             + self.families[fam].fetch_extra;
@@ -1190,7 +1200,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     .caching_sites()
                     .filter(|&s| s != node)
                     .collect();
-                let copies: Vec<(PageId, Version, Vec<u8>)> = pages
+                let copies: Vec<(PageId, Version, PageData)> = pages
                     .iter()
                     .map(|&p| self.current_page_copy(*object, p))
                     .collect();
@@ -1248,8 +1258,24 @@ impl<'a, S: EventSink> Engine<'a, S> {
     // ---- deadlock handling -------------------------------------------
 
     /// `detector` is the GDO partition whose queueing triggered the check
-    /// (named as the site of the probe's `Deadlock` events).
-    fn break_deadlocks(&mut self, now: SimTime, detector: NodeId) -> Result<(), CoreError> {
+    /// (named as the site of the probe's `Deadlock` events); `enqueued` is
+    /// the family whose request was just queued.
+    ///
+    /// Cycles are broken at every enqueue and wait edges only disappear in
+    /// between, so the graph is acyclic on entry and any new cycle runs
+    /// through `enqueued` — when [`lotec_txn::may_deadlock_through`] rules
+    /// that out, the detector is skipped entirely. Once a victim has been
+    /// aborted the regrants invalidate that reasoning, so subsequent loop
+    /// iterations always run the full detector.
+    fn break_deadlocks(
+        &mut self,
+        now: SimTime,
+        detector: NodeId,
+        enqueued: TxnId,
+    ) -> Result<(), CoreError> {
+        if !lotec_txn::may_deadlock_through(&self.table, &self.tree, enqueued) {
+            return Ok(());
+        }
         loop {
             let Some(cycle) = lotec_txn::find_deadlock_cycle_probed(
                 &self.table,

@@ -114,6 +114,9 @@ pub struct RunStats {
     /// Phase-attributed latency breakdown (lock wait / transfer / compute
     /// / backoff), aggregate and per family.
     pub phases: PhaseBreakdown,
+    /// Simulator events processed during the run — the engine's unit of
+    /// real (host) work, used by the perf baseline to report events/sec.
+    pub sim_events: u64,
 }
 
 impl RunStats {

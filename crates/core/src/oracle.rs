@@ -19,9 +19,7 @@
 //! 2. the final model heap equals the newest page copies in the live run
 //!    (no lost updates).
 
-use std::collections::BTreeMap;
-
-use lotec_mem::{mix, ObjectId, PageIndex};
+use lotec_mem::{mix, ObjectId, PageAtlas, PageId, PageIndex};
 
 use crate::engine::{FamilyOp, RunReport};
 use crate::error::CoreError;
@@ -33,7 +31,33 @@ use crate::error::CoreError;
 ///
 /// Returns [`CoreError::OracleViolation`] describing the first divergence.
 pub fn verify(report: &RunReport) -> Result<(), CoreError> {
-    let mut model: BTreeMap<(ObjectId, PageIndex), u64> = BTreeMap::new();
+    // Two passes: first size a dense page numbering from the touched
+    // pages, then replay against a flat model heap — the replay's inner
+    // loop indexes an array instead of walking an ordered map.
+    let mut pages_per_object: Vec<u16> = Vec::new();
+    {
+        let mut note = |object: ObjectId, page: PageIndex| {
+            let o = object.index() as usize;
+            if o >= pages_per_object.len() {
+                pages_per_object.resize(o + 1, 0);
+            }
+            pages_per_object[o] = pages_per_object[o].max(page.get() + 1);
+        };
+        for fam in &report.committed {
+            for op in &fam.ops {
+                match *op {
+                    FamilyOp::Read { object, page, .. } | FamilyOp::Write { object, page, .. } => {
+                        note(object, page);
+                    }
+                }
+            }
+        }
+        for &(object, page) in report.final_chains.keys() {
+            note(object, page);
+        }
+    }
+    let atlas = PageAtlas::new(&pages_per_object);
+    let mut model = vec![0u64; atlas.total_pages()];
 
     for fam in &report.committed {
         for op in &fam.ops {
@@ -43,7 +67,7 @@ pub fn verify(report: &RunReport) -> Result<(), CoreError> {
                     page,
                     chain,
                 } => {
-                    let expected = model.get(&(object, page)).copied().unwrap_or(0);
+                    let expected = model[atlas.slot(PageId::new(object, page.get()))];
                     if chain != expected {
                         return Err(CoreError::OracleViolation(format!(
                             "family {} read {}/{} = {chain:#x}, serial order expects {expected:#x}",
@@ -56,7 +80,7 @@ pub fn verify(report: &RunReport) -> Result<(), CoreError> {
                     page,
                     stamp,
                 } => {
-                    let entry = model.entry((object, page)).or_insert(0);
+                    let entry = &mut model[atlas.slot(PageId::new(object, page.get()))];
                     *entry = mix(*entry, stamp);
                 }
             }
@@ -64,7 +88,7 @@ pub fn verify(report: &RunReport) -> Result<(), CoreError> {
     }
 
     for (&(object, page), &final_chain) in &report.final_chains {
-        let expected = model.get(&(object, page)).copied().unwrap_or(0);
+        let expected = model[atlas.slot(PageId::new(object, page.get()))];
         if final_chain != expected {
             return Err(CoreError::OracleViolation(format!(
                 "final state of {object}/{page} is {final_chain:#x}, serial replay gives {expected:#x}"

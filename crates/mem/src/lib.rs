@@ -30,14 +30,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atlas;
 pub mod ids;
 pub mod page;
 pub mod pagemap;
 pub mod store;
 pub mod undo;
 
+pub use atlas::PageAtlas;
 pub use ids::{ObjectId, PageId, PageIndex, Version};
-pub use page::{mix, Page};
+pub use page::{mix, Page, PageData};
 pub use pagemap::{PageLocation, PageMap};
 pub use store::PageStore;
 pub use undo::{Recovery, ShadowPages, UndoLog};

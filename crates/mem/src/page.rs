@@ -1,6 +1,61 @@
 //! A versioned page of shared memory.
 
+use std::sync::Arc;
+
 use crate::ids::Version;
+
+/// A copy-on-write page payload: a cheaply clonable handle to the bytes.
+///
+/// Page payloads are copied around constantly — gather batches, installs
+/// into caches, undo pre-images, crash repair — but mutated only at the
+/// single write site ([`Page::apply_stamp`] / [`Page::write`]). Backing
+/// the bytes with an [`Arc`] makes every one of those copies a refcount
+/// bump; the bytes themselves are cloned lazily, only when a write lands
+/// on a payload that still shares its allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageData(Arc<Vec<u8>>);
+
+impl PageData {
+    /// A zero-filled payload of `size` bytes.
+    pub fn zeroed(size: usize) -> Self {
+        PageData(Arc::new(vec![0; size]))
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Read-only view of the bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Mutable view of the bytes, cloning the allocation first if it is
+    /// still shared with another handle.
+    fn make_mut(&mut self) -> &mut Vec<u8> {
+        Arc::make_mut(&mut self.0)
+    }
+}
+
+impl From<Vec<u8>> for PageData {
+    fn from(bytes: Vec<u8>) -> Self {
+        PageData(Arc::new(bytes))
+    }
+}
+
+impl std::ops::Deref for PageData {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
 
 /// One page: a version stamp plus its byte payload.
 ///
@@ -12,7 +67,7 @@ use crate::ids::Version;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Page {
     version: Version,
-    data: Vec<u8>,
+    data: PageData,
 }
 
 /// Deterministically folds a write `stamp` into a content chain value.
@@ -40,7 +95,7 @@ impl Page {
         assert!(size >= 8, "page size must be at least 8 bytes");
         Page {
             version: Version::INITIAL,
-            data: vec![0; size],
+            data: PageData::zeroed(size),
         }
     }
 
@@ -49,7 +104,8 @@ impl Page {
     /// # Panics
     ///
     /// Panics if `data.len() < 8`.
-    pub fn from_parts(version: Version, data: Vec<u8>) -> Self {
+    pub fn from_parts(version: Version, data: impl Into<PageData>) -> Self {
+        let data = data.into();
         assert!(data.len() >= 8, "page size must be at least 8 bytes");
         Page { version, data }
     }
@@ -74,6 +130,12 @@ impl Page {
         &self.data
     }
 
+    /// A cheap copy-on-write handle to the payload (a refcount bump, not a
+    /// byte copy).
+    pub fn payload(&self) -> PageData {
+        self.data.clone()
+    }
+
     /// Overwrites the payload prefix with `bytes`.
     ///
     /// # Panics
@@ -81,7 +143,7 @@ impl Page {
     /// Panics if `bytes` is longer than the page.
     pub fn write(&mut self, bytes: &[u8]) {
         assert!(bytes.len() <= self.data.len(), "write larger than page");
-        self.data[..bytes.len()].copy_from_slice(bytes);
+        self.data.make_mut()[..bytes.len()].copy_from_slice(bytes);
     }
 
     /// The current content-chain value (first eight bytes, little-endian).
@@ -93,7 +155,7 @@ impl Page {
     /// Returns the new chain value.
     pub fn apply_stamp(&mut self, stamp: u64) -> u64 {
         let next = mix(self.chain(), stamp);
-        self.data[..8].copy_from_slice(&next.to_le_bytes());
+        self.data.make_mut()[..8].copy_from_slice(&next.to_le_bytes());
         next
     }
 }
@@ -162,5 +224,33 @@ mod tests {
     #[should_panic(expected = "write larger than page")]
     fn oversized_write_rejected() {
         Page::zeroed(8).write(&[0; 9]);
+    }
+
+    #[test]
+    fn payload_handle_is_copy_on_write() {
+        let mut p = Page::zeroed(16);
+        p.apply_stamp(7);
+        let snapshot = p.payload();
+        // A write after taking the handle must not be visible through it.
+        p.apply_stamp(8);
+        assert_eq!(
+            snapshot.as_slice(),
+            {
+                let mut q = Page::zeroed(16);
+                q.apply_stamp(7);
+                q.payload()
+            }
+            .as_slice()
+        );
+        assert_ne!(snapshot.as_slice(), p.data());
+    }
+
+    #[test]
+    fn unshared_payload_writes_in_place() {
+        let mut p = Page::zeroed(16);
+        let before = p.data().as_ptr();
+        p.apply_stamp(1);
+        // No other handle exists, so the allocation must be reused.
+        assert_eq!(before, p.data().as_ptr());
     }
 }

@@ -1,26 +1,84 @@
 //! One node's local page cache.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
+use crate::atlas::PageAtlas;
 use crate::ids::{ObjectId, PageId, Version};
-use crate::page::Page;
+use crate::page::{Page, PageData};
 
 /// The local page cache of a single node.
 ///
 /// Each site "keeps track of which locally cached pages have been made
 /// dirty by transaction executions" (paper §4.1); that dirty information is
-/// piggybacked on global lock releases to update the GDO page map. The
-/// store uses ordered maps so iteration order — and therefore the
-/// simulation — is deterministic.
+/// piggybacked on global lock releases to update the GDO page map.
+///
+/// Two storage layouts sit behind one API. A store built with
+/// [`PageStore::new`] keeps ordered maps (any [`PageId`] goes). A store
+/// built with [`PageStore::with_atlas`] — what the engine uses — keeps flat
+/// `Vec`s indexed by the atlas's dense global page numbering, so every
+/// lookup on the simulation hot path is an array index instead of a tree
+/// walk. Slot order equals `PageId` order, so iteration — and therefore
+/// the simulation — is deterministic in both layouts.
 #[derive(Debug, Clone)]
 pub struct PageStore {
     page_size: usize,
-    pages: BTreeMap<PageId, Page>,
-    dirty: BTreeSet<PageId>,
+    slots: Slots,
+}
+
+#[derive(Debug, Clone)]
+enum Slots {
+    /// Ordered-map layout: accepts arbitrary page ids.
+    Sparse {
+        pages: BTreeMap<PageId, Page>,
+        dirty: BTreeSet<PageId>,
+    },
+    /// Flat layout over a fixed object layout; `cached` counts `Some`
+    /// entries so `len` stays O(1).
+    Dense {
+        atlas: Arc<PageAtlas>,
+        pages: Vec<Option<Page>>,
+        dirty: Vec<bool>,
+        cached: usize,
+    },
+}
+
+/// Iterator over a store's dirty pages, in `PageId` order.
+#[derive(Debug)]
+pub struct DirtyPages<'a> {
+    inner: DirtyInner<'a>,
+}
+
+#[derive(Debug)]
+enum DirtyInner<'a> {
+    Sparse(std::collections::btree_set::Iter<'a, PageId>),
+    Dense {
+        atlas: &'a PageAtlas,
+        flags: std::iter::Enumerate<std::slice::Iter<'a, bool>>,
+    },
+}
+
+impl Iterator for DirtyPages<'_> {
+    type Item = PageId;
+
+    fn next(&mut self) -> Option<PageId> {
+        match &mut self.inner {
+            DirtyInner::Sparse(it) => it.next().copied(),
+            DirtyInner::Dense { atlas, flags } => {
+                for (slot, &dirty) in flags.by_ref() {
+                    if dirty {
+                        return Some(atlas.page_id(slot));
+                    }
+                }
+                None
+            }
+        }
+    }
 }
 
 impl PageStore {
-    /// Creates an empty store whose pages are all `page_size` bytes.
+    /// Creates an empty map-backed store whose pages are all `page_size`
+    /// bytes.
     ///
     /// # Panics
     ///
@@ -29,8 +87,31 @@ impl PageStore {
         assert!(page_size >= 8, "page size must be at least 8 bytes");
         PageStore {
             page_size,
-            pages: BTreeMap::new(),
-            dirty: BTreeSet::new(),
+            slots: Slots::Sparse {
+                pages: BTreeMap::new(),
+                dirty: BTreeSet::new(),
+            },
+        }
+    }
+
+    /// Creates an empty store laid out densely over `atlas` — every page
+    /// operation is an array index. Only pages inside the atlas's layout
+    /// may be touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size < 8`.
+    pub fn with_atlas(page_size: usize, atlas: Arc<PageAtlas>) -> Self {
+        assert!(page_size >= 8, "page size must be at least 8 bytes");
+        let total = atlas.total_pages();
+        PageStore {
+            page_size,
+            slots: Slots::Dense {
+                atlas,
+                pages: vec![None; total],
+                dirty: vec![false; total],
+                cached: 0,
+            },
         }
     }
 
@@ -41,58 +122,121 @@ impl PageStore {
 
     /// Number of cached pages.
     pub fn len(&self) -> usize {
-        self.pages.len()
+        match &self.slots {
+            Slots::Sparse { pages, .. } => pages.len(),
+            Slots::Dense { cached, .. } => *cached,
+        }
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.pages.is_empty()
+        self.len() == 0
     }
 
     /// True if `page` is cached locally (at any version).
     pub fn contains(&self, page: PageId) -> bool {
-        self.pages.contains_key(&page)
+        match &self.slots {
+            Slots::Sparse { pages, .. } => pages.contains_key(&page),
+            Slots::Dense { atlas, pages, .. } => pages[atlas.slot(page)].is_some(),
+        }
     }
 
     /// The cached version of `page`, if cached.
     pub fn version_of(&self, page: PageId) -> Option<Version> {
-        self.pages.get(&page).map(Page::version)
+        self.get(page).map(Page::version)
     }
 
     /// Read-only access to a cached page.
     pub fn get(&self, page: PageId) -> Option<&Page> {
-        self.pages.get(&page)
+        match &self.slots {
+            Slots::Sparse { pages, .. } => pages.get(&page),
+            Slots::Dense { atlas, pages, .. } => pages[atlas.slot(page)].as_ref(),
+        }
     }
 
-    /// Installs (or replaces) a page received from another node.
+    /// Installs (or replaces) a page received from another node. Accepts
+    /// either owned bytes or a shared [`PageData`] handle — passing the
+    /// handle makes the install a refcount bump.
     ///
     /// # Panics
     ///
     /// Panics if `data` is not exactly `page_size` bytes.
-    pub fn install(&mut self, page: PageId, version: Version, data: Vec<u8>) {
+    pub fn install(&mut self, page: PageId, version: Version, data: impl Into<PageData>) {
+        let data = data.into();
         assert_eq!(data.len(), self.page_size, "installed page has wrong size");
-        self.pages.insert(page, Page::from_parts(version, data));
-        self.dirty.remove(&page);
+        let installed = Page::from_parts(version, data);
+        match &mut self.slots {
+            Slots::Sparse { pages, dirty } => {
+                pages.insert(page, installed);
+                dirty.remove(&page);
+            }
+            Slots::Dense {
+                atlas,
+                pages,
+                dirty,
+                cached,
+            } => {
+                let slot = atlas.slot(page);
+                if pages[slot].is_none() {
+                    *cached += 1;
+                }
+                pages[slot] = Some(installed);
+                dirty[slot] = false;
+            }
+        }
     }
 
     /// Ensures `page` exists locally, creating a zeroed
     /// [`Version::INITIAL`] page if absent. Returns its current version.
     pub fn ensure(&mut self, page: PageId) -> Version {
-        self.pages
-            .entry(page)
-            .or_insert_with(|| Page::zeroed(self.page_size))
-            .version()
+        let page_size = self.page_size;
+        match &mut self.slots {
+            Slots::Sparse { pages, .. } => pages
+                .entry(page)
+                .or_insert_with(|| Page::zeroed(page_size))
+                .version(),
+            Slots::Dense {
+                atlas,
+                pages,
+                cached,
+                ..
+            } => {
+                let slot = atlas.slot(page);
+                if pages[slot].is_none() {
+                    pages[slot] = Some(Page::zeroed(page_size));
+                    *cached += 1;
+                }
+                pages[slot].as_ref().expect("just ensured").version()
+            }
+        }
     }
 
     /// Folds a write `stamp` into `page`'s content chain and marks it
     /// dirty. Creates the page (zeroed) if absent. Returns the new chain.
     pub fn apply_stamp(&mut self, page: PageId, stamp: u64) -> u64 {
         self.ensure(page);
-        self.dirty.insert(page);
-        self.pages
-            .get_mut(&page)
-            .expect("just ensured")
-            .apply_stamp(stamp)
+        match &mut self.slots {
+            Slots::Sparse { pages, dirty } => {
+                dirty.insert(page);
+                pages
+                    .get_mut(&page)
+                    .expect("just ensured")
+                    .apply_stamp(stamp)
+            }
+            Slots::Dense {
+                atlas,
+                pages,
+                dirty,
+                ..
+            } => {
+                let slot = atlas.slot(page);
+                dirty[slot] = true;
+                pages[slot]
+                    .as_mut()
+                    .expect("just ensured")
+                    .apply_stamp(stamp)
+            }
+        }
     }
 
     /// Overwrites the payload prefix of `page` and marks it dirty.
@@ -102,35 +246,64 @@ impl PageStore {
     /// Panics if `bytes` is longer than the page size.
     pub fn write(&mut self, page: PageId, bytes: &[u8]) {
         self.ensure(page);
-        self.dirty.insert(page);
-        self.pages
-            .get_mut(&page)
-            .expect("just ensured")
-            .write(bytes);
+        match &mut self.slots {
+            Slots::Sparse { pages, dirty } => {
+                dirty.insert(page);
+                pages.get_mut(&page).expect("just ensured").write(bytes);
+            }
+            Slots::Dense {
+                atlas,
+                pages,
+                dirty,
+                ..
+            } => {
+                let slot = atlas.slot(page);
+                dirty[slot] = true;
+                pages[slot].as_mut().expect("just ensured").write(bytes);
+            }
+        }
     }
 
     /// The content chain of `page` (zero if the page is absent).
     pub fn chain(&self, page: PageId) -> u64 {
-        self.pages.get(&page).map_or(0, Page::chain)
+        self.get(page).map_or(0, Page::chain)
     }
 
     /// True if `page` has uncommitted local modifications.
     pub fn is_dirty(&self, page: PageId) -> bool {
-        self.dirty.contains(&page)
+        match &self.slots {
+            Slots::Sparse { dirty, .. } => dirty.contains(&page),
+            Slots::Dense { atlas, dirty, .. } => dirty[atlas.slot(page)],
+        }
     }
 
-    /// All dirty pages, in deterministic order.
-    pub fn dirty_pages(&self) -> impl Iterator<Item = PageId> + '_ {
-        self.dirty.iter().copied()
+    /// All dirty pages, in deterministic (`PageId`) order.
+    pub fn dirty_pages(&self) -> DirtyPages<'_> {
+        DirtyPages {
+            inner: match &self.slots {
+                Slots::Sparse { dirty, .. } => DirtyInner::Sparse(dirty.iter()),
+                Slots::Dense { atlas, dirty, .. } => DirtyInner::Dense {
+                    atlas,
+                    flags: dirty.iter().enumerate(),
+                },
+            },
+        }
     }
 
     /// Dirty pages belonging to `object`, in page-index order.
     pub fn dirty_pages_of(&self, object: ObjectId) -> Vec<PageId> {
-        self.dirty
-            .iter()
-            .copied()
-            .filter(|p| p.object() == object)
-            .collect()
+        match &self.slots {
+            Slots::Sparse { dirty, .. } => dirty
+                .iter()
+                .copied()
+                .filter(|p| p.object() == object)
+                .collect(),
+            Slots::Dense { atlas, dirty, .. } => atlas
+                .object_slots(object)
+                .filter(|&s| dirty[s])
+                .map(|s| atlas.page_id(s))
+                .collect(),
+        }
     }
 
     /// Publishes the dirty pages of `object` at `new_version` (the family's
@@ -139,11 +312,7 @@ impl PageStore {
     pub fn publish_object(&mut self, object: ObjectId, new_version: Version) -> Vec<PageId> {
         let published = self.dirty_pages_of(object);
         for &page in &published {
-            self.pages
-                .get_mut(&page)
-                .expect("dirty page must be cached")
-                .set_version(new_version);
-            self.dirty.remove(&page);
+            self.publish_page(page, new_version);
         }
         published
     }
@@ -156,16 +325,38 @@ impl PageStore {
     ///
     /// Panics if the page is not cached.
     pub fn publish_page(&mut self, page: PageId, version: Version) {
-        self.pages
-            .get_mut(&page)
-            .expect("publish of uncached page")
-            .set_version(version);
-        self.dirty.remove(&page);
+        match &mut self.slots {
+            Slots::Sparse { pages, dirty } => {
+                pages
+                    .get_mut(&page)
+                    .expect("publish of uncached page")
+                    .set_version(version);
+                dirty.remove(&page);
+            }
+            Slots::Dense {
+                atlas,
+                pages,
+                dirty,
+                ..
+            } => {
+                let slot = atlas.slot(page);
+                pages[slot]
+                    .as_mut()
+                    .expect("publish of uncached page")
+                    .set_version(version);
+                dirty[slot] = false;
+            }
+        }
     }
 
     /// Clears the dirty bit of `page` without publishing (used by UNDO).
     pub fn mark_clean(&mut self, page: PageId) {
-        self.dirty.remove(&page);
+        match &mut self.slots {
+            Slots::Sparse { dirty, .. } => {
+                dirty.remove(&page);
+            }
+            Slots::Dense { atlas, dirty, .. } => dirty[atlas.slot(page)] = false,
+        }
     }
 
     /// Replaces the full contents of `page` (used by UNDO/shadow restore);
@@ -174,17 +365,44 @@ impl PageStore {
     /// # Panics
     ///
     /// Panics if the page is not cached or `data` has the wrong size.
-    pub fn restore(&mut self, page: PageId, version: Version, data: Vec<u8>) {
+    pub fn restore(&mut self, page: PageId, version: Version, data: impl Into<PageData>) {
+        let data = data.into();
         assert_eq!(data.len(), self.page_size, "restored page has wrong size");
-        let p = self.pages.get_mut(&page).expect("restore of uncached page");
-        *p = Page::from_parts(version, data);
+        let restored = Page::from_parts(version, data);
+        match &mut self.slots {
+            Slots::Sparse { pages, .. } => {
+                let p = pages.get_mut(&page).expect("restore of uncached page");
+                *p = restored;
+            }
+            Slots::Dense { atlas, pages, .. } => {
+                let slot = atlas.slot(page);
+                assert!(pages[slot].is_some(), "restore of uncached page");
+                pages[slot] = Some(restored);
+            }
+        }
     }
 
     /// Drops `page` from the cache entirely (used by UNDO when the page did
     /// not exist before the aborted transaction touched it).
     pub fn evict(&mut self, page: PageId) {
-        self.pages.remove(&page);
-        self.dirty.remove(&page);
+        match &mut self.slots {
+            Slots::Sparse { pages, dirty } => {
+                pages.remove(&page);
+                dirty.remove(&page);
+            }
+            Slots::Dense {
+                atlas,
+                pages,
+                dirty,
+                cached,
+            } => {
+                let slot = atlas.slot(page);
+                if pages[slot].take().is_some() {
+                    *cached -= 1;
+                }
+                dirty[slot] = false;
+            }
+        }
     }
 }
 
@@ -284,5 +502,72 @@ mod tests {
     #[should_panic(expected = "wrong size")]
     fn install_checks_size() {
         PageStore::new(16).install(pid(0, 0), Version::INITIAL, vec![0; 8]);
+    }
+
+    /// Replays the same operation sequence against both layouts and checks
+    /// every observable result agrees.
+    #[test]
+    fn dense_layout_matches_sparse_layout() {
+        let atlas = Arc::new(PageAtlas::new(&[6, 6, 6, 6]));
+        let mut sparse = PageStore::new(8);
+        let mut dense = PageStore::with_atlas(8, Arc::clone(&atlas));
+        let ops: [(u32, u16, u64); 7] = [
+            (0, 1, 11),
+            (2, 5, 12),
+            (0, 1, 13),
+            (3, 0, 14),
+            (1, 2, 15),
+            (2, 0, 16),
+            (0, 0, 17),
+        ];
+        for &(o, p, stamp) in &ops {
+            assert_eq!(
+                sparse.apply_stamp(pid(o, p), stamp),
+                dense.apply_stamp(pid(o, p), stamp)
+            );
+        }
+        assert_eq!(sparse.len(), dense.len());
+        assert_eq!(
+            sparse.dirty_pages().collect::<Vec<_>>(),
+            dense.dirty_pages().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            sparse.dirty_pages_of(ObjectId::new(0)),
+            dense.dirty_pages_of(ObjectId::new(0))
+        );
+        assert_eq!(
+            sparse.publish_object(ObjectId::new(0), Version::new(2)),
+            dense.publish_object(ObjectId::new(0), Version::new(2))
+        );
+        for &(o, p, _) in &ops {
+            assert_eq!(sparse.chain(pid(o, p)), dense.chain(pid(o, p)));
+            assert_eq!(sparse.version_of(pid(o, p)), dense.version_of(pid(o, p)));
+            assert_eq!(sparse.is_dirty(pid(o, p)), dense.is_dirty(pid(o, p)));
+        }
+        sparse.evict(pid(2, 5));
+        dense.evict(pid(2, 5));
+        assert_eq!(sparse.len(), dense.len());
+        assert!(!dense.contains(pid(2, 5)));
+    }
+
+    #[test]
+    fn dense_install_restore_roundtrip() {
+        let atlas = Arc::new(PageAtlas::uniform(2, 3));
+        let mut s = PageStore::with_atlas(16, atlas);
+        s.install(pid(1, 2), Version::new(3), vec![9; 16]);
+        assert_eq!(s.len(), 1);
+        s.apply_stamp(pid(1, 2), 5);
+        s.restore(pid(1, 2), Version::new(3), vec![9; 16]);
+        s.mark_clean(pid(1, 2));
+        assert_eq!(s.get(pid(1, 2)).unwrap().data()[8], 9);
+        assert!(!s.is_dirty(pid(1, 2)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn dense_rejects_pages_outside_layout() {
+        let atlas = Arc::new(PageAtlas::uniform(1, 2));
+        let mut s = PageStore::with_atlas(8, atlas);
+        s.ensure(pid(4, 0));
     }
 }

@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use crate::ids::{PageId, Version};
+use crate::page::PageData;
 use crate::store::PageStore;
 
 /// A recovery strategy: capture page pre-images when a transaction first
@@ -46,14 +47,16 @@ pub trait Recovery {
 enum PreImage {
     /// The page did not exist locally before the write.
     Absent,
-    /// The page existed with this version and payload.
-    Present(Version, Vec<u8>),
+    /// The page existed with this version and payload. The payload is a
+    /// copy-on-write handle: capture is a refcount bump, and the bytes are
+    /// only duplicated when the store's copy is subsequently written.
+    Present(Version, PageData),
 }
 
 fn capture(store: &PageStore, page: PageId) -> PreImage {
     match store.get(page) {
         None => PreImage::Absent,
-        Some(p) => PreImage::Present(p.version(), p.data().to_vec()),
+        Some(p) => PreImage::Present(p.version(), p.payload()),
     }
 }
 

@@ -57,6 +57,34 @@ fn waits_for(table: &LockTable, tree: &TxnTree) -> BTreeMap<TxnId, BTreeSet<TxnI
     graph
 }
 
+/// Conservative guard that lets callers skip full cycle detection after
+/// enqueueing a request for `family`.
+///
+/// Soundness rests on the caller's invariant that the waits-for graph was
+/// acyclic *before* the enqueue (the engine breaks every cycle as soon as
+/// it forms, and grants/releases/aborts only remove wait edges). Any new
+/// cycle must then pass through `family`, which requires an *in-edge*:
+/// some other family waiting on `family`. FIFO in-edges to `family` are
+/// impossible at enqueue time — its request sits at the queue tail and a
+/// family has one outstanding request — so an in-edge exists only where
+/// another family waits on an object `family` holds or retains.
+///
+/// Returns `false` only when no such in-edge exists, i.e. no new cycle is
+/// possible and detection may be skipped. A `true` return decides
+/// nothing: the caller must run [`find_deadlock_cycle`] (mode
+/// compatibility and reachability are its job).
+pub fn may_deadlock_through(table: &LockTable, tree: &TxnTree, family: TxnId) -> bool {
+    table.entries().any(|entry| {
+        entry.num_waiting() > 0
+            && entry.waiting().any(|fw| fw.family != family)
+            && (entry
+                .holders()
+                .iter()
+                .any(|h| tree.root_of(h.txn) == family)
+                || entry.retainers().any(|(r, _)| tree.root_of(r) == family))
+    })
+}
+
 /// Finds one deadlock cycle among waiting families, if any exists.
 ///
 /// Returns the families on the cycle, in cycle order. Detection is a DFS
@@ -276,6 +304,60 @@ mod tests {
         let mut sorted = cycle;
         sorted.sort_unstable();
         assert_eq!(sorted, vec![b, c]);
+    }
+
+    #[test]
+    fn guard_false_when_enqueued_family_has_no_dependents() {
+        // a holds O0, b enqueues behind it. Nobody waits on anything b
+        // holds, so b's enqueue cannot have closed a cycle.
+        let mut tree = TxnTree::new();
+        let mut table = LockTable::new();
+        table.register_object(obj(0), 1, n(0));
+        let a = tree.begin_root(n(1));
+        let b = tree.begin_root(n(2));
+        table.acquire(obj(0), a, LockMode::Write, &tree).unwrap();
+        table.acquire(obj(0), b, LockMode::Write, &tree).unwrap();
+        assert!(!may_deadlock_through(&table, &tree, b));
+    }
+
+    #[test]
+    fn guard_true_when_enqueued_family_holds_a_contested_object() {
+        // Classic two-family cycle: at b's enqueue on O0, family a is
+        // already waiting on O1 which b holds — in-edge to b exists.
+        let mut tree = TxnTree::new();
+        let mut table = LockTable::new();
+        table.register_object(obj(0), 1, n(0));
+        table.register_object(obj(1), 1, n(0));
+        let a = tree.begin_root(n(1));
+        let b = tree.begin_root(n(2));
+        table.acquire(obj(0), a, LockMode::Write, &tree).unwrap();
+        table.acquire(obj(1), b, LockMode::Write, &tree).unwrap();
+        table.acquire(obj(1), a, LockMode::Write, &tree).unwrap(); // a waits on b
+        table.acquire(obj(0), b, LockMode::Write, &tree).unwrap(); // b waits on a
+        assert!(may_deadlock_through(&table, &tree, b));
+        assert!(find_deadlock_cycle(&table, &tree).is_some());
+    }
+
+    #[test]
+    fn guard_true_when_enqueued_family_retains_a_contested_object() {
+        // Same shape as deadlock_through_retained_lock_detected: family a
+        // only *retains* O0 (via a pre-committed child) while b waits on
+        // it, so when a's new child enqueues on O1 the guard must fire.
+        let mut tree = TxnTree::new();
+        let mut table = LockTable::new();
+        table.register_object(obj(0), 1, n(0));
+        table.register_object(obj(1), 1, n(0));
+        let a = tree.begin_root(n(1));
+        let ac = tree.begin_child(a);
+        table.acquire(obj(0), ac, LockMode::Write, &tree).unwrap();
+        tree.pre_commit(ac);
+        table.release_pre_commit(ac, &tree);
+        let b = tree.begin_root(n(2));
+        table.acquire(obj(1), b, LockMode::Write, &tree).unwrap();
+        table.acquire(obj(0), b, LockMode::Write, &tree).unwrap();
+        let ac2 = tree.begin_child(a);
+        table.acquire(obj(1), ac2, LockMode::Write, &tree).unwrap();
+        assert!(may_deadlock_through(&table, &tree, a));
     }
 
     #[test]

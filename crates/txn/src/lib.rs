@@ -51,7 +51,9 @@ pub mod lock;
 pub mod table;
 pub mod tree;
 
-pub use deadlock::{find_deadlock_cycle, find_deadlock_cycle_probed, pick_victim};
+pub use deadlock::{
+    find_deadlock_cycle, find_deadlock_cycle_probed, may_deadlock_through, pick_victim,
+};
 pub use gdo::{gdo_home, GdoEntry, LockState, QueuedRequest};
 pub use lock::LockMode;
 pub use table::{

@@ -180,9 +180,14 @@ pub struct CommitRelease {
 }
 
 /// The lock table: every object's GDO entry plus reverse indexes.
+///
+/// Entries live in a flat `Vec` indexed by the dense object id, so the
+/// per-acquisition entry lookup on the simulation hot path is an array
+/// index rather than a tree walk. Iteration visits objects in ascending
+/// id order — the same order the previous ordered-map layout used.
 #[derive(Debug, Clone, Default)]
 pub struct LockTable {
-    entries: BTreeMap<ObjectId, GdoEntry>,
+    entries: Vec<Option<GdoEntry>>,
     held_by: BTreeMap<TxnId, BTreeSet<ObjectId>>,
     retained_by: BTreeMap<TxnId, BTreeSet<ObjectId>>,
 }
@@ -199,10 +204,15 @@ impl LockTable {
     ///
     /// Panics if the object is already registered or `num_pages` is zero.
     pub fn register_object(&mut self, object: ObjectId, num_pages: u16, home: NodeId) {
-        let prev = self
-            .entries
-            .insert(object, GdoEntry::new(object, num_pages, home));
-        assert!(prev.is_none(), "object {object} registered twice");
+        let slot = object.index() as usize;
+        if slot >= self.entries.len() {
+            self.entries.resize_with(slot + 1, || None);
+        }
+        assert!(
+            self.entries[slot].is_none(),
+            "object {object} registered twice"
+        );
+        self.entries[slot] = Some(GdoEntry::new(object, num_pages, home));
     }
 
     /// The GDO entry for `object`.
@@ -212,7 +222,8 @@ impl LockTable {
     /// Returns [`LockError::UnknownObject`] if unregistered.
     pub fn entry(&self, object: ObjectId) -> Result<&GdoEntry, LockError> {
         self.entries
-            .get(&object)
+            .get(object.index() as usize)
+            .and_then(Option::as_ref)
             .ok_or(LockError::UnknownObject(object))
     }
 
@@ -223,7 +234,8 @@ impl LockTable {
     /// Returns [`LockError::UnknownObject`] if unregistered.
     pub fn entry_mut(&mut self, object: ObjectId) -> Result<&mut GdoEntry, LockError> {
         self.entries
-            .get_mut(&object)
+            .get_mut(object.index() as usize)
+            .and_then(Option::as_mut)
             .ok_or(LockError::UnknownObject(object))
     }
 
@@ -237,10 +249,10 @@ impl LockTable {
         self.retained_by.get(&txn).into_iter().flatten().copied()
     }
 
-    /// Iterator over all registered entries (deadlock detection scans
-    /// these).
+    /// Iterator over all registered entries in ascending object-id order
+    /// (deadlock detection scans these).
     pub fn entries(&self) -> impl Iterator<Item = &GdoEntry> {
-        self.entries.values()
+        self.entries.iter().flatten()
     }
 
     // ---------------------------------------------------------------
@@ -272,7 +284,8 @@ impl LockTable {
         let family = tree.root_of(txn);
         let entry = self
             .entries
-            .get_mut(&object)
+            .get_mut(object.index() as usize)
+            .and_then(Option::as_mut)
             .ok_or(LockError::UnknownObject(object))?;
 
         // Re-request / upgrade by the same transaction.
@@ -375,7 +388,7 @@ impl LockTable {
             let node = tree.node_of(txn).index();
             match &result {
                 Ok(Acquire::Queued) => {
-                    let waiters = self.entries[&object].num_waiting() as u32;
+                    let waiters = self.entry(object).expect("just acquired").num_waiting() as u32;
                     sink.emit(ObsEvent {
                         at,
                         node,
@@ -390,7 +403,7 @@ impl LockTable {
                 Ok(grant @ (Acquire::LocalGrant | Acquire::GlobalGrant { .. })) => {
                     let holders = match grant {
                         Acquire::GlobalGrant { holders } => *holders,
-                        _ => self.entries[&object].holders().len(),
+                        _ => self.entry(object).expect("just acquired").holders().len(),
                     };
                     sink.emit(ObsEvent {
                         at,
@@ -426,9 +439,8 @@ impl LockTable {
         let mut inherited = Vec::new();
 
         for object in self.held_by.remove(&txn).unwrap_or_default() {
-            let entry = self
-                .entries
-                .get_mut(&object)
+            let entry = self.entries[object.index() as usize]
+                .as_mut()
                 .expect("held object registered");
             let holder = entry.remove_holder(txn).expect("index said txn holds");
             entry.add_retainer(parent, holder.mode);
@@ -436,9 +448,8 @@ impl LockTable {
             inherited.push(object);
         }
         for object in self.retained_by.remove(&txn).unwrap_or_default() {
-            let entry = self
-                .entries
-                .get_mut(&object)
+            let entry = self.entries[object.index() as usize]
+                .as_mut()
                 .expect("retained object registered");
             let mode = entry.remove_retainer(txn).expect("index said txn retains");
             entry.add_retainer(parent, mode);
@@ -493,9 +504,8 @@ impl LockTable {
             .copied()
             .collect::<BTreeSet<_>>()
         {
-            let entry = self
-                .entries
-                .get_mut(&object)
+            let entry = self.entries[object.index() as usize]
+                .as_mut()
                 .expect("indexed object registered");
             entry.remove_holder(txn);
             entry.remove_retainer(txn);
@@ -564,9 +574,8 @@ impl LockTable {
         assert!(tree.parent(root).is_none(), "{root} is not a root");
         // Record dirty info in the page maps first (Alg. 4.4's first loop).
         for (object, pages) in dirty {
-            let entry = self
-                .entries
-                .get_mut(object)
+            let entry = self.entries[object.index() as usize]
+                .as_mut()
                 .expect("dirty object registered");
             for &page in pages {
                 entry.page_map_mut().record_update(page, node);
@@ -582,9 +591,8 @@ impl LockTable {
             .copied()
             .collect::<BTreeSet<_>>()
         {
-            let entry = self
-                .entries
-                .get_mut(&object)
+            let entry = self.entries[object.index() as usize]
+                .as_mut()
                 .expect("indexed object registered");
             entry.remove_holder(root);
             entry.remove_retainer(root);
@@ -635,7 +643,9 @@ impl LockTable {
     /// consecutive read-only families are granted together.
     fn try_grant_next(&mut self, object: ObjectId, tree: &TxnTree, grants: &mut Vec<Grant>) {
         loop {
-            let entry = self.entries.get_mut(&object).expect("object registered");
+            let entry = self.entries[object.index() as usize]
+                .as_mut()
+                .expect("object registered");
             let Some(next) = entry.peek_next_family() else {
                 return;
             };
@@ -667,7 +677,11 @@ impl LockTable {
                 self.held_by.entry(req.txn).or_default().insert(object);
                 requests.push(req);
             }
-            let holders = self.entries[&object].holders().len();
+            let holders = self.entries[object.index() as usize]
+                .as_ref()
+                .expect("object registered")
+                .holders()
+                .len();
             grants.push(Grant {
                 object,
                 requests,
@@ -696,9 +710,9 @@ impl LockTable {
     /// returned objects or risk a lost wakeup.
     pub fn cancel_family_waiters(&mut self, family: TxnId) -> Vec<ObjectId> {
         let mut touched = Vec::new();
-        for (object, entry) in self.entries.iter_mut() {
+        for entry in self.entries.iter_mut().flatten() {
             if !entry.remove_family_waiters(family).is_empty() {
-                touched.push(*object);
+                touched.push(entry.object());
             }
         }
         touched
@@ -733,7 +747,8 @@ impl LockTable {
     /// indexes match entries; at most one write holder per object; write
     /// holder excludes other holders from different families.
     pub fn check_invariants(&self, tree: &TxnTree) -> Result<(), String> {
-        for (object, entry) in &self.entries {
+        for entry in self.entries.iter().flatten() {
+            let object = entry.object();
             let writers: Vec<_> = entry
                 .holders()
                 .iter()
@@ -753,19 +768,31 @@ impl LockTable {
                 }
             }
             for h in entry.holders() {
-                if !self.held_by.get(&h.txn).is_some_and(|s| s.contains(object)) {
+                if !self
+                    .held_by
+                    .get(&h.txn)
+                    .is_some_and(|s| s.contains(&object))
+                {
                     return Err(format!("{object}: holder {} missing from index", h.txn));
                 }
             }
             for (r, _) in entry.retainers() {
-                if !self.retained_by.get(&r).is_some_and(|s| s.contains(object)) {
+                if !self
+                    .retained_by
+                    .get(&r)
+                    .is_some_and(|s| s.contains(&object))
+                {
                     return Err(format!("{object}: retainer {r} missing from index"));
                 }
             }
         }
         for (txn, objects) in &self.held_by {
             for object in objects {
-                let entry = self.entries.get(object).ok_or("indexed object missing")?;
+                let entry = self
+                    .entries
+                    .get(object.index() as usize)
+                    .and_then(Option::as_ref)
+                    .ok_or("indexed object missing")?;
                 if !entry.is_held_by(*txn) {
                     return Err(format!("index says {txn} holds {object}, entry disagrees"));
                 }

@@ -1,0 +1,199 @@
+//! Differential guard: the optimized engine must reproduce the seed
+//! build's behaviour bit for bit.
+//!
+//! The hot-path overhaul (copy-on-write pages, dense page-indexed state,
+//! deadlock-check gating) is an *optimization* — not one simulated result
+//! may change. This suite pins golden fingerprints captured from the
+//! pre-overhaul build: the final content chains, the scalar `RunStats`
+//! counters, and the per-protocol transfer totals, across all four
+//! protocols fault-free and under a sample of the chaos-suite seeds.
+//!
+//! To regenerate the table after an *intentional* behaviour change (a new
+//! protocol rule, a workload change — never a perf PR), run
+//! `LOTEC_PRINT_GOLDEN=1 cargo test --test differential_seed -- --nocapture`
+//! and paste the printed rows over `GOLDEN`.
+
+use lotec::prelude::*;
+use lotec::sim::FaultPlan;
+use lotec_core::config::FaultConfig;
+use lotec_core::engine::RunReport;
+use lotec_core::spec::demo_workload;
+use lotec_mem::mix;
+use lotec_workload::presets;
+
+/// Chaos seeds sampled from the chaos suite's default stream
+/// (`101 + 37 * i`).
+const CHAOS_SAMPLE: [u64; 3] = [101, 138, 175];
+
+/// One cell's behaviour fingerprint. All fields are exact — any change in
+/// any simulated quantity moves at least one of them.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    committed: u64,
+    makespan_ns: u64,
+    total_messages: u64,
+    total_bytes: u64,
+    /// Every page's final content chain folded in deterministic order.
+    chain_hash: u64,
+    /// Every scalar `RunStats` counter (and the latency quantiles) folded
+    /// in a fixed order.
+    stats_hash: u64,
+}
+
+fn fingerprint(report: &RunReport) -> Fingerprint {
+    let mut chain_hash = 0u64;
+    for (&(object, page), &chain) in &report.final_chains {
+        chain_hash = mix(chain_hash, u64::from(object.index()));
+        chain_hash = mix(chain_hash, u64::from(page.get()));
+        chain_hash = mix(chain_hash, chain);
+    }
+    let s = &report.stats;
+    let mut stats_hash = 0u64;
+    for v in [
+        s.committed_families,
+        s.aborted_families,
+        s.subtxn_aborts,
+        s.deadlocks,
+        s.restarts,
+        s.demand_fetches,
+        s.local_lock_grants,
+        s.global_lock_grants,
+        s.queued_lock_requests,
+        s.prefetch_hits,
+        s.prefetch_saved.as_nanos(),
+        s.retransmits,
+        s.duplicates,
+        s.crashes,
+        s.crash_aborts,
+        s.lock_timeouts,
+        s.retransmit_wait.as_nanos(),
+        s.makespan.as_nanos(),
+        s.total_latency.as_nanos(),
+        s.latency_quantile(0.5).map_or(0, |d| d.as_nanos()),
+        s.latency_quantile(0.99).map_or(0, |d| d.as_nanos()),
+        report
+            .traffic
+            .page_payload_bytes(&SystemConfig::default().sizes, 4096),
+    ] {
+        stats_hash = mix(stats_hash, v);
+    }
+    Fingerprint {
+        committed: s.committed_families,
+        makespan_ns: s.makespan.as_nanos(),
+        total_messages: report.traffic.total().messages,
+        total_bytes: report.traffic.total().bytes,
+        chain_hash,
+        stats_hash,
+    }
+}
+
+/// The fault-free cells: all four protocols on the quick fig3 workload.
+fn fig3_cell(protocol: ProtocolKind) -> Fingerprint {
+    let scenario = presets::quick(presets::fig3());
+    let (registry, families) = scenario.generate().expect("workload generates");
+    let config = SystemConfig {
+        protocol,
+        seed: 0xF163,
+        num_nodes: scenario.config.num_nodes,
+        page_size: scenario.config.schema.page_size,
+        ..SystemConfig::default()
+    };
+    let report = run_engine(&config, &registry, &families).expect("fig3 run");
+    oracle::verify(&report).expect("serializable");
+    fingerprint(&report)
+}
+
+/// The chaos cells: lossy-link fault plan from the chaos suite over the
+/// demo workload.
+fn chaos_cell(protocol: ProtocolKind, seed: u64) -> Fingerprint {
+    let faults = FaultConfig {
+        plan: FaultPlan {
+            drop_prob: 0.10 + 0.02 * (seed % 5) as f64,
+            duplicate_prob: 0.05,
+            delay_prob: 0.10,
+            max_extra_delay: SimDuration::from_micros(25),
+            rto: SimDuration::from_micros(50),
+            crashes: Vec::new(),
+        },
+        ..FaultConfig::default()
+    };
+    let config = SystemConfig {
+        protocol,
+        seed,
+        faults,
+        ..SystemConfig::default()
+    };
+    let (registry, families) = demo_workload(&config, seed);
+    let report = run_engine(&config, &registry, &families).expect("chaos run");
+    oracle::verify(&report).expect("serializable");
+    fingerprint(&report)
+}
+
+fn print_golden(label: &str, fp: &Fingerprint) {
+    println!(
+        "    (\"{label}\", Fingerprint {{ committed: {}, makespan_ns: {}, \
+         total_messages: {}, total_bytes: {}, chain_hash: {:#018x}, \
+         stats_hash: {:#018x} }}),",
+        fp.committed,
+        fp.makespan_ns,
+        fp.total_messages,
+        fp.total_bytes,
+        fp.chain_hash,
+        fp.stats_hash
+    );
+}
+
+fn check(label: String, fp: Fingerprint) {
+    if std::env::var("LOTEC_PRINT_GOLDEN").is_ok() {
+        print_golden(&label, &fp);
+        return;
+    }
+    let expected = GOLDEN
+        .iter()
+        .find(|(l, _)| *l == label)
+        .unwrap_or_else(|| panic!("no golden row for {label}"));
+    assert_eq!(
+        fp, expected.1,
+        "{label}: behaviour diverged from the seed build"
+    );
+}
+
+#[test]
+fn fig3_matches_seed_for_all_protocols() {
+    for protocol in ProtocolKind::ALL {
+        check(format!("fig3/{protocol}"), fig3_cell(protocol));
+    }
+}
+
+#[test]
+fn chaos_sample_matches_seed_for_all_protocols() {
+    for protocol in ProtocolKind::ALL {
+        for seed in CHAOS_SAMPLE {
+            check(
+                format!("chaos/{protocol}/{seed}"),
+                chaos_cell(protocol, seed),
+            );
+        }
+    }
+}
+
+/// Golden fingerprints captured from the pre-overhaul build.
+#[rustfmt::skip]
+const GOLDEN: &[(&str, Fingerprint)] = &[
+    ("fig3/COTEC", Fingerprint { committed: 50, makespan_ns: 133668233, total_messages: 448, total_bytes: 4013000, chain_hash: 0xdb311cc69ef168bc, stats_hash: 0x46fa6409d501946d }),
+    ("fig3/OTEC", Fingerprint { committed: 50, makespan_ns: 108651853, total_messages: 432, total_bytes: 2880552, chain_hash: 0xe3bd966d49e1a5d1, stats_hash: 0x65c665201cee7bad }),
+    ("fig3/LOTEC", Fingerprint { committed: 50, makespan_ns: 88727313, total_messages: 501, total_bytes: 2651822, chain_hash: 0xc517c0f9cee501d8, stats_hash: 0x5149120633fe0116 }),
+    ("fig3/RC", Fingerprint { committed: 50, makespan_ns: 61954713, total_messages: 658, total_bytes: 10719290, chain_hash: 0xdf6021209afa1cd1, stats_hash: 0xa09de8c99d0715a9 }),
+    ("chaos/COTEC/101", Fingerprint { committed: 8, makespan_ns: 2846882, total_messages: 63, total_bytes: 163336, chain_hash: 0x9f5451439e5af275, stats_hash: 0x4460177283c61fd0 }),
+    ("chaos/COTEC/138", Fingerprint { committed: 8, makespan_ns: 2551964, total_messages: 47, total_bytes: 101104, chain_hash: 0x3eebb50f137e013a, stats_hash: 0x0ac8eb44f8878659 }),
+    ("chaos/COTEC/175", Fingerprint { committed: 8, makespan_ns: 2231753, total_messages: 40, total_bytes: 117136, chain_hash: 0xca80a0b0a80f2a3b, stats_hash: 0xa7b3915a4357755c }),
+    ("chaos/OTEC/101", Fingerprint { committed: 8, makespan_ns: 1084725, total_messages: 52, total_bytes: 47660, chain_hash: 0x408f04c97c9de0d2, stats_hash: 0xa025322559a7b731 }),
+    ("chaos/OTEC/138", Fingerprint { committed: 8, makespan_ns: 1857184, total_messages: 41, total_bytes: 51510, chain_hash: 0x336bca1d0a24d4c0, stats_hash: 0x07e92cfbd2c29229 }),
+    ("chaos/OTEC/175", Fingerprint { committed: 8, makespan_ns: 1785980, total_messages: 34, total_bytes: 42836, chain_hash: 0xca80a0b0a80f2a3b, stats_hash: 0x4be8c780c3e5290f }),
+    ("chaos/LOTEC/101", Fingerprint { committed: 8, makespan_ns: 989720, total_messages: 47, total_bytes: 18748, chain_hash: 0x6e4209f23eba80c2, stats_hash: 0x21f924b377cf06cc }),
+    ("chaos/LOTEC/138", Fingerprint { committed: 8, makespan_ns: 979492, total_messages: 41, total_bytes: 39144, chain_hash: 0x3eebb50f137e013a, stats_hash: 0xfe71ef0884a8458d }),
+    ("chaos/LOTEC/175", Fingerprint { committed: 8, makespan_ns: 1785980, total_messages: 32, total_bytes: 34526, chain_hash: 0xca80a0b0a80f2a3b, stats_hash: 0xcad4a99c2b0006dd }),
+    ("chaos/RC/101", Fingerprint { committed: 8, makespan_ns: 1028128, total_messages: 70, total_bytes: 109950, chain_hash: 0x408f04c97c9de0d2, stats_hash: 0x566c9322345aafa4 }),
+    ("chaos/RC/138", Fingerprint { committed: 8, makespan_ns: 1857184, total_messages: 50, total_bytes: 101074, chain_hash: 0x336bca1d0a24d4c0, stats_hash: 0x67640f72f6235dba }),
+    ("chaos/RC/175", Fingerprint { committed: 8, makespan_ns: 1771480, total_messages: 41, total_bytes: 112912, chain_hash: 0xca80a0b0a80f2a3b, stats_hash: 0x93ef769d58ad9a4d }),
+];
