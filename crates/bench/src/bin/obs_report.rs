@@ -1,40 +1,89 @@
-//! Summarizes a saved observability trace offline.
-//!
-//! Usage:
+//! Summarizes observability traces offline and runs the seeded demo
+//! sweep.
 //!
 //! ```text
-//! obs_report <trace.jsonl>     # summarize a JSONL trace written by --trace-out
-//! obs_report --demo [--quick]  # record a fresh trace from the fig3 scenario
+//! obs_report <trace.jsonl> [--top K] [--json-out PATH]
+//! obs_report --demo [--top K] [--json-out PATH]
 //! ```
 //!
-//! Prints the same structured-trace summary the `--obs` flag prints at the
-//! end of a figure run: event census, per-family phase times, lock and
-//! deadlock counts, and compile-time page-prediction quality.
+//! File mode prints the structured-trace summary (event census,
+//! phase-attributed time, prediction quality), the span-tree shape, every
+//! committed root's critical path, and the metrics registry's top-K
+//! object-contention and node-transfer tables for a trace written by
+//! `--trace-out`. Demo mode records the fig3 scenario across all four
+//! protocols (fault-free and lossy), prints the LOTEC-under-loss
+//! showcase, and writes `BENCH_obs.json` (or `--json-out PATH`).
+//!
+//! Unknown flags are rejected with the usage text and a nonzero exit.
 
-use lotec_bench::{maybe_quick, observe_scenario};
-use lotec_obs::{jsonl_decode, TraceSummary};
-use lotec_workload::presets;
+use lotec_bench::obs::{parse_obs_report_args, run_obs_demo, ObsReportArgs, ObsReportMode, USAGE};
+use lotec_bench::runner;
+use lotec_obs::{critical_paths, jsonl_decode, Json, MetricsRegistry, SpanTree, TraceSummary};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let events = if args.iter().any(|a| a == "--demo") {
-        let scenario = maybe_quick(presets::fig3());
-        println!("recording demo trace: {}", scenario.name);
-        observe_scenario(&scenario).1
-    } else {
-        let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
-            eprintln!("usage: obs_report <trace.jsonl> | obs_report --demo [--quick]");
-            std::process::exit(2);
-        };
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("obs_report: cannot read {path}: {e}");
-            std::process::exit(1);
-        });
-        jsonl_decode(&text).unwrap_or_else(|e| {
-            eprintln!("obs_report: {path} is not a valid trace: {e}");
-            std::process::exit(1);
-        })
-    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = parse_obs_report_args(&args).unwrap_or_else(|e| {
+        eprintln!("obs_report: {e}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    });
+    match parsed.mode {
+        ObsReportMode::Demo => {
+            let demo = run_obs_demo(runner::threads(), parsed.top);
+            print!("{}", demo.report);
+            let path = parsed.json_out.as_deref().unwrap_or("BENCH_obs.json");
+            std::fs::write(path, demo.json.render_pretty()).unwrap_or_else(|e| {
+                eprintln!("obs_report: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote {path}");
+        }
+        ObsReportMode::File(ref path) => summarize_file(path, &parsed),
+    }
+}
+
+fn summarize_file(path: &str, parsed: &ObsReportArgs) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("obs_report: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let events = jsonl_decode(&text).unwrap_or_else(|e| {
+        eprintln!("obs_report: {path} is not a valid trace: {e}");
+        std::process::exit(1);
+    });
     println!("{} events", events.len());
     print!("{}", TraceSummary::of(&events).render());
+
+    let tree = SpanTree::build(&events);
+    let depth = tree.spans().map(|s| tree.depth(s.txn)).max().unwrap_or(0);
+    println!(
+        "span tree: {} spans, {} roots, max depth {}",
+        tree.len(),
+        tree.roots().len(),
+        depth
+    );
+
+    let paths = critical_paths(&events);
+    println!("critical paths ({} committed roots):", paths.len());
+    for p in &paths {
+        print!("{}", p.render());
+    }
+    let mut metrics = MetricsRegistry::new();
+    metrics.feed(&events);
+    print!("{}", metrics.render_top_tables(parsed.top));
+
+    if let Some(out) = &parsed.json_out {
+        let json = Json::obj(vec![
+            (
+                "critical_paths",
+                Json::Arr(paths.iter().map(|p| p.to_json()).collect()),
+            ),
+            ("metrics", metrics.to_json()),
+        ]);
+        std::fs::write(out, json.render_pretty()).unwrap_or_else(|e| {
+            eprintln!("obs_report: cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {out}");
+    }
 }

@@ -25,12 +25,13 @@ use std::time::Instant;
 
 use lotec_bench::runner;
 use lotec_core::config::FaultConfig;
-use lotec_core::engine::{run_engine, RunReport};
+use lotec_core::engine::{run_engine, run_engine_with_probe, RunReport};
 use lotec_core::oracle;
 use lotec_core::protocol::ProtocolKind;
 use lotec_core::SystemConfig;
 use lotec_mem::mix;
 use lotec_obs::Json;
+use lotec_obs::RecordingSink;
 use lotec_sim::{FaultPlan, SimDuration};
 use lotec_workload::{presets, Scenario};
 
@@ -151,12 +152,16 @@ fn main() {
     // suite's lossy-link faults. Single-threaded, min-of-repeats timing.
     let mut engine_section = Vec::new();
     let mut fingerprint_cells = Vec::new();
+    let mut lotec_plain: Option<(u128, u64)> = None;
     for protocol in ProtocolKind::PAPER_TRIO {
         let config = fig3_config(&scenario, protocol);
         let timed = time_cell(repeats, || {
             run_engine(&config, &registry, &families).expect("engine runs")
         });
         oracle::verify(&timed.report).expect("serializable");
+        if protocol == ProtocolKind::Lotec {
+            lotec_plain = Some((timed.min_ns, chain_hash(&timed.report)));
+        }
         let events = timed.report.stats.sim_events;
         println!(
             "  fig3/{protocol:<6} min {:>12} ns  mean {:>12} ns  {:>8} events  {:>10} events/s",
@@ -208,6 +213,45 @@ fn main() {
                     "events_per_sec",
                     Json::U64(events_per_sec(events, timed.min_ns)),
                 ),
+            ]),
+        ));
+        fingerprint_cells.push((label, cell_fingerprint(&timed.report)));
+    }
+
+    // Probe-overhead cell: the same LOTEC fig3 run with a recording sink
+    // riding along. The simulated outputs must be identical to the
+    // NoopSink cell (asserted via the chain hash); the timing ratio is
+    // the cost of recording, tracked in EXPERIMENTS.md.
+    {
+        let config = fig3_config(&scenario, ProtocolKind::Lotec);
+        let timed = time_cell(repeats, || {
+            let mut sink = RecordingSink::new();
+            run_engine_with_probe(&config, &registry, &families, &mut sink).expect("probed run")
+        });
+        let (plain_min_ns, plain_hash) = lotec_plain.expect("LOTEC plain cell ran");
+        assert_eq!(
+            chain_hash(&timed.report),
+            plain_hash,
+            "recording perturbed the simulation"
+        );
+        let events = timed.report.stats.sim_events;
+        let overhead = timed.min_ns as f64 / plain_min_ns.max(1) as f64;
+        println!(
+            "  obs/LOTEC    min {:>12} ns  mean {:>12} ns  {:>8} events  {overhead:>9.2}x vs NoopSink",
+            timed.min_ns, timed.mean_ns, events,
+        );
+        let label = "fig3/LOTEC+recording".to_string();
+        engine_section.push((
+            label.clone(),
+            Json::obj(vec![
+                ("min_ns", Json::U64(timed.min_ns as u64)),
+                ("mean_ns", Json::U64(timed.mean_ns as u64)),
+                ("sim_events", Json::U64(events)),
+                (
+                    "events_per_sec",
+                    Json::U64(events_per_sec(events, timed.min_ns)),
+                ),
+                ("overhead_vs_noop", Json::F64(overhead)),
             ]),
         ));
         fingerprint_cells.push((label, cell_fingerprint(&timed.report)));

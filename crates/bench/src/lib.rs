@@ -47,7 +47,10 @@
 //!   Perfetto/`chrome://tracing`-loadable Chrome trace alongside it
 //!   (`<path minus .jsonl>.chrome.json`). Implies `--obs`.
 //!
-//! The `obs_report` binary re-summarizes a saved JSONL trace offline.
+//! The `obs_report` binary re-summarizes a saved JSONL trace offline —
+//! span trees, per-root critical paths, and the metrics registry's top-K
+//! contention/transfer tables — and `obs_report --demo` runs the seeded
+//! fig3 observability sweep that produces `BENCH_obs.json`.
 
 use lotec_core::compare::{compare_protocols, ProtocolComparison};
 use lotec_core::engine::run_engine_with_probe;
@@ -58,6 +61,7 @@ use lotec_obs::{chrome_trace, jsonl_encode, RecordingSink, TraceSummary};
 use lotec_workload::{presets, Scenario};
 
 pub mod harness;
+pub mod obs;
 pub mod runner;
 
 /// Runs a scenario end-to-end and returns the protocol comparison.

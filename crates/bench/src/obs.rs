@@ -1,0 +1,381 @@
+//! The `obs_report` binary's machinery: strict CLI parsing and the
+//! observability demo sweep behind `BENCH_obs.json`.
+//!
+//! The demo runs the quick fig3 scenario across all four protocols, each
+//! fault-free and under lossy links, with a recording probe attached. The
+//! showcase cell — LOTEC under loss — exercises every critical-path edge
+//! kind at once: contended lock waits, planned page gathers, demand
+//! fetches inside compute, and retransmission stalls. Cells fan out over
+//! the sweep runner but all text and JSON assembly happens after the
+//! index-ordered merge, so the outputs are byte-identical at any worker
+//! count.
+
+use lotec_core::config::FaultConfig;
+use lotec_core::engine::{run_engine_with_probe, RunReport};
+use lotec_core::protocol::ProtocolKind;
+use lotec_core::SystemConfig;
+use lotec_obs::{
+    critical_paths, critical_paths_json, Json, MetricsRegistry, ObsEvent, RecordingSink, SpanTree,
+};
+use lotec_sim::{FaultPlan, SimDuration};
+use lotec_workload::presets;
+
+use crate::runner;
+
+/// Seed of the demo sweep (printed, so any cell can be reproduced).
+pub const DEMO_SEED: u64 = 0x0B5EED;
+
+/// Message-drop probability of the demo's lossy cells.
+pub const DEMO_DROP: f64 = 0.10;
+
+/// Default `--top` table depth.
+pub const DEFAULT_TOP_K: usize = 5;
+
+/// The `obs_report` usage string (printed on any argument error).
+pub const USAGE: &str = "\
+usage: obs_report <trace.jsonl> [--top K] [--json-out PATH]
+       obs_report --demo [--top K] [--json-out PATH]
+
+  <trace.jsonl>    summarize a saved JSONL trace (written by --trace-out)
+  --demo           run the seeded fig3 observability sweep and write
+                   BENCH_obs.json (or PATH with --json-out)
+  --top K          depth of the contention/transfer tables (default 5)
+  --json-out PATH  where to write the machine-readable report";
+
+/// What `obs_report` was asked to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObsReportMode {
+    /// Summarize a saved JSONL trace.
+    File(String),
+    /// Run the seeded demo sweep.
+    Demo,
+}
+
+/// Parsed `obs_report` command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsReportArgs {
+    /// Trace-file or demo mode.
+    pub mode: ObsReportMode,
+    /// Table depth for the top-K tables.
+    pub top: usize,
+    /// Optional machine-readable output path.
+    pub json_out: Option<String>,
+}
+
+/// Parses `obs_report`'s arguments (everything after the program name).
+///
+/// # Errors
+///
+/// Returns a one-line diagnostic for unknown flags, missing or malformed
+/// flag values, conflicting modes, or a missing trace path — the binary
+/// prints it with [`USAGE`] and exits nonzero.
+pub fn parse_obs_report_args(args: &[String]) -> Result<ObsReportArgs, String> {
+    let mut demo = false;
+    let mut path: Option<String> = None;
+    let mut top = DEFAULT_TOP_K;
+    let mut json_out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--demo" => demo = true,
+            "--top" => {
+                let value = it.next().ok_or("--top requires a value")?;
+                top = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&k| k >= 1)
+                    .ok_or_else(|| format!("--top must be a positive integer, got {value:?}"))?;
+            }
+            "--json-out" => {
+                let value = it.next().ok_or("--json-out requires a path")?;
+                json_out = Some(value.clone());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option {flag:?}"));
+            }
+            positional => {
+                if path.replace(positional.to_string()).is_some() {
+                    return Err(format!("unexpected extra argument {positional:?}"));
+                }
+            }
+        }
+    }
+    let mode = match (demo, path) {
+        (true, Some(p)) => {
+            return Err(format!("--demo does not take a trace path (got {p:?})"));
+        }
+        (true, None) => ObsReportMode::Demo,
+        (false, Some(p)) => ObsReportMode::File(p),
+        (false, None) => return Err("a trace path or --demo is required".to_string()),
+    };
+    Ok(ObsReportArgs {
+        mode,
+        top,
+        json_out,
+    })
+}
+
+/// One demo sweep output: the printed report and the `BENCH_obs.json`
+/// contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsDemo {
+    /// Human-readable report text.
+    pub report: String,
+    /// Machine-readable report (the `BENCH_obs.json` value).
+    pub json: Json,
+}
+
+fn lossy_faults() -> FaultConfig {
+    FaultConfig {
+        plan: FaultPlan {
+            drop_prob: DEMO_DROP,
+            duplicate_prob: DEMO_DROP / 2.0,
+            delay_prob: DEMO_DROP,
+            max_extra_delay: SimDuration::from_micros(25),
+            rto: SimDuration::from_micros(50),
+            crashes: Vec::new(),
+        },
+        ..FaultConfig::default()
+    }
+}
+
+struct DemoCell {
+    protocol: ProtocolKind,
+    lossy: bool,
+    report: RunReport,
+    events: Vec<ObsEvent>,
+}
+
+/// Runs the demo sweep on `workers` threads with `top`-deep tables.
+///
+/// Deterministic: the same seed, cell order, and post-merge assembly at
+/// any worker count, so `report` and `json` are byte-identical whether
+/// the sweep ran serially or in parallel.
+///
+/// # Panics
+///
+/// Panics with a diagnostic if workload generation or any cell's engine
+/// run fails — like the figure binaries, the demo wants loud failure.
+pub fn run_obs_demo(workers: usize, top: usize) -> ObsDemo {
+    let scenario = presets::quick(presets::fig3());
+    let (registry, families) = scenario.generate().expect("workload generates");
+    let grid: Vec<(ProtocolKind, bool)> = ProtocolKind::ALL
+        .into_iter()
+        .flat_map(|p| [(p, false), (p, true)])
+        .collect();
+    let cells = runner::run_indexed_on(workers, grid.len(), |i| {
+        let (protocol, lossy) = grid[i];
+        let config = SystemConfig {
+            protocol,
+            seed: DEMO_SEED,
+            num_nodes: scenario.config.num_nodes,
+            page_size: scenario.config.schema.page_size,
+            faults: if lossy {
+                lossy_faults()
+            } else {
+                FaultConfig::default()
+            },
+            ..SystemConfig::default()
+        };
+        let mut sink = RecordingSink::new();
+        let report = run_engine_with_probe(&config, &registry, &families, &mut sink)
+            .unwrap_or_else(|e| panic!("{protocol} lossy={lossy}: {e}"));
+        DemoCell {
+            protocol,
+            lossy,
+            report,
+            events: sink.into_events(),
+        }
+    });
+
+    let mut text = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        text,
+        "observability demo: {} — seed {DEMO_SEED:#x}, {} cells \
+         ({} protocols × fault-free/lossy drop={DEMO_DROP:.2})",
+        scenario.name,
+        cells.len(),
+        ProtocolKind::ALL.len(),
+    );
+    let mut cell_jsons = Vec::new();
+    for cell in &cells {
+        let mut metrics = MetricsRegistry::new();
+        metrics.feed(&cell.events);
+        let spans = SpanTree::build(&cell.events);
+        let faults = if cell.lossy { "lossy" } else { "none" };
+        let _ = writeln!(
+            text,
+            "  {:>6} faults={faults:<5}: events={:<6} spans={:<5} committed={:<4} \
+             retransmits={}",
+            cell.protocol.to_string(),
+            cell.events.len(),
+            spans.len(),
+            cell.report.stats.committed_families,
+            cell.report.stats.retransmits,
+        );
+        let mut pairs = vec![
+            ("protocol", Json::str(cell.protocol.to_string())),
+            ("faults", Json::str(faults)),
+            ("committed", Json::U64(cell.report.stats.committed_families)),
+            ("events", Json::U64(cell.events.len() as u64)),
+            ("spans", Json::U64(spans.len() as u64)),
+            (
+                "top_object_contention",
+                Json::Arr(
+                    metrics
+                        .top_object_contention(top)
+                        .iter()
+                        .map(|row| {
+                            Json::obj(vec![
+                                ("object", Json::U64(row.object as u64)),
+                                ("waits", Json::U64(row.waits)),
+                                ("total_wait_ns", Json::U64(row.total_wait_ns)),
+                                ("max_wait_ns", Json::U64(row.max_wait_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "top_node_transfer_bytes",
+                Json::Arr(
+                    metrics
+                        .top_node_transfer_bytes(top)
+                        .iter()
+                        .map(|&(node, bytes)| {
+                            Json::obj(vec![
+                                ("node", Json::U64(node as u64)),
+                                ("bytes", Json::U64(bytes)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("metrics", metrics.to_json()),
+        ];
+        if cell.protocol == ProtocolKind::Lotec && cell.lossy {
+            pairs.push(("critical_paths", critical_paths_json(&cell.events)));
+        }
+        cell_jsons.push(Json::obj(pairs));
+    }
+
+    // Showcase: LOTEC under loss hits every edge kind at once.
+    let showcase = cells
+        .iter()
+        .find(|c| c.protocol == ProtocolKind::Lotec && c.lossy)
+        .expect("the grid contains the LOTEC lossy cell");
+    let mut metrics = MetricsRegistry::new();
+    metrics.feed(&showcase.events);
+    let mut paths = critical_paths(&showcase.events);
+    paths.sort_by(|a, b| b.latency().cmp(&a.latency()).then(a.family.cmp(&b.family)));
+    let mut kinds: Vec<&str> = paths
+        .iter()
+        .flat_map(|p| p.edges.iter().map(|e| e.kind.name()))
+        .collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    let _ = writeln!(text);
+    let _ = writeln!(
+        text,
+        "showcase: LOTEC under lossy links (drop {DEMO_DROP:.2}) — \
+         {} committed critical paths, edge kinds: {}",
+        paths.len(),
+        kinds.join(", "),
+    );
+    let _ = writeln!(text, "slowest {} critical paths:", top.min(paths.len()));
+    for path in paths.iter().take(top) {
+        let _ = write!(text, "{}", path.render());
+    }
+    let _ = write!(text, "{}", metrics.render_top_tables(top));
+
+    let json = Json::obj(vec![
+        ("scenario", Json::str(&scenario.name)),
+        ("seed", Json::U64(DEMO_SEED)),
+        ("drop_prob", Json::F64(DEMO_DROP)),
+        ("top_k", Json::U64(top as u64)),
+        (
+            "edge_kinds",
+            Json::Arr(kinds.iter().map(|&k| Json::str(k)).collect()),
+        ),
+        ("cells", Json::Arr(cell_jsons)),
+    ]);
+    ObsDemo { report: text, json }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ObsReportArgs, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_obs_report_args(&owned)
+    }
+
+    #[test]
+    fn args_parse_both_modes_with_options() {
+        let file = parse(&["trace.jsonl", "--top", "3"]).unwrap();
+        assert_eq!(file.mode, ObsReportMode::File("trace.jsonl".into()));
+        assert_eq!(file.top, 3);
+        assert_eq!(file.json_out, None);
+        let demo = parse(&["--demo", "--json-out", "out.json"]).unwrap();
+        assert_eq!(demo.mode, ObsReportMode::Demo);
+        assert_eq!(demo.top, DEFAULT_TOP_K);
+        assert_eq!(demo.json_out, Some("out.json".into()));
+    }
+
+    #[test]
+    fn unknown_and_malformed_args_are_rejected() {
+        assert!(parse(&["--bogus"]).unwrap_err().contains("--bogus"));
+        assert!(parse(&["trace.jsonl", "--verbose"])
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(parse(&[]).unwrap_err().contains("required"));
+        assert!(parse(&["--top"]).unwrap_err().contains("requires a value"));
+        assert!(parse(&["a.jsonl", "--top", "zero"])
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&["a.jsonl", "--top", "0"])
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&["--demo", "a.jsonl"])
+            .unwrap_err()
+            .contains("does not take"));
+        assert!(parse(&["a.jsonl", "b.jsonl"])
+            .unwrap_err()
+            .contains("extra argument"));
+    }
+
+    #[test]
+    fn demo_is_byte_identical_across_worker_counts() {
+        let serial = run_obs_demo(1, DEFAULT_TOP_K);
+        let parallel = run_obs_demo(4, DEFAULT_TOP_K);
+        assert_eq!(serial.report, parallel.report);
+        assert_eq!(
+            serial.json.render_pretty(),
+            parallel.json.render_pretty(),
+            "BENCH_obs.json must not depend on the worker count"
+        );
+    }
+
+    #[test]
+    fn showcase_covers_the_headline_edge_kinds() {
+        let demo = run_obs_demo(2, DEFAULT_TOP_K);
+        for kind in ["lock-wait", "page-gather", "compute", "retransmit-wait"] {
+            assert!(
+                demo.report.contains(kind),
+                "showcase report must exercise the {kind} edge kind"
+            );
+        }
+        assert!(demo.report.contains("objects by lock contention"));
+        assert!(demo.report.contains("nodes by transfer bytes served"));
+        // The machine-readable form round-trips and lists the same kinds.
+        let parsed = Json::parse(&demo.json.render_pretty()).expect("valid JSON");
+        let kinds = parsed
+            .get("edge_kinds")
+            .expect("edge_kinds")
+            .as_array()
+            .expect("array");
+        assert!(kinds.len() >= 3, "at least three edge kinds, got {kinds:?}");
+    }
+}

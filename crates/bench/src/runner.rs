@@ -110,6 +110,16 @@ mod tests {
     }
 
     #[test]
+    fn merge_handles_more_cells_than_threads_and_zero_cells() {
+        // Many more cells than workers: every slot must still be filled
+        // exactly once and merged in index order.
+        let out = run_indexed_on(3, 100, |i| i + 1);
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+        // Zero cells: no workers spawn, the merge is the empty vec.
+        assert_eq!(run_indexed_on(3, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
     fn parallel_matches_serial_on_stateful_work() {
         // Each cell hashes its own index stream; any cross-cell
         // interference or misordered merge would break equality.

@@ -147,6 +147,9 @@ pub(crate) struct FamilyRuntime {
     /// backoff and redone work both count — the breakdown explains
     /// end-to-end latency, not just the winning attempt).
     pub phase_times: PhaseTimes,
+    /// End-to-end commit latency, recorded at root commit. `None` until
+    /// the family commits (and forever for failed families).
+    pub commit_latency: Option<SimDuration>,
 }
 
 impl FamilyRuntime {
@@ -168,6 +171,7 @@ impl FamilyRuntime {
             fresh_retransmit_wait: SimDuration::ZERO,
             fresh_wait_at: arrival,
             phase_times: PhaseTimes::default(),
+            commit_latency: None,
         }
     }
 

@@ -33,7 +33,7 @@ use lotec_mem::{ObjectId, PageData, PageId, PageIndex, Recovery, ShadowPages, Un
 use lotec_mem::{PageStore, Version};
 use lotec_net::{plan_delivery, Message, MessageKind, TrafficLedger};
 use lotec_object::{ObjectRegistry, PageSet};
-use lotec_obs::{EventSink, NoopSink, ObsEvent, ObsEventKind, ObsPhase};
+use lotec_obs::{EventSink, NoopSink, ObsEvent, ObsEventKind, ObsPhase, SpanOutcome};
 use lotec_sim::{NodeId, SimDuration, SimRng, SimTime, Simulator};
 use lotec_txn::{Acquire, Grant, LockMode, LockTable, TxnId, TxnTree};
 
@@ -454,6 +454,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     attempts: report.attempts,
                     duplicates: report.duplicates,
                     wait_ns: report.retransmit_wait.as_nanos(),
+                    family: fam.map(|f| f as u64),
                 },
             });
         }
@@ -524,6 +525,24 @@ impl<'a, S: EventSink> Engine<'a, S> {
         let stats = &mut self.stats;
         for f in &self.families {
             let committed = matches!(f.phase, Phase::Done);
+            // Phase attribution must tile the commit window exactly: every
+            // nanosecond between arrival and commit belongs to exactly one
+            // coarse phase. Drift here means an emission site forgot to
+            // book (or double-booked) a wait, so fail loudly in debug runs
+            // naming the family where it happened.
+            if let Some(latency) = f.commit_latency {
+                debug_assert_eq!(
+                    f.phase_times.total(),
+                    latency,
+                    "family {}: phase self-times ({:?}) sum to {:?} but the \
+                     measured commit latency is {:?} — a phase transition \
+                     mis-attributed elapsed time",
+                    f.index,
+                    f.phase_times,
+                    f.phase_times.total(),
+                    latency,
+                );
+            }
             stats.phases.aggregate.merge(&f.phase_times);
             if committed {
                 stats
@@ -555,6 +574,16 @@ impl<'a, S: EventSink> Engine<'a, S> {
         // the whole attempt to the end of the outage.
         if self.config.faults.plan.enabled() && self.config.faults.plan.is_down(spec.node, now) {
             let up = self.config.faults.plan.up_at(spec.node, now);
+            // The deferral gap is real wall time between arrival and
+            // commit; book it as backoff so the phase sums still equal the
+            // measured latency. Restart deferrals are already covered (the
+            // family sits in `Restarting`, whose elapsed time `set_phase`
+            // attributes on the next transition).
+            if matches!(self.families[fam].phase, Phase::NotStarted) {
+                self.families[fam]
+                    .phase_times
+                    .add(ObsPhase::Backoff, up.saturating_duration_since(now));
+            }
             self.sim.schedule_at(up, Event::Start(fam));
             return Ok(());
         }
@@ -584,6 +613,18 @@ impl<'a, S: EventSink> Engine<'a, S> {
             path: spec.path,
             next_child: 0,
         };
+        if self.sink.enabled() {
+            self.sink.emit(ObsEvent {
+                at: now,
+                node: self.workload[fam].node.index(),
+                kind: ObsEventKind::SpanOpen {
+                    family: fam as u64,
+                    txn: txn.get(),
+                    parent: parent.map(|p| p.get()),
+                    object: frame.object.index(),
+                },
+            });
+        }
         self.families[fam].frames.push(frame);
         self.request_lock(now, fam)
     }
@@ -853,6 +894,20 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 Some(fam),
             );
             max_delay = max_delay.max(d);
+            if self.sink.enabled() {
+                self.sink.emit(ObsEvent {
+                    at: now,
+                    node: node.index(),
+                    kind: ObsEventKind::GatherBatch {
+                        family: fam as u64,
+                        object: object.index(),
+                        source: source.index(),
+                        pages: pages.len() as u32,
+                        bytes: xfer,
+                        delay_ns: d.as_nanos(),
+                    },
+                });
+            }
             for &page in pages {
                 to_install.push(self.current_page_copy(object, page));
             }
@@ -889,6 +944,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 };
                 if stale {
                     debug_assert_ne!(source, node, "owner cannot be stale at itself");
+                    let req = self.config.sizes.page_request(1);
+                    let xfer = transfer_message_bytes(self.config, self.registry, object, &[page]);
                     if self.sink.enabled() {
                         self.sink.emit(ObsEvent {
                             at: now,
@@ -898,11 +955,10 @@ impl<'a, S: EventSink> Engine<'a, S> {
                                 object: object.index(),
                                 page: page.get(),
                                 source: source.index(),
+                                bytes: xfer,
                             },
                         });
                     }
-                    let req = self.config.sizes.page_request(1);
-                    let xfer = transfer_message_bytes(self.config, self.registry, object, &[page]);
                     demand_delay = demand_delay
                         + self.send_lossy(
                             MessageKind::DemandPageRequest,
@@ -1091,6 +1147,15 @@ impl<'a, S: EventSink> Engine<'a, S> {
                         released: rel.released.len() as u32,
                     },
                 });
+                self.sink.emit(ObsEvent {
+                    at: now,
+                    node: node.index(),
+                    kind: ObsEventKind::SpanClose {
+                        family: fam as u64,
+                        txn: txn.get(),
+                        outcome: SpanOutcome::Abort,
+                    },
+                });
             }
             // Globally released locks (no retaining ancestor) forward to
             // GlobalLockRelease with no dirty info (Alg. 4.3).
@@ -1129,6 +1194,17 @@ impl<'a, S: EventSink> Engine<'a, S> {
         let parent = self.tree.parent(txn).expect("non-root has a parent");
         self.table
             .release_pre_commit_probed(txn, &self.tree, now, &mut self.sink);
+        if self.sink.enabled() {
+            self.sink.emit(ObsEvent {
+                at: now,
+                node: node.index(),
+                kind: ObsEventKind::SpanClose {
+                    family: fam as u64,
+                    txn: txn.get(),
+                    outcome: SpanOutcome::PreCommit,
+                },
+            });
+        }
         self.recovery.inherit(txn.get(), parent.get());
         self.tree.pre_commit(txn);
         self.families[fam].frames.pop();
@@ -1237,11 +1313,23 @@ impl<'a, S: EventSink> Engine<'a, S> {
             self.deliver_grant(now, grant);
         }
 
+        if self.sink.enabled() {
+            self.sink.emit(ObsEvent {
+                at: now,
+                node: node.index(),
+                kind: ObsEventKind::SpanClose {
+                    family: fam as u64,
+                    txn: root.get(),
+                    outcome: SpanOutcome::Commit,
+                },
+            });
+        }
         self.set_phase(now, fam, Phase::Done);
         let runtime = &mut self.families[fam];
         runtime.frames.clear();
         self.stats.committed_families += 1;
         let latency = now.duration_since(runtime.arrival);
+        runtime.commit_latency = Some(latency);
         self.stats.total_latency += latency;
         self.stats.latency_histogram.record(latency.as_nanos());
         self.stats.makespan = self.stats.makespan.max(now.duration_since(SimTime::ZERO));
@@ -1322,6 +1410,21 @@ impl<'a, S: EventSink> Engine<'a, S> {
             released.extend(rel.released);
             grants.extend(rel.grants);
             self.tree.abort(txn);
+            if self.sink.enabled() {
+                self.sink.emit(ObsEvent {
+                    at: now,
+                    node: node.index(),
+                    kind: ObsEventKind::SpanClose {
+                        family: fam as u64,
+                        txn: txn.get(),
+                        outcome: if node_alive {
+                            SpanOutcome::Abort
+                        } else {
+                            SpanOutcome::CrashAbort
+                        },
+                    },
+                });
+            }
         }
         let touched = self.table.cancel_family_waiters(root);
         debug_assert!(touched.len() <= 1, "a family has one outstanding request");

@@ -66,6 +66,44 @@ impl ReleaseCause {
     }
 }
 
+/// How a [sub-]transaction span ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// Sub-transaction pre-committed; its parent inherited its locks
+    /// (Algorithm 4.3, rule 3).
+    PreCommit,
+    /// Root commit: the family finished.
+    Commit,
+    /// The transaction aborted (sub-transaction fault, deadlock victim,
+    /// programmed root fault, …).
+    Abort,
+    /// The transaction was aborted because its executing node crashed.
+    CrashAbort,
+}
+
+impl SpanOutcome {
+    /// Stable wire name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SpanOutcome::PreCommit => "pre_commit",
+            SpanOutcome::Commit => "commit",
+            SpanOutcome::Abort => "abort",
+            SpanOutcome::CrashAbort => "crash_abort",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "pre_commit" => Some(SpanOutcome::PreCommit),
+            "commit" => Some(SpanOutcome::Commit),
+            "abort" => Some(SpanOutcome::Abort),
+            "crash_abort" => Some(SpanOutcome::CrashAbort),
+            _ => None,
+        }
+    }
+}
+
 /// Coarse family phase, the unit of the latency breakdown and of the
 /// Perfetto slices (one slice per contiguous stay in a phase).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -154,6 +192,22 @@ pub enum ObsEventKind {
         /// The parent that now retains it.
         parent: u64,
     },
+    /// Waits-for provenance for a queued request: who exactly blocked it.
+    /// Emitted alongside `LockQueued` by the lock table, which is the only
+    /// layer that can see the holder/retainer/queue state at queue time.
+    LockBlocked {
+        /// Object index.
+        object: u32,
+        /// The blocked (sub)transaction id.
+        txn: u64,
+        /// Transactions holding the lock in a conflicting mode.
+        holders: Vec<u64>,
+        /// Foreign retainers blocking the request (retained locks of
+        /// non-ancestors, Algorithm 4.1 rule 1).
+        retainers: Vec<u64>,
+        /// Root transactions of families queued ahead (FIFO fairness).
+        queued_behind: Vec<u64>,
+    },
     /// A lock left the table for good.
     LockReleased {
         /// Object index.
@@ -169,6 +223,28 @@ pub enum ObsEventKind {
         cycle: Vec<u64>,
         /// The victim root (youngest in the cycle).
         victim: u64,
+    },
+    /// A [sub-]transaction started: a span opened. Parent links mirror the
+    /// O2PL transaction tree, so replaying `SpanOpen`/`SpanClose` events
+    /// reconstructs the nesting structure exactly.
+    SpanOpen {
+        /// Family index (workload order).
+        family: u64,
+        /// The transaction executing this invocation.
+        txn: u64,
+        /// Parent transaction; `None` for the family root.
+        parent: Option<u64>,
+        /// Receiver object of the invocation.
+        object: u32,
+    },
+    /// A [sub-]transaction ended: its span closed.
+    SpanClose {
+        /// Family index.
+        family: u64,
+        /// The transaction whose span closes.
+        txn: u64,
+        /// How it ended.
+        outcome: SpanOutcome,
     },
     /// A family entered a new phase.
     PhaseEnter {
@@ -213,6 +289,24 @@ pub enum ObsEventKind {
         /// Distinct source sites in the gather (fan-out).
         sources: u32,
     },
+    /// One source's batch of the gather a grant triggered (Algorithm 4.5):
+    /// the page-request/page-transfer round trip to a single site. The
+    /// slowest batch of a grant determines the transfer-wait phase.
+    GatherBatch {
+        /// Family index.
+        family: u64,
+        /// Object index.
+        object: u32,
+        /// Site the batch travels from.
+        source: u32,
+        /// Pages in the batch.
+        pages: u32,
+        /// Transfer-message bytes of the batch.
+        bytes: u64,
+        /// Round-trip delay of the batch (request + transfer), in sim
+        /// nanoseconds.
+        delay_ns: u64,
+    },
     /// A page miss during compute forced a synchronous demand fetch.
     DemandFetch {
         /// Family index.
@@ -223,6 +317,8 @@ pub enum ObsEventKind {
         page: u16,
         /// Site the page is fetched from.
         source: u32,
+        /// Transfer-message bytes of the fetched page.
+        bytes: u64,
     },
     /// Fault injection: a message needed retransmissions (or duplicate
     /// copies arrived). Emitted by the sending site.
@@ -235,6 +331,9 @@ pub enum ObsEventKind {
         duplicates: u32,
         /// Sender idle time spent waiting out RTOs, in sim nanoseconds.
         wait_ns: u64,
+        /// Family whose critical path the stall lands on, when the message
+        /// was latency-critical for one.
+        family: Option<u64>,
     },
     /// Fault injection: a node crashed (the event's `node` is the
     /// casualty).
@@ -278,12 +377,16 @@ impl ObsEventKind {
             ObsEventKind::LockQueued { .. } => "lock_queued",
             ObsEventKind::LockGranted { .. } => "lock_granted",
             ObsEventKind::LockRetained { .. } => "lock_retained",
+            ObsEventKind::LockBlocked { .. } => "lock_blocked",
             ObsEventKind::LockReleased { .. } => "lock_released",
             ObsEventKind::Deadlock { .. } => "deadlock",
+            ObsEventKind::SpanOpen { .. } => "span_open",
+            ObsEventKind::SpanClose { .. } => "span_close",
             ObsEventKind::PhaseEnter { .. } => "phase_enter",
             ObsEventKind::SubAbort { .. } => "sub_abort",
             ObsEventKind::Restart { .. } => "restart",
             ObsEventKind::GrantPlan { .. } => "grant_plan",
+            ObsEventKind::GatherBatch { .. } => "gather_batch",
             ObsEventKind::DemandFetch { .. } => "demand_fetch",
             ObsEventKind::Retransmit { .. } => "retransmit",
             ObsEventKind::NodeCrashed { .. } => "node_crashed",

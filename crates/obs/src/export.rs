@@ -12,8 +12,25 @@ use std::collections::BTreeMap;
 
 use lotec_sim::SimTime;
 
-use crate::event::{ObsEvent, ObsEventKind, ObsLockMode, ObsPhase, ReleaseCause};
+use crate::critical_path::{critical_paths, PathEdgeKind};
+use crate::event::{ObsEvent, ObsEventKind, ObsLockMode, ObsPhase, ReleaseCause, SpanOutcome};
 use crate::json::{Json, JsonError};
+
+fn txns_json(txns: &[u64]) -> Json {
+    Json::Arr(txns.iter().map(|&t| Json::U64(t)).collect())
+}
+
+fn txns_from(json: &Json, key: &str) -> Result<Vec<u64>, JsonError> {
+    json.require(key)?
+        .as_array()
+        .ok_or_else(|| JsonError::new(format!("`{key}` must be an array")))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| JsonError::new(format!("`{key}` entries must be u64")))
+        })
+        .collect()
+}
 
 fn pages_json(pages: &[u16]) -> Json {
     Json::Arr(pages.iter().map(|&p| Json::U64(p as u64)).collect())
@@ -97,6 +114,19 @@ pub fn event_to_json(event: &ObsEvent) -> Json {
             pairs.push(("txn", Json::U64(*txn)));
             pairs.push(("parent", Json::U64(*parent)));
         }
+        ObsEventKind::LockBlocked {
+            object,
+            txn,
+            holders,
+            retainers,
+            queued_behind,
+        } => {
+            pairs.push(("object", Json::U64(*object as u64)));
+            pairs.push(("txn", Json::U64(*txn)));
+            pairs.push(("holders", txns_json(holders)));
+            pairs.push(("retainers", txns_json(retainers)));
+            pairs.push(("queued_behind", txns_json(queued_behind)));
+        }
         ObsEventKind::LockReleased { object, txn, cause } => {
             pairs.push(("object", Json::U64(*object as u64)));
             pairs.push(("txn", Json::U64(*txn)));
@@ -108,6 +138,28 @@ pub fn event_to_json(event: &ObsEvent) -> Json {
                 Json::Arr(cycle.iter().map(|&t| Json::U64(t)).collect()),
             ));
             pairs.push(("victim", Json::U64(*victim)));
+        }
+        ObsEventKind::SpanOpen {
+            family,
+            txn,
+            parent,
+            object,
+        } => {
+            pairs.push(("family", Json::U64(*family)));
+            pairs.push(("txn", Json::U64(*txn)));
+            if let Some(parent) = parent {
+                pairs.push(("parent", Json::U64(*parent)));
+            }
+            pairs.push(("object", Json::U64(*object as u64)));
+        }
+        ObsEventKind::SpanClose {
+            family,
+            txn,
+            outcome,
+        } => {
+            pairs.push(("family", Json::U64(*family)));
+            pairs.push(("txn", Json::U64(*txn)));
+            pairs.push(("outcome", Json::str(outcome.name())));
         }
         ObsEventKind::PhaseEnter { family, phase } => {
             pairs.push(("family", Json::U64(*family)));
@@ -148,27 +200,48 @@ pub fn event_to_json(event: &ObsEvent) -> Json {
             pairs.push(("planned_pages", Json::U64(*planned_pages as u64)));
             pairs.push(("sources", Json::U64(*sources as u64)));
         }
+        ObsEventKind::GatherBatch {
+            family,
+            object,
+            source,
+            pages,
+            bytes,
+            delay_ns,
+        } => {
+            pairs.push(("family", Json::U64(*family)));
+            pairs.push(("object", Json::U64(*object as u64)));
+            pairs.push(("source", Json::U64(*source as u64)));
+            pairs.push(("pages", Json::U64(*pages as u64)));
+            pairs.push(("bytes", Json::U64(*bytes)));
+            pairs.push(("delay_ns", Json::U64(*delay_ns)));
+        }
         ObsEventKind::DemandFetch {
             family,
             object,
             page,
             source,
+            bytes,
         } => {
             pairs.push(("family", Json::U64(*family)));
             pairs.push(("object", Json::U64(*object as u64)));
             pairs.push(("page", Json::U64(*page as u64)));
             pairs.push(("source", Json::U64(*source as u64)));
+            pairs.push(("bytes", Json::U64(*bytes)));
         }
         ObsEventKind::Retransmit {
             dst,
             attempts,
             duplicates,
             wait_ns,
+            family,
         } => {
             pairs.push(("dst", Json::U64(*dst as u64)));
             pairs.push(("attempts", Json::U64(*attempts as u64)));
             pairs.push(("duplicates", Json::U64(*duplicates as u64)));
             pairs.push(("wait_ns", Json::U64(*wait_ns)));
+            if let Some(family) = family {
+                pairs.push(("family", Json::U64(*family)));
+            }
         }
         ObsEventKind::NodeCrashed { aborted_families } => {
             pairs.push(("aborted_families", Json::U64(*aborted_families as u64)));
@@ -232,6 +305,13 @@ pub fn event_from_json(json: &Json) -> Result<ObsEvent, JsonError> {
             txn: u64_field(json, "txn")?,
             parent: u64_field(json, "parent")?,
         },
+        "lock_blocked" => ObsEventKind::LockBlocked {
+            object: u32_field(json, "object")?,
+            txn: u64_field(json, "txn")?,
+            holders: txns_from(json, "holders")?,
+            retainers: txns_from(json, "retainers")?,
+            queued_behind: txns_from(json, "queued_behind")?,
+        },
         "lock_released" => ObsEventKind::LockReleased {
             object: u32_field(json, "object")?,
             txn: u64_field(json, "txn")?,
@@ -253,6 +333,27 @@ pub fn event_from_json(json: &Json) -> Result<ObsEvent, JsonError> {
                 })
                 .collect::<Result<_, _>>()?,
             victim: u64_field(json, "victim")?,
+        },
+        "span_open" => ObsEventKind::SpanOpen {
+            family: u64_field(json, "family")?,
+            txn: u64_field(json, "txn")?,
+            parent: match json.get("parent") {
+                Some(v) => Some(
+                    v.as_u64()
+                        .ok_or_else(|| JsonError::new("`parent` must be a u64"))?,
+                ),
+                None => None,
+            },
+            object: u32_field(json, "object")?,
+        },
+        "span_close" => ObsEventKind::SpanClose {
+            family: u64_field(json, "family")?,
+            txn: u64_field(json, "txn")?,
+            outcome: {
+                let name = str_field(json, "outcome")?;
+                SpanOutcome::from_name(name)
+                    .ok_or_else(|| JsonError::new(format!("unknown span outcome `{name}`")))?
+            },
         },
         "phase_enter" => ObsEventKind::PhaseEnter {
             family: u64_field(json, "family")?,
@@ -281,17 +382,33 @@ pub fn event_from_json(json: &Json) -> Result<ObsEvent, JsonError> {
             planned_pages: u32_field(json, "planned_pages")?,
             sources: u32_field(json, "sources")?,
         },
+        "gather_batch" => ObsEventKind::GatherBatch {
+            family: u64_field(json, "family")?,
+            object: u32_field(json, "object")?,
+            source: u32_field(json, "source")?,
+            pages: u32_field(json, "pages")?,
+            bytes: u64_field(json, "bytes")?,
+            delay_ns: u64_field(json, "delay_ns")?,
+        },
         "demand_fetch" => ObsEventKind::DemandFetch {
             family: u64_field(json, "family")?,
             object: u32_field(json, "object")?,
             page: u16_field(json, "page")?,
             source: u32_field(json, "source")?,
+            bytes: u64_field(json, "bytes")?,
         },
         "retransmit" => ObsEventKind::Retransmit {
             dst: u32_field(json, "dst")?,
             attempts: u32_field(json, "attempts")?,
             duplicates: u32_field(json, "duplicates")?,
             wait_ns: u64_field(json, "wait_ns")?,
+            family: match json.get("family") {
+                Some(v) => Some(
+                    v.as_u64()
+                        .ok_or_else(|| JsonError::new("`family` must be a u64"))?,
+                ),
+                None => None,
+            },
         },
         "node_crashed" => ObsEventKind::NodeCrashed {
             aborted_families: u32_field(json, "aborted_families")?,
@@ -348,23 +465,41 @@ fn micros(t: SimTime) -> Json {
     Json::F64(t.as_nanos() as f64 / 1000.0)
 }
 
+/// Span rows live on separate `tid`s from the phase rows so that the
+/// nested span slices of a family never partially overlap its phase
+/// slices (Perfetto requires proper nesting within one thread track).
+const SPAN_ROW_OFFSET: u64 = 1 << 32;
+
 /// Builds a Chrome trace-event JSON document from recorded events.
 ///
 /// Layout: `pid` = simulated node, `tid` = family index; each contiguous
 /// stay in a phase becomes one complete (`"ph":"X"`) slice named after the
 /// phase. Deadlocks, sub-aborts, restarts and demand fetches become
-/// instant (`"ph":"i"`) markers on the same rows. Events are sorted by
-/// `ts`, so the output satisfies Perfetto's monotonicity expectations.
+/// instant (`"ph":"i"`) markers on the same rows. [Sub-]transaction spans
+/// (`SpanOpen`/`SpanClose`) become nested `"X"` slices (cat `"span"`) on a
+/// sibling row per family (`tid = family + 2^32`), mirroring the O2PL
+/// transaction tree. When span events are present, the per-root critical
+/// path is overlaid as flow arrows (`"ph":"s"`/`"f"`, cat
+/// `"critical_path"`) chaining the latency-determining edges, plus
+/// lock-handoff arrows from blocker families. Events are sorted by `ts`,
+/// so the output satisfies Perfetto's monotonicity expectations.
 pub fn chrome_trace(events: &[ObsEvent]) -> Json {
     // family -> (node, phase, entered-at) for the currently open slice.
     let mut open: BTreeMap<u64, (u32, ObsPhase, SimTime)> = BTreeMap::new();
+    // txn -> (node, family, object, opened-at) for open spans.
+    let mut open_spans: BTreeMap<u64, (u32, u64, u32, SimTime)> = BTreeMap::new();
     let mut seen_nodes: BTreeMap<u32, ()> = BTreeMap::new();
-    let mut slices: Vec<(SimTime, Json)> = Vec::new();
+    // (node, family) rows that carry span slices, for thread-name metadata.
+    let mut span_rows: BTreeMap<(u32, u64), ()> = BTreeMap::new();
+    // family -> home node, for placing flow arrows.
+    let mut family_node: BTreeMap<u64, u32> = BTreeMap::new();
+    // (start, duration-ns, json); duration breaks ts ties parent-first.
+    let mut slices: Vec<(SimTime, u64, Json)> = Vec::new();
     let mut last_at = SimTime::ZERO;
 
     fn close_slice(
         open: &mut BTreeMap<u64, (u32, ObsPhase, SimTime)>,
-        slices: &mut Vec<(SimTime, Json)>,
+        slices: &mut Vec<(SimTime, u64, Json)>,
         family: u64,
         until: SimTime,
     ) {
@@ -379,7 +514,33 @@ pub fn chrome_trace(events: &[ObsEvent]) -> Json {
                 ("pid", Json::U64(node as u64)),
                 ("tid", Json::U64(family)),
             ]);
-            slices.push((since, slice));
+            slices.push((since, dur.as_nanos(), slice));
+        }
+    }
+
+    fn close_span(
+        open_spans: &mut BTreeMap<u64, (u32, u64, u32, SimTime)>,
+        slices: &mut Vec<(SimTime, u64, Json)>,
+        txn: u64,
+        until: SimTime,
+        outcome: Option<SpanOutcome>,
+    ) {
+        if let Some((node, family, object, since)) = open_spans.remove(&txn) {
+            let dur = until.saturating_duration_since(since);
+            let label = match outcome {
+                Some(o) => format!("T{txn} O{object} [{}]", o.name()),
+                None => format!("T{txn} O{object} [open]"),
+            };
+            let slice = Json::obj(vec![
+                ("name", Json::str(label)),
+                ("cat", Json::str("span")),
+                ("ph", Json::str("X")),
+                ("ts", micros(since)),
+                ("dur", Json::F64(dur.as_nanos() as f64 / 1000.0)),
+                ("pid", Json::U64(node as u64)),
+                ("tid", Json::U64(SPAN_ROW_OFFSET + family)),
+            ]);
+            slices.push((since, dur.as_nanos(), slice));
         }
     }
 
@@ -388,10 +549,23 @@ pub fn chrome_trace(events: &[ObsEvent]) -> Json {
         seen_nodes.entry(event.node).or_insert(());
         match &event.kind {
             ObsEventKind::PhaseEnter { family, phase } => {
+                family_node.entry(*family).or_insert(event.node);
                 close_slice(&mut open, &mut slices, *family, event.at);
                 if !phase.is_terminal() {
                     open.insert(*family, (event.node, *phase, event.at));
                 }
+            }
+            ObsEventKind::SpanOpen {
+                family,
+                txn,
+                object,
+                ..
+            } => {
+                span_rows.entry((event.node, *family)).or_insert(());
+                open_spans.insert(*txn, (event.node, *family, *object, event.at));
+            }
+            ObsEventKind::SpanClose { txn, outcome, .. } => {
+                close_span(&mut open_spans, &mut slices, *txn, event.at, Some(*outcome));
             }
             ObsEventKind::Deadlock { victim, cycle } => {
                 let marker = Json::obj(vec![
@@ -409,7 +583,7 @@ pub fn chrome_trace(events: &[ObsEvent]) -> Json {
                     ("pid", Json::U64(event.node as u64)),
                     ("tid", Json::U64(0)),
                 ]);
-                slices.push((event.at, marker));
+                slices.push((event.at, 0, marker));
             }
             ObsEventKind::SubAbort { family, txn, .. } => {
                 let marker = Json::obj(vec![
@@ -421,7 +595,7 @@ pub fn chrome_trace(events: &[ObsEvent]) -> Json {
                     ("pid", Json::U64(event.node as u64)),
                     ("tid", Json::U64(*family)),
                 ]);
-                slices.push((event.at, marker));
+                slices.push((event.at, 0, marker));
             }
             ObsEventKind::Restart {
                 family, attempt, ..
@@ -435,7 +609,7 @@ pub fn chrome_trace(events: &[ObsEvent]) -> Json {
                     ("pid", Json::U64(event.node as u64)),
                     ("tid", Json::U64(*family)),
                 ]);
-                slices.push((event.at, marker));
+                slices.push((event.at, 0, marker));
             }
             ObsEventKind::DemandFetch {
                 family,
@@ -452,7 +626,7 @@ pub fn chrome_trace(events: &[ObsEvent]) -> Json {
                     ("pid", Json::U64(event.node as u64)),
                     ("tid", Json::U64(*family)),
                 ]);
-                slices.push((event.at, marker));
+                slices.push((event.at, 0, marker));
             }
             ObsEventKind::NodeCrashed { aborted_families } => {
                 let marker = Json::obj(vec![
@@ -467,7 +641,7 @@ pub fn chrome_trace(events: &[ObsEvent]) -> Json {
                     ("pid", Json::U64(event.node as u64)),
                     ("tid", Json::U64(0)),
                 ]);
-                slices.push((event.at, marker));
+                slices.push((event.at, 0, marker));
             }
             ObsEventKind::NodeRecovered { .. } => {
                 let marker = Json::obj(vec![
@@ -479,7 +653,7 @@ pub fn chrome_trace(events: &[ObsEvent]) -> Json {
                     ("pid", Json::U64(event.node as u64)),
                     ("tid", Json::U64(0)),
                 ]);
-                slices.push((event.at, marker));
+                slices.push((event.at, 0, marker));
             }
             _ => {}
         }
@@ -488,6 +662,78 @@ pub fn chrome_trace(events: &[ObsEvent]) -> Json {
     let families: Vec<u64> = open.keys().copied().collect();
     for family in families {
         close_slice(&mut open, &mut slices, family, last_at);
+    }
+    let txns: Vec<u64> = open_spans.keys().copied().collect();
+    for txn in txns {
+        close_span(&mut open_spans, &mut slices, txn, last_at, None);
+    }
+
+    // Overlay the per-root critical paths as flow arrows: one chain per
+    // committed family linking consecutive edges, plus lock-handoff
+    // arrows from the blocker family's row into the lock-wait edge.
+    let mut flow_id: u64 = 0;
+    let flow = |name: &str, ph: &str, id: u64, at: SimTime, node: u32, tid: u64| -> Json {
+        let mut pairs = vec![
+            ("name", Json::str(name)),
+            ("cat", Json::str("critical_path")),
+            ("ph", Json::str(ph)),
+            ("id", Json::U64(id)),
+            ("ts", micros(at)),
+            ("pid", Json::U64(node as u64)),
+            ("tid", Json::U64(tid)),
+        ];
+        if ph == "f" {
+            pairs.push(("bp", Json::str("e")));
+        }
+        Json::obj(pairs)
+    };
+    for path in critical_paths(events) {
+        let node = family_node.get(&path.family).copied().unwrap_or(0);
+        for pair in path.edges.windows(2) {
+            flow_id += 1;
+            slices.push((
+                pair[0].end,
+                0,
+                flow(
+                    "critical-path",
+                    "s",
+                    flow_id,
+                    pair[0].end,
+                    node,
+                    path.family,
+                ),
+            ));
+            slices.push((
+                pair[1].start,
+                0,
+                flow(
+                    "critical-path",
+                    "f",
+                    flow_id,
+                    pair[1].start,
+                    node,
+                    path.family,
+                ),
+            ));
+        }
+        for edge in &path.edges {
+            if let PathEdgeKind::LockWait { blockers, .. } = &edge.kind {
+                for &blocker in blockers {
+                    let bnode = family_node.get(&blocker).copied().unwrap_or(node);
+                    flow_id += 1;
+                    slices.push((
+                        edge.end,
+                        0,
+                        flow("lock-handoff", "s", flow_id, edge.end, bnode, blocker),
+                    ));
+                    slices.push((
+                        edge.end,
+                        0,
+                        flow("lock-handoff", "f", flow_id, edge.end, node, path.family),
+                    ));
+                }
+            }
+        }
     }
 
     let mut trace_events: Vec<Json> = seen_nodes
@@ -505,8 +751,23 @@ pub fn chrome_trace(events: &[ObsEvent]) -> Json {
             ])
         })
         .collect();
-    slices.sort_by_key(|a| a.0);
-    trace_events.extend(slices.into_iter().map(|(_, j)| j));
+    trace_events.extend(span_rows.keys().map(|&(node, family)| {
+        Json::obj(vec![
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("ts", Json::F64(0.0)),
+            ("pid", Json::U64(node as u64)),
+            ("tid", Json::U64(SPAN_ROW_OFFSET + family)),
+            (
+                "args",
+                Json::obj(vec![("name", Json::str(format!("family {family} spans")))]),
+            ),
+        ])
+    }));
+    // Stable sort: equal timestamps keep parent slices (longer duration)
+    // ahead of their children, which Perfetto's nesting relies on.
+    slices.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+    trace_events.extend(slices.into_iter().map(|(_, _, j)| j));
 
     Json::obj(vec![
         ("traceEvents", Json::Arr(trace_events)),
@@ -531,6 +792,17 @@ mod tests {
                 },
             },
             ObsEvent {
+                at: SimTime::from_nanos(110),
+                node: 0,
+                kind: ObsEventKind::LockBlocked {
+                    object: 3,
+                    txn: 7,
+                    holders: vec![4],
+                    retainers: vec![5],
+                    queued_behind: vec![1],
+                },
+            },
+            ObsEvent {
                 at: SimTime::from_nanos(150),
                 node: 1,
                 kind: ObsEventKind::PhaseEnter {
@@ -539,11 +811,63 @@ mod tests {
                 },
             },
             ObsEvent {
+                at: SimTime::from_nanos(150),
+                node: 1,
+                kind: ObsEventKind::SpanOpen {
+                    family: 2,
+                    txn: 11,
+                    parent: None,
+                    object: 3,
+                },
+            },
+            ObsEvent {
+                at: SimTime::from_nanos(160),
+                node: 1,
+                kind: ObsEventKind::SpanOpen {
+                    family: 2,
+                    txn: 12,
+                    parent: Some(11),
+                    object: 4,
+                },
+            },
+            ObsEvent {
                 at: SimTime::from_nanos(200),
                 node: 1,
                 kind: ObsEventKind::PhaseEnter {
                     family: 2,
                     phase: ObsPhase::Running,
+                },
+            },
+            ObsEvent {
+                at: SimTime::from_nanos(210),
+                node: 1,
+                kind: ObsEventKind::GatherBatch {
+                    family: 2,
+                    object: 3,
+                    source: 0,
+                    pages: 2,
+                    bytes: 8 * 1024,
+                    delay_ns: 1_500,
+                },
+            },
+            ObsEvent {
+                at: SimTime::from_nanos(220),
+                node: 1,
+                kind: ObsEventKind::DemandFetch {
+                    family: 2,
+                    object: 3,
+                    page: 5,
+                    source: 2,
+                    bytes: 4_096 + 64,
+                },
+            },
+            ObsEvent {
+                at: SimTime::from_nanos(230),
+                node: 1,
+                kind: ObsEventKind::SpanClose {
+                    family: 2,
+                    txn: 12,
+                    outcome: SpanOutcome::PreCommit,
                 },
             },
             ObsEvent {
@@ -575,6 +899,7 @@ mod tests {
                     attempts: 3,
                     duplicates: 1,
                     wait_ns: 200_000,
+                    family: None,
                 },
             },
             ObsEvent {
@@ -609,6 +934,15 @@ mod tests {
                 },
             },
             ObsEvent {
+                at: SimTime::from_nanos(395),
+                node: 1,
+                kind: ObsEventKind::SpanClose {
+                    family: 2,
+                    txn: 11,
+                    outcome: SpanOutcome::Commit,
+                },
+            },
+            ObsEvent {
                 at: SimTime::from_nanos(400),
                 node: 1,
                 kind: ObsEventKind::PhaseEnter {
@@ -640,19 +974,60 @@ mod tests {
         let trace = chrome_trace(&sample_events());
         let events = trace.get("traceEvents").unwrap().as_array().unwrap();
         let mut last = f64::NEG_INFINITY;
-        let mut slice_count = 0;
+        let mut phase_slices = 0;
+        let mut span_slices = 0;
         for e in events {
             let ts = e.get("ts").unwrap().as_f64().unwrap();
             assert!(ts >= last, "ts went backwards: {ts} < {last}");
             last = ts;
             if e.get("ph").unwrap().as_str() == Some("X") {
-                slice_count += 1;
                 assert!(e.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+                match e.get("cat").unwrap().as_str() {
+                    Some("phase") => phase_slices += 1,
+                    Some("span") => span_slices += 1,
+                    other => panic!("unexpected slice category {other:?}"),
+                }
             }
         }
         // lock_wait [150,200) and running [200,400) for family 2.
-        assert_eq!(slice_count, 2);
+        assert_eq!(phase_slices, 2);
+        // Root span T11 and child span T12.
+        assert_eq!(span_slices, 2);
         // The whole document survives a JSON re-parse.
         assert_eq!(Json::parse(&trace.render_pretty()).unwrap(), trace);
+    }
+
+    #[test]
+    fn chrome_trace_spans_nest_and_ride_their_own_rows() {
+        let trace = chrome_trace(&sample_events());
+        let events = trace.get("traceEvents").unwrap().as_array().unwrap();
+        let spans: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("span"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        // Parent slice comes first (stable sort puts the longer-duration
+        // slice ahead on ties) and fully contains the child slice.
+        let (p, c) = (&spans[0], &spans[1]);
+        assert!(p.get("name").unwrap().as_str().unwrap().contains("T11"));
+        assert!(c.get("name").unwrap().as_str().unwrap().contains("T12"));
+        let (pts, pdur) = (
+            p.get("ts").unwrap().as_f64().unwrap(),
+            p.get("dur").unwrap().as_f64().unwrap(),
+        );
+        let (cts, cdur) = (
+            c.get("ts").unwrap().as_f64().unwrap(),
+            c.get("dur").unwrap().as_f64().unwrap(),
+        );
+        assert!(pts <= cts && cts + cdur <= pts + pdur);
+        // Span rows live on a separate tid from the phase rows.
+        let tid = p.get("tid").unwrap().as_u64().unwrap();
+        assert_eq!(tid, SPAN_ROW_OFFSET + 2);
+        // The critical-path overlay produced at least one flow pair.
+        let flows = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("critical_path"))
+            .count();
+        assert!(flows >= 2, "expected flow arrows, got {flows}");
     }
 }

@@ -594,4 +594,55 @@ mod tests {
         let v = Json::parse("\"\\ud83d\\ude00\"").unwrap();
         assert_eq!(v.as_str(), Some("😀"));
     }
+
+    #[test]
+    fn hostile_strings_round_trip_as_values_and_keys() {
+        // Every control char, plus quote/backslash soup, plus names that
+        // look like JSON themselves — the kind of thing a trace consumer
+        // would choke on if the writer left anything unescaped.
+        let mut hostiles: Vec<String> = (0u32..0x20)
+            .map(|c| format!("ctl-{}{}-end", char::from_u32(c).unwrap(), c))
+            .collect();
+        hostiles.extend(
+            [
+                "\"}],{\"a\": \\\"",
+                "line1\nline2\r\n\ttabbed",
+                "\\u0000 literal, \u{0000} real",
+                "trailing backslash \\",
+                "😀 / \u{7f} / \u{2028}\u{2029}",
+            ]
+            .map(str::to_string),
+        );
+        for name in &hostiles {
+            // As a string value.
+            let v = Json::obj(vec![("name", Json::str(name.clone()))]);
+            let compact = Json::parse(&v.render()).unwrap();
+            assert_eq!(compact.get("name").unwrap().as_str(), Some(name.as_str()));
+            let pretty = Json::parse(&v.render_pretty()).unwrap();
+            assert_eq!(pretty.get("name").unwrap().as_str(), Some(name.as_str()));
+            // As an object key.
+            let k = Json::Obj(vec![(name.clone(), Json::U64(1))]);
+            let back = Json::parse(&k.render()).unwrap();
+            assert_eq!(back.get(name).unwrap().as_u64(), Some(1));
+        }
+    }
+
+    #[test]
+    fn chrome_trace_event_names_stay_valid_json_with_hostile_input() {
+        // The Chrome-trace writer pipes event names straight through
+        // `write_string`; a hostile name must not break document parse.
+        let name = "evil \"name\"\nwith\tcontrol\u{0001}chars\\";
+        let doc = Json::obj(vec![(
+            "traceEvents",
+            Json::Arr(vec![Json::obj(vec![
+                ("name", Json::str(name)),
+                ("ph", Json::str("i")),
+                ("ts", Json::F64(1.0)),
+            ])]),
+        )]);
+        let parsed = Json::parse(&doc.render_pretty()).unwrap();
+        assert_eq!(parsed, doc);
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some(name));
+    }
 }

@@ -12,7 +12,16 @@
 //!   ids, so this crate sits below `txn`/`core` in the dependency graph.
 //! * [`export`] — lossless JSONL round-trip plus Chrome trace-event JSON
 //!   loadable in Perfetto (one track per node, one slice per family
-//!   phase).
+//!   phase, nested span slices per transaction tree, critical-path flow
+//!   arrows).
+//! * [`span`] — causal span trees mirroring the O2PL transaction tree,
+//!   with typed annotations (lock waits with waits-for provenance, gather
+//!   batches, demand fetches, retransmit stalls).
+//! * [`critical_path`] — per-root-commit latency attribution: the edge
+//!   chain that determined the commit latency, plus per-phase self-time.
+//! * [`registry`] — hand-rolled counters/gauges/log-scale histograms keyed
+//!   by `(metric, object/node label)`, fed from the sink, with top-K
+//!   contention and transfer tables.
 //! * [`report`] — trace summarization: event census, phase-attributed
 //!   time, prediction precision/recall, gather fan-out.
 //! * [`json`] — the dependency-free JSON value type everything above (and
@@ -20,14 +29,22 @@
 
 #![warn(missing_docs)]
 
+pub mod critical_path;
 pub mod event;
 pub mod export;
 pub mod json;
+pub mod registry;
 pub mod report;
 pub mod sink;
+pub mod span;
 
-pub use event::{ObsEvent, ObsEventKind, ObsLockMode, ObsPhase, ReleaseCause};
+pub use critical_path::{
+    critical_paths, critical_paths_json, CriticalPath, PathEdge, PathEdgeKind,
+};
+pub use event::{ObsEvent, ObsEventKind, ObsLockMode, ObsPhase, ReleaseCause, SpanOutcome};
 pub use export::{chrome_trace, event_from_json, event_to_json, jsonl_decode, jsonl_encode};
 pub use json::{Json, JsonError};
+pub use registry::{Gauge, MetricLabel, MetricsRegistry, ObjectContention};
 pub use report::{PhaseTimes, PredictionTotals, TraceSummary};
 pub use sink::{EventSink, NoopSink, RecordingSink};
+pub use span::{Span, SpanAnnotation, SpanTree};

@@ -360,6 +360,7 @@ mod tests {
                     object: 4,
                     page: 2,
                     source: 0,
+                    bytes: 4096,
                 },
             ),
         ];

@@ -388,7 +388,8 @@ impl LockTable {
             let node = tree.node_of(txn).index();
             match &result {
                 Ok(Acquire::Queued) => {
-                    let waiters = self.entry(object).expect("just acquired").num_waiting() as u32;
+                    let entry = self.entry(object).expect("just acquired");
+                    let waiters = entry.num_waiting() as u32;
                     sink.emit(ObsEvent {
                         at,
                         node,
@@ -397,6 +398,39 @@ impl LockTable {
                             txn: txn.get(),
                             mode: obs_mode(mode),
                             waiters,
+                        },
+                    });
+                    // Waits-for provenance: who actually stands between this
+                    // request and the grant. Holders/retainers filter to the
+                    // conflicting modes (an ancestor's retained lock never
+                    // blocks — rule 2 lets descendants re-acquire it), and
+                    // `queued_behind` lists the families already in line.
+                    let family = tree.root_of(txn);
+                    let holders: Vec<u64> = entry
+                        .holders()
+                        .iter()
+                        .filter(|h| h.mode.conflicts_with(mode))
+                        .map(|h| h.txn.get())
+                        .collect();
+                    let retainers: Vec<u64> = entry
+                        .retainers()
+                        .filter(|&(r, m)| m.conflicts_with(mode) && !tree.is_ancestor(r, txn))
+                        .map(|(r, _)| r.get())
+                        .collect();
+                    let queued_behind: Vec<u64> = entry
+                        .waiting()
+                        .filter(|fw| fw.family != family)
+                        .map(|fw| fw.family.get())
+                        .collect();
+                    sink.emit(ObsEvent {
+                        at,
+                        node,
+                        kind: ObsEventKind::LockBlocked {
+                            object: object.index(),
+                            txn: txn.get(),
+                            holders,
+                            retainers,
+                            queued_behind,
                         },
                     });
                 }
@@ -1274,11 +1308,26 @@ mod tests {
             vec![
                 "lock_granted",
                 "lock_queued",
+                "lock_blocked",
                 "lock_retained",
                 "lock_released",
                 "lock_granted"
             ]
         );
+        // The blocked event names the conflicting writer and nobody else.
+        match &sink.events()[2].kind {
+            ObsEventKind::LockBlocked {
+                holders,
+                retainers,
+                queued_behind,
+                ..
+            } => {
+                assert_eq!(holders.len(), 1, "one conflicting write holder");
+                assert!(retainers.is_empty());
+                assert!(queued_behind.is_empty());
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
         // The deferred grant names the queued reader.
         match &sink.events().last().unwrap().kind {
             ObsEventKind::LockGranted { global, mode, .. } => {

@@ -93,6 +93,7 @@ fn chrome_trace_is_valid_and_monotonic() {
         .expect("array");
     let mut last_ts = f64::NEG_INFINITY;
     let mut slices = 0u64;
+    let mut span_slices = 0u64;
     let mut families_with_slices = std::collections::BTreeSet::new();
     for item in items {
         let ts = item.get("ts").expect("ts").as_f64().expect("numeric ts");
@@ -101,15 +102,89 @@ fn chrome_trace_is_valid_and_monotonic() {
         if item.get("ph").and_then(|p| p.as_str()) == Some("X") {
             slices += 1;
             assert!(item.get("dur").expect("dur").as_f64().expect("numeric dur") >= 0.0);
-            families_with_slices.extend(item.get("tid").and_then(lotec::obs::Json::as_u64));
+            // Phase slices ride `tid = family`; span slices ride offset
+            // sibling rows, so only the former count toward coverage.
+            match item.get("cat").and_then(|c| c.as_str()) {
+                Some("phase") => {
+                    families_with_slices.extend(item.get("tid").and_then(lotec::obs::Json::as_u64));
+                }
+                Some("span") => span_slices += 1,
+                other => panic!("unexpected slice category {other:?}"),
+            }
         }
     }
     assert!(slices > 0, "a real run produces phase slices");
+    assert!(span_slices > 0, "a real run produces span slices");
     assert_eq!(
         families_with_slices.len() as u64,
         report.stats.committed_families + report.stats.aborted_families,
         "every family gets at least one slice"
     );
+}
+
+/// The span tree built from a real run mirrors the transaction tree:
+/// one root span per family attempt that reached execution, children
+/// properly nested inside parents, and committed roots closed with a
+/// commit outcome.
+#[test]
+fn span_tree_mirrors_transaction_families() {
+    let (config, registry, families) = quickstart();
+    let mut sink = RecordingSink::new();
+    let report = run_engine_with_probe(&config, &registry, &families, &mut sink).expect("runs");
+    let tree = lotec::obs::SpanTree::build(sink.events());
+    assert!(!tree.is_empty(), "a real run opens spans");
+
+    // Every committed family contributes at least one root span that
+    // closed with outcome `commit`.
+    let committed_roots = tree
+        .roots()
+        .iter()
+        .filter(|&&id| {
+            tree.get(id)
+                .is_some_and(|s| s.outcome == Some(lotec::obs::SpanOutcome::Commit))
+        })
+        .count() as u64;
+    assert_eq!(committed_roots, report.stats.committed_families);
+
+    // Structural sanity: children nest inside their parents in time and
+    // agree on the family.
+    for span in tree.spans() {
+        if let Some(parent) = span.parent.and_then(|p| tree.get(p)) {
+            assert_eq!(parent.family, span.family);
+            assert!(span.open >= parent.open);
+            if let (Some(c), Some(p)) = (span.close, parent.close) {
+                assert!(c <= p, "child must close before its parent");
+            }
+        }
+    }
+}
+
+/// Critical paths extracted from a real run tile each committed family's
+/// commit window exactly and agree with the engine's latency accounting.
+#[test]
+fn critical_paths_tile_commit_windows() {
+    let (config, registry, families) = quickstart();
+    let mut sink = RecordingSink::new();
+    let report = run_engine_with_probe(&config, &registry, &families, &mut sink).expect("runs");
+    let paths = lotec::obs::critical_paths(sink.events());
+    assert_eq!(paths.len() as u64, report.stats.committed_families);
+
+    let mut total = SimDuration::ZERO;
+    for path in &paths {
+        assert!(!path.edges.is_empty());
+        // Edges tile the window: consecutive, gap-free, summing to the
+        // end-to-end latency.
+        let mut cursor = path.start;
+        for edge in &path.edges {
+            assert_eq!(edge.start, cursor, "edges must be contiguous");
+            cursor = edge.end;
+        }
+        assert_eq!(cursor, path.end);
+        assert_eq!(path.self_time.total(), path.latency());
+        total += path.latency();
+    }
+    // Summed per-path latency is the engine's total latency.
+    assert_eq!(total, report.stats.total_latency);
 }
 
 /// The trace's phase events replay to exactly the engine's own
