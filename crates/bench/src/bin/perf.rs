@@ -28,7 +28,7 @@ use lotec_core::config::FaultConfig;
 use lotec_core::engine::{run_engine, run_engine_with_probe, RunReport};
 use lotec_core::oracle;
 use lotec_core::protocol::ProtocolKind;
-use lotec_core::SystemConfig;
+use lotec_core::{AdaptiveConfig, SystemConfig};
 use lotec_mem::mix;
 use lotec_obs::Json;
 use lotec_obs::RecordingSink;
@@ -153,6 +153,7 @@ fn main() {
     let mut engine_section = Vec::new();
     let mut fingerprint_cells = Vec::new();
     let mut lotec_plain: Option<(u128, u64)> = None;
+    let mut lotec_static_report: Option<RunReport> = None;
     for protocol in ProtocolKind::PAPER_TRIO {
         let config = fig3_config(&scenario, protocol);
         let timed = time_cell(repeats, || {
@@ -161,6 +162,7 @@ fn main() {
         oracle::verify(&timed.report).expect("serializable");
         if protocol == ProtocolKind::Lotec {
             lotec_plain = Some((timed.min_ns, chain_hash(&timed.report)));
+            lotec_static_report = Some(timed.report.clone());
         }
         let events = timed.report.stats.sim_events;
         println!(
@@ -217,6 +219,90 @@ fn main() {
         ));
         fingerprint_cells.push((label, cell_fingerprint(&timed.report)));
     }
+
+    // Adaptive-prediction sweep: static vs adaptive LOTEC on the
+    // zipf-skewed fig3 scenario. The static side reuses the fig3/LOTEC
+    // cell above (identical config); the adaptive side learns profiles,
+    // coalesces gather requests, and batches demand fetches — the sweep
+    // records the bytes/messages deltas and enforces the headline claim:
+    // fewer bytes on the wire, zero oracle violations.
+    let adaptive_sweep = {
+        let static_report = lotec_static_report.expect("LOTEC static cell ran");
+        let config = SystemConfig {
+            adaptive: AdaptiveConfig::on(),
+            ..fig3_config(&scenario, ProtocolKind::Lotec)
+        };
+        let timed = time_cell(repeats, || {
+            run_engine(&config, &registry, &families).expect("adaptive cell runs")
+        });
+        oracle::verify(&timed.report).expect("adaptive run stays serializable");
+        let events = timed.report.stats.sim_events;
+        println!(
+            "  fig3/LOTEC+adaptive min {:>12} ns  mean {:>12} ns  {:>8} events  {:>10} events/s",
+            timed.min_ns,
+            timed.mean_ns,
+            events,
+            events_per_sec(events, timed.min_ns)
+        );
+        let label = "fig3/LOTEC+adaptive".to_string();
+        engine_section.push((
+            label.clone(),
+            Json::obj(vec![
+                ("min_ns", Json::U64(timed.min_ns as u64)),
+                ("mean_ns", Json::U64(timed.mean_ns as u64)),
+                ("sim_events", Json::U64(events)),
+                (
+                    "events_per_sec",
+                    Json::U64(events_per_sec(events, timed.min_ns)),
+                ),
+            ]),
+        ));
+        fingerprint_cells.push((label, cell_fingerprint(&timed.report)));
+
+        let side = |report: &RunReport, cfg: &SystemConfig| {
+            Json::obj(vec![
+                ("total_bytes", Json::U64(report.traffic.total().bytes)),
+                ("total_messages", Json::U64(report.traffic.total().messages)),
+                (
+                    "page_payload_bytes",
+                    Json::U64(report.traffic.page_payload_bytes(&cfg.sizes, cfg.page_size)),
+                ),
+                ("demand_fetches", Json::U64(report.stats.demand_fetches)),
+                (
+                    "profile_expansions",
+                    Json::U64(report.stats.profile_expansions),
+                ),
+                ("profile_shrinks", Json::U64(report.stats.profile_shrinks)),
+                ("makespan_ns", Json::U64(report.stats.makespan.as_nanos())),
+            ])
+        };
+        let static_config = fig3_config(&scenario, ProtocolKind::Lotec);
+        let static_bytes = static_report.traffic.total().bytes;
+        let adaptive_bytes = timed.report.traffic.total().bytes;
+        assert!(
+            adaptive_bytes < static_bytes,
+            "adaptive prediction must reduce bytes on the skewed preset \
+             (static {static_bytes}, adaptive {adaptive_bytes})"
+        );
+        println!(
+            "  adaptive sweep: bytes {static_bytes} -> {adaptive_bytes} \
+             ({:.1}% saved), demand fetches {} -> {}",
+            100.0 * (static_bytes - adaptive_bytes) as f64 / static_bytes as f64,
+            static_report.stats.demand_fetches,
+            timed.report.stats.demand_fetches,
+        );
+        Json::obj(vec![
+            ("scenario", Json::str(&scenario.name)),
+            ("window", Json::U64(u64::from(config.adaptive.window))),
+            ("static", side(&static_report, &static_config)),
+            ("adaptive", side(&timed.report, &config)),
+            ("bytes_saved", Json::U64(static_bytes - adaptive_bytes)),
+            (
+                "bytes_saved_frac",
+                Json::F64((static_bytes - adaptive_bytes) as f64 / static_bytes as f64),
+            ),
+        ])
+    };
 
     // Probe-overhead cell: the same LOTEC fig3 run with a recording sink
     // riding along. The simulated outputs must be identical to the
@@ -309,6 +395,7 @@ fn main() {
         ("repeats", Json::U64(repeats as u64)),
         ("threads", Json::U64(runner::threads() as u64)),
         ("engine", Json::Obj(engine_section)),
+        ("adaptive_sweep", adaptive_sweep),
         (
             "sweep",
             Json::obj(vec![

@@ -13,7 +13,7 @@
 use lotec_core::config::FaultConfig;
 use lotec_core::engine::{run_engine_with_probe, RunReport};
 use lotec_core::protocol::ProtocolKind;
-use lotec_core::SystemConfig;
+use lotec_core::{AdaptiveConfig, SystemConfig};
 use lotec_obs::{
     critical_paths, critical_paths_json, Json, MetricsRegistry, ObsEvent, RecordingSink, SpanTree,
 };
@@ -142,8 +142,32 @@ fn lossy_faults() -> FaultConfig {
 struct DemoCell {
     protocol: ProtocolKind,
     lossy: bool,
+    adaptive: bool,
     report: RunReport,
     events: Vec<ObsEvent>,
+}
+
+/// Per-method prediction quality of one cell, rendered from the metric
+/// registry's stable `[class=..,method=..]` label keys so the JSON is
+/// identical at any worker count.
+fn prediction_by_method_json(metrics: &MetricsRegistry) -> Json {
+    Json::Arr(
+        metrics
+            .sampled_methods()
+            .into_iter()
+            .map(|(class, method)| {
+                let (precision, recall) = metrics
+                    .method_precision_recall(class, method)
+                    .expect("sampled method has a ratio");
+                Json::obj(vec![
+                    ("class", Json::U64(u64::from(class))),
+                    ("method", Json::U64(u64::from(method))),
+                    ("precision", Json::F64(precision)),
+                    ("recall", Json::F64(recall)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Runs the demo sweep on `workers` threads with `top`-deep tables.
@@ -159,12 +183,16 @@ struct DemoCell {
 pub fn run_obs_demo(workers: usize, top: usize) -> ObsDemo {
     let scenario = presets::quick(presets::fig3());
     let (registry, families) = scenario.generate().expect("workload generates");
-    let grid: Vec<(ProtocolKind, bool)> = ProtocolKind::ALL
+    let mut grid: Vec<(ProtocolKind, bool, bool)> = ProtocolKind::ALL
         .into_iter()
-        .flat_map(|p| [(p, false), (p, true)])
+        .flat_map(|p| [(p, false, false), (p, true, false)])
         .collect();
+    // Two extra cells: LOTEC with the adaptive predictor, fault-free and
+    // lossy, so the report shows static-vs-adaptive prediction quality.
+    grid.push((ProtocolKind::Lotec, false, true));
+    grid.push((ProtocolKind::Lotec, true, true));
     let cells = runner::run_indexed_on(workers, grid.len(), |i| {
-        let (protocol, lossy) = grid[i];
+        let (protocol, lossy, adaptive) = grid[i];
         let config = SystemConfig {
             protocol,
             seed: DEMO_SEED,
@@ -175,14 +203,20 @@ pub fn run_obs_demo(workers: usize, top: usize) -> ObsDemo {
             } else {
                 FaultConfig::default()
             },
+            adaptive: if adaptive {
+                AdaptiveConfig::on()
+            } else {
+                AdaptiveConfig::default()
+            },
             ..SystemConfig::default()
         };
         let mut sink = RecordingSink::new();
         let report = run_engine_with_probe(&config, &registry, &families, &mut sink)
-            .unwrap_or_else(|e| panic!("{protocol} lossy={lossy}: {e}"));
+            .unwrap_or_else(|e| panic!("{protocol} lossy={lossy} adaptive={adaptive}: {e}"));
         DemoCell {
             protocol,
             lossy,
+            adaptive,
             report,
             events: sink.into_events(),
         }
@@ -193,7 +227,8 @@ pub fn run_obs_demo(workers: usize, top: usize) -> ObsDemo {
     let _ = writeln!(
         text,
         "observability demo: {} — seed {DEMO_SEED:#x}, {} cells \
-         ({} protocols × fault-free/lossy drop={DEMO_DROP:.2})",
+         ({} protocols × fault-free/lossy drop={DEMO_DROP:.2}, \
+         + adaptive LOTEC × both)",
         scenario.name,
         cells.len(),
         ProtocolKind::ALL.len(),
@@ -204,10 +239,11 @@ pub fn run_obs_demo(workers: usize, top: usize) -> ObsDemo {
         metrics.feed(&cell.events);
         let spans = SpanTree::build(&cell.events);
         let faults = if cell.lossy { "lossy" } else { "none" };
+        let prediction = if cell.adaptive { "adaptive" } else { "static" };
         let _ = writeln!(
             text,
-            "  {:>6} faults={faults:<5}: events={:<6} spans={:<5} committed={:<4} \
-             retransmits={}",
+            "  {:>6} faults={faults:<5} prediction={prediction:<8}: events={:<6} \
+             spans={:<5} committed={:<4} retransmits={}",
             cell.protocol.to_string(),
             cell.events.len(),
             spans.len(),
@@ -217,6 +253,7 @@ pub fn run_obs_demo(workers: usize, top: usize) -> ObsDemo {
         let mut pairs = vec![
             ("protocol", Json::str(cell.protocol.to_string())),
             ("faults", Json::str(faults)),
+            ("prediction", Json::str(prediction)),
             ("committed", Json::U64(cell.report.stats.committed_families)),
             ("events", Json::U64(cell.events.len() as u64)),
             ("spans", Json::U64(spans.len() as u64)),
@@ -254,7 +291,25 @@ pub fn run_obs_demo(workers: usize, top: usize) -> ObsDemo {
             ),
             ("metrics", metrics.to_json()),
         ];
-        if cell.protocol == ProtocolKind::Lotec && cell.lossy {
+        if cell.protocol.uses_prediction() {
+            pairs.push(("prediction_by_method", prediction_by_method_json(&metrics)));
+            pairs.push((
+                "profile_updates",
+                Json::obj(vec![
+                    (
+                        "expansions",
+                        Json::U64(cell.report.stats.profile_expansions),
+                    ),
+                    ("shrinks", Json::U64(cell.report.stats.profile_shrinks)),
+                    ("resets", Json::U64(cell.report.stats.profile_resets)),
+                    (
+                        "demand_fetches",
+                        Json::U64(cell.report.stats.demand_fetches),
+                    ),
+                ]),
+            ));
+        }
+        if cell.protocol == ProtocolKind::Lotec && cell.lossy && !cell.adaptive {
             pairs.push(("critical_paths", critical_paths_json(&cell.events)));
         }
         cell_jsons.push(Json::obj(pairs));
@@ -263,7 +318,7 @@ pub fn run_obs_demo(workers: usize, top: usize) -> ObsDemo {
     // Showcase: LOTEC under loss hits every edge kind at once.
     let showcase = cells
         .iter()
-        .find(|c| c.protocol == ProtocolKind::Lotec && c.lossy)
+        .find(|c| c.protocol == ProtocolKind::Lotec && c.lossy && !c.adaptive)
         .expect("the grid contains the LOTEC lossy cell");
     let mut metrics = MetricsRegistry::new();
     metrics.feed(&showcase.events);
@@ -288,6 +343,29 @@ pub fn run_obs_demo(workers: usize, top: usize) -> ObsDemo {
         let _ = write!(text, "{}", path.render());
     }
     let _ = write!(text, "{}", metrics.render_top_tables(top));
+
+    // Static vs adaptive prediction quality, per method, on the
+    // fault-free LOTEC cells (no retransmission noise).
+    let _ = writeln!(text);
+    let _ = writeln!(text, "prediction by method (fault-free LOTEC):");
+    for cell in cells
+        .iter()
+        .filter(|c| c.protocol == ProtocolKind::Lotec && !c.lossy)
+    {
+        let mut m = MetricsRegistry::new();
+        m.feed(&cell.events);
+        let mode = if cell.adaptive { "adaptive" } else { "static" };
+        for (class, method) in m.sampled_methods() {
+            let (p, r) = m
+                .method_precision_recall(class, method)
+                .expect("sampled method has a ratio");
+            let _ = writeln!(
+                text,
+                "  {mode:<8} class={class} method={method}: \
+                 precision={p:.3} recall={r:.3}",
+            );
+        }
+    }
 
     let json = Json::obj(vec![
         ("scenario", Json::str(&scenario.name)),
@@ -356,6 +434,37 @@ mod tests {
             parallel.json.render_pretty(),
             "BENCH_obs.json must not depend on the worker count"
         );
+    }
+
+    #[test]
+    fn prediction_section_is_thread_invariant_and_present() {
+        let serial = run_obs_demo(1, DEFAULT_TOP_K);
+        let parallel = run_obs_demo(4, DEFAULT_TOP_K);
+        let sections = |demo: &ObsDemo| -> Vec<String> {
+            let parsed = Json::parse(&demo.json.render_pretty()).expect("valid JSON");
+            parsed
+                .get("cells")
+                .expect("cells")
+                .as_array()
+                .expect("array")
+                .iter()
+                .filter_map(|c| c.get("prediction_by_method"))
+                .map(Json::render_pretty)
+                .collect()
+        };
+        let a = sections(&serial);
+        let b = sections(&parallel);
+        assert_eq!(a, b, "prediction_by_method must not depend on workers");
+        // Every LOTEC cell (2 static, 2 adaptive, × fault-free/lossy in
+        // the static case) carries the section, and the fault-free cells
+        // have perfect recall (demand fetches repair every miss).
+        assert_eq!(a.len(), 4, "four LOTEC cells carry the section");
+        assert!(
+            a.iter().all(|s| s.contains("precision")),
+            "sections carry per-method rows: {a:?}"
+        );
+        assert!(serial.report.contains("prediction by method"));
+        assert!(serial.report.contains("adaptive"));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use lotec_mem::ObjectId;
+use lotec_mem::{ObjectId, PageIndex};
 use lotec_obs::PredictionTotals;
 use lotec_sim::{SimDuration, SimTime};
 use lotec_txn::LockMode;
@@ -176,6 +176,21 @@ pub struct PredictionReport {
     pub per_object: BTreeMap<ObjectId, PredictionTotals>,
 }
 
+/// Number of maximal runs of adjacent page indices in a sorted page list.
+/// A coalesced page request encodes one ranged entry per run, so this is
+/// the quantity that decides whether the ranged encoding beats the plain
+/// one (see `MessageSizes::coalesced_page_request`). Both the engine and
+/// the traffic replay charge request sizes through this helper so their
+/// ledgers stay byte-identical.
+pub fn adjacent_run_count(pages: &[PageIndex]) -> usize {
+    debug_assert!(pages.windows(2).all(|w| w[0].get() < w[1].get()));
+    pages
+        .iter()
+        .enumerate()
+        .filter(|&(i, p)| i == 0 || pages[i - 1].get() + 1 != p.get())
+        .count()
+}
+
 /// Builds a [`PredictionReport`] from a schedule trace.
 pub fn prediction_report(trace: &ScheduleTrace) -> PredictionReport {
     let mut report = PredictionReport::default();
@@ -280,6 +295,16 @@ mod tests {
         // The demo workload's predictions are conservative supersets, so
         // recall must be perfect.
         assert_eq!(pred.totals.recall(), Some(1.0));
+    }
+
+    #[test]
+    fn adjacent_run_count_splits_on_gaps() {
+        let pages = |ids: &[u16]| ids.iter().map(|&i| PageIndex::new(i)).collect::<Vec<_>>();
+        assert_eq!(adjacent_run_count(&[]), 0);
+        assert_eq!(adjacent_run_count(&pages(&[3])), 1);
+        assert_eq!(adjacent_run_count(&pages(&[0, 1, 2, 3])), 1);
+        assert_eq!(adjacent_run_count(&pages(&[0, 2, 4])), 3);
+        assert_eq!(adjacent_run_count(&pages(&[0, 1, 3, 4, 7])), 3);
     }
 
     #[test]

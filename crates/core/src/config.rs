@@ -101,6 +101,49 @@ impl FaultConfig {
     }
 }
 
+/// Adaptive access-prediction configuration.
+///
+/// When enabled, LOTEC-family protocols replace the static compile-time
+/// prediction with a per-(class, method)
+/// [`PredictionProfile`](lotec_object::PredictionProfile) refined online
+/// from observed access sets: under-predictions (demand fetches) expand
+/// the profile immediately, over-predicted pages are dropped after going
+/// untouched for [`window`](AdaptiveConfig::window) consecutive
+/// observations, and shrinking is floored at the statically-proven
+/// must-access set. Adaptive runs also coalesce transfers: gather
+/// requests are sized by maximal adjacent-page runs and same-phase demand
+/// fetches batch into one round trip per source.
+///
+/// The default is fully disabled and then zero-cost: no profile state, no
+/// extra events, byte-identical behavior to a build without the feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Confidence window: consecutive observations a predicted page must
+    /// go untouched before the profile drops it.
+    pub window: u32,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            enabled: false,
+            window: 4,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// An enabled config with the default window.
+    pub fn on() -> Self {
+        AdaptiveConfig {
+            enabled: true,
+            ..AdaptiveConfig::default()
+        }
+    }
+}
+
 /// Full configuration of a simulated system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
@@ -163,6 +206,9 @@ pub struct SystemConfig {
     /// Deterministic fault injection (lossy links, node crashes, lock
     /// timeouts). Disabled by default; see [`FaultConfig`].
     pub faults: FaultConfig,
+    /// Adaptive access prediction with misprediction feedback. Disabled
+    /// by default; see [`AdaptiveConfig`].
+    pub adaptive: AdaptiveConfig,
     /// Seed for the engine's internal randomness (backoff jitter,
     /// prediction-miss draws). Workload generation has its own seed.
     pub seed: u64,
@@ -187,6 +233,7 @@ impl Default for SystemConfig {
             prediction_miss_rate: 0.0,
             max_restarts: 25,
             faults: FaultConfig::default(),
+            adaptive: AdaptiveConfig::default(),
             seed: 0,
         }
     }
@@ -211,6 +258,13 @@ impl SystemConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Convenience: the same config with an adaptive-prediction setup.
+    #[must_use]
+    pub fn with_adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
+        self.adaptive = adaptive;
         self
     }
 
@@ -282,6 +336,10 @@ impl SystemConfig {
             (0.0..=1.0).contains(&self.prediction_miss_rate),
             "prediction_miss_rate must be a probability"
         );
+        assert!(
+            !self.adaptive.enabled || self.adaptive.window > 0,
+            "adaptive confidence window must be positive"
+        );
         self.faults.validate(self.num_nodes);
     }
 }
@@ -333,6 +391,29 @@ mod tests {
                     ..lotec_sim::FaultPlan::default()
                 },
                 ..FaultConfig::default()
+            },
+            ..SystemConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn adaptive_defaults_to_disabled() {
+        let cfg = SystemConfig::default();
+        assert!(!cfg.adaptive.enabled);
+        let cfg = cfg.with_adaptive(AdaptiveConfig::on());
+        assert!(cfg.adaptive.enabled);
+        assert_eq!(cfg.adaptive.window, 4);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence window")]
+    fn zero_adaptive_window_rejected() {
+        let cfg = SystemConfig {
+            adaptive: AdaptiveConfig {
+                enabled: true,
+                window: 0,
             },
             ..SystemConfig::default()
         };

@@ -32,11 +32,12 @@ use std::collections::BTreeMap;
 use lotec_mem::{ObjectId, PageData, PageId, PageIndex, Recovery, ShadowPages, UndoLog};
 use lotec_mem::{PageStore, Version};
 use lotec_net::{plan_delivery, Message, MessageKind, TrafficLedger};
-use lotec_object::{ObjectRegistry, PageSet};
+use lotec_object::{AdaptivePredictor, ObjectRegistry, PageSet};
 use lotec_obs::{EventSink, NoopSink, ObsEvent, ObsEventKind, ObsPhase, SpanOutcome};
 use lotec_sim::{NodeId, SimDuration, SimRng, SimTime, Simulator};
 use lotec_txn::{Acquire, Grant, LockMode, LockTable, TxnId, TxnTree};
 
+use crate::analysis::adjacent_run_count;
 use crate::config::{RecoveryKind, SystemConfig};
 use crate::error::CoreError;
 use crate::granularity::transfer_message_bytes;
@@ -133,6 +134,10 @@ pub struct Engine<'a, S: EventSink = NoopSink> {
     miss_rng: SimRng,
     jitter_rng: SimRng,
     fault_rng: SimRng,
+    /// Adaptive access predictor (`Some` iff `config.adaptive.enabled`).
+    /// With it absent the engine takes the exact static-prediction code
+    /// path, so adaptive-off runs stay byte-identical to older builds.
+    predictor: Option<AdaptivePredictor>,
     sink: S,
 }
 
@@ -296,6 +301,10 @@ impl<'a, S: EventSink> Engine<'a, S> {
             miss_rng: root_rng.fork(0xA11CE),
             jitter_rng: root_rng.fork(0xB0B),
             fault_rng: root_rng.fork(0xFA_17),
+            predictor: config
+                .adaptive
+                .enabled
+                .then(|| AdaptivePredictor::new(registry, config.adaptive.window)),
             sink,
         })
     }
@@ -798,7 +807,16 @@ impl<'a, S: EventSink> Engine<'a, S> {
         // Borrow the access sets out of the compiled class; the only owned
         // copies made below are the ones the trace event keeps.
         let (actual_reads, actual_writes) = (actual.reads(), actual.writes());
-        let predicted = compiled.prediction(method).touched();
+        let class = self.registry.object(object).class;
+        let kind = self.config.protocol_for(class);
+        // The adaptive predictor (when enabled) replaces the static
+        // compile-time prediction for LOTEC-family grants; the profile is
+        // floored at the statically-proven must-access set, so soundness
+        // does not depend on learning.
+        let predicted = match &self.predictor {
+            Some(p) if kind.uses_prediction() => p.predicted(class, method).clone(),
+            _ => compiled.prediction(method).touched(),
+        };
 
         self.trace.push(TraceEvent::Grant {
             at: now,
@@ -820,7 +838,6 @@ impl<'a, S: EventSink> Engine<'a, S> {
         // Prefetch set per protocol (LOTEC consults the prediction; the
         // miss-rate ablation randomly degrades it). The per-class
         // extension can put each class under its own protocol.
-        let kind = self.config.protocol_for(self.registry.object(object).class);
         let prefetch: PageSet = if kind.uses_prediction() {
             if self.config.prediction_miss_rate > 0.0 {
                 let rate = self.config.prediction_miss_rate;
@@ -862,6 +879,21 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     sources: plan.num_sources() as u32,
                 },
             });
+            if kind.uses_prediction() {
+                let actual_set = actual_reads.union(actual_writes);
+                let tp = predicted.iter().filter(|&p| actual_set.contains(p)).count() as u32;
+                self.sink.emit(ObsEvent {
+                    at: now,
+                    node: node.index(),
+                    kind: ObsEventKind::PredictionSample {
+                        class: class.index(),
+                        method: method.index(),
+                        predicted: predicted.len() as u32,
+                        actual: actual_set.len() as u32,
+                        true_positives: tp,
+                    },
+                });
+            }
         }
         self.last_holder[object.index() as usize] = node;
         self.table
@@ -876,7 +908,16 @@ impl<'a, S: EventSink> Engine<'a, S> {
         let mut max_delay = SimDuration::ZERO;
         let mut to_install: Vec<(PageId, Version, PageData)> = Vec::new();
         for (source, pages) in plan.sources() {
-            let req = self.config.sizes.page_request(pages.len());
+            // Adaptive mode coalesces runs of adjacent pages into ranged
+            // request entries; request sizing only — transfers keep their
+            // page framing, so `page_payload_bytes` stays exact.
+            let req = if self.config.adaptive.enabled {
+                self.config
+                    .sizes
+                    .coalesced_page_request(pages.len(), adjacent_run_count(pages))
+            } else {
+                self.config.sizes.page_request(pages.len())
+            };
             let xfer = transfer_message_bytes(self.config, self.registry, object, pages);
             let d = self.send_lossy(
                 MessageKind::PageRequest,
@@ -927,7 +968,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         let mut demand_delay = SimDuration::ZERO;
         if kind.uses_prediction() || self.config.faults.plan.enabled() {
             let touched = actual_reads.union(actual_writes);
-            let mut demand_installs = Vec::new();
+            let mut stale_fetches: Vec<(PageIndex, NodeId)> = Vec::new();
             for page in touched.iter() {
                 let (stale, source) = {
                     let view = EngineView {
@@ -944,6 +985,68 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 };
                 if stale {
                     debug_assert_ne!(source, node, "owner cannot be stale at itself");
+                    stale_fetches.push((page, source));
+                }
+            }
+            let mut demand_installs = Vec::new();
+            if self.config.adaptive.enabled {
+                // Batched repair: every misprediction discovered in this
+                // compute phase is fetched with one coalesced round trip
+                // per source; the batches travel in parallel, so the
+                // compute phase stretches by the slowest source, not the
+                // sum of serial per-page fetches.
+                let mut by_source: Vec<(NodeId, Vec<PageIndex>)> = Vec::new();
+                for &(page, source) in &stale_fetches {
+                    match by_source.iter_mut().find(|(s, _)| *s == source) {
+                        Some((_, pages)) => pages.push(page),
+                        None => by_source.push((source, vec![page])),
+                    }
+                }
+                for (source, pages) in by_source {
+                    let req = self
+                        .config
+                        .sizes
+                        .coalesced_page_request(pages.len(), adjacent_run_count(&pages));
+                    let xfer = transfer_message_bytes(self.config, self.registry, object, &pages);
+                    let d = self.send_lossy(
+                        MessageKind::DemandPageRequest,
+                        node,
+                        source,
+                        object,
+                        req,
+                        Some(fam),
+                    ) + self.send_lossy(
+                        MessageKind::DemandPageTransfer,
+                        source,
+                        node,
+                        object,
+                        xfer,
+                        Some(fam),
+                    );
+                    demand_delay = demand_delay.max(d);
+                    if self.sink.enabled() {
+                        self.sink.emit(ObsEvent {
+                            at: now,
+                            node: node.index(),
+                            kind: ObsEventKind::DemandBatch {
+                                family: fam as u64,
+                                object: object.index(),
+                                source: source.index(),
+                                pages: pages.iter().map(|p| p.get()).collect(),
+                                bytes: xfer,
+                                delay_ns: d.as_nanos(),
+                            },
+                        });
+                    }
+                    for &page in &pages {
+                        demand_installs.push(self.current_page_copy(object, page));
+                        self.stats.demand_fetches += 1;
+                    }
+                }
+            } else {
+                // Serial per-page repair (the legacy path; byte-identical
+                // message sequence to pre-adaptive builds).
+                for &(page, source) in &stale_fetches {
                     let req = self.config.sizes.page_request(1);
                     let xfer = transfer_message_bytes(self.config, self.registry, object, &[page]);
                     if self.sink.enabled() {
@@ -1185,6 +1288,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
             return Ok(());
         }
 
+        self.feedback_profile(now, fam);
+
         if is_root {
             return self.commit_root(now, fam);
         }
@@ -1214,6 +1319,58 @@ impl<'a, S: EventSink> Engine<'a, S> {
             Event::Continue(fam, gen),
         );
         Ok(())
+    }
+
+    /// Feeds the invocation's observed access set back into the adaptive
+    /// predictor at (pre-)commit. Under-predicted pages expand the profile
+    /// immediately; pages untouched for a full confidence window shrink it
+    /// (never below the static must-access floor). Aborted invocations do
+    /// not feed back — their access sets may be partial.
+    fn feedback_profile(&mut self, now: SimTime, fam: usize) {
+        if self.predictor.is_none() {
+            return;
+        }
+        let (object, method, path) = {
+            let top = self.families[fam].top();
+            (top.object, top.method, top.path)
+        };
+        let class = self.registry.object(object).class;
+        if !self.config.protocol_for(class).uses_prediction() {
+            return;
+        }
+        let actual = self
+            .registry
+            .class_of(object)
+            .path_access(method, path)
+            .touched();
+        let delta = self
+            .predictor
+            .as_mut()
+            .expect("checked above")
+            .observe(class, method, &actual);
+        self.stats.profile_expansions += delta.expanded.len() as u64;
+        self.stats.profile_shrinks += delta.shrunk.len() as u64;
+        if !delta.is_empty() && self.sink.enabled() {
+            let profile = self
+                .predictor
+                .as_ref()
+                .expect("checked above")
+                .profile(class, method);
+            let (predicted, observations) =
+                (profile.predicted().len() as u32, profile.observations());
+            self.sink.emit(ObsEvent {
+                at: now,
+                node: self.workload[fam].node.index(),
+                kind: ObsEventKind::ProfileUpdate {
+                    class: class.index(),
+                    method: method.index(),
+                    expanded: delta.expanded.iter().map(|p| p.get()).collect(),
+                    shrunk: delta.shrunk.iter().map(|p| p.get()).collect(),
+                    predicted,
+                    observations,
+                },
+            });
+        }
     }
 
     fn commit_root(&mut self, now: SimTime, fam: usize) -> Result<(), CoreError> {
@@ -1555,6 +1712,16 @@ impl<'a, S: EventSink> Engine<'a, S> {
         let node = w.node;
         self.stats.crashes += 1;
 
+        // Adaptive profiles learned against the pre-crash placement are
+        // invalidated wholesale: the crash cold-starts caches and repoints
+        // page owners, so stale confidence is dangerous. Every profile
+        // restarts from the static baseline and re-learns over a fresh
+        // window.
+        if let Some(predictor) = self.predictor.as_mut() {
+            predictor.reset_all();
+            self.stats.profile_resets += 1;
+        }
+
         // Crash-abort in-flight attempts. Families merely backing off (or
         // not yet arrived) keep their state; their Start/Restart defers
         // until the node is back up.
@@ -1863,6 +2030,79 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn adaptive_run_is_serializable_and_matches_replay() {
+        let config = SystemConfig {
+            adaptive: crate::config::AdaptiveConfig {
+                enabled: true,
+                window: 2,
+            },
+            ..SystemConfig::default()
+        };
+        let (registry, families) = demo_workload(&config, 11);
+        let report = run_engine(&config, &registry, &families).unwrap();
+        assert_eq!(report.stats.committed_families, 8);
+        oracle::verify(&report).expect("adaptive runs stay serializable");
+        let replayed = crate::replay::replay_run(&report.trace, &registry, &config);
+        assert_eq!(
+            report.traffic.total(),
+            replayed.total(),
+            "adaptive engine and replay accounting diverged"
+        );
+        for inst in registry.objects() {
+            assert_eq!(
+                report.traffic.object(inst.id),
+                replayed.object(inst.id),
+                "{}: adaptive per-object accounting diverged",
+                inst.id
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_profiles_learn_on_demo_workload() {
+        // Window 1 trims a page after a single untouched observation, so
+        // any `rebuild` invocation that takes the index-only path trims
+        // the bulk pages out of the profile.
+        let config = SystemConfig {
+            adaptive: crate::config::AdaptiveConfig {
+                enabled: true,
+                window: 1,
+            },
+            ..SystemConfig::default()
+        };
+        let (registry, families) = demo_workload(&config, 11);
+        let report = run_engine(&config, &registry, &families).unwrap();
+        // The static predictions are conservative supersets of every
+        // path's access set, so on a path-varying workload learning must
+        // trim something; no crashes means no resets.
+        assert!(
+            report.stats.profile_shrinks > 0,
+            "over-predicted pages must be trimmed"
+        );
+        assert_eq!(report.stats.profile_resets, 0);
+        oracle::verify(&report).expect("trimmed profiles stay sound");
+    }
+
+    #[test]
+    fn adaptive_off_takes_the_static_path() {
+        // Belt and braces on top of the golden fingerprints: a run with
+        // the adaptive block left at its default must be bit-identical to
+        // one that never mentions it.
+        let explicit = SystemConfig {
+            adaptive: crate::config::AdaptiveConfig::default(),
+            ..SystemConfig::default()
+        };
+        let implicit = SystemConfig::default();
+        let (registry, families) = demo_workload(&implicit, 9);
+        let a = run_engine(&explicit, &registry, &families).unwrap();
+        let b = run_engine(&implicit, &registry, &families).unwrap();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.traffic.total(), b.traffic.total());
+        assert_eq!(a.stats.makespan, b.stats.makespan);
+        assert_eq!(a.stats.profile_shrinks + a.stats.profile_expansions, 0);
     }
 
     #[test]

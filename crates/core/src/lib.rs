@@ -71,7 +71,7 @@ pub mod spec;
 pub mod trace;
 
 pub use compare::{compare_protocols, ProtocolComparison};
-pub use config::{CostModel, SystemConfig};
+pub use config::{AdaptiveConfig, CostModel, SystemConfig};
 pub use engine::{Engine, RunReport};
 pub use error::CoreError;
 pub use protocol::ProtocolKind;

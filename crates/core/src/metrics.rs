@@ -76,6 +76,15 @@ pub struct RunStats {
     pub restarts: u64,
     /// Demand fetches (LOTEC misprediction path).
     pub demand_fetches: u64,
+    /// Adaptive prediction: pages added to a profile on misprediction
+    /// feedback (under-prediction repairs).
+    pub profile_expansions: u64,
+    /// Adaptive prediction: pages dropped from a profile after going
+    /// untouched for a full confidence window (over-prediction trims).
+    pub profile_shrinks: u64,
+    /// Adaptive prediction: whole-predictor resets (profiles invalidated
+    /// by a node crash and regenerated from the static baseline).
+    pub profile_resets: u64,
     /// Lock grants served from locally cached GDO state (a retaining
     /// ancestor at the same site — no messages; §5.1's cheap case).
     pub local_lock_grants: u64,

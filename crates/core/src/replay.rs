@@ -24,6 +24,7 @@ use lotec_net::{Message, MessageKind, TrafficLedger};
 use lotec_object::{ObjectRegistry, PageSet};
 use lotec_sim::{NodeId, SimRng};
 
+use crate::analysis::adjacent_run_count;
 use crate::config::SystemConfig;
 use crate::granularity::transfer_message_bytes;
 use crate::metrics::ProtocolTraffic;
@@ -146,8 +147,20 @@ fn replay_with_model(
                 // in principle, unsound).
                 if kind.uses_prediction() {
                     let touched = actual_reads.union(actual_writes);
-                    for page in touched.iter() {
-                        if let Some(source) = model.demand_fetch(node, object, page) {
+                    if config.adaptive.enabled {
+                        // Mirror the engine's batched repair: one
+                        // request/transfer pair per source covering every
+                        // mispredicted page from that source.
+                        let mut by_source: Vec<(NodeId, Vec<PageIndex>)> = Vec::new();
+                        for page in touched.iter() {
+                            if let Some(source) = model.demand_fetch(node, object, page) {
+                                match by_source.iter_mut().find(|(s, _)| *s == source) {
+                                    Some((_, pages)) => pages.push(page),
+                                    None => by_source.push((source, vec![page])),
+                                }
+                            }
+                        }
+                        for (source, pages) in by_source {
                             charge_fetch(
                                 &mut ledger,
                                 config,
@@ -155,9 +168,24 @@ fn replay_with_model(
                                 node,
                                 source,
                                 object,
-                                &[page],
+                                &pages,
                                 true,
                             );
+                        }
+                    } else {
+                        for page in touched.iter() {
+                            if let Some(source) = model.demand_fetch(node, object, page) {
+                                charge_fetch(
+                                    &mut ledger,
+                                    config,
+                                    registry,
+                                    node,
+                                    source,
+                                    object,
+                                    &[page],
+                                    true,
+                                );
+                            }
                         }
                     }
                 }
@@ -306,13 +334,16 @@ fn charge_fetch(
     } else {
         (MessageKind::PageRequest, MessageKind::PageTransfer)
     };
-    ledger.record(&Message::new(
-        req_kind,
-        node,
-        source,
-        object,
-        config.sizes.page_request(pages.len()),
-    ));
+    // Mirror the engine's request sizing: adaptive runs coalesce adjacent
+    // pages into ranged request entries; transfers keep page framing.
+    let req = if config.adaptive.enabled {
+        config
+            .sizes
+            .coalesced_page_request(pages.len(), adjacent_run_count(pages))
+    } else {
+        config.sizes.page_request(pages.len())
+    };
+    ledger.record(&Message::new(req_kind, node, source, object, req));
     ledger.record(&Message::new(
         xfer_kind,
         source,

@@ -63,6 +63,30 @@ impl MessageSizes {
         self.header + self.page_request_entry * pages as u64
     }
 
+    /// One ranged entry in a coalesced page request: a page id plus a run
+    /// length.
+    pub fn range_request_entry(&self) -> u64 {
+        self.page_request_entry + 2
+    }
+
+    /// Size of a coalesced page request naming `runs` maximal runs of
+    /// adjacent pages: each run is one `(first page, length)` entry
+    /// instead of one entry per page. With every run longer than one page
+    /// this is strictly smaller than [`page_request`](Self::page_request)
+    /// for the same page set; singleton runs cost 2 bytes extra each, so
+    /// callers charge `min(ranged, plain)` — a real implementation would
+    /// pick the cheaper encoding per message.
+    pub fn ranged_page_request(&self, runs: usize) -> u64 {
+        self.header + self.range_request_entry() * runs as u64
+    }
+
+    /// The cheaper of the plain and ranged encodings of one page request
+    /// covering `pages` pages in `runs` maximal adjacent runs.
+    pub fn coalesced_page_request(&self, pages: usize, runs: usize) -> u64 {
+        debug_assert!(runs <= pages);
+        self.page_request(pages).min(self.ranged_page_request(runs))
+    }
+
     /// Size of a transfer of `pages` pages of `page_size` bytes each.
     pub fn page_transfer(&self, pages: usize, page_size: u64) -> u64 {
         self.header + (self.page_header + page_size) * pages as u64
@@ -116,5 +140,28 @@ mod tests {
     fn zero_page_transfer_is_just_header() {
         let s = MessageSizes::default();
         assert_eq!(s.page_transfer(0, 4096), s.header);
+    }
+
+    #[test]
+    fn ranged_request_beats_plain_on_long_runs() {
+        let s = MessageSizes::default();
+        // 6 adjacent pages in 1 run: 1 ranged entry vs 6 plain entries.
+        assert!(s.ranged_page_request(1) < s.page_request(6));
+        assert_eq!(
+            s.ranged_page_request(1),
+            s.header + s.page_request_entry + 2
+        );
+    }
+
+    #[test]
+    fn coalesced_request_never_exceeds_plain() {
+        let s = MessageSizes::default();
+        for (pages, runs) in [(1usize, 1usize), (6, 1), (6, 6), (10, 3), (2, 2)] {
+            assert!(s.coalesced_page_request(pages, runs) <= s.page_request(pages));
+        }
+        // All-singleton runs fall back to the plain encoding.
+        assert_eq!(s.coalesced_page_request(3, 3), s.page_request(3));
+        // One long run uses the ranged encoding.
+        assert_eq!(s.coalesced_page_request(6, 1), s.ranged_page_request(1));
     }
 }

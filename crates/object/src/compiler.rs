@@ -106,6 +106,8 @@ pub struct CompiledClass {
     // Indexed by method, then by path.
     predictions: Vec<Prediction>,
     path_access: Vec<Vec<PathAccess>>,
+    // Indexed by method: pages touched on *every* path.
+    must_access: Vec<PageSet>,
 }
 
 impl CompiledClass {
@@ -135,6 +137,18 @@ impl CompiledClass {
     /// Panics if `method` or `path` is out of range.
     pub fn path_access(&self, method: MethodId, path: PathId) -> &PathAccess {
         &self.path_access[method.index() as usize][path.index() as usize]
+    }
+
+    /// The statically-proven *must-access* set of `method`: pages touched
+    /// on every control-flow path (the intersection over paths). Any run
+    /// of the method is guaranteed to need these pages, so an adaptive
+    /// predictor may never shrink its prediction below this floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `method` is out of range.
+    pub fn must_access(&self, method: MethodId) -> &PageSet {
+        &self.must_access[method.index() as usize]
     }
 
     /// Number of control-flow paths of `method`.
@@ -186,21 +200,29 @@ pub fn compile(class: &ClassDef, page_size: u32) -> Result<CompiledClass, Compil
     let layout = Layout::of(class, page_size);
     let mut predictions = Vec::with_capacity(class.methods().len());
     let mut path_access = Vec::with_capacity(class.methods().len());
+    let mut must_access = Vec::with_capacity(class.methods().len());
     for method in class.methods() {
         let mut pred_reads = PageSet::new();
         let mut pred_writes = PageSet::new();
+        let mut must: Option<PageSet> = None;
         let mut accesses = Vec::with_capacity(method.paths().len());
         for path in method.paths() {
             let reads = layout.pages_of_attrs(path.reads());
             let writes = layout.pages_of_attrs(path.writes());
             pred_reads.union_with(&reads);
             pred_writes.union_with(&writes);
+            let touched = reads.union(&writes);
+            must = Some(match must {
+                Some(m) => m.intersection(&touched),
+                None => touched,
+            });
             accesses.push(PathAccess { reads, writes });
         }
         predictions.push(Prediction {
             reads: pred_reads,
             writes: pred_writes,
         });
+        must_access.push(must.unwrap_or_default());
         path_access.push(accesses);
     }
     let compiled = CompiledClass {
@@ -208,6 +230,7 @@ pub fn compile(class: &ClassDef, page_size: u32) -> Result<CompiledClass, Compil
         layout,
         predictions,
         path_access,
+        must_access,
     };
     debug_assert!(compiled.verify().is_ok());
     Ok(compiled)
@@ -284,6 +307,33 @@ mod tests {
         let path0 = c.path_access(MethodId::new(1), PathId::new(0)).touched();
         assert!(path0.is_subset(&pred));
         assert!(path0.len() < pred.len());
+    }
+
+    #[test]
+    fn must_access_is_intersection_over_paths() {
+        let c = compiled();
+        // `read_head` has one path touching head (p0): must == predicted.
+        let m0 = c.must_access(MethodId::new(0));
+        assert_eq!(m0.len(), 1);
+        assert_eq!(*m0, c.prediction(MethodId::new(0)).touched());
+        // `edit` paths touch {p0} and {p0,p1,p2}: intersection is {p0}.
+        let m1 = c.must_access(MethodId::new(1));
+        assert_eq!(m1.len(), 1);
+        assert!(m1.contains(lotec_mem::PageIndex::new(0)));
+    }
+
+    #[test]
+    fn must_access_is_subset_of_prediction() {
+        let c = compiled();
+        for m in 0..2u32 {
+            let mid = MethodId::new(m);
+            assert!(c.must_access(mid).is_subset(&c.prediction(mid).touched()));
+            // Every path covers the must-access set.
+            for p in 0..c.num_paths(mid) {
+                let acc = c.path_access(mid, PathId::new(p));
+                assert!(c.must_access(mid).is_subset(&acc.touched()));
+            }
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@
 pub mod class;
 pub mod compiler;
 pub mod layout;
+pub mod profile;
 pub mod registry;
 pub mod set;
 
@@ -53,5 +54,6 @@ pub use class::{
 };
 pub use compiler::{compile, CompileError, CompiledClass, PathAccess, Prediction};
 pub use layout::Layout;
+pub use profile::{adjacent_runs, AdaptivePredictor, PredictionProfile, ProfileDelta};
 pub use registry::{ObjectInstance, ObjectRegistry, RegistryError};
 pub use set::{AttrSet, PageSet};

@@ -1,0 +1,417 @@
+//! Adaptive access prediction: per-(class, method) profiles refined online.
+//!
+//! The static analysis in [`compile`](crate::compile) is conservative: its
+//! per-method prediction is the *union* over all control-flow paths, so on
+//! skewed workloads it routinely ships pages the hot path never touches.
+//! A [`PredictionProfile`] starts from that static prediction and refines
+//! it from observed access sets fed back at sub-transaction pre-commit:
+//!
+//! * **under-prediction** (a page was demand-fetched) expands the
+//!   prediction immediately — one miss is enough evidence, and a miss
+//!   costs a synchronous round trip;
+//! * **over-prediction** shrinks lazily — a page is dropped only after it
+//!   went untouched for a full *confidence window* of consecutive
+//!   observations, so one cold run cannot evict pages the steady state
+//!   needs.
+//!
+//! Shrinking is bounded below by the statically-proven *must-access* set
+//! ([`CompiledClass::must_access`](crate::CompiledClass::must_access)):
+//! pages touched on every path are guaranteed to be needed, so the profile
+//! never drops them regardless of observation history. Correctness never
+//! depends on the profile being right — a wrong prediction only costs
+//! demand fetches — but the floor keeps the profile from ever predicting
+//! less than what is provably required.
+
+use lotec_mem::PageIndex;
+
+use crate::class::{ClassId, MethodId};
+use crate::registry::ObjectRegistry;
+use crate::set::PageSet;
+
+/// What one observation changed in a profile.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileDelta {
+    /// Pages added to the prediction (under-prediction repair).
+    pub expanded: PageSet,
+    /// Pages dropped from the prediction (confidence window elapsed).
+    pub shrunk: PageSet,
+}
+
+impl ProfileDelta {
+    /// True when the observation left the prediction unchanged.
+    pub fn is_empty(&self) -> bool {
+        self.expanded.is_empty() && self.shrunk.is_empty()
+    }
+}
+
+/// One method's adaptive prediction state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredictionProfile {
+    /// The static conservative prediction (union over paths).
+    baseline: PageSet,
+    /// The soundness floor (intersection over paths); never shrunk below.
+    floor: PageSet,
+    /// The current prediction. Invariant: `floor ⊆ predicted`.
+    predicted: PageSet,
+    /// Consecutive observations each page went untouched, indexed by page.
+    streak: Vec<u32>,
+    /// Observations a predicted page must go untouched before it is
+    /// dropped.
+    window: u32,
+    /// Total observations fed back so far.
+    observations: u64,
+}
+
+impl PredictionProfile {
+    /// Builds a profile from the static analysis of one method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor ⊄ baseline` (the static analysis guarantees the
+    /// must-access set is a subset of the union prediction) or if
+    /// `window == 0`.
+    pub fn new(baseline: PageSet, floor: PageSet, num_pages: u16, window: u32) -> Self {
+        assert!(window > 0, "confidence window must be positive");
+        assert!(
+            floor.is_subset(&baseline),
+            "must-access floor must be a subset of the static prediction"
+        );
+        PredictionProfile {
+            predicted: baseline.clone(),
+            baseline,
+            floor,
+            streak: vec![0; usize::from(num_pages)],
+            window,
+            observations: 0,
+        }
+    }
+
+    /// The current predicted page set.
+    pub fn predicted(&self) -> &PageSet {
+        &self.predicted
+    }
+
+    /// The static baseline this profile started from.
+    pub fn baseline(&self) -> &PageSet {
+        &self.baseline
+    }
+
+    /// The soundness floor.
+    pub fn floor(&self) -> &PageSet {
+        &self.floor
+    }
+
+    /// Observations fed back so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Feeds back one observed access set and refines the prediction.
+    ///
+    /// Pages in `actual` but not predicted are added immediately (they
+    /// were demand-fetched this run). Predicted pages outside the floor
+    /// that have now gone untouched for `window` consecutive observations
+    /// are dropped.
+    pub fn observe(&mut self, actual: &PageSet) -> ProfileDelta {
+        self.observations += 1;
+        let expanded = actual.difference(&self.predicted);
+        self.predicted.union_with(&expanded);
+        let mut shrunk = PageSet::new();
+        for page in self.predicted.iter() {
+            let slot = &mut self.streak[usize::from(page.get())];
+            if actual.contains(page) {
+                *slot = 0;
+            } else {
+                *slot += 1;
+                if *slot >= self.window && !self.floor.contains(page) {
+                    shrunk.insert(page);
+                }
+            }
+        }
+        if !shrunk.is_empty() {
+            self.predicted = self.predicted.difference(&shrunk);
+        }
+        debug_assert!(self.floor.is_subset(&self.predicted));
+        ProfileDelta { expanded, shrunk }
+    }
+
+    /// Discards all learned state: the prediction reverts to the static
+    /// baseline and every untouched-streak restarts. Used when the pages
+    /// the profile was trained on no longer exist (e.g. a node crash
+    /// evicted cached copies mid-window).
+    pub fn reset(&mut self) {
+        self.predicted = self.baseline.clone();
+        self.streak.fill(0);
+        self.observations = 0;
+    }
+}
+
+/// A dense per-(class, method) table of [`PredictionProfile`]s for one
+/// run. Profiles are shared by all objects of a class — access patterns
+/// are a property of the code, not of the instance.
+#[derive(Debug, Clone)]
+pub struct AdaptivePredictor {
+    // Indexed by class, then by method.
+    profiles: Vec<Vec<PredictionProfile>>,
+    resets: u64,
+}
+
+impl AdaptivePredictor {
+    /// Builds one profile per (class, method) from `registry`'s static
+    /// analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(registry: &ObjectRegistry, window: u32) -> Self {
+        let profiles = (0..registry.num_classes())
+            .map(|ci| {
+                let compiled = registry.class(ClassId::new(ci as u32));
+                let num_pages = compiled.layout().num_pages();
+                (0..compiled.class().methods().len())
+                    .map(|mi| {
+                        let method = MethodId::new(mi as u32);
+                        PredictionProfile::new(
+                            compiled.prediction(method).touched(),
+                            compiled.must_access(method).clone(),
+                            num_pages,
+                            window,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        AdaptivePredictor {
+            profiles,
+            resets: 0,
+        }
+    }
+
+    /// The profile of `(class, method)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn profile(&self, class: ClassId, method: MethodId) -> &PredictionProfile {
+        &self.profiles[class.index() as usize][method.index() as usize]
+    }
+
+    /// The current prediction of `(class, method)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn predicted(&self, class: ClassId, method: MethodId) -> &PageSet {
+        self.profile(class, method).predicted()
+    }
+
+    /// Feeds back an observed access set for `(class, method)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn observe(&mut self, class: ClassId, method: MethodId, actual: &PageSet) -> ProfileDelta {
+        self.profiles[class.index() as usize][method.index() as usize].observe(actual)
+    }
+
+    /// Resets every profile to its static baseline (see
+    /// [`PredictionProfile::reset`]).
+    pub fn reset_all(&mut self) {
+        for class in &mut self.profiles {
+            for profile in class {
+                profile.reset();
+            }
+        }
+        self.resets += 1;
+    }
+
+    /// Number of [`reset_all`](Self::reset_all) calls so far.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+}
+
+/// Splits a sorted page set into maximal runs of adjacent pages:
+/// `{0,1,2,5,6,9}` → `[(0,3), (5,2), (9,1)]` as `(first, len)` pairs.
+/// Used by the transfer planner to coalesce ranged batch requests.
+pub fn adjacent_runs(pages: &PageSet) -> Vec<(PageIndex, u16)> {
+    let mut runs: Vec<(PageIndex, u16)> = Vec::new();
+    for page in pages.iter() {
+        match runs.last_mut() {
+            Some((first, len)) if first.get() + *len == page.get() => *len += 1,
+            _ => runs.push((page, 1)),
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassBuilder;
+
+    fn ps(indices: &[u16]) -> PageSet {
+        indices.iter().map(|&i| PageIndex::new(i)).collect()
+    }
+
+    fn profile(window: u32) -> PredictionProfile {
+        // Baseline {0,1,2,3}, floor {0}.
+        PredictionProfile::new(ps(&[0, 1, 2, 3]), ps(&[0]), 8, window)
+    }
+
+    #[test]
+    fn starts_at_baseline() {
+        let p = profile(3);
+        assert_eq!(*p.predicted(), ps(&[0, 1, 2, 3]));
+        assert_eq!(p.observations(), 0);
+    }
+
+    #[test]
+    fn under_prediction_expands_immediately() {
+        let mut p = profile(3);
+        let delta = p.observe(&ps(&[0, 5]));
+        assert_eq!(delta.expanded, ps(&[5]));
+        assert!(p.predicted().contains(PageIndex::new(5)));
+    }
+
+    #[test]
+    fn over_prediction_shrinks_after_window() {
+        let mut p = profile(3);
+        for _ in 0..2 {
+            assert!(p.observe(&ps(&[0, 1])).is_empty());
+        }
+        let delta = p.observe(&ps(&[0, 1]));
+        assert_eq!(delta.shrunk, ps(&[2, 3]));
+        assert_eq!(*p.predicted(), ps(&[0, 1]));
+    }
+
+    #[test]
+    fn touch_resets_the_streak() {
+        let mut p = profile(3);
+        p.observe(&ps(&[0, 1]));
+        p.observe(&ps(&[0, 1]));
+        // Page 2 touched on the third observation: streak restarts.
+        let delta = p.observe(&ps(&[0, 1, 2]));
+        assert_eq!(delta.shrunk, ps(&[3]));
+        assert!(p.predicted().contains(PageIndex::new(2)));
+    }
+
+    #[test]
+    fn floor_is_never_shrunk() {
+        let mut p = profile(1);
+        // Page 0 is in the floor; even a window of 1 with no touches at
+        // all keeps it predicted.
+        let delta = p.observe(&PageSet::new());
+        assert!(!delta.shrunk.contains(PageIndex::new(0)));
+        assert!(p.predicted().contains(PageIndex::new(0)));
+        assert_eq!(*p.predicted(), ps(&[0]));
+    }
+
+    #[test]
+    fn expanded_page_can_later_shrink_again() {
+        let mut p = profile(2);
+        p.observe(&ps(&[0, 5]));
+        assert!(p.predicted().contains(PageIndex::new(5)));
+        p.observe(&ps(&[0]));
+        let delta = p.observe(&ps(&[0]));
+        assert!(delta.shrunk.contains(PageIndex::new(5)));
+    }
+
+    #[test]
+    fn reset_restores_baseline() {
+        let mut p = profile(1);
+        p.observe(&ps(&[0, 6]));
+        p.observe(&ps(&[0]));
+        assert_ne!(*p.predicted(), ps(&[0, 1, 2, 3]));
+        p.reset();
+        assert_eq!(*p.predicted(), ps(&[0, 1, 2, 3]));
+        assert_eq!(p.observations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence window")]
+    fn zero_window_rejected() {
+        let _ = PredictionProfile::new(ps(&[0]), ps(&[0]), 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must-access floor")]
+    fn floor_outside_baseline_rejected() {
+        let _ = PredictionProfile::new(ps(&[0]), ps(&[1]), 2, 3);
+    }
+
+    fn registry() -> ObjectRegistry {
+        use crate::class::ClassId;
+        use lotec_sim::NodeId;
+        // 100-byte pages: head -> p0, body -> p0-2, tail -> p2.
+        let class = ClassBuilder::new("Doc")
+            .attribute("head", 20)
+            .attribute("body", 250)
+            .attribute("tail", 30)
+            .method("read_head", |m| m.path(|p| p.reads(&["head"])))
+            .method("edit", |m| {
+                m.path(|p| p.reads(&["head"]).writes(&["head"]))
+                    .path(|p| p.reads(&["body"]).writes(&["body", "tail"]))
+            })
+            .build();
+        ObjectRegistry::build(&[class], &[(ClassId::new(0), NodeId::new(0))], 100).unwrap()
+    }
+
+    #[test]
+    fn predictor_mirrors_static_analysis_at_start() {
+        let reg = registry();
+        let pred = AdaptivePredictor::new(&reg, 4);
+        let compiled = reg.class(ClassId::new(0));
+        for m in 0..2u32 {
+            let mid = MethodId::new(m);
+            assert_eq!(
+                *pred.predicted(ClassId::new(0), mid),
+                compiled.prediction(mid).touched()
+            );
+            assert_eq!(
+                *pred.profile(ClassId::new(0), mid).floor(),
+                *compiled.must_access(mid)
+            );
+        }
+    }
+
+    #[test]
+    fn predictor_learns_and_resets_per_method() {
+        let reg = registry();
+        let mut pred = AdaptivePredictor::new(&reg, 2);
+        let (c, m) = (ClassId::new(0), MethodId::new(1));
+        // `edit` starts predicting {0,1,2}; a stable head-only pattern
+        // shrinks it to the floor {0}.
+        for _ in 0..2 {
+            pred.observe(c, m, &ps(&[0]));
+        }
+        assert_eq!(*pred.predicted(c, m), ps(&[0]));
+        // The other method is untouched by that feedback.
+        assert_eq!(
+            *pred.predicted(c, MethodId::new(0)),
+            reg.class(c).prediction(MethodId::new(0)).touched()
+        );
+        pred.reset_all();
+        assert_eq!(pred.resets(), 1);
+        assert_eq!(*pred.predicted(c, m), reg.class(c).prediction(m).touched());
+    }
+
+    #[test]
+    fn adjacent_runs_splits_maximal_ranges() {
+        assert_eq!(adjacent_runs(&PageSet::new()), vec![]);
+        assert_eq!(adjacent_runs(&ps(&[4])), vec![(PageIndex::new(4), 1)]);
+        assert_eq!(
+            adjacent_runs(&ps(&[0, 1, 2, 5, 6, 9])),
+            vec![
+                (PageIndex::new(0), 3),
+                (PageIndex::new(5), 2),
+                (PageIndex::new(9), 1)
+            ]
+        );
+        // Runs across a bitset word boundary stay coalesced.
+        assert_eq!(
+            adjacent_runs(&ps(&[63, 64, 65])),
+            vec![(PageIndex::new(63), 3)]
+        );
+    }
+}

@@ -307,6 +307,55 @@ pub enum ObsEventKind {
         /// nanoseconds.
         delay_ns: u64,
     },
+    /// Adaptive prediction: one grant's prediction quality sample,
+    /// attributed to the (class, method) whose profile produced it.
+    /// Emitted alongside `GrantPlan` for prediction-based protocols; the
+    /// per-method precision/recall time series aggregate these.
+    PredictionSample {
+        /// Class index.
+        class: u32,
+        /// Method index within the class.
+        method: u32,
+        /// Predicted page count.
+        predicted: u32,
+        /// Actually touched page count.
+        actual: u32,
+        /// Pages both predicted and touched.
+        true_positives: u32,
+    },
+    /// Adaptive prediction: a pre-commit observation changed a
+    /// (class, method) profile — pages were added (under-prediction
+    /// repair) and/or dropped (confidence window elapsed).
+    ProfileUpdate {
+        /// Class index.
+        class: u32,
+        /// Method index within the class.
+        method: u32,
+        /// Pages added to the prediction.
+        expanded: Vec<u16>,
+        /// Pages dropped from the prediction.
+        shrunk: Vec<u16>,
+        /// Size of the prediction after the update.
+        predicted: u32,
+        /// Observations fed to this profile so far.
+        observations: u64,
+    },
+    /// Adaptive prediction: same-phase demand fetches to one source were
+    /// coalesced into a single request/transfer round trip.
+    DemandBatch {
+        /// Family index.
+        family: u64,
+        /// Object index.
+        object: u32,
+        /// Site the pages are fetched from.
+        source: u32,
+        /// The missed pages, in page order.
+        pages: Vec<u16>,
+        /// Transfer-message bytes of the batch.
+        bytes: u64,
+        /// Round-trip delay of the batch, in sim nanoseconds.
+        delay_ns: u64,
+    },
     /// A page miss during compute forced a synchronous demand fetch.
     DemandFetch {
         /// Family index.
@@ -387,6 +436,9 @@ impl ObsEventKind {
             ObsEventKind::Restart { .. } => "restart",
             ObsEventKind::GrantPlan { .. } => "grant_plan",
             ObsEventKind::GatherBatch { .. } => "gather_batch",
+            ObsEventKind::PredictionSample { .. } => "prediction_sample",
+            ObsEventKind::ProfileUpdate { .. } => "profile_update",
+            ObsEventKind::DemandBatch { .. } => "demand_batch",
             ObsEventKind::DemandFetch { .. } => "demand_fetch",
             ObsEventKind::Retransmit { .. } => "retransmit",
             ObsEventKind::NodeCrashed { .. } => "node_crashed",

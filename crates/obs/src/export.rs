@@ -215,6 +215,49 @@ pub fn event_to_json(event: &ObsEvent) -> Json {
             pairs.push(("bytes", Json::U64(*bytes)));
             pairs.push(("delay_ns", Json::U64(*delay_ns)));
         }
+        ObsEventKind::PredictionSample {
+            class,
+            method,
+            predicted,
+            actual,
+            true_positives,
+        } => {
+            pairs.push(("class", Json::U64(*class as u64)));
+            pairs.push(("method", Json::U64(*method as u64)));
+            pairs.push(("predicted", Json::U64(*predicted as u64)));
+            pairs.push(("actual", Json::U64(*actual as u64)));
+            pairs.push(("true_positives", Json::U64(*true_positives as u64)));
+        }
+        ObsEventKind::ProfileUpdate {
+            class,
+            method,
+            expanded,
+            shrunk,
+            predicted,
+            observations,
+        } => {
+            pairs.push(("class", Json::U64(*class as u64)));
+            pairs.push(("method", Json::U64(*method as u64)));
+            pairs.push(("expanded", pages_json(expanded)));
+            pairs.push(("shrunk", pages_json(shrunk)));
+            pairs.push(("predicted", Json::U64(*predicted as u64)));
+            pairs.push(("observations", Json::U64(*observations)));
+        }
+        ObsEventKind::DemandBatch {
+            family,
+            object,
+            source,
+            pages,
+            bytes,
+            delay_ns,
+        } => {
+            pairs.push(("family", Json::U64(*family)));
+            pairs.push(("object", Json::U64(*object as u64)));
+            pairs.push(("source", Json::U64(*source as u64)));
+            pairs.push(("pages", pages_json(pages)));
+            pairs.push(("bytes", Json::U64(*bytes)));
+            pairs.push(("delay_ns", Json::U64(*delay_ns)));
+        }
         ObsEventKind::DemandFetch {
             family,
             object,
@@ -387,6 +430,29 @@ pub fn event_from_json(json: &Json) -> Result<ObsEvent, JsonError> {
             object: u32_field(json, "object")?,
             source: u32_field(json, "source")?,
             pages: u32_field(json, "pages")?,
+            bytes: u64_field(json, "bytes")?,
+            delay_ns: u64_field(json, "delay_ns")?,
+        },
+        "prediction_sample" => ObsEventKind::PredictionSample {
+            class: u32_field(json, "class")?,
+            method: u32_field(json, "method")?,
+            predicted: u32_field(json, "predicted")?,
+            actual: u32_field(json, "actual")?,
+            true_positives: u32_field(json, "true_positives")?,
+        },
+        "profile_update" => ObsEventKind::ProfileUpdate {
+            class: u32_field(json, "class")?,
+            method: u32_field(json, "method")?,
+            expanded: pages_from(json, "expanded")?,
+            shrunk: pages_from(json, "shrunk")?,
+            predicted: u32_field(json, "predicted")?,
+            observations: u64_field(json, "observations")?,
+        },
+        "demand_batch" => ObsEventKind::DemandBatch {
+            family: u64_field(json, "family")?,
+            object: u32_field(json, "object")?,
+            source: u32_field(json, "source")?,
+            pages: pages_from(json, "pages")?,
             bytes: u64_field(json, "bytes")?,
             delay_ns: u64_field(json, "delay_ns")?,
         },
@@ -889,6 +955,41 @@ mod tests {
                     actual_writes: vec![4, 5],
                     planned_pages: 3,
                     sources: 2,
+                },
+            },
+            ObsEvent {
+                at: SimTime::from_nanos(300),
+                node: 1,
+                kind: ObsEventKind::PredictionSample {
+                    class: 1,
+                    method: 2,
+                    predicted: 3,
+                    actual: 4,
+                    true_positives: 3,
+                },
+            },
+            ObsEvent {
+                at: SimTime::from_nanos(305),
+                node: 1,
+                kind: ObsEventKind::DemandBatch {
+                    family: 2,
+                    object: 3,
+                    source: 2,
+                    pages: vec![5, 6],
+                    bytes: 2 * 4_096 + 64,
+                    delay_ns: 2_000,
+                },
+            },
+            ObsEvent {
+                at: SimTime::from_nanos(310),
+                node: 1,
+                kind: ObsEventKind::ProfileUpdate {
+                    class: 1,
+                    method: 2,
+                    expanded: vec![5],
+                    shrunk: vec![1, 4],
+                    predicted: 2,
+                    observations: 9,
                 },
             },
             ObsEvent {

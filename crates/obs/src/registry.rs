@@ -29,6 +29,16 @@ pub enum MetricLabel {
     Object(u32),
     /// Per-node series.
     Node(u32),
+    /// Per-(class, method) series — the adaptive-prediction attribution
+    /// unit. The key is derived from static schema indices only, so the
+    /// rendered label is stable across runs, thread counts, and event
+    /// orderings.
+    Method {
+        /// Class index.
+        class: u32,
+        /// Method index within the class.
+        method: u32,
+    },
 }
 
 impl fmt::Display for MetricLabel {
@@ -37,6 +47,9 @@ impl fmt::Display for MetricLabel {
             MetricLabel::Global => Ok(()),
             MetricLabel::Object(o) => write!(f, "[object={o}]"),
             MetricLabel::Node(n) => write!(f, "[node={n}]"),
+            MetricLabel::Method { class, method } => {
+                write!(f, "[class={class},method={method}]")
+            }
         }
     }
 }
@@ -213,6 +226,54 @@ impl MetricsRegistry {
                 self.add("transfer_bytes", MetricLabel::Node(*source), *bytes);
                 self.observe("gather_delay_ns", MetricLabel::Object(*object), *delay_ns);
             }
+            ObsEventKind::PredictionSample {
+                class,
+                method,
+                predicted,
+                actual,
+                true_positives,
+            } => {
+                let label = MetricLabel::Method {
+                    class: *class,
+                    method: *method,
+                };
+                self.add("prediction_grants", label, 1);
+                self.add("predicted_pages", label, *predicted as u64);
+                self.add("actual_pages", label, *actual as u64);
+                self.add("true_positive_pages", label, *true_positives as u64);
+            }
+            ObsEventKind::ProfileUpdate {
+                class,
+                method,
+                expanded,
+                shrunk,
+                predicted,
+                ..
+            } => {
+                let label = MetricLabel::Method {
+                    class: *class,
+                    method: *method,
+                };
+                self.add("profile_updates", label, 1);
+                self.add("profile_expanded_pages", label, expanded.len() as u64);
+                self.add("profile_shrunk_pages", label, shrunk.len() as u64);
+                self.gauge_set("profile_predicted_pages", label, *predicted as u64);
+            }
+            ObsEventKind::DemandBatch {
+                object,
+                source,
+                pages,
+                bytes,
+                ..
+            } => {
+                self.add(
+                    "demand_fetches",
+                    MetricLabel::Object(*object),
+                    pages.len() as u64,
+                );
+                self.add("demand_batches", MetricLabel::Object(*object), 1);
+                self.add("transfer_bytes", MetricLabel::Node(*source), *bytes);
+            }
             ObsEventKind::DemandFetch {
                 object,
                 source,
@@ -288,6 +349,43 @@ impl MetricsRegistry {
             .iter()
             .find(|((n, l), _)| *n == name && *l == label)
             .map(|(_, h)| h)
+    }
+
+    /// Per-method prediction quality as `(precision, recall)`, aggregated
+    /// over every [`PredictionSample`](ObsEventKind::PredictionSample) of
+    /// `(class, method)`. `None` when the method recorded no samples.
+    /// Precision = true positives / predicted; recall = true positives /
+    /// actual (1.0 when the respective denominator is zero).
+    pub fn method_precision_recall(&self, class: u32, method: u32) -> Option<(f64, f64)> {
+        let label = MetricLabel::Method { class, method };
+        if self.counter("prediction_grants", label) == 0 {
+            return None;
+        }
+        let predicted = self.counter("predicted_pages", label);
+        let actual = self.counter("actual_pages", label);
+        let tp = self.counter("true_positive_pages", label);
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                1.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        Some((ratio(tp, predicted), ratio(tp, actual)))
+    }
+
+    /// Every (class, method) pair that recorded prediction samples, in
+    /// label order.
+    pub fn sampled_methods(&self) -> Vec<(u32, u32)> {
+        self.counters
+            .iter()
+            .filter_map(|((name, label), _)| match (name, label) {
+                (&"prediction_grants", MetricLabel::Method { class, method }) => {
+                    Some((*class, *method))
+                }
+                _ => None,
+            })
+            .collect()
     }
 
     /// Top-`k` objects by total contended lock-wait time (ties broken by
@@ -525,6 +623,85 @@ mod tests {
         let tables = reg.render_top_tables(4);
         assert!(tables.contains("transfer bytes"));
         assert!(tables.contains("12288"));
+    }
+
+    #[test]
+    fn prediction_series_aggregate_per_method_under_stable_labels() {
+        let mut reg = MetricsRegistry::new();
+        reg.feed(&[
+            ev(
+                0,
+                1,
+                ObsEventKind::PredictionSample {
+                    class: 0,
+                    method: 1,
+                    predicted: 4,
+                    actual: 2,
+                    true_positives: 2,
+                },
+            ),
+            ev(
+                5,
+                2,
+                ObsEventKind::PredictionSample {
+                    class: 0,
+                    method: 1,
+                    predicted: 2,
+                    actual: 4,
+                    true_positives: 2,
+                },
+            ),
+            ev(
+                9,
+                1,
+                ObsEventKind::ProfileUpdate {
+                    class: 0,
+                    method: 1,
+                    expanded: vec![5, 6],
+                    shrunk: vec![3],
+                    predicted: 3,
+                    observations: 2,
+                },
+            ),
+            ev(
+                9,
+                1,
+                ObsEventKind::DemandBatch {
+                    family: 0,
+                    object: 2,
+                    source: 3,
+                    pages: vec![5, 6],
+                    bytes: 8_192,
+                    delay_ns: 100,
+                },
+            ),
+        ]);
+        // precision = 4/6, recall = 4/6 over both samples.
+        let (p, r) = reg.method_precision_recall(0, 1).unwrap();
+        assert!((p - 4.0 / 6.0).abs() < 1e-12);
+        assert!((r - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(reg.method_precision_recall(0, 0), None);
+        assert_eq!(reg.sampled_methods(), vec![(0, 1)]);
+        let label = MetricLabel::Method {
+            class: 0,
+            method: 1,
+        };
+        assert_eq!(reg.counter("profile_expanded_pages", label), 2);
+        assert_eq!(reg.counter("profile_shrunk_pages", label), 1);
+        assert_eq!(
+            reg.gauge("profile_predicted_pages", label).unwrap().value,
+            3
+        );
+        // A batched demand fetch counts each page and the batch.
+        assert_eq!(reg.counter("demand_fetches", MetricLabel::Object(2)), 2);
+        assert_eq!(reg.counter("demand_batches", MetricLabel::Object(2)), 1);
+        assert_eq!(reg.counter("transfer_bytes", MetricLabel::Node(3)), 8_192);
+        // The label renders from schema indices only: stable across runs.
+        assert_eq!(label.to_string(), "[class=0,method=1]");
+        let json = reg.to_json();
+        assert!(json
+            .render_pretty()
+            .contains("prediction_grants[class=0,method=1]"));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use lotec::prelude::*;
 use lotec::sim::{CrashWindow, FaultPlan};
 use lotec_core::config::FaultConfig;
 use lotec_core::spec::demo_workload;
+use lotec_core::AdaptiveConfig;
 
 /// Seeds for the sweep; override the count with `CHAOS_SEEDS=n`.
 fn seeds() -> Vec<u64> {
@@ -49,10 +50,17 @@ fn calibrate_makespan(protocol: ProtocolKind, seed: u64) -> SimDuration {
 /// serializability.
 fn check_scenario(protocol: ProtocolKind, seed: u64, faults: FaultConfig, label: &str) {
     let config = config_for(protocol, seed, faults);
-    let (registry, families) = demo_workload(&config, seed);
-    let a = run_engine(&config, &registry, &families)
+    check_config(&config, seed, label);
+}
+
+/// Like [`check_scenario`] but takes a prebuilt config (for adaptive
+/// variants) and hands the report back for extra assertions.
+fn check_config(config: &SystemConfig, seed: u64, label: &str) -> RunReport {
+    let protocol = config.protocol;
+    let (registry, families) = demo_workload(config, seed);
+    let a = run_engine(config, &registry, &families)
         .unwrap_or_else(|e| panic!("{label}/{protocol}/seed {seed}: run failed: {e}"));
-    let b = run_engine(&config, &registry, &families).expect("second run");
+    let b = run_engine(config, &registry, &families).expect("second run");
 
     // (a) Deterministic from the seed: both runs are byte-identical.
     assert_eq!(a.trace, b.trace, "{label}/{protocol}/seed {seed}");
@@ -82,6 +90,7 @@ fn check_scenario(protocol: ProtocolKind, seed: u64, faults: FaultConfig, label:
     // (c) Safety: the chaos run is still serializable.
     oracle::verify(&a)
         .unwrap_or_else(|e| panic!("{label}/{protocol}/seed {seed}: not serializable: {e}"));
+    a
 }
 
 fn drop_plan(seed: u64) -> FaultPlan {
@@ -161,6 +170,70 @@ fn chaos_combined() {
             };
             check_scenario(protocol, seed, faults, "combined");
         }
+    }
+}
+
+/// Adaptive LOTEC under every fault mode: the learned profiles must not
+/// weaken any chaos guarantee, and a node crash mid-window must
+/// invalidate the profile state — the engine drops every learned
+/// refinement back to the static baseline and re-learns, rather than
+/// trusting pre-crash observations.
+#[test]
+fn chaos_adaptive_lotec() {
+    let protocol = ProtocolKind::Lotec;
+    for seed in seeds() {
+        let adaptive = AdaptiveConfig {
+            enabled: true,
+            window: 2,
+        };
+
+        let drop_faults = FaultConfig {
+            plan: drop_plan(seed),
+            ..FaultConfig::default()
+        };
+        let config = SystemConfig {
+            adaptive,
+            ..config_for(protocol, seed, drop_faults)
+        };
+        check_config(&config, seed, "adaptive-drop");
+
+        let crash_faults = FaultConfig {
+            plan: crash_plan(protocol, seed),
+            ..FaultConfig::default()
+        };
+        let config = SystemConfig {
+            adaptive,
+            ..config_for(protocol, seed, crash_faults)
+        };
+        let report = check_config(&config, seed, "adaptive-crash");
+        assert!(
+            report.stats.crashes > 0,
+            "adaptive-crash/seed {seed}: crash windows missed the run"
+        );
+        assert!(
+            report.stats.profile_resets >= 1,
+            "adaptive-crash/seed {seed}: node crash must invalidate \
+             learned profiles"
+        );
+
+        let mut plan = crash_plan(protocol, seed);
+        plan.drop_prob = 0.08;
+        plan.duplicate_prob = 0.04;
+        plan.delay_prob = 0.08;
+        plan.max_extra_delay = SimDuration::from_micros(20);
+        let combined_faults = FaultConfig {
+            plan,
+            lock_timeout: SimDuration::from_micros(150),
+        };
+        let config = SystemConfig {
+            adaptive,
+            ..config_for(protocol, seed, combined_faults)
+        };
+        let report = check_config(&config, seed, "adaptive-combined");
+        assert!(
+            report.stats.profile_resets >= 1,
+            "adaptive-combined/seed {seed}: crash must reset profiles"
+        );
     }
 }
 

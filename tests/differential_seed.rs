@@ -18,6 +18,7 @@ use lotec::sim::FaultPlan;
 use lotec_core::config::FaultConfig;
 use lotec_core::engine::RunReport;
 use lotec_core::spec::demo_workload;
+use lotec_core::AdaptiveConfig;
 use lotec_mem::mix;
 use lotec_workload::presets;
 
@@ -88,7 +89,10 @@ fn fingerprint(report: &RunReport) -> Fingerprint {
 }
 
 /// The fault-free cells: all four protocols on the quick fig3 workload.
-fn fig3_cell(protocol: ProtocolKind) -> Fingerprint {
+/// `adaptive = false` must reproduce the pre-adaptive build bit for bit;
+/// `adaptive = true` pins the adaptive predictor's behaviour under its own
+/// golden rows.
+fn fig3_cell(protocol: ProtocolKind, adaptive: bool) -> Fingerprint {
     let scenario = presets::quick(presets::fig3());
     let (registry, families) = scenario.generate().expect("workload generates");
     let config = SystemConfig {
@@ -96,6 +100,11 @@ fn fig3_cell(protocol: ProtocolKind) -> Fingerprint {
         seed: 0xF163,
         num_nodes: scenario.config.num_nodes,
         page_size: scenario.config.schema.page_size,
+        adaptive: if adaptive {
+            AdaptiveConfig::on()
+        } else {
+            AdaptiveConfig::default()
+        },
         ..SystemConfig::default()
     };
     let report = run_engine(&config, &registry, &families).expect("fig3 run");
@@ -105,7 +114,7 @@ fn fig3_cell(protocol: ProtocolKind) -> Fingerprint {
 
 /// The chaos cells: lossy-link fault plan from the chaos suite over the
 /// demo workload.
-fn chaos_cell(protocol: ProtocolKind, seed: u64) -> Fingerprint {
+fn chaos_cell(protocol: ProtocolKind, seed: u64, adaptive: bool) -> Fingerprint {
     let faults = FaultConfig {
         plan: FaultPlan {
             drop_prob: 0.10 + 0.02 * (seed % 5) as f64,
@@ -121,6 +130,11 @@ fn chaos_cell(protocol: ProtocolKind, seed: u64) -> Fingerprint {
         protocol,
         seed,
         faults,
+        adaptive: if adaptive {
+            AdaptiveConfig::on()
+        } else {
+            AdaptiveConfig::default()
+        },
         ..SystemConfig::default()
     };
     let (registry, families) = demo_workload(&config, seed);
@@ -161,7 +175,7 @@ fn check(label: String, fp: Fingerprint) {
 #[test]
 fn fig3_matches_seed_for_all_protocols() {
     for protocol in ProtocolKind::ALL {
-        check(format!("fig3/{protocol}"), fig3_cell(protocol));
+        check(format!("fig3/{protocol}"), fig3_cell(protocol, false));
     }
 }
 
@@ -171,9 +185,27 @@ fn chaos_sample_matches_seed_for_all_protocols() {
         for seed in CHAOS_SAMPLE {
             check(
                 format!("chaos/{protocol}/{seed}"),
-                chaos_cell(protocol, seed),
+                chaos_cell(protocol, seed, false),
             );
         }
+    }
+}
+
+/// Adaptive-prediction cells: LOTEC with the predictor enabled, pinned
+/// under their own golden rows. Each cell is oracle-verified inside its
+/// builder, so a golden match certifies both determinism and
+/// serializability of the adaptive schedule.
+#[test]
+fn adaptive_cells_match_their_own_goldens() {
+    check(
+        "fig3/LOTEC+adaptive".to_string(),
+        fig3_cell(ProtocolKind::Lotec, true),
+    );
+    for seed in CHAOS_SAMPLE {
+        check(
+            format!("chaos/LOTEC+adaptive/{seed}"),
+            chaos_cell(ProtocolKind::Lotec, seed, true),
+        );
     }
 }
 
@@ -196,4 +228,11 @@ const GOLDEN: &[(&str, Fingerprint)] = &[
     ("chaos/RC/101", Fingerprint { committed: 8, makespan_ns: 1028128, total_messages: 70, total_bytes: 109950, chain_hash: 0x408f04c97c9de0d2, stats_hash: 0x566c9322345aafa4 }),
     ("chaos/RC/138", Fingerprint { committed: 8, makespan_ns: 1857184, total_messages: 50, total_bytes: 101074, chain_hash: 0x336bca1d0a24d4c0, stats_hash: 0x67640f72f6235dba }),
     ("chaos/RC/175", Fingerprint { committed: 8, makespan_ns: 1771480, total_messages: 41, total_bytes: 112912, chain_hash: 0xca80a0b0a80f2a3b, stats_hash: 0x93ef769d58ad9a4d }),
+    // Adaptive-prediction cells (LOTEC + AdaptiveConfig::on()). The fig3
+    // chain hash matches the static cell — same committed state, fewer
+    // bytes moved.
+    ("fig3/LOTEC+adaptive", Fingerprint { committed: 50, makespan_ns: 88697873, total_messages: 503, total_bytes: 2649860, chain_hash: 0xc517c0f9cee501d8, stats_hash: 0x18fe3323a3ab7645 }),
+    ("chaos/LOTEC+adaptive/101", Fingerprint { committed: 8, makespan_ns: 989720, total_messages: 47, total_bytes: 18748, chain_hash: 0x6e4209f23eba80c2, stats_hash: 0x21f924b377cf06cc }),
+    ("chaos/LOTEC+adaptive/138", Fingerprint { committed: 8, makespan_ns: 979492, total_messages: 41, total_bytes: 39140, chain_hash: 0x3eebb50f137e013a, stats_hash: 0x93dbb90348e7baf5 }),
+    ("chaos/LOTEC+adaptive/175", Fingerprint { committed: 8, makespan_ns: 1784220, total_messages: 32, total_bytes: 34504, chain_hash: 0xca80a0b0a80f2a3b, stats_hash: 0xd623128a1cee7e8d }),
 ];
