@@ -4,6 +4,7 @@
 //! ```text
 //! obs_report <trace.jsonl> [--top K] [--json-out PATH]
 //! obs_report --demo [--top K] [--json-out PATH]
+//! obs_report --host [BENCH_perf.json]
 //! ```
 //!
 //! File mode prints the structured-trace summary (event census,
@@ -12,11 +13,16 @@
 //! object-contention and node-transfer tables for a trace written by
 //! `--trace-out`. Demo mode records the fig3 scenario across all four
 //! protocols (fault-free and lossy), prints the LOTEC-under-loss
-//! showcase, and writes `BENCH_obs.json` (or `--json-out PATH`).
+//! showcase, and writes `BENCH_obs.json` (or `--json-out PATH`). Host
+//! mode renders the host-plane sections of a `BENCH_perf.json` — the
+//! wall-clock region profile, sweep-worker utilization, and the perf-gate
+//! baseline — as a human-readable view.
 //!
 //! Unknown flags are rejected with the usage text and a nonzero exit.
 
-use lotec_bench::obs::{parse_obs_report_args, run_obs_demo, ObsReportArgs, ObsReportMode, USAGE};
+use lotec_bench::obs::{
+    parse_obs_report_args, render_host_view, run_obs_demo, ObsReportArgs, ObsReportMode, USAGE,
+};
 use lotec_bench::runner;
 use lotec_obs::{critical_paths, jsonl_decode, Json, MetricsRegistry, SpanTree, TraceSummary};
 
@@ -39,6 +45,21 @@ fn main() {
             println!("wrote {path}");
         }
         ObsReportMode::File(ref path) => summarize_file(path, &parsed),
+        ObsReportMode::Host(ref path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("obs_report: cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let perf = Json::parse(&text).unwrap_or_else(|e| {
+                eprintln!("obs_report: {path} is not valid JSON: {e}");
+                std::process::exit(1);
+            });
+            let view = render_host_view(&perf).unwrap_or_else(|e| {
+                eprintln!("obs_report: {path}: {e}");
+                std::process::exit(1);
+            });
+            print!("{view}");
+        }
     }
 }
 

@@ -7,9 +7,27 @@
 //! sweep runner. Results go to `BENCH_perf.json`; refresh it with
 //! `cargo run --release --bin perf` after engine changes.
 //!
+//! Two host-plane sections ride along (schema 2):
+//!
+//! * `host_profile` — the LOTEC cell re-run under a
+//!   [`WallProfiler`]: per-region self-time breakdown (event pop/push,
+//!   dispatch, lock grant/release, deadlock gate, page transfer/install,
+//!   COW write, report), asserted to cover ≥ 90 % of the cell's wall
+//!   time, with identical simulated outputs. When `LOTEC_PROFILE_ALLOC=1`
+//!   the cell also reports allocator traffic attributed per region (this
+//!   binary installs [`CountingAlloc`]; one relaxed atomic load per
+//!   allocation when the variable is unset).
+//! * `gate` — a fixed quick-preset LOTEC cell measured in *every* mode,
+//!   so a CI `--quick` run can compare events/sec like-for-like against
+//!   the committed full-mode baseline. `--gate` runs only this cell,
+//!   compares against the committed `BENCH_perf.json` within
+//!   `LOTEC_PERF_GATE_TOL` (default 0.20, i.e. ±20 %), exits nonzero on
+//!   regression, and never writes the baseline.
+//!
 //! Flags:
 //!
 //! * `--quick` — fewer repeats and sweep seeds (CI-sized run);
+//! * `--gate` — regression-gate mode (see above);
 //! * `--fingerprint-out <path>` — additionally write the *simulated*
 //!   outputs (chain hashes, committed counts, traffic totals) of every
 //!   measured cell. Timings never enter the fingerprint, so two runs of
@@ -17,23 +35,40 @@
 //!   CI `perf-smoke` job diffs exactly that.
 //!
 //! Timing protocol: each cell runs `repeats` times; the JSON reports the
-//! minimum (least-noise estimate) and the mean. Every repeat is asserted
-//! to simulate the identical event count — a wall-clock bench on top of a
+//! minimum (least-noise estimate) and the mean, and `events_per_sec` is
+//! always derived from the minimum. Every repeat is asserted to simulate
+//! the identical event count — a wall-clock bench on top of a
 //! nondeterministic engine would be measuring two things at once.
 
 use std::time::Instant;
 
 use lotec_bench::runner;
 use lotec_core::config::FaultConfig;
-use lotec_core::engine::{run_engine, run_engine_with_probe, RunReport};
+use lotec_core::engine::{run_engine, run_engine_instrumented, run_engine_with_probe, RunReport};
 use lotec_core::oracle;
 use lotec_core::protocol::ProtocolKind;
 use lotec_core::{AdaptiveConfig, SystemConfig};
 use lotec_mem::mix;
-use lotec_obs::Json;
-use lotec_obs::RecordingSink;
+use lotec_obs::{alloc, CountingAlloc, Json, NoopSink, RecordingSink, WallProfiler};
 use lotec_sim::{FaultPlan, SimDuration};
 use lotec_workload::{presets, Scenario};
+
+/// Allocation accounting for the `host_profile` section. Costs one
+/// relaxed atomic load per allocation unless `LOTEC_PROFILE_ALLOC=1`.
+#[global_allocator]
+static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
+
+/// Schema version of `BENCH_perf.json`. Bump when sections are added,
+/// removed or change meaning; the `--gate` reader refuses mismatches.
+const SCHEMA: u64 = 2;
+
+/// Repeats for the `gate` cell — fixed across modes so full-mode
+/// baselines and `--quick`/`--gate` runs measure the same protocol.
+const GATE_REPEATS: usize = 5;
+
+/// Environment variable overriding the gate tolerance (a fraction;
+/// default 0.20 = ±20 %).
+const GATE_TOL_ENV: &str = "LOTEC_PERF_GATE_TOL";
 
 /// Folds a report's simulated outputs into one order-sensitive hash.
 fn chain_hash(report: &RunReport) -> u64 {
@@ -122,8 +157,102 @@ fn chaos_faults() -> FaultConfig {
     }
 }
 
+/// One engine-cell JSON row. Every cell derives `events_per_sec` from
+/// `min_ns` — the least-noise estimate, and the quantity the gate
+/// compares.
+fn cell_json(timed: &Timed) -> Vec<(&'static str, Json)> {
+    let events = timed.report.stats.sim_events;
+    vec![
+        ("min_ns", Json::U64(timed.min_ns as u64)),
+        ("mean_ns", Json::U64(timed.mean_ns as u64)),
+        ("sim_events", Json::U64(events)),
+        (
+            "events_per_sec",
+            Json::U64(events_per_sec(events, timed.min_ns)),
+        ),
+    ]
+}
+
+/// Measures the fixed gate cell: the quick fig3 preset under LOTEC,
+/// [`GATE_REPEATS`] repeats. Identical in every mode.
+fn measure_gate_cell() -> Timed {
+    let scenario = presets::quick(presets::fig3());
+    let (registry, families) = scenario.generate().expect("gate workload generates");
+    let config = fig3_config(&scenario, ProtocolKind::Lotec);
+    let timed = time_cell(GATE_REPEATS, || {
+        run_engine(&config, &registry, &families).expect("gate cell runs")
+    });
+    oracle::verify(&timed.report).expect("gate cell serializable");
+    timed
+}
+
+fn gate_tolerance() -> f64 {
+    match std::env::var(GATE_TOL_ENV) {
+        Ok(v) => match v.trim().parse::<f64>() {
+            Ok(t) if t > 0.0 && t < 1.0 => t,
+            _ => panic!("{GATE_TOL_ENV} must be a fraction in (0, 1), got {v:?}"),
+        },
+        Err(_) => 0.20,
+    }
+}
+
+/// `--gate` mode: measure the gate cell, compare events/sec against the
+/// committed `BENCH_perf.json`, exit nonzero on regression. Never writes.
+fn run_gate() -> ! {
+    let tol = gate_tolerance();
+    let baseline_raw =
+        std::fs::read_to_string("BENCH_perf.json").expect("read committed BENCH_perf.json");
+    let baseline = Json::parse(&baseline_raw).expect("BENCH_perf.json parses");
+    let schema = baseline
+        .get("schema")
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("baseline has no schema field; regenerate BENCH_perf.json"));
+    assert_eq!(
+        schema, SCHEMA,
+        "baseline schema {schema} != binary schema {SCHEMA}; regenerate BENCH_perf.json"
+    );
+    let gate = baseline
+        .get("gate")
+        .unwrap_or_else(|| panic!("baseline has no gate section; regenerate BENCH_perf.json"));
+    let base_eps = gate
+        .get("events_per_sec")
+        .and_then(Json::as_u64)
+        .expect("gate.events_per_sec");
+    let base_events = gate
+        .get("sim_events")
+        .and_then(Json::as_u64)
+        .expect("gate.sim_events");
+
+    let timed = measure_gate_cell();
+    let events = timed.report.stats.sim_events;
+    assert_eq!(
+        events, base_events,
+        "gate cell simulates {events} events but baseline recorded {base_events}: \
+         the workload or engine semantics changed — regenerate BENCH_perf.json"
+    );
+    let eps = events_per_sec(events, timed.min_ns);
+    let floor = (base_eps as f64 * (1.0 - tol)) as u64;
+    println!(
+        "perf gate: {eps} events/s vs baseline {base_eps} (floor {floor} at -{:.0}%)",
+        tol * 100.0
+    );
+    if eps < floor {
+        eprintln!(
+            "perf gate FAILED: {eps} events/s is below {floor} \
+             ({base_eps} - {:.0}%); investigate or regenerate the baseline",
+            tol * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("perf gate passed");
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--gate") {
+        run_gate();
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let fingerprint_out = args
         .iter()
@@ -173,18 +302,7 @@ fn main() {
             events_per_sec(events, timed.min_ns)
         );
         let label = format!("fig3/{protocol}");
-        engine_section.push((
-            label.clone(),
-            Json::obj(vec![
-                ("min_ns", Json::U64(timed.min_ns as u64)),
-                ("mean_ns", Json::U64(timed.mean_ns as u64)),
-                ("sim_events", Json::U64(events)),
-                (
-                    "events_per_sec",
-                    Json::U64(events_per_sec(events, timed.min_ns)),
-                ),
-            ]),
-        ));
+        engine_section.push((label.clone(), Json::obj(cell_json(&timed))));
         fingerprint_cells.push((label, cell_fingerprint(&timed.report)));
     }
     {
@@ -205,18 +323,7 @@ fn main() {
             events_per_sec(events, timed.min_ns)
         );
         let label = "chaos/LOTEC/drop=0.10".to_string();
-        engine_section.push((
-            label.clone(),
-            Json::obj(vec![
-                ("min_ns", Json::U64(timed.min_ns as u64)),
-                ("mean_ns", Json::U64(timed.mean_ns as u64)),
-                ("sim_events", Json::U64(events)),
-                (
-                    "events_per_sec",
-                    Json::U64(events_per_sec(events, timed.min_ns)),
-                ),
-            ]),
-        ));
+        engine_section.push((label.clone(), Json::obj(cell_json(&timed))));
         fingerprint_cells.push((label, cell_fingerprint(&timed.report)));
     }
 
@@ -245,18 +352,7 @@ fn main() {
             events_per_sec(events, timed.min_ns)
         );
         let label = "fig3/LOTEC+adaptive".to_string();
-        engine_section.push((
-            label.clone(),
-            Json::obj(vec![
-                ("min_ns", Json::U64(timed.min_ns as u64)),
-                ("mean_ns", Json::U64(timed.mean_ns as u64)),
-                ("sim_events", Json::U64(events)),
-                (
-                    "events_per_sec",
-                    Json::U64(events_per_sec(events, timed.min_ns)),
-                ),
-            ]),
-        ));
+        engine_section.push((label.clone(), Json::obj(cell_json(&timed))));
         fingerprint_cells.push((label, cell_fingerprint(&timed.report)));
 
         let side = |report: &RunReport, cfg: &SystemConfig| {
@@ -327,26 +423,79 @@ fn main() {
             timed.min_ns, timed.mean_ns, events,
         );
         let label = "fig3/LOTEC+recording".to_string();
-        engine_section.push((
-            label.clone(),
-            Json::obj(vec![
-                ("min_ns", Json::U64(timed.min_ns as u64)),
-                ("mean_ns", Json::U64(timed.mean_ns as u64)),
-                ("sim_events", Json::U64(events)),
-                (
-                    "events_per_sec",
-                    Json::U64(events_per_sec(events, timed.min_ns)),
-                ),
-                ("overhead_vs_noop", Json::F64(overhead)),
-            ]),
-        ));
+        let mut fields = cell_json(&timed);
+        fields.push(("overhead_vs_noop", Json::F64(overhead)));
+        engine_section.push((label.clone(), Json::obj(fields)));
         fingerprint_cells.push((label, cell_fingerprint(&timed.report)));
     }
+
+    // Host-profile cell: the LOTEC fig3 run once more, this time under a
+    // WallProfiler (NoopSink, so the sim-time plane stays off). The
+    // region self-times must cover ≥ 90 % of the cell's wall time —
+    // otherwise the profiler has a blind spot — and the simulated
+    // outputs must again be untouched.
+    let host_profile = {
+        let config = fig3_config(&scenario, ProtocolKind::Lotec);
+        let (_, plain_hash) = lotec_plain.expect("LOTEC plain cell ran");
+        let mut prof = WallProfiler::new();
+        let alloc_before = alloc::snapshot();
+        let wall_start = Instant::now();
+        let report = run_engine_instrumented(&config, &registry, &families, NoopSink, &mut prof)
+            .expect("profiled run");
+        let wall_ns = wall_start.elapsed().as_nanos() as u64;
+        let alloc_delta = alloc::snapshot().delta_since(&alloc_before);
+        assert_eq!(
+            chain_hash(&report),
+            plain_hash,
+            "host profiling perturbed the simulation"
+        );
+        let profile = prof.into_profile();
+        let coverage = profile.total_self_ns() as f64 / wall_ns.max(1) as f64;
+        println!(
+            "  host profile: {wall_ns} ns wall, {:.1}% covered",
+            coverage * 100.0
+        );
+        let mut rows: Vec<_> = profile.iter().filter(|(_, s)| s.count > 0).collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1.self_ns));
+        for (region, stat) in &rows {
+            println!(
+                "    {:<14} {:>12} ns self  {:>9} calls  {:>5.1}%",
+                region.name(),
+                stat.self_ns,
+                stat.count,
+                100.0 * stat.self_ns as f64 / profile.total_self_ns().max(1) as f64
+            );
+        }
+        assert!(
+            coverage >= 0.90,
+            "host-profile regions cover only {:.1}% of wall time; \
+             a hot region is missing its scope",
+            coverage * 100.0
+        );
+        let alloc_json = if alloc::profiling_enabled() {
+            println!(
+                "    allocator: {} allocs, {} bytes (LOTEC_PROFILE_ALLOC=1)",
+                alloc_delta.total_allocs(),
+                alloc_delta.total_bytes()
+            );
+            alloc_delta.to_json()
+        } else {
+            Json::Null
+        };
+        Json::obj(vec![
+            ("wall_ns", Json::U64(wall_ns)),
+            ("coverage", Json::F64(coverage)),
+            ("profile", profile.to_json()),
+            ("alloc", alloc_json),
+        ])
+    };
 
     // Sweep cell: independent seeded LOTEC runs of the (quick) fig3
     // workload, serial vs. the parallel sweep runner. Both orders must
     // produce identical simulated outputs — parallelism buys wall-clock
-    // only.
+    // only. The parallel side runs under the profiled runner, whose
+    // per-worker busy/idle split and cell counts explain any speedup
+    // shortfall (see EXPERIMENTS.md).
     let sweep_scenario = presets::quick(presets::fig3());
     let run_seed = |seed: u64| {
         let mut s = sweep_scenario.clone();
@@ -366,7 +515,8 @@ fn main() {
     let serial_hashes = runner::run_indexed_on(1, sweep_seeds as usize, |i| run_seed(i as u64));
     let serial_ns = serial_start.elapsed().as_nanos();
     let parallel_start = Instant::now();
-    let parallel_hashes = runner::run_indexed(sweep_seeds as usize, |i| run_seed(i as u64));
+    let (parallel_hashes, telemetry) =
+        runner::run_indexed_profiled(sweep_seeds as usize, |i| run_seed(i as u64));
     let parallel_ns = parallel_start.elapsed().as_nanos();
     assert_eq!(
         serial_hashes, parallel_hashes,
@@ -389,13 +539,68 @@ fn main() {
         runs_per_sec(parallel_ns),
         runner::threads()
     );
+    println!(
+        "  sweep workers: {:.1}% mean utilization",
+        telemetry.utilization() * 100.0
+    );
+    for (i, t) in telemetry.threads.iter().enumerate() {
+        println!(
+            "    worker {i}: {:>2} cells  busy {:>12} ns / wall {:>12} ns  ({:>5.1}%)",
+            t.cells,
+            t.busy_ns,
+            t.wall_ns,
+            100.0 * t.busy_ns as f64 / t.wall_ns.max(1) as f64
+        );
+    }
+    let telemetry_json = Json::obj(vec![
+        ("utilization", Json::F64(telemetry.utilization())),
+        ("total_busy_ns", Json::U64(telemetry.total_busy_ns())),
+        ("wall_ns", Json::U64(telemetry.wall_ns)),
+        (
+            "workers",
+            Json::Arr(
+                telemetry
+                    .threads
+                    .iter()
+                    .map(|t| {
+                        Json::obj(vec![
+                            ("cells", Json::U64(t.cells)),
+                            ("busy_ns", Json::U64(t.busy_ns)),
+                            ("wall_ns", Json::U64(t.wall_ns)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+
+    // Gate cell: fixed-size, measured identically in quick and full mode
+    // so the CI gate compares like-for-like against this baseline.
+    let gate_section = {
+        let timed = measure_gate_cell();
+        let events = timed.report.stats.sim_events;
+        println!(
+            "  gate cell:   min {:>12} ns  {:>8} events  {:>10} events/s",
+            timed.min_ns,
+            events,
+            events_per_sec(events, timed.min_ns)
+        );
+        let mut fields = vec![
+            ("scenario", Json::str("fig3-quick/LOTEC")),
+            ("repeats", Json::U64(GATE_REPEATS as u64)),
+        ];
+        fields.extend(cell_json(&timed));
+        Json::obj(fields)
+    };
 
     let json = Json::obj(vec![
+        ("schema", Json::U64(SCHEMA)),
         ("quick", Json::Bool(quick)),
         ("repeats", Json::U64(repeats as u64)),
         ("threads", Json::U64(runner::threads() as u64)),
         ("engine", Json::Obj(engine_section)),
         ("adaptive_sweep", adaptive_sweep),
+        ("host_profile", host_profile),
         (
             "sweep",
             Json::obj(vec![
@@ -408,8 +613,10 @@ fn main() {
                     Json::F64(runs_per_sec(parallel_ns)),
                 ),
                 ("speedup", Json::F64(speedup)),
+                ("telemetry", telemetry_json),
             ]),
         ),
+        ("gate", gate_section),
     ]);
     std::fs::write("BENCH_perf.json", json.render_pretty()).expect("write BENCH_perf.json");
     println!("wrote BENCH_perf.json");

@@ -35,10 +35,14 @@ pub const DEFAULT_TOP_K: usize = 5;
 pub const USAGE: &str = "\
 usage: obs_report <trace.jsonl> [--top K] [--json-out PATH]
        obs_report --demo [--top K] [--json-out PATH]
+       obs_report --host [BENCH_perf.json]
 
   <trace.jsonl>    summarize a saved JSONL trace (written by --trace-out)
   --demo           run the seeded fig3 observability sweep and write
                    BENCH_obs.json (or PATH with --json-out)
+  --host           render the host-plane sections (wall-clock region
+                   profile, worker utilization, perf gate) of a
+                   BENCH_perf.json (default path: BENCH_perf.json)
   --top K          depth of the contention/transfer tables (default 5)
   --json-out PATH  where to write the machine-readable report";
 
@@ -49,6 +53,8 @@ pub enum ObsReportMode {
     File(String),
     /// Run the seeded demo sweep.
     Demo,
+    /// Render the host-plane sections of a `BENCH_perf.json`.
+    Host(String),
 }
 
 /// Parsed `obs_report` command line.
@@ -71,6 +77,7 @@ pub struct ObsReportArgs {
 /// prints it with [`USAGE`] and exits nonzero.
 pub fn parse_obs_report_args(args: &[String]) -> Result<ObsReportArgs, String> {
     let mut demo = false;
+    let mut host = false;
     let mut path: Option<String> = None;
     let mut top = DEFAULT_TOP_K;
     let mut json_out = None;
@@ -78,6 +85,7 @@ pub fn parse_obs_report_args(args: &[String]) -> Result<ObsReportArgs, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--demo" => demo = true,
+            "--host" => host = true,
             "--top" => {
                 let value = it.next().ok_or("--top requires a value")?;
                 top = value
@@ -100,13 +108,17 @@ pub fn parse_obs_report_args(args: &[String]) -> Result<ObsReportArgs, String> {
             }
         }
     }
-    let mode = match (demo, path) {
-        (true, Some(p)) => {
+    let mode = match (demo, host, path) {
+        (true, true, _) => return Err("--demo and --host are mutually exclusive".to_string()),
+        (true, false, Some(p)) => {
             return Err(format!("--demo does not take a trace path (got {p:?})"));
         }
-        (true, None) => ObsReportMode::Demo,
-        (false, Some(p)) => ObsReportMode::File(p),
-        (false, None) => return Err("a trace path or --demo is required".to_string()),
+        (true, false, None) => ObsReportMode::Demo,
+        (false, true, p) => ObsReportMode::Host(p.unwrap_or_else(|| "BENCH_perf.json".to_string())),
+        (false, false, Some(p)) => ObsReportMode::File(p),
+        (false, false, None) => {
+            return Err("a trace path, --demo, or --host is required".to_string())
+        }
     };
     Ok(ObsReportArgs {
         mode,
@@ -381,6 +393,140 @@ pub fn run_obs_demo(workers: usize, top: usize) -> ObsDemo {
     ObsDemo { report: text, json }
 }
 
+/// Renders the host-plane sections of a parsed `BENCH_perf.json`
+/// (schema 2): the wall-clock region profile, the sweep workers'
+/// utilization table, and the perf-gate baseline. Pure formatting — all
+/// measurement lives in the `perf` binary.
+///
+/// # Errors
+///
+/// Returns a one-line diagnostic when the value is missing the schema
+/// field or the `host_profile` section (older baselines: regenerate with
+/// `cargo run --release -p lotec-bench --bin perf`).
+pub fn render_host_view(perf: &Json) -> Result<String, String> {
+    use std::fmt::Write as _;
+
+    let schema = perf
+        .get("schema")
+        .and_then(Json::as_u64)
+        .ok_or("no schema field — regenerate BENCH_perf.json")?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "host plane (schema {schema}, quick={}, {} sweep threads)",
+        perf.get("quick").and_then(Json::as_bool).unwrap_or(false),
+        perf.get("threads").and_then(Json::as_u64).unwrap_or(0),
+    );
+
+    let hp = perf
+        .get("host_profile")
+        .ok_or("no host_profile section — regenerate BENCH_perf.json")?;
+    let wall_ns = hp.get("wall_ns").and_then(Json::as_u64).unwrap_or(0);
+    let coverage = hp.get("coverage").and_then(Json::as_f64).unwrap_or(0.0);
+    let profile = hp.get("profile").ok_or("host_profile has no profile")?;
+    let total_self = profile
+        .get("total_self_ns")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "region profile: {wall_ns} ns wall, {total_self} ns in regions ({:.1}% coverage)",
+        coverage * 100.0
+    );
+    let mut rows: Vec<(&str, u64, u64, u64)> = Vec::new();
+    if let Some(regions) = profile.get("regions") {
+        if let Ok(fields) = regions.fields() {
+            for (name, stat) in fields {
+                rows.push((
+                    name,
+                    stat.get("self_ns").and_then(Json::as_u64).unwrap_or(0),
+                    stat.get("count").and_then(Json::as_u64).unwrap_or(0),
+                    stat.get("p99_self_ns").and_then(Json::as_u64).unwrap_or(0),
+                ));
+            }
+        }
+    }
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>14} {:>10} {:>7} {:>12}",
+        "region", "self_ns", "calls", "share", "p99_ns"
+    );
+    for (name, self_ns, count, p99) in &rows {
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>14} {:>10} {:>6.1}% {:>12}",
+            name,
+            self_ns,
+            count,
+            100.0 * *self_ns as f64 / total_self.max(1) as f64,
+            p99
+        );
+    }
+    match hp.get("alloc") {
+        Some(Json::Null) | None => {
+            let _ = writeln!(out, "allocator: not profiled (set LOTEC_PROFILE_ALLOC=1)");
+        }
+        Some(alloc) => {
+            let _ = writeln!(
+                out,
+                "allocator: {} allocs, {} bytes",
+                alloc
+                    .get("total_allocs")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                alloc.get("total_bytes").and_then(Json::as_u64).unwrap_or(0),
+            );
+            if let Some(by_region) = alloc.get("by_region").and_then(|b| b.fields().ok()) {
+                for (name, row) in by_region {
+                    let _ = writeln!(
+                        out,
+                        "  {:<14} {:>10} allocs {:>14} bytes",
+                        name,
+                        row.get("allocs").and_then(Json::as_u64).unwrap_or(0),
+                        row.get("bytes").and_then(Json::as_u64).unwrap_or(0),
+                    );
+                }
+            }
+        }
+    }
+
+    if let Some(tel) = perf.get("sweep").and_then(|s| s.get("telemetry")) {
+        let _ = writeln!(
+            out,
+            "sweep workers: {:.1}% mean utilization",
+            tel.get("utilization").and_then(Json::as_f64).unwrap_or(0.0) * 100.0
+        );
+        if let Some(workers) = tel.get("workers").and_then(Json::as_array) {
+            for (i, w) in workers.iter().enumerate() {
+                let busy = w.get("busy_ns").and_then(Json::as_u64).unwrap_or(0);
+                let wall = w.get("wall_ns").and_then(Json::as_u64).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  worker {i}: {:>3} cells  busy {:>12} / wall {:>12} ns ({:>5.1}%)",
+                    w.get("cells").and_then(Json::as_u64).unwrap_or(0),
+                    busy,
+                    wall,
+                    100.0 * busy as f64 / wall.max(1) as f64,
+                );
+            }
+        }
+    }
+
+    if let Some(gate) = perf.get("gate") {
+        let _ = writeln!(
+            out,
+            "gate baseline: {} events/s over {} events ({})",
+            gate.get("events_per_sec")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            gate.get("sim_events").and_then(Json::as_u64).unwrap_or(0),
+            gate.get("scenario").and_then(Json::as_str).unwrap_or("?"),
+        );
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +546,81 @@ mod tests {
         assert_eq!(demo.mode, ObsReportMode::Demo);
         assert_eq!(demo.top, DEFAULT_TOP_K);
         assert_eq!(demo.json_out, Some("out.json".into()));
+    }
+
+    #[test]
+    fn host_mode_parses_with_default_and_explicit_path() {
+        let default = parse(&["--host"]).unwrap();
+        assert_eq!(default.mode, ObsReportMode::Host("BENCH_perf.json".into()));
+        let explicit = parse(&["--host", "other.json"]).unwrap();
+        assert_eq!(explicit.mode, ObsReportMode::Host("other.json".into()));
+        assert!(parse(&["--demo", "--host"])
+            .unwrap_err()
+            .contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn host_view_renders_regions_sorted_and_flags_old_schemas() {
+        let perf = Json::obj(vec![
+            ("schema", Json::U64(2)),
+            ("quick", Json::Bool(true)),
+            ("threads", Json::U64(4)),
+            (
+                "host_profile",
+                Json::obj(vec![
+                    ("wall_ns", Json::U64(1_000)),
+                    ("coverage", Json::F64(0.95)),
+                    (
+                        "profile",
+                        Json::obj(vec![
+                            ("runs", Json::U64(1)),
+                            ("total_self_ns", Json::U64(950)),
+                            (
+                                "regions",
+                                Json::obj(vec![
+                                    (
+                                        "event_pop",
+                                        Json::obj(vec![
+                                            ("count", Json::U64(10)),
+                                            ("self_ns", Json::U64(200)),
+                                            ("p99_self_ns", Json::U64(30)),
+                                        ]),
+                                    ),
+                                    (
+                                        "dispatch",
+                                        Json::obj(vec![
+                                            ("count", Json::U64(9)),
+                                            ("self_ns", Json::U64(750)),
+                                            ("p99_self_ns", Json::U64(120)),
+                                        ]),
+                                    ),
+                                ]),
+                            ),
+                        ]),
+                    ),
+                    ("alloc", Json::Null),
+                ]),
+            ),
+            (
+                "gate",
+                Json::obj(vec![
+                    ("scenario", Json::str("fig3-quick/LOTEC")),
+                    ("events_per_sec", Json::U64(240_000)),
+                    ("sim_events", Json::U64(390)),
+                ]),
+            ),
+        ]);
+        let view = render_host_view(&perf).unwrap();
+        assert!(view.contains("95.0% coverage"));
+        // dispatch (750 ns) must print before event_pop (200 ns).
+        let d = view.find("dispatch").unwrap();
+        let e = view.find("event_pop").unwrap();
+        assert!(d < e, "regions must sort by self time:\n{view}");
+        assert!(view.contains("LOTEC_PROFILE_ALLOC=1"));
+        assert!(view.contains("240000 events/s"));
+
+        let old = Json::obj(vec![("quick", Json::Bool(false))]);
+        assert!(render_host_view(&old).unwrap_err().contains("schema"));
     }
 
     #[test]

@@ -212,6 +212,15 @@ pub struct SystemConfig {
     /// Seed for the engine's internal randomness (backoff jitter,
     /// prediction-miss draws). Workload generation has its own seed.
     pub seed: u64,
+    /// Sim-time interval between state samples
+    /// ([`ObsEventKind::StateSample`](lotec_obs::ObsEventKind)): gauge
+    /// snapshots of queue depth, lock-table occupancy, in-flight work and
+    /// per-node cache bytes. Samples are emitted *inline* by the run loop
+    /// at sample-period boundaries — never as scheduled events — so
+    /// enabling them cannot perturb the simulation. `ZERO` (the default)
+    /// disables sampling; it is also skipped when the probe sink is a
+    /// no-op.
+    pub state_sample_interval: SimDuration,
 }
 
 impl Default for SystemConfig {
@@ -235,6 +244,7 @@ impl Default for SystemConfig {
             faults: FaultConfig::default(),
             adaptive: AdaptiveConfig::default(),
             seed: 0,
+            state_sample_interval: SimDuration::ZERO,
         }
     }
 }

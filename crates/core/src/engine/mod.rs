@@ -33,7 +33,10 @@ use lotec_mem::{ObjectId, PageData, PageId, PageIndex, Recovery, ShadowPages, Un
 use lotec_mem::{PageStore, Version};
 use lotec_net::{plan_delivery, Message, MessageKind, TrafficLedger};
 use lotec_object::{AdaptivePredictor, ObjectRegistry, PageSet};
-use lotec_obs::{EventSink, NoopSink, ObsEvent, ObsEventKind, ObsPhase, SpanOutcome};
+use lotec_obs::{
+    EventSink, HostProfiler, HostRegion, NoopHostProfiler, NoopSink, ObsEvent, ObsEventKind,
+    ObsPhase, SpanOutcome,
+};
 use lotec_sim::{NodeId, SimDuration, SimRng, SimTime, Simulator};
 use lotec_txn::{Acquire, Grant, LockMode, LockTable, TxnId, TxnTree};
 
@@ -111,7 +114,15 @@ enum Event {
 /// `enabled() == false` from a constant, so every probe site (and the
 /// event construction behind it) monomorphizes away — observability is
 /// free unless a recording sink is supplied via [`Engine::with_probe`].
-pub struct Engine<'a, S: EventSink = NoopSink> {
+///
+/// Also generic over a [`HostProfiler`] (wall-clock self-profiling of the
+/// engine's own hot regions — the *host* plane, as opposed to the sink's
+/// *sim-time* plane). The default [`NoopHostProfiler`] likewise
+/// monomorphizes to nothing; pass a [`lotec_obs::WallProfiler`] via
+/// [`Engine::with_instruments`] to attribute real CPU time to event
+/// pop/push, lock operations, the deadlock gate, page transfer/install
+/// and the COW write path.
+pub struct Engine<'a, S: EventSink = NoopSink, P: HostProfiler = NoopHostProfiler> {
     config: &'a SystemConfig,
     registry: &'a ObjectRegistry,
     workload: &'a [FamilySpec],
@@ -139,9 +150,15 @@ pub struct Engine<'a, S: EventSink = NoopSink> {
     /// path, so adaptive-off runs stay byte-identical to older builds.
     predictor: Option<AdaptivePredictor>,
     sink: S,
+    prof: P,
+    /// Next sim-time boundary the state sampler fires at. Only consulted
+    /// when the sink is enabled *and* `config.state_sample_interval` is
+    /// non-zero; samples are emitted inline by the run loop (never as
+    /// scheduled sim events), so sampling cannot perturb the simulation.
+    next_sample: SimTime,
 }
 
-impl<S: EventSink> std::fmt::Debug for Engine<'_, S> {
+impl<S: EventSink, P: HostProfiler> std::fmt::Debug for Engine<'_, S, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("protocol", &self.config.protocol)
@@ -234,9 +251,35 @@ impl<'a, S: EventSink> Engine<'a, S> {
         workload: &'a [FamilySpec],
         sink: S,
     ) -> Result<Self, CoreError> {
+        Engine::with_instruments(config, registry, workload, sink, NoopHostProfiler)
+    }
+}
+
+impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
+    /// Builds an engine with both instrumentation planes supplied: `sink`
+    /// for sim-time probe events and `prof` for host-plane wall-clock
+    /// self-profiling (lend a [`lotec_obs::WallProfiler`] via `&mut` to
+    /// keep the profile after [`Engine::run`] consumes the engine).
+    /// Construction itself is attributed to [`HostRegion::Setup`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] if any family fails validation.
+    pub fn with_instruments(
+        config: &'a SystemConfig,
+        registry: &'a ObjectRegistry,
+        workload: &'a [FamilySpec],
+        sink: S,
+        mut prof: P,
+    ) -> Result<Self, CoreError> {
+        prof.enter(HostRegion::Setup);
         config.validate();
         for family in workload {
-            validate_family(family, registry, config)?;
+            if let Err(e) = validate_family(family, registry, config) {
+                // Keep the profiler balanced on the error path.
+                prof.exit(HostRegion::Setup);
+                return Err(e);
+            }
         }
         let mut table = LockTable::new();
         // One dense page numbering over the fixed object layout, shared by
@@ -281,6 +324,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             sim.schedule_at(w.until, Event::NodeRecover(i));
         }
         let root_rng = SimRng::seed_from_u64(config.seed ^ 0x5EED_0F0F_4E97_1A1Du64);
+        prof.exit(HostRegion::Setup);
         Ok(Engine {
             config,
             registry,
@@ -306,6 +350,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 .enabled
                 .then(|| AdaptivePredictor::new(registry, config.adaptive.window)),
             sink,
+            prof,
+            next_sample: SimTime::ZERO,
         })
     }
 
@@ -317,17 +363,30 @@ impl<'a, S: EventSink> Engine<'a, S> {
     /// workload should never produce (a workload/engine bug) or a family
     /// exhausts its restart budget.
     pub fn run(mut self) -> Result<RunReport, CoreError> {
-        while let Some((now, event)) = self.sim.next_event() {
-            self.handle(now, event)?;
+        let sampling = self.sink.enabled() && self.config.state_sample_interval > SimDuration::ZERO;
+        loop {
+            self.prof.enter(HostRegion::EventPop);
+            let next = self.sim.next_event();
+            self.prof.exit(HostRegion::EventPop);
+            let Some((now, event)) = next else { break };
+            if sampling {
+                self.emit_state_samples(now);
+            }
+            self.prof.enter(HostRegion::Dispatch);
+            let res = self.handle(now, event);
+            self.prof.exit(HostRegion::Dispatch);
+            res?;
         }
         // Every family must have reached a terminal phase.
         debug_assert!(self
             .families
             .iter()
             .all(|f| matches!(f.phase, Phase::Done | Phase::Failed)));
+        self.prof.enter(HostRegion::Report);
         self.finish_phase_stats();
         self.stats.sim_events = self.sim.delivered();
         let final_chains = self.collect_final_chains();
+        self.prof.exit(HostRegion::Report);
         Ok(RunReport {
             protocol: self.config.protocol,
             stats: self.stats,
@@ -371,6 +430,55 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 Ok(())
             }
             Event::LockTimeout(fam, gen) => self.on_lock_timeout(now, fam, gen),
+        }
+    }
+
+    /// Schedules an engine event, attributed to
+    /// [`HostRegion::EventPush`]. Every in-run scheduling site goes
+    /// through here; only constructor-time seeding (family arrivals,
+    /// fault windows) calls the simulator directly, under `Setup`.
+    fn schedule(&mut self, at: SimTime, event: Event) {
+        self.prof.enter(HostRegion::EventPush);
+        self.sim.schedule_at(at, event);
+        self.prof.exit(HostRegion::EventPush);
+    }
+
+    /// Emits any [`ObsEventKind::StateSample`] gauges whose sample times
+    /// fall at or before `now` (the timestamp of the event about to be
+    /// handled). Samples are pure probe output: they read engine state and
+    /// write to the sink, never touching the event queue, so determinism
+    /// of the simulation proper is untouched.
+    fn emit_state_samples(&mut self, now: SimTime) {
+        let interval = self.config.state_sample_interval;
+        while self.next_sample <= now {
+            self.prof.enter(HostRegion::StateSample);
+            let at = self.next_sample;
+            let occ = self.table.occupancy();
+            let mut inflight = 0u32;
+            let mut blocked = 0u32;
+            for f in &self.families {
+                match f.phase {
+                    Phase::WaitingGrant => blocked += 1,
+                    Phase::GrantInFlight { .. } | Phase::Fetching => inflight += 1,
+                    _ => {}
+                }
+            }
+            let cache_bytes: Vec<u64> = self.stores.iter().map(PageStore::cached_bytes).collect();
+            self.sink.emit(ObsEvent {
+                at,
+                node: 0,
+                kind: ObsEventKind::StateSample {
+                    queue_depth: self.sim.pending() as u64,
+                    locks_held: occ.held,
+                    locks_retained: occ.retained,
+                    locks_waiting: occ.waiting,
+                    inflight_messages: inflight,
+                    blocked_families: blocked,
+                    cache_bytes,
+                },
+            });
+            self.next_sample = at + interval;
+            self.prof.exit(HostRegion::StateSample);
         }
     }
 
@@ -593,7 +701,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     .phase_times
                     .add(ObsPhase::Backoff, up.saturating_duration_since(now));
             }
-            self.sim.schedule_at(up, Event::Start(fam));
+            self.schedule(up, Event::Start(fam));
             return Ok(());
         }
         let root = self.tree.begin_root(spec.node);
@@ -649,10 +757,12 @@ impl<'a, S: EventSink> Engine<'a, S> {
         } else {
             LockMode::Write
         };
-        let outcome =
-            self.table
-                .acquire_probed(object, txn, mode, &self.tree, now, &mut self.sink)?;
-        match outcome {
+        self.prof.enter(HostRegion::LockAcquire);
+        let outcome = self
+            .table
+            .acquire_probed(object, txn, mode, &self.tree, now, &mut self.sink);
+        self.prof.exit(HostRegion::LockAcquire);
+        match outcome? {
             Acquire::LocalGrant => {
                 self.stats.local_lock_grants += 1;
                 self.set_phase(
@@ -665,8 +775,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 );
                 let delay = self.config.costs.local_lock_op;
                 let gen = self.generation(fam);
-                self.sim
-                    .schedule_at(now + delay, Event::GrantArrived(fam, gen));
+                self.schedule(now + delay, Event::GrantArrived(fam, gen));
             }
             Acquire::GlobalGrant { holders } => {
                 self.stats.global_lock_grants += 1;
@@ -715,8 +824,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     },
                 );
                 let gen = self.generation(fam);
-                self.sim
-                    .schedule_at(now + delay, Event::GrantArrived(fam, gen));
+                self.schedule(now + delay, Event::GrantArrived(fam, gen));
                 self.replicate_gdo(object, self.config.sizes.lock_request());
             }
             Acquire::Queued => {
@@ -737,7 +845,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 // re-issues (see `on_lock_timeout`).
                 if self.config.faults.lock_timeout > SimDuration::ZERO {
                     let gen = self.generation(fam);
-                    self.sim.schedule_at(
+                    self.schedule(
                         now + self.config.faults.lock_timeout,
                         Event::LockTimeout(fam, gen),
                     );
@@ -745,7 +853,10 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 let root = self.families[fam]
                     .root_txn
                     .expect("queued family has a root");
-                self.break_deadlocks(now, home, root)?;
+                self.prof.enter(HostRegion::DeadlockGate);
+                let gate = self.break_deadlocks(now, home, root);
+                self.prof.exit(HostRegion::DeadlockGate);
+                gate?;
             }
         }
         Ok(())
@@ -788,8 +899,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             },
         );
         let gen = self.generation(fam);
-        self.sim
-            .schedule_at(now + delay, Event::GrantArrived(fam, gen));
+        self.schedule(now + delay, Event::GrantArrived(fam, gen));
         self.replicate_gdo(grant.object, self.config.sizes.lock_request());
     }
 
@@ -907,6 +1017,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         // the slowest batch.
         let mut max_delay = SimDuration::ZERO;
         let mut to_install: Vec<(PageId, Version, PageData)> = Vec::new();
+        self.prof.enter(HostRegion::PageTransfer);
         for (source, pages) in plan.sources() {
             // Adaptive mode coalesces runs of adjacent pages into ranged
             // request entries; request sizing only — transfers keep their
@@ -953,9 +1064,12 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 to_install.push(self.current_page_copy(object, page));
             }
         }
+        self.prof.exit(HostRegion::PageTransfer);
+        self.prof.enter(HostRegion::PageInstall);
         for (pid, version, data) in to_install {
             self.stores[node.index() as usize].install(pid, version, data);
         }
+        self.prof.exit(HostRegion::PageInstall);
 
         // Demand fetches: actually-touched pages still stale after the
         // gather. Without faults this is only possible when prediction was
@@ -967,6 +1081,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         // latency into the compute phase.
         let mut demand_delay = SimDuration::ZERO;
         if kind.uses_prediction() || self.config.faults.plan.enabled() {
+            self.prof.enter(HostRegion::PageTransfer);
             let touched = actual_reads.union(actual_writes);
             let mut stale_fetches: Vec<(PageIndex, NodeId)> = Vec::new();
             for page in touched.iter() {
@@ -1083,9 +1198,12 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     self.stats.demand_fetches += 1;
                 }
             }
+            self.prof.exit(HostRegion::PageTransfer);
+            self.prof.enter(HostRegion::PageInstall);
             for (pid, version, data) in demand_installs {
                 self.stores[node.index() as usize].install(pid, version, data);
             }
+            self.prof.exit(HostRegion::PageInstall);
         }
         self.families[fam].fetch_extra = demand_delay;
 
@@ -1094,8 +1212,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         } else {
             self.set_phase(now, fam, Phase::Fetching);
             let gen = self.generation(fam);
-            self.sim
-                .schedule_at(now + max_delay, Event::FetchArrived(fam, gen));
+            self.schedule(now + max_delay, Event::FetchArrived(fam, gen));
         }
         Ok(())
     }
@@ -1153,6 +1270,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 },
             });
         }
+        self.prof.enter(HostRegion::CowWrite);
         for page in writes.iter() {
             let pid = PageId::new(object, page.get());
             self.recovery.before_write(txn.get(), store, pid);
@@ -1167,6 +1285,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 },
             });
         }
+        self.prof.exit(HostRegion::CowWrite);
 
         // Optimistic lock prefetching (§6): issue the pending children's
         // lock requests now, overlapping their GDO round trips with this
@@ -1191,8 +1310,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         self.families[fam].fetch_extra = SimDuration::ZERO;
         self.set_phase(now, fam, Phase::Computing);
         let gen = self.generation(fam);
-        self.sim
-            .schedule_at(now + duration, Event::ComputeDone(fam, gen));
+        self.schedule(now + duration, Event::ComputeDone(fam, gen));
     }
 
     /// After compute or after a child finished: start the next child or
@@ -1234,9 +1352,11 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 .recovery
                 .rollback(txn.get(), &mut self.stores[node.index() as usize]);
             let undo_delay = self.config.costs.undo_per_page * restored.len() as u64;
+            self.prof.enter(HostRegion::LockRelease);
             let rel = self
                 .table
                 .release_abort_probed(txn, &self.tree, now, &mut self.sink);
+            self.prof.exit(HostRegion::LockRelease);
             self.tree.abort(txn);
             self.families[fam].discard_subtree_effects(&subtree);
             self.stats.subtxn_aborts += 1;
@@ -1281,7 +1401,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             }
             self.families[fam].frames.pop();
             let gen = self.generation(fam);
-            self.sim.schedule_at(
+            self.schedule(
                 now + undo_delay + self.config.costs.local_lock_op,
                 Event::Continue(fam, gen),
             );
@@ -1297,8 +1417,10 @@ impl<'a, S: EventSink> Engine<'a, S> {
         // Sub-transaction pre-commit: parent inherits and retains (rule 3);
         // purely local.
         let parent = self.tree.parent(txn).expect("non-root has a parent");
+        self.prof.enter(HostRegion::LockRelease);
         self.table
             .release_pre_commit_probed(txn, &self.tree, now, &mut self.sink);
+        self.prof.exit(HostRegion::LockRelease);
         if self.sink.enabled() {
             self.sink.emit(ObsEvent {
                 at: now,
@@ -1314,7 +1436,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         self.tree.pre_commit(txn);
         self.families[fam].frames.pop();
         let gen = self.generation(fam);
-        self.sim.schedule_at(
+        self.schedule(
             now + self.config.costs.local_lock_op,
             Event::Continue(fam, gen),
         );
@@ -1378,6 +1500,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         let node = self.workload[fam].node;
         let dirty = self.families[fam].surviving_dirty();
 
+        self.prof.enter(HostRegion::LockRelease);
         let rel = self.table.release_root_commit_probed(
             root,
             &self.tree,
@@ -1386,6 +1509,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             now,
             &mut self.sink,
         );
+        self.prof.exit(HostRegion::LockRelease);
 
         // Publish local pages at their new per-page versions.
         for (object, pages) in &dirty {
@@ -1449,11 +1573,13 @@ impl<'a, S: EventSink> Engine<'a, S> {
                         self.send_lossy(MessageKind::UpdatePush, node, site, *object, bytes, None);
                     }
                 }
+                self.prof.enter(HostRegion::PageInstall);
                 for site in sites {
                     for (pid, version, data) in &copies {
                         self.stores[site.index() as usize].install(*pid, *version, data.clone());
                     }
                 }
+                self.prof.exit(HostRegion::PageInstall);
             }
         }
 
@@ -1561,9 +1687,11 @@ impl<'a, S: EventSink> Engine<'a, S> {
         for txn in self.tree.active_subtree_post_order(root) {
             self.recovery
                 .rollback(txn.get(), &mut self.stores[node.index() as usize]);
+            self.prof.enter(HostRegion::LockRelease);
             let rel = self
                 .table
                 .release_abort_probed(txn, &self.tree, now, &mut self.sink);
+            self.prof.exit(HostRegion::LockRelease);
             released.extend(rel.released);
             grants.extend(rel.grants);
             self.tree.abort(txn);
@@ -1583,12 +1711,14 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 });
             }
         }
+        self.prof.enter(HostRegion::LockRelease);
         let touched = self.table.cancel_family_waiters(root);
         debug_assert!(touched.len() <= 1, "a family has one outstanding request");
         grants.extend(
             self.table
                 .regrant_probed(&touched, &self.tree, now, &mut self.sink),
         );
+        self.prof.exit(HostRegion::LockRelease);
         // Each globally released lock costs an (empty) release message to
         // its GDO partition — unless the node is dead, in which case the
         // directory reclaims the locks without hearing from it.
@@ -1645,8 +1775,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             // Scheduled after `reset_for_restart`, so the event carries the
             // *new* generation and survives the staleness check.
             let gen = self.generation(fam);
-            self.sim
-                .schedule_at(now + backoff, Event::Restart(fam, gen));
+            self.schedule(now + backoff, Event::Restart(fam, gen));
         } else {
             self.stats.aborted_families += 1;
         }
@@ -1676,11 +1805,13 @@ impl<'a, S: EventSink> Engine<'a, S> {
             (top.txn, top.object)
         };
         let waited = now.saturating_duration_since(self.families[fam].phase_entered);
+        self.prof.enter(HostRegion::LockRelease);
         let touched = self.table.cancel_family_waiters(root);
         debug_assert_eq!(touched, vec![object], "family waits on its top object");
         let grants = self
             .table
             .regrant_probed(&touched, &self.tree, now, &mut self.sink);
+        self.prof.exit(HostRegion::LockRelease);
         self.stats.lock_timeouts += 1;
         if self.sink.enabled() {
             self.sink.emit(ObsEvent {
@@ -1919,6 +2050,47 @@ pub fn run_engine_with_probe<S: EventSink>(
     sink: S,
 ) -> Result<RunReport, CoreError> {
     Engine::with_probe(config, registry, workload, sink)?.run()
+}
+
+/// Like [`run_engine_with_probe`], but with both instrumentation planes:
+/// `sink` for sim-time probe events, `prof` for host-plane wall-clock
+/// self-profiling. Lend a [`lotec_obs::WallProfiler`] (`&mut prof`) to
+/// keep the profile after the run:
+///
+/// ```
+/// use lotec_core::engine::run_engine_instrumented;
+/// use lotec_core::spec::demo_workload;
+/// use lotec_core::SystemConfig;
+/// use lotec_obs::{NoopSink, WallProfiler};
+///
+/// let config = SystemConfig::default();
+/// let (registry, families) = demo_workload(&config, 7);
+/// let mut prof = WallProfiler::new();
+/// let report =
+///     run_engine_instrumented(&config, &registry, &families, NoopSink, &mut prof)?;
+/// assert_eq!(report.stats.committed_families as usize, families.len());
+/// let profile = prof.into_profile();
+/// assert!(profile.total_count() > 0, "a run records host regions");
+/// # Ok::<(), lotec_core::CoreError>(())
+/// ```
+///
+/// To additionally time the sink's own recording cost
+/// ([`lotec_obs::HostRegion`]`::ObsRecord`), wrap the sink in a
+/// [`lotec_obs::ProfiledSink`] backed by a *second* `WallProfiler` and
+/// [`merge`](lotec_obs::HostProfile::merge) the two profiles afterwards
+/// (the engine and the sink wrapper each need exclusive access to theirs).
+///
+/// # Errors
+///
+/// See [`Engine::new`] and [`Engine::run`].
+pub fn run_engine_instrumented<S: EventSink, P: HostProfiler>(
+    config: &SystemConfig,
+    registry: &ObjectRegistry,
+    workload: &[FamilySpec],
+    sink: S,
+    prof: P,
+) -> Result<RunReport, CoreError> {
+    Engine::with_instruments(config, registry, workload, sink, prof)?.run()
 }
 
 #[cfg(test)]

@@ -133,6 +133,13 @@ impl PageStore {
         self.len() == 0
     }
 
+    /// Bytes of page data cached locally (pages × page size). Cheap: the
+    /// state sampler reads this per node at every sample tick.
+    #[must_use]
+    pub fn cached_bytes(&self) -> u64 {
+        self.len() as u64 * self.page_size as u64
+    }
+
     /// True if `page` is cached locally (at any version).
     pub fn contains(&self, page: PageId) -> bool {
         match &self.slots {

@@ -405,6 +405,28 @@ pub enum ObsEventKind {
         /// How long it had been queued, in sim nanoseconds.
         waited_ns: u64,
     },
+    /// Periodic sim-state gauge sample from the engine's state sampler
+    /// (enabled by `state_sample_interval`). Samples are emitted inline by
+    /// the run loop at fixed sim-time boundaries — never as scheduled sim
+    /// events — so enabling them cannot perturb the simulation. The
+    /// event's `node` is always 0; per-node data rides in `cache_bytes`.
+    StateSample {
+        /// Events pending in the future-event list.
+        queue_depth: u64,
+        /// Lock-table occupancy: holder records across all entries.
+        locks_held: u32,
+        /// Lock-table occupancy: retained-lock records across all entries.
+        locks_retained: u32,
+        /// Lock-table occupancy: queued (waiting) requests.
+        locks_waiting: u32,
+        /// Modeled messages in flight: grant/fetch round trips a family is
+        /// currently waiting on.
+        inflight_messages: u32,
+        /// Families blocked waiting for a lock grant.
+        blocked_families: u32,
+        /// Cached bytes per node, indexed by node id.
+        cache_bytes: Vec<u64>,
+    },
     /// Fault injection recovery: a page whose owner crashed was repointed
     /// in the GDO page map to a surviving same-version copy.
     PageMapRepaired {
@@ -443,6 +465,7 @@ impl ObsEventKind {
             ObsEventKind::Retransmit { .. } => "retransmit",
             ObsEventKind::NodeCrashed { .. } => "node_crashed",
             ObsEventKind::NodeRecovered { .. } => "node_recovered",
+            ObsEventKind::StateSample { .. } => "state_sample",
             ObsEventKind::LockTimeout { .. } => "lock_timeout",
             ObsEventKind::PageMapRepaired { .. } => "page_map_repaired",
         }

@@ -312,6 +312,23 @@ pub fn event_to_json(event: &ObsEvent) -> Json {
             pairs.push(("from", Json::U64(*from as u64)));
             pairs.push(("to", Json::U64(*to as u64)));
         }
+        ObsEventKind::StateSample {
+            queue_depth,
+            locks_held,
+            locks_retained,
+            locks_waiting,
+            inflight_messages,
+            blocked_families,
+            cache_bytes,
+        } => {
+            pairs.push(("queue_depth", Json::U64(*queue_depth)));
+            pairs.push(("locks_held", Json::U64(*locks_held as u64)));
+            pairs.push(("locks_retained", Json::U64(*locks_retained as u64)));
+            pairs.push(("locks_waiting", Json::U64(*locks_waiting as u64)));
+            pairs.push(("inflight_messages", Json::U64(*inflight_messages as u64)));
+            pairs.push(("blocked_families", Json::U64(*blocked_families as u64)));
+            pairs.push(("cache_bytes", txns_json(cache_bytes)));
+        }
     }
     Json::obj(pairs)
 }
@@ -492,6 +509,15 @@ pub fn event_from_json(json: &Json) -> Result<ObsEvent, JsonError> {
             page: u16_field(json, "page")?,
             from: u32_field(json, "from")?,
             to: u32_field(json, "to")?,
+        },
+        "state_sample" => ObsEventKind::StateSample {
+            queue_depth: u64_field(json, "queue_depth")?,
+            locks_held: u32_field(json, "locks_held")?,
+            locks_retained: u32_field(json, "locks_retained")?,
+            locks_waiting: u32_field(json, "locks_waiting")?,
+            inflight_messages: u32_field(json, "inflight_messages")?,
+            blocked_families: u32_field(json, "blocked_families")?,
+            cache_bytes: txns_from(json, "cache_bytes")?,
         },
         other => return Err(JsonError::new(format!("unknown event kind `{other}`"))),
     };
@@ -720,6 +746,73 @@ pub fn chrome_trace(events: &[ObsEvent]) -> Json {
                     ("tid", Json::U64(0)),
                 ]);
                 slices.push((event.at, 0, marker));
+            }
+            ObsEventKind::StateSample {
+                queue_depth,
+                locks_held,
+                locks_retained,
+                locks_waiting,
+                inflight_messages,
+                blocked_families,
+                cache_bytes,
+            } => {
+                // Counter tracks ("ph":"C"): Perfetto renders each named
+                // counter as a stacked area chart keyed by its args.
+                let counter = |name: &str, pid: u64, args: Vec<(&str, Json)>| -> Json {
+                    Json::obj(vec![
+                        ("name", Json::str(name)),
+                        ("cat", Json::str("state")),
+                        ("ph", Json::str("C")),
+                        ("ts", micros(event.at)),
+                        ("pid", Json::U64(pid)),
+                        ("args", Json::obj(args)),
+                    ])
+                };
+                slices.push((
+                    event.at,
+                    0,
+                    counter(
+                        "sim queue depth",
+                        0,
+                        vec![("events", Json::U64(*queue_depth))],
+                    ),
+                ));
+                slices.push((
+                    event.at,
+                    0,
+                    counter(
+                        "lock table",
+                        0,
+                        vec![
+                            ("held", Json::U64(*locks_held as u64)),
+                            ("retained", Json::U64(*locks_retained as u64)),
+                            ("waiting", Json::U64(*locks_waiting as u64)),
+                        ],
+                    ),
+                ));
+                slices.push((
+                    event.at,
+                    0,
+                    counter(
+                        "families",
+                        0,
+                        vec![
+                            ("blocked", Json::U64(*blocked_families as u64)),
+                            ("inflight_messages", Json::U64(*inflight_messages as u64)),
+                        ],
+                    ),
+                ));
+                for (node, bytes) in cache_bytes.iter().enumerate() {
+                    slices.push((
+                        event.at,
+                        0,
+                        counter(
+                            "cache bytes",
+                            node as u64,
+                            vec![("bytes", Json::U64(*bytes))],
+                        ),
+                    ));
+                }
             }
             _ => {}
         }
@@ -1035,6 +1128,19 @@ mod tests {
                 },
             },
             ObsEvent {
+                at: SimTime::from_nanos(380),
+                node: 0,
+                kind: ObsEventKind::StateSample {
+                    queue_depth: 12,
+                    locks_held: 3,
+                    locks_retained: 1,
+                    locks_waiting: 2,
+                    inflight_messages: 4,
+                    blocked_families: 1,
+                    cache_bytes: vec![4096, 0, 8192, 1024],
+                },
+            },
+            ObsEvent {
                 at: SimTime::from_nanos(395),
                 node: 1,
                 kind: ObsEventKind::SpanClose {
@@ -1096,6 +1202,51 @@ mod tests {
         assert_eq!(span_slices, 2);
         // The whole document survives a JSON re-parse.
         assert_eq!(Json::parse(&trace.render_pretty()).unwrap(), trace);
+    }
+
+    #[test]
+    fn chrome_trace_emits_counter_tracks_for_state_samples() {
+        let trace = chrome_trace(&sample_events());
+        let events = trace.get("traceEvents").unwrap().as_array().unwrap();
+        let counters: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        // Three global counter tracks plus one cache-bytes track per node.
+        assert_eq!(counters.len(), 3 + 4);
+        let queue = counters
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("sim queue depth"))
+            .expect("queue-depth counter");
+        assert_eq!(
+            queue
+                .get("args")
+                .and_then(|a| a.get("events"))
+                .and_then(Json::as_u64),
+            Some(12)
+        );
+        let lock = counters
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("lock table"))
+            .expect("lock-table counter");
+        let args = lock.get("args").unwrap();
+        assert_eq!(args.get("held").and_then(Json::as_u64), Some(3));
+        assert_eq!(args.get("waiting").and_then(Json::as_u64), Some(2));
+        // Per-node cache-bytes counters carry the node id as the pid.
+        let cache2 = counters
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(Json::as_str) == Some("cache bytes")
+                    && e.get("pid").and_then(Json::as_u64) == Some(2)
+            })
+            .expect("node-2 cache counter");
+        assert_eq!(
+            cache2
+                .get("args")
+                .and_then(|a| a.get("bytes"))
+                .and_then(Json::as_u64),
+            Some(8192)
+        );
     }
 
     #[test]

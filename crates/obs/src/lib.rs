@@ -26,23 +26,37 @@
 //!   time, prediction precision/recall, gather fan-out.
 //! * [`json`] — the dependency-free JSON value type everything above (and
 //!   the workload persistence layer) serializes through.
+//!
+//! A second, orthogonal plane measures the *host* rather than the model:
+//!
+//! * [`host`] — wall-clock self-profiling of the engine's hot regions
+//!   ([`HostProfiler`] / [`NoopHostProfiler`] / [`WallProfiler`]), the
+//!   same zero-cost-when-disabled shape as the sink layer.
+//! * [`alloc`] — optional allocation accounting ([`CountingAlloc`]) that
+//!   attributes allocator traffic to the profiled region that caused it.
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod critical_path;
 pub mod event;
 pub mod export;
+pub mod host;
 pub mod json;
 pub mod registry;
 pub mod report;
 pub mod sink;
 pub mod span;
 
+pub use alloc::{AllocSnapshot, CountingAlloc};
 pub use critical_path::{
     critical_paths, critical_paths_json, CriticalPath, PathEdge, PathEdgeKind,
 };
 pub use event::{ObsEvent, ObsEventKind, ObsLockMode, ObsPhase, ReleaseCause, SpanOutcome};
 pub use export::{chrome_trace, event_from_json, event_to_json, jsonl_decode, jsonl_encode};
+pub use host::{
+    HostProfile, HostProfiler, HostRegion, NoopHostProfiler, ProfiledSink, RegionStat, WallProfiler,
+};
 pub use json::{Json, JsonError};
 pub use registry::{Gauge, MetricLabel, MetricsRegistry, ObjectContention};
 pub use report::{PhaseTimes, PredictionTotals, TraceSummary};

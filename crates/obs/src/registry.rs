@@ -311,6 +311,38 @@ impl MetricsRegistry {
                 self.add("lock_timeouts", MetricLabel::Object(*object), 1);
                 self.observe("lock_timeout_wait_ns", MetricLabel::Global, *waited_ns);
             }
+            ObsEventKind::StateSample {
+                queue_depth,
+                locks_held,
+                locks_retained,
+                locks_waiting,
+                inflight_messages,
+                blocked_families,
+                cache_bytes,
+            } => {
+                self.add("state_samples", MetricLabel::Global, 1);
+                self.gauge_set("sim_queue_depth", MetricLabel::Global, *queue_depth);
+                self.gauge_set("locks_held", MetricLabel::Global, *locks_held as u64);
+                self.gauge_set(
+                    "locks_retained",
+                    MetricLabel::Global,
+                    *locks_retained as u64,
+                );
+                self.gauge_set("locks_waiting", MetricLabel::Global, *locks_waiting as u64);
+                self.gauge_set(
+                    "inflight_messages",
+                    MetricLabel::Global,
+                    *inflight_messages as u64,
+                );
+                self.gauge_set(
+                    "blocked_families",
+                    MetricLabel::Global,
+                    *blocked_families as u64,
+                );
+                for (node, bytes) in cache_bytes.iter().enumerate() {
+                    self.gauge_set("cache_bytes", MetricLabel::Node(node as u32), *bytes);
+                }
+            }
             ObsEventKind::PageMapRepaired { object, .. } => {
                 self.add("page_map_repairs", MetricLabel::Object(*object), 1);
             }

@@ -57,7 +57,7 @@ pub use deadlock::{
 pub use gdo::{gdo_home, GdoEntry, LockState, QueuedRequest};
 pub use lock::LockMode;
 pub use table::{
-    emit_grant_events, obs_mode, AbortRelease, Acquire, CommitRelease, Grant, LockError, LockTable,
-    PreCommitRelease,
+    emit_grant_events, obs_mode, AbortRelease, Acquire, CommitRelease, Grant, LockError,
+    LockOccupancy, LockTable, PreCommitRelease,
 };
 pub use tree::{TxnId, TxnState, TxnTree};

@@ -179,6 +179,18 @@ pub struct CommitRelease {
     pub grants: Vec<Grant>,
 }
 
+/// Point-in-time occupancy of the lock table (see
+/// [`LockTable::occupancy`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockOccupancy {
+    /// Total holder-list entries across all objects.
+    pub held: u32,
+    /// Total retainer-map entries across all objects.
+    pub retained: u32,
+    /// Total queued (waiting) requests across all objects.
+    pub waiting: u32,
+}
+
 /// The lock table: every object's GDO entry plus reverse indexes.
 ///
 /// Entries live in a flat `Vec` indexed by the dense object id, so the
@@ -253,6 +265,20 @@ impl LockTable {
     /// (deadlock detection scans these).
     pub fn entries(&self) -> impl Iterator<Item = &GdoEntry> {
         self.entries.iter().flatten()
+    }
+
+    /// Aggregate occupancy across every GDO entry: live holder links,
+    /// retainer links, and queued requests. One O(objects) scan — feeds
+    /// periodic state sampling, not the per-acquisition hot path.
+    #[must_use]
+    pub fn occupancy(&self) -> LockOccupancy {
+        let mut occ = LockOccupancy::default();
+        for entry in self.entries() {
+            occ.held += entry.holders().len() as u32;
+            occ.retained += entry.retainers().count() as u32;
+            occ.waiting += entry.num_waiting() as u32;
+        }
+        occ
     }
 
     // ---------------------------------------------------------------
