@@ -64,7 +64,9 @@ const SCHEMA: u64 = 2;
 
 /// Repeats for the `gate` cell — fixed across modes so full-mode
 /// baselines and `--quick`/`--gate` runs measure the same protocol.
-const GATE_REPEATS: usize = 5;
+/// The cell is ~1 ms, so a generous repeat count keeps the min-of-repeats
+/// estimate stable against bursty host noise at negligible cost.
+const GATE_REPEATS: usize = 25;
 
 /// Environment variable overriding the gate tolerance (a fraction;
 /// default 0.20 = ±20 %).
@@ -437,19 +439,29 @@ fn main() {
     let host_profile = {
         let config = fig3_config(&scenario, ProtocolKind::Lotec);
         let (_, plain_hash) = lotec_plain.expect("LOTEC plain cell ran");
-        let mut prof = WallProfiler::new();
-        let alloc_before = alloc::snapshot();
-        let wall_start = Instant::now();
-        let report = run_engine_instrumented(&config, &registry, &families, NoopSink, &mut prof)
-            .expect("profiled run");
-        let wall_ns = wall_start.elapsed().as_nanos() as u64;
-        let alloc_delta = alloc::snapshot().delta_since(&alloc_before);
-        assert_eq!(
-            chain_hash(&report),
-            plain_hash,
-            "host profiling perturbed the simulation"
-        );
-        let profile = prof.into_profile();
+        // Min-of-repeats, like every timed cell: keep the profile of the
+        // least-disturbed run so region shares reflect the engine, not a
+        // noise burst that landed inside one region's scope.
+        let mut best: Option<(u64, lotec_obs::HostProfile, alloc::AllocSnapshot)> = None;
+        for _ in 0..repeats {
+            let mut prof = WallProfiler::new();
+            let alloc_before = alloc::snapshot();
+            let wall_start = Instant::now();
+            let report =
+                run_engine_instrumented(&config, &registry, &families, NoopSink, &mut prof)
+                    .expect("profiled run");
+            let wall_ns = wall_start.elapsed().as_nanos() as u64;
+            let alloc_delta = alloc::snapshot().delta_since(&alloc_before);
+            assert_eq!(
+                chain_hash(&report),
+                plain_hash,
+                "host profiling perturbed the simulation"
+            );
+            if best.as_ref().is_none_or(|(w, _, _)| wall_ns < *w) {
+                best = Some((wall_ns, prof.into_profile(), alloc_delta));
+            }
+        }
+        let (wall_ns, profile, alloc_delta) = best.expect("at least one profiled run");
         let coverage = profile.total_self_ns() as f64 / wall_ns.max(1) as f64;
         println!(
             "  host profile: {wall_ns} ns wall, {:.1}% covered",
@@ -471,6 +483,22 @@ fn main() {
             "host-profile regions cover only {:.1}% of wall time; \
              a hot region is missing its scope",
             coverage * 100.0
+        );
+        // The deadlock gate used to rebuild the waits-for graph from an
+        // O(entries) scan on every enqueue — ~86% of the full-fig3 wall.
+        // With the graph maintained incrementally in the lock table the
+        // gate is an O(1) in-edge lookup plus a reachability-scoped
+        // search; its share must stay collapsed.
+        let deadlock_share = profile.self_share(lotec_obs::HostRegion::DeadlockGate);
+        println!(
+            "    deadlock_gate share: {:.1}% of explained self-time",
+            deadlock_share * 100.0
+        );
+        assert!(
+            deadlock_share < 0.30,
+            "deadlock gate consumes {:.1}% of profiled self-time; the \
+             incremental waits-for graph should keep it well under 30%",
+            deadlock_share * 100.0
         );
         let alloc_json = if alloc::profiling_enabled() {
             println!(

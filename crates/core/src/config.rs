@@ -221,6 +221,16 @@ pub struct SystemConfig {
     /// disables sampling; it is also skipped when the probe sink is a
     /// no-op.
     pub state_sample_interval: SimDuration,
+    /// Oracle mode for the incrementally maintained waits-for graph:
+    /// after every lock-table mutation the engine's table compares the
+    /// incremental graph against a from-scratch rebuild, and every
+    /// deadlock-detector call cross-checks its verdict, found cycle, and
+    /// victim against the reference implementation
+    /// ([`lotec_txn::deadlock::reference`]). Purely diagnostic — any
+    /// divergence panics, and with no divergence the simulation output
+    /// is identical. Off by default (each check is O(whole table)); the
+    /// differential oracle suite turns it on.
+    pub lock_graph_validation: bool,
 }
 
 impl Default for SystemConfig {
@@ -245,6 +255,7 @@ impl Default for SystemConfig {
             adaptive: AdaptiveConfig::default(),
             seed: 0,
             state_sample_interval: SimDuration::ZERO,
+            lock_graph_validation: false,
         }
     }
 }

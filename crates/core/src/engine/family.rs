@@ -37,6 +37,11 @@ pub(crate) struct Frame {
     pub path: PathId,
     /// Index of the next child invocation to start.
     pub next_child: usize,
+    /// Number of child invocations (cached from the spec, so the per-event
+    /// advance path never re-walks the spec tree).
+    pub num_children: usize,
+    /// Whether this invocation is a programmed fault (cached from the spec).
+    pub abort: bool,
 }
 
 /// What the family is currently doing.

@@ -282,6 +282,9 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
             }
         }
         let mut table = LockTable::new();
+        if config.lock_graph_validation {
+            table.enable_graph_validation();
+        }
         // One dense page numbering over the fixed object layout, shared by
         // every node's store: page state lives in flat slot-indexed Vecs.
         let atlas = std::sync::Arc::new(registry.page_atlas());
@@ -729,6 +732,8 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
             method: spec.method,
             path: spec.path,
             next_child: 0,
+            num_children: spec.children.len(),
+            abort: spec.abort,
         };
         if self.sink.enabled() {
             self.sink.emit(ObsEvent {
@@ -1291,9 +1296,11 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
         // lock requests now, overlapping their GDO round trips with this
         // invocation's compute phase.
         if self.config.lock_prefetch {
-            let ptr = self.families[fam].top().ptr.clone();
-            let spec = spec_at(&self.workload[fam], &ptr);
-            for idx in 0..spec.children.len() {
+            let (ptr, num_children) = {
+                let top = self.families[fam].top();
+                (top.ptr.clone(), top.num_children)
+            };
+            for idx in 0..num_children {
                 let mut child_ptr = ptr.clone();
                 child_ptr.push(idx);
                 self.families[fam]
@@ -1316,14 +1323,14 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
     /// After compute or after a child finished: start the next child or
     /// finish the current invocation.
     fn advance(&mut self, now: SimTime, fam: usize) -> Result<(), CoreError> {
-        let (ptr, next_child, txn) = {
+        let (next_child, num_children, txn) = {
             let top = self.families[fam].top();
-            (top.ptr.clone(), top.next_child, top.txn)
+            (top.next_child, top.num_children, top.txn)
         };
-        let spec = spec_at(&self.workload[fam], &ptr);
-        if next_child < spec.children.len() {
-            self.families[fam].top_mut().next_child += 1;
-            let mut child_ptr = ptr;
+        if next_child < num_children {
+            let top = self.families[fam].top_mut();
+            top.next_child += 1;
+            let mut child_ptr = top.ptr.clone();
             child_ptr.push(next_child);
             return self.start_invocation(now, fam, child_ptr, Some(txn));
         }
@@ -1331,15 +1338,14 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
     }
 
     fn finish_invocation(&mut self, now: SimTime, fam: usize) -> Result<(), CoreError> {
-        let (ptr, txn) = {
+        let (txn, abort) = {
             let top = self.families[fam].top();
-            (top.ptr.clone(), top.txn)
+            (top.txn, top.abort)
         };
-        let spec = spec_at(&self.workload[fam], &ptr);
         let is_root = self.families[fam].frames.len() == 1;
         let node = self.workload[fam].node;
 
-        if spec.abort {
+        if abort {
             if is_root {
                 // Programmed root fault: the family aborts permanently.
                 self.abort_family_attempt(now, fam, false, true)?;
@@ -1389,7 +1395,7 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
                     node,
                     released: rel.released.clone(),
                 });
-                for object in &rel.released.clone() {
+                for object in &rel.released {
                     let home = self.config.gdo_home(*object);
                     let bytes = self.config.sizes.lock_release(0);
                     self.send_lossy(MessageKind::LockRelease, node, home, *object, bytes, None);
@@ -1527,7 +1533,7 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
         }
 
         // Release messages: dirty info piggybacked per object (Alg. 4.4).
-        for object in &rel.released.clone() {
+        for object in &rel.released {
             let home = self.config.gdo_home(*object);
             let n_dirty = dirty
                 .iter()
@@ -1634,10 +1640,13 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
     ///
     /// Cycles are broken at every enqueue and wait edges only disappear in
     /// between, so the graph is acyclic on entry and any new cycle runs
-    /// through `enqueued` — when [`lotec_txn::may_deadlock_through`] rules
-    /// that out, the detector is skipped entirely. Once a victim has been
-    /// aborted the regrants invalidate that reasoning, so subsequent loop
-    /// iterations always run the full detector.
+    /// through `enqueued` — when [`lotec_txn::may_deadlock_through`] (an
+    /// O(1) in-edge lookup in the incremental graph) rules that out, the
+    /// detector is skipped entirely; otherwise the first search walks
+    /// only the nodes that can reach `enqueued`
+    /// ([`lotec_txn::find_deadlock_cycle_through_probed`]). Once a victim
+    /// has been aborted the regrants invalidate that reasoning, so
+    /// subsequent loop iterations run the full detector.
     fn break_deadlocks(
         &mut self,
         now: SimTime,
@@ -1647,14 +1656,28 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
         if !lotec_txn::may_deadlock_through(&self.table, &self.tree, enqueued) {
             return Ok(());
         }
+        let mut scoped = true;
         loop {
-            let Some(cycle) = lotec_txn::find_deadlock_cycle_probed(
-                &self.table,
-                &self.tree,
-                now,
-                detector.index(),
-                &mut self.sink,
-            ) else {
+            let found = if scoped {
+                lotec_txn::find_deadlock_cycle_through_probed(
+                    &self.table,
+                    &self.tree,
+                    enqueued,
+                    now,
+                    detector.index(),
+                    &mut self.sink,
+                )
+            } else {
+                lotec_txn::find_deadlock_cycle_probed(
+                    &self.table,
+                    &self.tree,
+                    now,
+                    detector.index(),
+                    &mut self.sink,
+                )
+            };
+            scoped = false;
+            let Some(cycle) = found else {
                 return Ok(());
             };
             let victim_root = lotec_txn::pick_victim(&cycle);
@@ -1712,7 +1735,7 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
             }
         }
         self.prof.enter(HostRegion::LockRelease);
-        let touched = self.table.cancel_family_waiters(root);
+        let touched = self.table.cancel_family_waiters(root, &self.tree);
         debug_assert!(touched.len() <= 1, "a family has one outstanding request");
         grants.extend(
             self.table
@@ -1722,7 +1745,7 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
         // Each globally released lock costs an (empty) release message to
         // its GDO partition — unless the node is dead, in which case the
         // directory reclaims the locks without hearing from it.
-        for object in &released.clone() {
+        for object in &released {
             let home = self.config.gdo_home(*object);
             let bytes = self.config.sizes.lock_release(0);
             if node_alive {
@@ -1806,7 +1829,7 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
         };
         let waited = now.saturating_duration_since(self.families[fam].phase_entered);
         self.prof.enter(HostRegion::LockRelease);
-        let touched = self.table.cancel_family_waiters(root);
+        let touched = self.table.cancel_family_waiters(root, &self.tree);
         debug_assert_eq!(touched, vec![object], "family waits on its top object");
         let grants = self
             .table

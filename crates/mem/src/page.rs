@@ -12,40 +12,92 @@ use crate::ids::Version;
 /// the bytes with an [`Arc`] makes every one of those copies a refcount
 /// bump; the bytes themselves are cloned lazily, only when a write lands
 /// on a payload that still shares its allocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PageData(Arc<Vec<u8>>);
+///
+/// The representation is *compact*: only the written prefix of the page
+/// is materialized, and every byte past it is logically zero. `len()`
+/// always reports the full logical size. In this simulator the only
+/// mutation a page ever sees is the eight-byte content chain, so a 4 KiB
+/// page costs an eight-byte buffer — and the copy-on-write clone a
+/// pre-image forces is eight bytes instead of the whole page.
+#[derive(Debug, Clone, Eq)]
+pub struct PageData {
+    /// Materialized prefix; `bytes.len() <= len`, the tail is logically
+    /// zero.
+    bytes: Arc<Vec<u8>>,
+    /// Logical payload length in bytes.
+    len: usize,
+}
+
+/// The shared empty allocation behind every never-written payload.
+fn empty_bytes() -> Arc<Vec<u8>> {
+    static EMPTY: std::sync::OnceLock<Arc<Vec<u8>>> = std::sync::OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
 
 impl PageData {
-    /// A zero-filled payload of `size` bytes.
+    /// A zero-filled payload of `size` logical bytes. No byte buffer is
+    /// allocated until something writes.
     pub fn zeroed(size: usize) -> Self {
-        PageData(Arc::new(vec![0; size]))
+        PageData {
+            bytes: empty_bytes(),
+            len: size,
+        }
     }
 
-    /// Payload length in bytes.
+    /// Logical payload length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.len
     }
 
-    /// Whether the payload is empty.
+    /// Whether the payload is logically empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len == 0
     }
 
-    /// Read-only view of the bytes.
+    /// Read-only view of the materialized prefix. Bytes at and beyond
+    /// `as_slice().len()` are logically zero up to [`Self::len`].
     pub fn as_slice(&self) -> &[u8] {
-        &self.0
+        &self.bytes
     }
 
-    /// Mutable view of the bytes, cloning the allocation first if it is
-    /// still shared with another handle.
-    fn make_mut(&mut self) -> &mut Vec<u8> {
-        Arc::make_mut(&mut self.0)
+    /// Mutable view of the first `need` bytes, cloning the (prefix-sized)
+    /// allocation first if it is still shared with another handle and
+    /// materializing zeros up to `need`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `need` exceeds the logical length.
+    fn make_mut(&mut self, need: usize) -> &mut [u8] {
+        assert!(need <= self.len, "write larger than page");
+        let bytes = Arc::make_mut(&mut self.bytes);
+        if bytes.len() < need {
+            bytes.resize(need, 0);
+        }
+        &mut bytes[..need]
     }
 }
 
 impl From<Vec<u8>> for PageData {
     fn from(bytes: Vec<u8>) -> Self {
-        PageData(Arc::new(bytes))
+        PageData {
+            len: bytes.len(),
+            bytes: Arc::new(bytes),
+        }
+    }
+}
+
+impl PartialEq for PageData {
+    /// Logical equality: equal lengths and equal bytes, treating the
+    /// unmaterialized tail of either side as zeros.
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let common = a.len().min(b.len());
+        a[..common] == b[..common]
+            && a[common..].iter().all(|&x| x == 0)
+            && b[common..].iter().all(|&x| x == 0)
     }
 }
 
@@ -53,7 +105,7 @@ impl std::ops::Deref for PageData {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.0
+        &self.bytes
     }
 }
 
@@ -120,12 +172,13 @@ impl Page {
         self.version = version;
     }
 
-    /// Page size in bytes.
+    /// Page size in logical bytes.
     pub fn size(&self) -> usize {
         self.data.len()
     }
 
-    /// Read-only view of the payload.
+    /// Read-only view of the payload's materialized prefix; bytes beyond
+    /// it are logically zero up to [`Self::size`].
     pub fn data(&self) -> &[u8] {
         &self.data
     }
@@ -142,20 +195,27 @@ impl Page {
     ///
     /// Panics if `bytes` is longer than the page.
     pub fn write(&mut self, bytes: &[u8]) {
-        assert!(bytes.len() <= self.data.len(), "write larger than page");
-        self.data.make_mut()[..bytes.len()].copy_from_slice(bytes);
+        self.data.make_mut(bytes.len()).copy_from_slice(bytes);
     }
 
     /// The current content-chain value (first eight bytes, little-endian).
     pub fn chain(&self) -> u64 {
-        u64::from_le_bytes(self.data[..8].try_into().expect("page >= 8 bytes"))
+        let prefix = self.data.as_slice();
+        if prefix.len() >= 8 {
+            u64::from_le_bytes(prefix[..8].try_into().expect("just checked"))
+        } else {
+            // Never stamped: the chain bytes are still logical zeros.
+            let mut b = [0u8; 8];
+            b[..prefix.len()].copy_from_slice(prefix);
+            u64::from_le_bytes(b)
+        }
     }
 
     /// Folds `stamp` into the content chain, mutating the page.
     /// Returns the new chain value.
     pub fn apply_stamp(&mut self, stamp: u64) -> u64 {
         let next = mix(self.chain(), stamp);
-        self.data.make_mut()[..8].copy_from_slice(&next.to_le_bytes());
+        self.data.make_mut(8).copy_from_slice(&next.to_le_bytes());
         next
     }
 }
@@ -177,7 +237,24 @@ mod tests {
     fn write_overwrites_prefix_only() {
         let mut p = Page::zeroed(16);
         p.write(&[1, 2, 3]);
-        assert_eq!(&p.data()[..4], &[1, 2, 3, 0]);
+        // Only the written prefix is materialized; the logical size and
+        // the zero tail are unchanged.
+        assert_eq!(&p.data()[..3], &[1, 2, 3]);
+        assert!(p.data()[3..].iter().all(|&b| b == 0));
+        assert_eq!(p.size(), 16);
+    }
+
+    #[test]
+    fn never_written_page_materializes_nothing() {
+        let p = Page::zeroed(4096);
+        assert_eq!(p.size(), 4096);
+        assert_eq!(p.chain(), 0);
+        assert!(p.data().is_empty(), "no bytes materialized before a write");
+        // Logical equality ignores how much of the zero tail is backed.
+        let mut q = Page::zeroed(4096);
+        q.apply_stamp(3);
+        assert_ne!(p.payload(), q.payload());
+        assert_eq!(p.payload(), Page::zeroed(4096).payload());
     }
 
     #[test]
@@ -248,8 +325,9 @@ mod tests {
     #[test]
     fn unshared_payload_writes_in_place() {
         let mut p = Page::zeroed(16);
+        p.apply_stamp(1); // materializes the chain prefix
         let before = p.data().as_ptr();
-        p.apply_stamp(1);
+        p.apply_stamp(2);
         // No other handle exists, so the allocation must be reused.
         assert_eq!(before, p.data().as_ptr());
     }

@@ -221,26 +221,29 @@ impl PageStore {
     /// Folds a write `stamp` into `page`'s content chain and marks it
     /// dirty. Creates the page (zeroed) if absent. Returns the new chain.
     pub fn apply_stamp(&mut self, page: PageId, stamp: u64) -> u64 {
-        self.ensure(page);
+        let page_size = self.page_size;
         match &mut self.slots {
             Slots::Sparse { pages, dirty } => {
                 dirty.insert(page);
                 pages
-                    .get_mut(&page)
-                    .expect("just ensured")
+                    .entry(page)
+                    .or_insert_with(|| Page::zeroed(page_size))
                     .apply_stamp(stamp)
             }
             Slots::Dense {
                 atlas,
                 pages,
                 dirty,
-                ..
+                cached,
             } => {
+                // One slot resolution covers the ensure and the stamp.
                 let slot = atlas.slot(page);
                 dirty[slot] = true;
                 pages[slot]
-                    .as_mut()
-                    .expect("just ensured")
+                    .get_or_insert_with(|| {
+                        *cached += 1;
+                        Page::zeroed(page_size)
+                    })
                     .apply_stamp(stamp)
             }
         }

@@ -95,8 +95,10 @@ fn apply(store: &mut PageStore, page: PageId, pre: PreImage) {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct UndoLog {
-    // token -> page -> pre-image (first write wins).
-    logs: BTreeMap<u64, BTreeMap<PageId, PreImage>>,
+    // token -> (page, pre-image) pairs in first-write order (first write
+    // wins). A transaction touches a handful of pages, so a linear scan of
+    // a flat Vec beats a tree walk on the per-write hot path.
+    logs: BTreeMap<u64, Vec<(PageId, PreImage)>>,
 }
 
 impl UndoLog {
@@ -112,17 +114,16 @@ impl UndoLog {
 
     /// Number of pre-images held for `token`.
     pub fn entries_for(&self, token: u64) -> usize {
-        self.logs.get(&token).map_or(0, BTreeMap::len)
+        self.logs.get(&token).map_or(0, Vec::len)
     }
 }
 
 impl Recovery for UndoLog {
     fn before_write(&mut self, token: u64, store: &PageStore, page: PageId) {
-        self.logs
-            .entry(token)
-            .or_default()
-            .entry(page)
-            .or_insert_with(|| capture(store, page));
+        let log = self.logs.entry(token).or_default();
+        if !log.iter().any(|(p, _)| *p == page) {
+            log.push((page, capture(store, page)));
+        }
     }
 
     fn forget(&mut self, token: u64) {
@@ -148,7 +149,9 @@ impl Recovery for UndoLog {
         let parent_log = self.logs.entry(parent).or_default();
         for (page, pre) in child {
             // The parent's existing pre-image (if any) is older: keep it.
-            parent_log.entry(page).or_insert(pre);
+            if !parent_log.iter().any(|(p, _)| *p == page) {
+                parent_log.push((page, pre));
+            }
         }
     }
 }

@@ -6,8 +6,6 @@
 //! [`TrafficLedger`] accumulates exactly those quantities, per object and
 //! per message kind.
 
-use std::collections::BTreeMap;
-
 use lotec_mem::ObjectId;
 use lotec_sim::SimDuration;
 
@@ -64,10 +62,21 @@ impl ObjectTraffic {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TrafficLedger {
-    per_object: BTreeMap<ObjectId, ObjectTraffic>,
-    per_kind: BTreeMap<MessageKind, ObjectTraffic>,
-    per_object_kind: BTreeMap<(ObjectId, MessageKind), ObjectTraffic>,
+    /// Dense per-object rows, indexed by object id and grown on demand;
+    /// each row splits the object's traffic by message kind. Objects are
+    /// numbered densely by the registry, so a flat table turns the three
+    /// map lookups every recorded message used to pay into array indexing.
+    rows: Vec<[ObjectTraffic; NUM_KINDS]>,
+    per_kind: [ObjectTraffic; NUM_KINDS],
     total: ObjectTraffic,
+}
+
+/// Number of [`MessageKind`] variants (rows are fixed-size arrays).
+const NUM_KINDS: usize = MessageKind::ALL.len();
+
+/// Index of `kind` within [`MessageKind::ALL`] (declaration order).
+const fn kind_index(kind: MessageKind) -> usize {
+    kind as usize
 }
 
 impl TrafficLedger {
@@ -91,23 +100,22 @@ impl TrafficLedger {
             messages: 1,
             bytes: msg.bytes(),
         };
-        self.per_object
-            .entry(msg.object())
-            .or_default()
-            .merge(delta);
-        self.per_kind.entry(msg.kind()).or_default().merge(delta);
-        self.per_object_kind
-            .entry((msg.object(), msg.kind()))
-            .or_default()
-            .merge(delta);
+        let slot = msg.object().index() as usize;
+        if slot >= self.rows.len() {
+            self.rows
+                .resize(slot + 1, [ObjectTraffic::default(); NUM_KINDS]);
+        }
+        let kind = kind_index(msg.kind());
+        self.rows[slot][kind].merge(delta);
+        self.per_kind[kind].merge(delta);
         self.total.merge(delta);
     }
 
     /// Traffic charged to `object` under one message kind.
     pub fn object_kind(&self, object: ObjectId, kind: MessageKind) -> ObjectTraffic {
-        self.per_object_kind
-            .get(&(object, kind))
-            .copied()
+        self.rows
+            .get(object.index() as usize)
+            .map(|row| row[kind_index(kind)])
             .unwrap_or_default()
     }
 
@@ -137,12 +145,21 @@ impl TrafficLedger {
 
     /// Traffic charged to `object` (zero if it never appeared).
     pub fn object(&self, object: ObjectId) -> ObjectTraffic {
-        self.per_object.get(&object).copied().unwrap_or_default()
+        self.rows
+            .get(object.index() as usize)
+            .map(|row| {
+                let mut sum = ObjectTraffic::default();
+                for t in row {
+                    sum.merge(*t);
+                }
+                sum
+            })
+            .unwrap_or_default()
     }
 
     /// Traffic of one message kind.
     pub fn kind(&self, kind: MessageKind) -> ObjectTraffic {
-        self.per_kind.get(&kind).copied().unwrap_or_default()
+        self.per_kind[kind_index(kind)]
     }
 
     /// Whole-run totals.
@@ -150,21 +167,31 @@ impl TrafficLedger {
         self.total
     }
 
-    /// Iterator over `(object, traffic)` in object order.
+    /// Iterator over `(object, traffic)` in object order, skipping
+    /// objects that never appeared.
     pub fn objects(&self) -> impl Iterator<Item = (ObjectId, ObjectTraffic)> + '_ {
-        self.per_object.iter().map(|(&o, &t)| (o, t))
+        self.rows.iter().enumerate().filter_map(|(slot, row)| {
+            let mut sum = ObjectTraffic::default();
+            for t in row {
+                sum.merge(*t);
+            }
+            (sum.messages > 0).then(|| (ObjectId::new(slot as u32), sum))
+        })
     }
 
     /// Merges another ledger into this one.
     pub fn merge(&mut self, other: &TrafficLedger) {
-        for (&o, &t) in &other.per_object {
-            self.per_object.entry(o).or_default().merge(t);
+        if other.rows.len() > self.rows.len() {
+            self.rows
+                .resize(other.rows.len(), [ObjectTraffic::default(); NUM_KINDS]);
         }
-        for (&k, &t) in &other.per_kind {
-            self.per_kind.entry(k).or_default().merge(t);
+        for (mine, theirs) in self.rows.iter_mut().zip(&other.rows) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                a.merge(*b);
+            }
         }
-        for (&ok, &t) in &other.per_object_kind {
-            self.per_object_kind.entry(ok).or_default().merge(t);
+        for (a, b) in self.per_kind.iter_mut().zip(&other.per_kind) {
+            a.merge(*b);
         }
         self.total.merge(other.total);
     }

@@ -278,6 +278,14 @@ impl HostProfile {
         self.regions.iter().map(|r| r.count).sum()
     }
 
+    /// Fraction of the explained self-time spent in `region` (0.0 when
+    /// nothing was profiled). The perf gate uses this to pin hot-region
+    /// wall shares — e.g. that the deadlock gate stays collapsed after
+    /// the incremental waits-for graph removed its O(entries) rebuild.
+    pub fn self_share(&self, region: HostRegion) -> f64 {
+        self.region(region).self_ns as f64 / self.total_self_ns().max(1) as f64
+    }
+
     /// The thread-independent shape of the profile: `(region name, scope
     /// count)` for every region that fired. Wall-clock durations are
     /// excluded on purpose — this is what the determinism tests compare.

@@ -6,131 +6,294 @@
 //! presumably side-stepped it — but a randomized workload generator will
 //! produce such cycles, so the reproduction needs detection for liveness.
 //!
-//! Detection builds the family-level waits-for graph from the lock table
-//! (a family blocks as a unit because it executes sequentially at one
-//! site) and searches for a cycle; the victim is the *youngest* family in
-//! the cycle (largest root id), which — ids being allocated monotonically —
-//! is the family that has done the least work.
+//! Detection searches the family-level waits-for graph (a family blocks
+//! as a unit because it executes sequentially at one site) for a cycle;
+//! the victim is the *youngest* family in the cycle (largest root id),
+//! which — ids being allocated monotonically — is the family that has
+//! done the least work.
+//!
+//! The graph itself is maintained **incrementally** by the lock table
+//! (see [`crate::waits_for::WaitsFor`]): every entry mutation refreshes
+//! only that object's edge contribution, so the functions here read a
+//! materialized graph instead of rebuilding it from an O(entries) scan.
+//! [`may_deadlock_through`] is a single reverse-index lookup and
+//! [`find_deadlock_cycle_through`] walks only the nodes that can reach
+//! the newly enqueued family. The original from-scratch implementation
+//! survives in [`reference`] as the oracle the differential and property
+//! suites (and [`crate::table::LockTable`]'s validation mode) replay
+//! against.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::table::LockTable;
 use crate::tree::{TxnId, TxnTree};
 
-/// Builds the waits-for graph: for each waiting family, the set of
-/// families it waits on (current holders and blocking retainers of the
-/// contested object).
-fn waits_for(table: &LockTable, tree: &TxnTree) -> BTreeMap<TxnId, BTreeSet<TxnId>> {
-    let mut graph: BTreeMap<TxnId, BTreeSet<TxnId>> = BTreeMap::new();
-    for entry in table.entries() {
-        for fw in entry.waiting() {
-            let waiter = fw.family;
-            let mut blockers = BTreeSet::new();
-            for req in &fw.requests {
-                for h in entry.holders() {
-                    let holder_family = tree.root_of(h.txn);
-                    if holder_family != waiter && h.mode.conflicts_with(req.mode) {
-                        blockers.insert(holder_family);
+/// The from-scratch detector the incremental implementation is checked
+/// against: every function rebuilds the waits-for graph by scanning the
+/// whole lock table. Semantics are the specification; performance is
+/// irrelevant here.
+pub mod reference {
+    use super::*;
+
+    /// Builds the waits-for graph: for each waiting family, the set of
+    /// families it waits on — conflicting holders and retainers of other
+    /// families, plus every family queued *earlier* on the same object
+    /// (FIFO edges: a waiter cannot be granted before the families ahead
+    /// of it in line, so queue order is a real wait dependency).
+    pub fn waits_for(table: &LockTable, tree: &TxnTree) -> BTreeMap<TxnId, BTreeSet<TxnId>> {
+        let mut graph: BTreeMap<TxnId, BTreeSet<TxnId>> = BTreeMap::new();
+        for entry in table.entries() {
+            for fw in entry.waiting() {
+                let waiter = fw.family;
+                let mut blockers = BTreeSet::new();
+                for req in &fw.requests {
+                    for h in entry.holders() {
+                        let holder_family = tree.root_of(h.txn);
+                        if holder_family != waiter && h.mode.conflicts_with(req.mode) {
+                            blockers.insert(holder_family);
+                        }
+                    }
+                    for (r, m) in entry.retainers() {
+                        let retainer_family = tree.root_of(r);
+                        if retainer_family != waiter && m.conflicts_with(req.mode) {
+                            blockers.insert(retainer_family);
+                        }
                     }
                 }
-                for (r, m) in entry.retainers() {
-                    let retainer_family = tree.root_of(r);
-                    if retainer_family != waiter && m.conflicts_with(req.mode) {
-                        blockers.insert(retainer_family);
+                // A waiter can also be blocked purely by FIFO ordering
+                // behind an earlier-queued family; model that edge too,
+                // else a cycle hidden behind queue order goes undetected.
+                for earlier in entry.waiting() {
+                    if earlier.family == waiter {
+                        break;
+                    }
+                    blockers.insert(earlier.family);
+                }
+                if !blockers.is_empty() {
+                    graph.entry(waiter).or_default().extend(blockers);
+                }
+            }
+        }
+        graph
+    }
+
+    /// From-scratch equivalent of [`super::may_deadlock_through`]: does
+    /// the rebuilt graph contain an in-edge to `family`?
+    pub fn may_deadlock_through(table: &LockTable, tree: &TxnTree, family: TxnId) -> bool {
+        waits_for(table, tree)
+            .values()
+            .any(|blockers| blockers.contains(&family))
+    }
+
+    /// From-scratch equivalent of [`super::find_deadlock_cycle`]:
+    /// rebuilds the graph, then runs the identical deterministic DFS.
+    pub fn find_deadlock_cycle(table: &LockTable, tree: &TxnTree) -> Option<Vec<TxnId>> {
+        let graph = waits_for(table, tree);
+        super::cycle_search(
+            graph.keys().copied(),
+            |node| {
+                graph
+                    .get(&node)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default()
+            },
+            |node| graph.contains_key(&node),
+        )
+    }
+}
+
+/// Deterministic cycle search shared by the incremental and reference
+/// detectors: an iterative DFS that visits `starts` in the given order
+/// (callers pass ascending family ids), expands each node's successors
+/// in ascending order, and returns the first cycle found as the slice of
+/// the current path from the back-edge target onward. Identical inputs
+/// produce an identical cycle vector — including rotation — which is
+/// what pins the probe layer's `Deadlock` event bytes.
+fn cycle_search(
+    starts: impl Iterator<Item = TxnId>,
+    successors: impl Fn(TxnId) -> Vec<TxnId>,
+    expandable: impl Fn(TxnId) -> bool,
+) -> Option<Vec<TxnId>> {
+    let mut visited: BTreeSet<TxnId> = BTreeSet::new();
+    for start in starts {
+        if visited.contains(&start) {
+            continue;
+        }
+        // Iterative DFS tracking the current path. Each frame carries the
+        // node's successor list, fetched once at push time — the graph
+        // does not change mid-search, and re-fetching on every edge step
+        // made dense (FIFO-heavy) entries quadratic in queue length.
+        let mut path: Vec<TxnId> = Vec::new();
+        let mut on_path: BTreeSet<TxnId> = BTreeSet::new();
+        let mut stack: Vec<(TxnId, Vec<TxnId>, usize)> = vec![(start, successors(start), 0)];
+        while !stack.is_empty() {
+            let (node, next) = {
+                let (node, succ, edge_idx) = stack.last_mut().expect("stack nonempty");
+                let node = *node;
+                if *edge_idx == 0 {
+                    path.push(node);
+                    on_path.insert(node);
+                    visited.insert(node);
+                }
+                if *edge_idx < succ.len() {
+                    let n = succ[*edge_idx];
+                    *edge_idx += 1;
+                    (node, Some(n))
+                } else {
+                    (node, None)
+                }
+            };
+            match next {
+                Some(next) => {
+                    if on_path.contains(&next) {
+                        // Found a cycle: slice the path from `next` onwards.
+                        let pos = path.iter().position(|&t| t == next).expect("on path");
+                        return Some(path[pos..].to_vec());
+                    }
+                    if !visited.contains(&next) && expandable(next) {
+                        stack.push((next, successors(next), 0));
                     }
                 }
-            }
-            // A waiter can also be blocked purely by FIFO ordering behind
-            // an earlier-queued family; model that edge too, else a
-            // cycle hidden behind queue order goes undetected.
-            for earlier in entry.waiting() {
-                if earlier.family == waiter {
-                    break;
+                None => {
+                    stack.pop();
+                    path.pop();
+                    on_path.remove(&node);
                 }
-                blockers.insert(earlier.family);
-            }
-            if !blockers.is_empty() {
-                graph.entry(waiter).or_default().extend(blockers);
             }
         }
     }
-    graph
+    None
 }
 
-/// Conservative guard that lets callers skip full cycle detection after
-/// enqueueing a request for `family`.
+/// Guard that lets callers skip cycle detection after enqueueing a
+/// request for `family`: a single O(1) lookup in the incremental graph's
+/// reverse-edge index.
 ///
-/// Soundness rests on the caller's invariant that the waits-for graph was
-/// acyclic *before* the enqueue (the engine breaks every cycle as soon as
-/// it forms, and grants/releases/aborts only remove wait edges). Any new
-/// cycle must then pass through `family`, which requires an *in-edge*:
-/// some other family waiting on `family`. FIFO in-edges to `family` are
-/// impossible at enqueue time — its request sits at the queue tail and a
-/// family has one outstanding request — so an in-edge exists only where
-/// another family waits on an object `family` holds or retains.
+/// Soundness rests on the caller's invariant that the waits-for graph
+/// was acyclic *before* the enqueue (the engine breaks every cycle as
+/// soon as it forms, and grants/releases/aborts only remove wait edges).
+/// Any new cycle must then pass through `family`, which requires an
+/// *in-edge*: some other family waiting on `family`. FIFO in-edges to
+/// `family` are impossible at enqueue time — its request sits at the
+/// queue tail and a family has one outstanding request — so the in-edge,
+/// if any, comes from a conflicting wait on an object `family` holds or
+/// retains.
 ///
-/// Returns `false` only when no such in-edge exists, i.e. no new cycle is
-/// possible and detection may be skipped. A `true` return decides
-/// nothing: the caller must run [`find_deadlock_cycle`] (mode
-/// compatibility and reachability are its job).
+/// Returns `false` only when no in-edge exists, i.e. no cycle through
+/// `family` is possible and detection may be skipped. A `true` return
+/// decides nothing: the caller must run [`find_deadlock_cycle_through`]
+/// (reachability is its job).
 pub fn may_deadlock_through(table: &LockTable, tree: &TxnTree, family: TxnId) -> bool {
-    table.entries().any(|entry| {
-        entry.num_waiting() > 0
-            && entry.waiting().any(|fw| fw.family != family)
-            && (entry
-                .holders()
-                .iter()
-                .any(|h| tree.root_of(h.txn) == family)
-                || entry.retainers().any(|(r, _)| tree.root_of(r) == family))
-    })
+    let verdict = table.waits_for().has_in_edges(family);
+    if table.graph_validation() {
+        let want = reference::may_deadlock_through(table, tree, family);
+        assert_eq!(
+            verdict, want,
+            "incremental deadlock gate for {family} disagrees with from-scratch rebuild"
+        );
+    }
+    verdict
 }
 
 /// Finds one deadlock cycle among waiting families, if any exists.
 ///
 /// Returns the families on the cycle, in cycle order. Detection is a DFS
-/// over the waits-for graph; deterministic because the graph iterates in
-/// id order.
+/// over the incrementally maintained waits-for graph; deterministic
+/// because nodes and successors iterate in id order — the same order the
+/// from-scratch rebuild used, so the found cycle (and its rotation) is
+/// byte-identical to [`reference::find_deadlock_cycle`]'s.
 pub fn find_deadlock_cycle(table: &LockTable, tree: &TxnTree) -> Option<Vec<TxnId>> {
-    let graph = waits_for(table, tree);
-    let mut visited: BTreeSet<TxnId> = BTreeSet::new();
-
-    for &start in graph.keys() {
-        if visited.contains(&start) {
-            continue;
-        }
-        // Iterative DFS tracking the current path.
-        let mut path: Vec<TxnId> = Vec::new();
-        let mut on_path: BTreeSet<TxnId> = BTreeSet::new();
-        let mut stack: Vec<(TxnId, usize)> = vec![(start, 0)];
-        while let Some(&mut (node, ref mut edge_idx)) = stack.last_mut() {
-            if *edge_idx == 0 {
-                path.push(node);
-                on_path.insert(node);
-                visited.insert(node);
-            }
-            let successors: Vec<TxnId> = graph
-                .get(&node)
-                .map(|s| s.iter().copied().collect())
-                .unwrap_or_default();
-            if *edge_idx < successors.len() {
-                let next = successors[*edge_idx];
-                *edge_idx += 1;
-                if on_path.contains(&next) {
-                    // Found a cycle: slice the path from `next` onwards.
-                    let pos = path.iter().position(|&t| t == next).expect("on path");
-                    return Some(path[pos..].to_vec());
-                }
-                if !visited.contains(&next) && graph.contains_key(&next) {
-                    stack.push((next, 0));
-                }
-            } else {
-                stack.pop();
-                path.pop();
-                on_path.remove(&node);
-            }
-        }
+    let graph = table.waits_for();
+    let cycle = cycle_search(
+        graph.blocked_families(),
+        |node| graph.blockers_of(node).collect(),
+        |node| graph.is_blocked(node),
+    );
+    if table.graph_validation() {
+        let want = reference::find_deadlock_cycle(table, tree);
+        assert_eq!(
+            cycle, want,
+            "incremental cycle search disagrees with from-scratch rebuild"
+        );
     }
-    None
+    cycle
+}
+
+/// [`find_deadlock_cycle`] restricted to the nodes that can *reach* the
+/// newly enqueued `family`: the detector walks only the backward-reachable
+/// subgraph instead of every blocked family — and only after a forward
+/// existence check ([`crate::waits_for::WaitsFor::on_cycle`]) has proven
+/// a cycle is there to find, so the common no-deadlock call returns in
+/// one small DFS.
+///
+/// Under the same acyclic-before-enqueue invariant as
+/// [`may_deadlock_through`], every cycle passes through `family`, so all
+/// of its nodes reach `family` and the restriction loses nothing. The
+/// search visits the restricted node set in the same ascending order the
+/// full DFS uses, and the pruned nodes cannot affect it: a node that
+/// does not reach `family` can only ever reach other such nodes (if it
+/// reached a reaching node it would reach `family`), so the subtrees the
+/// full DFS would grow out of them touch neither the surviving start
+/// nodes' paths nor their visited marks. The returned cycle is therefore
+/// byte-identical to the full (and reference) search's, rotation
+/// included.
+pub fn find_deadlock_cycle_through(
+    table: &LockTable,
+    tree: &TxnTree,
+    family: TxnId,
+) -> Option<Vec<TxnId>> {
+    let graph = table.waits_for();
+    // Existence before exactness: under the acyclic-before-enqueue
+    // invariant every cycle passes through `family`, so "family does not
+    // reach itself" already proves the full search would return `None`.
+    // The forward closure that check walks is much smaller than the
+    // backward-reachable set the exact search needs (waiters fan *in*
+    // towards a blocker: one family blocks many, but is itself blocked
+    // by few), and in the common no-deadlock case it is all we pay.
+    if !graph.on_cycle(family) {
+        if table.graph_validation() {
+            assert_eq!(
+                None,
+                reference::find_deadlock_cycle(table, tree),
+                "existence pre-check through {family} ruled out a cycle the \
+                 from-scratch rebuild finds (was the graph acyclic before the enqueue?)"
+            );
+        }
+        return None;
+    }
+    let scope = graph.reaching(family);
+    let cycle = cycle_search(
+        graph.blocked_families().filter(|f| scope.contains(f)),
+        |node| graph.blockers_of(node).collect(),
+        |node| scope.contains(&node) && graph.is_blocked(node),
+    );
+    if table.graph_validation() {
+        let want = reference::find_deadlock_cycle(table, tree);
+        assert_eq!(
+            cycle, want,
+            "scoped cycle search through {family} disagrees with from-scratch rebuild \
+             (was the graph acyclic before the enqueue?)"
+        );
+    }
+    cycle
+}
+
+fn emit_deadlock_event<S: lotec_obs::EventSink>(
+    cycle: &[TxnId],
+    at: lotec_sim::SimTime,
+    node: u32,
+    sink: &mut S,
+) {
+    if sink.enabled() {
+        sink.emit(lotec_obs::ObsEvent {
+            at,
+            node,
+            kind: lotec_obs::ObsEventKind::Deadlock {
+                cycle: cycle.iter().map(|t| t.get()).collect(),
+                victim: pick_victim(cycle).get(),
+            },
+        });
+    }
 }
 
 /// [`find_deadlock_cycle`] with probe instrumentation: when a cycle is
@@ -145,16 +308,22 @@ pub fn find_deadlock_cycle_probed<S: lotec_obs::EventSink>(
     sink: &mut S,
 ) -> Option<Vec<TxnId>> {
     let cycle = find_deadlock_cycle(table, tree)?;
-    if sink.enabled() {
-        sink.emit(lotec_obs::ObsEvent {
-            at,
-            node,
-            kind: lotec_obs::ObsEventKind::Deadlock {
-                cycle: cycle.iter().map(|t| t.get()).collect(),
-                victim: pick_victim(&cycle).get(),
-            },
-        });
-    }
+    emit_deadlock_event(&cycle, at, node, sink);
+    Some(cycle)
+}
+
+/// [`find_deadlock_cycle_through`] with probe instrumentation; emits the
+/// same `Deadlock` event as the unscoped probed search.
+pub fn find_deadlock_cycle_through_probed<S: lotec_obs::EventSink>(
+    table: &LockTable,
+    tree: &TxnTree,
+    family: TxnId,
+    at: lotec_sim::SimTime,
+    node: u32,
+    sink: &mut S,
+) -> Option<Vec<TxnId>> {
+    let cycle = find_deadlock_cycle_through(table, tree, family)?;
+    emit_deadlock_event(&cycle, at, node, sink);
     Some(cycle)
 }
 
@@ -172,6 +341,7 @@ pub fn pick_victim(cycle: &[TxnId]) -> TxnId {
 mod tests {
     use super::*;
     use crate::lock::LockMode;
+    use crate::table::{Acquire, LockTable};
     use lotec_mem::ObjectId;
     use lotec_sim::NodeId;
 
@@ -183,24 +353,33 @@ mod tests {
         NodeId::new(i)
     }
 
+    /// Every unit table here runs with validation on, so each detector
+    /// call double-checks the incremental graph against the reference.
+    fn table_with_validation(num_objects: u32) -> LockTable {
+        let mut table = LockTable::new();
+        table.enable_graph_validation();
+        for i in 0..num_objects {
+            table.register_object(obj(i), 1, n(0));
+        }
+        table
+    }
+
     #[test]
     fn no_deadlock_on_simple_contention() {
         let mut tree = TxnTree::new();
-        let mut table = LockTable::new();
-        table.register_object(obj(0), 1, n(0));
+        let mut table = table_with_validation(1);
         let a = tree.begin_root(n(1));
         let b = tree.begin_root(n(2));
         table.acquire(obj(0), a, LockMode::Write, &tree).unwrap();
         table.acquire(obj(0), b, LockMode::Write, &tree).unwrap();
         assert_eq!(find_deadlock_cycle(&table, &tree), None);
+        assert_eq!(find_deadlock_cycle_through(&table, &tree, b), None);
     }
 
     #[test]
     fn classic_two_family_cycle_detected() {
         let mut tree = TxnTree::new();
-        let mut table = LockTable::new();
-        table.register_object(obj(0), 1, n(0));
-        table.register_object(obj(1), 1, n(0));
+        let mut table = table_with_validation(2);
         let a = tree.begin_root(n(1));
         let b = tree.begin_root(n(2));
         table.acquire(obj(0), a, LockMode::Write, &tree).unwrap();
@@ -212,15 +391,15 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, vec![a, b]);
         assert_eq!(pick_victim(&cycle), b, "youngest family is the victim");
+        // The scoped search through the enqueued family finds the very
+        // same cycle vector.
+        assert_eq!(find_deadlock_cycle_through(&table, &tree, b), Some(cycle));
     }
 
     #[test]
     fn three_family_cycle_detected() {
         let mut tree = TxnTree::new();
-        let mut table = LockTable::new();
-        for i in 0..3 {
-            table.register_object(obj(i), 1, n(0));
-        }
+        let mut table = table_with_validation(3);
         let fams: Vec<TxnId> = (0..3).map(|i| tree.begin_root(n(i))).collect();
         for (i, &f) in fams.iter().enumerate() {
             table
@@ -236,30 +415,53 @@ mod tests {
         let cycle = find_deadlock_cycle(&table, &tree).expect("3-cycle exists");
         assert_eq!(cycle.len(), 3);
         assert_eq!(pick_victim(&cycle), fams[2]);
+        assert_eq!(
+            find_deadlock_cycle_through(&table, &tree, fams[2]),
+            Some(cycle)
+        );
     }
 
     #[test]
     fn waiting_chain_without_cycle_is_clean() {
+        // A genuine wait chain c -> b -> a: a holds O0 with b queued
+        // behind it, b holds O1 with c queued behind it. No cycle — and
+        // no search through any of the three may claim one.
         let mut tree = TxnTree::new();
-        let mut table = LockTable::new();
-        table.register_object(obj(0), 1, n(0));
-        table.register_object(obj(1), 1, n(0));
+        let mut table = table_with_validation(2);
         let a = tree.begin_root(n(1));
         let b = tree.begin_root(n(2));
         let c = tree.begin_root(n(3));
-        table.acquire(obj(0), a, LockMode::Write, &tree).unwrap();
-        table.acquire(obj(0), b, LockMode::Write, &tree).unwrap(); // b -> a
-        table.acquire(obj(1), b, LockMode::Write, &tree).ok(); // b holds? no: b is waiting...
-        table.acquire(obj(1), c, LockMode::Write, &tree).unwrap(); // chain only
+        table.acquire(obj(0), a, LockMode::Write, &tree).unwrap(); // a holds O0
+        table.acquire(obj(1), b, LockMode::Write, &tree).unwrap(); // b holds O1
+        assert_eq!(
+            table.acquire(obj(0), b, LockMode::Write, &tree).unwrap(),
+            Acquire::Queued,
+            "b -> a"
+        );
+        assert_eq!(
+            table.acquire(obj(1), c, LockMode::Write, &tree).unwrap(),
+            Acquire::Queued,
+            "c -> b"
+        );
+        assert_eq!(
+            table.waits_for().to_reference(),
+            [(b, [a].into()), (c, [b].into())].into(),
+            "exactly the two chain edges"
+        );
         assert_eq!(find_deadlock_cycle(&table, &tree), None);
+        for f in [a, b, c] {
+            assert_eq!(find_deadlock_cycle_through(&table, &tree, f), None);
+        }
+        // The chain's in-edges: a and b each have a waiter, c has none.
+        assert!(may_deadlock_through(&table, &tree, a));
+        assert!(may_deadlock_through(&table, &tree, b));
+        assert!(!may_deadlock_through(&table, &tree, c));
     }
 
     #[test]
     fn deadlock_through_retained_lock_detected() {
         let mut tree = TxnTree::new();
-        let mut table = LockTable::new();
-        table.register_object(obj(0), 1, n(0));
-        table.register_object(obj(1), 1, n(0));
+        let mut table = table_with_validation(2);
         // Family a's child writes O0 and pre-commits: a *retains* O0.
         let a = tree.begin_root(n(1));
         let ac = tree.begin_child(a);
@@ -274,6 +476,10 @@ mod tests {
         let ac2 = tree.begin_child(a);
         table.acquire(obj(1), ac2, LockMode::Write, &tree).unwrap();
         let cycle = find_deadlock_cycle(&table, &tree).expect("cycle via retainer");
+        assert_eq!(
+            find_deadlock_cycle_through(&table, &tree, a),
+            Some(cycle.clone())
+        );
         let mut sorted = cycle;
         sorted.sort_unstable();
         assert_eq!(sorted, vec![a, b]);
@@ -285,9 +491,7 @@ mod tests {
         // holds: the b->c dependency exists only through queue order, so
         // without FIFO edges this livelock-by-ordering would go undetected.
         let mut tree = TxnTree::new();
-        let mut table = LockTable::new();
-        table.register_object(obj(0), 1, n(0));
-        table.register_object(obj(1), 1, n(0));
+        let mut table = table_with_validation(2);
         let a = tree.begin_root(n(1));
         let b = tree.begin_root(n(2));
         let c = tree.begin_root(n(3));
@@ -301,6 +505,10 @@ mod tests {
         // visible only because of the FIFO edge b -> c.
         table.acquire(obj(1), c, LockMode::Write, &tree).unwrap();
         let cycle = find_deadlock_cycle(&table, &tree).expect("cycle through queue order");
+        assert_eq!(
+            find_deadlock_cycle_through(&table, &tree, c),
+            Some(cycle.clone())
+        );
         let mut sorted = cycle;
         sorted.sort_unstable();
         assert_eq!(sorted, vec![b, c]);
@@ -311,8 +519,7 @@ mod tests {
         // a holds O0, b enqueues behind it. Nobody waits on anything b
         // holds, so b's enqueue cannot have closed a cycle.
         let mut tree = TxnTree::new();
-        let mut table = LockTable::new();
-        table.register_object(obj(0), 1, n(0));
+        let mut table = table_with_validation(1);
         let a = tree.begin_root(n(1));
         let b = tree.begin_root(n(2));
         table.acquire(obj(0), a, LockMode::Write, &tree).unwrap();
@@ -325,9 +532,7 @@ mod tests {
         // Classic two-family cycle: at b's enqueue on O0, family a is
         // already waiting on O1 which b holds — in-edge to b exists.
         let mut tree = TxnTree::new();
-        let mut table = LockTable::new();
-        table.register_object(obj(0), 1, n(0));
-        table.register_object(obj(1), 1, n(0));
+        let mut table = table_with_validation(2);
         let a = tree.begin_root(n(1));
         let b = tree.begin_root(n(2));
         table.acquire(obj(0), a, LockMode::Write, &tree).unwrap();
@@ -344,9 +549,7 @@ mod tests {
         // only *retains* O0 (via a pre-committed child) while b waits on
         // it, so when a's new child enqueues on O1 the guard must fire.
         let mut tree = TxnTree::new();
-        let mut table = LockTable::new();
-        table.register_object(obj(0), 1, n(0));
-        table.register_object(obj(1), 1, n(0));
+        let mut table = table_with_validation(2);
         let a = tree.begin_root(n(1));
         let ac = tree.begin_child(a);
         table.acquire(obj(0), ac, LockMode::Write, &tree).unwrap();
@@ -358,6 +561,61 @@ mod tests {
         let ac2 = tree.begin_child(a);
         table.acquire(obj(1), ac2, LockMode::Write, &tree).unwrap();
         assert!(may_deadlock_through(&table, &tree, a));
+    }
+
+    #[test]
+    fn guard_ignores_compatible_mode_waiters() {
+        // A read waiter queued behind a read holder (FIFO'd behind a
+        // writer elsewhere in line) induces no edge to the holder — the
+        // modes are compatible. The precise in-edge gate knows that; the
+        // pre-incremental holds-anything scan would have fired here.
+        let mut tree = TxnTree::new();
+        let mut table = table_with_validation(1);
+        let a = tree.begin_root(n(1));
+        let w = tree.begin_root(n(2));
+        let r = tree.begin_root(n(3));
+        table.acquire(obj(0), a, LockMode::Read, &tree).unwrap();
+        assert_eq!(
+            table.acquire(obj(0), w, LockMode::Write, &tree).unwrap(),
+            Acquire::Queued
+        );
+        assert_eq!(
+            table.acquire(obj(0), r, LockMode::Read, &tree).unwrap(),
+            Acquire::Queued,
+            "FIFO: the late reader must not barge past the queued writer"
+        );
+        // w conflicts with holder a; r waits only by queue order on w.
+        assert!(may_deadlock_through(&table, &tree, a));
+        assert!(may_deadlock_through(&table, &tree, w));
+        assert!(!may_deadlock_through(&table, &tree, r));
+        assert_eq!(find_deadlock_cycle(&table, &tree), None);
+    }
+
+    #[test]
+    fn probed_scoped_search_emits_same_event_as_full() {
+        use lotec_obs::{ObsEventKind, RecordingSink};
+        let mut tree = TxnTree::new();
+        let mut table = table_with_validation(2);
+        let a = tree.begin_root(n(1));
+        let b = tree.begin_root(n(2));
+        table.acquire(obj(0), a, LockMode::Write, &tree).unwrap();
+        table.acquire(obj(1), b, LockMode::Write, &tree).unwrap();
+        table.acquire(obj(1), a, LockMode::Write, &tree).unwrap();
+        table.acquire(obj(0), b, LockMode::Write, &tree).unwrap();
+        let at = lotec_sim::SimTime::ZERO;
+        let mut full_sink = RecordingSink::new();
+        let full = find_deadlock_cycle_probed(&table, &tree, at, 0, &mut full_sink);
+        let mut scoped_sink = RecordingSink::new();
+        let scoped = find_deadlock_cycle_through_probed(&table, &tree, b, at, 0, &mut scoped_sink);
+        assert_eq!(full, scoped);
+        assert_eq!(full_sink.events(), scoped_sink.events());
+        match &full_sink.events()[0].kind {
+            ObsEventKind::Deadlock { cycle, victim } => {
+                assert_eq!(cycle.len(), 2);
+                assert_eq!(*victim, b.get());
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

@@ -23,7 +23,14 @@
 //! * [`deadlock`] — waits-for-graph cycle detection across families with
 //!   youngest-victim selection. The paper does not discuss cross-family
 //!   deadlock (classic 2PL can deadlock); detection is required for
-//!   liveness of randomized workloads and exercises the abort paths.
+//!   liveness of randomized workloads and exercises the abort paths. The
+//!   graph is maintained *incrementally* by the lock table
+//!   ([`waits_for::WaitsFor`]): each entry mutation refreshes only that
+//!   object's edge contribution, the enqueue-time gate is an O(1)
+//!   reverse-index lookup, and the detector walks only the nodes that
+//!   can reach the newly enqueued family. The original from-scratch
+//!   implementation survives in [`deadlock::reference`] as the oracle
+//!   for differential and property testing.
 //!
 //! # Example
 //!
@@ -50,9 +57,11 @@ pub mod gdo;
 pub mod lock;
 pub mod table;
 pub mod tree;
+pub mod waits_for;
 
 pub use deadlock::{
-    find_deadlock_cycle, find_deadlock_cycle_probed, may_deadlock_through, pick_victim,
+    find_deadlock_cycle, find_deadlock_cycle_probed, find_deadlock_cycle_through,
+    find_deadlock_cycle_through_probed, may_deadlock_through, pick_victim,
 };
 pub use gdo::{gdo_home, GdoEntry, LockState, QueuedRequest};
 pub use lock::LockMode;
@@ -61,3 +70,4 @@ pub use table::{
     LockOccupancy, LockTable, PreCommitRelease,
 };
 pub use tree::{TxnId, TxnState, TxnTree};
+pub use waits_for::WaitsFor;

@@ -14,6 +14,10 @@ pub enum LockMode {
 impl LockMode {
     /// True if two locks in these modes cannot be held concurrently by
     /// transactions of *different* families.
+    ///
+    /// Inlined: the incremental waits-for refresh evaluates this per
+    /// (waiter, holder) pair on the lock-table mutation path.
+    #[inline]
     pub fn conflicts_with(self, other: LockMode) -> bool {
         matches!((self, other), (LockMode::Write, _) | (_, LockMode::Write))
     }

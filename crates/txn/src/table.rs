@@ -37,6 +37,7 @@ use lotec_sim::{NodeId, SimTime};
 use crate::gdo::{GdoEntry, Holder, QueuedRequest};
 use crate::lock::LockMode;
 use crate::tree::{TxnId, TxnTree};
+use crate::waits_for::WaitsFor;
 
 /// Projects a [`LockMode`] into the probe layer's mirror enum.
 pub fn obs_mode(mode: LockMode) -> ObsLockMode {
@@ -202,6 +203,15 @@ pub struct LockTable {
     entries: Vec<Option<GdoEntry>>,
     held_by: BTreeMap<TxnId, BTreeSet<ObjectId>>,
     retained_by: BTreeMap<TxnId, BTreeSet<ObjectId>>,
+    /// Family-level waits-for graph, refreshed at every entry mutation
+    /// (see [`WaitsFor`]); the deadlock detector reads it instead of
+    /// rebuilding from an O(entries) scan.
+    graph: WaitsFor,
+    /// When set, every graph refresh cross-checks the incremental graph
+    /// against a from-scratch rebuild and every detector call compares
+    /// its result with the reference implementation. Enabled by the
+    /// differential oracle and property suites.
+    validate_graph: bool,
 }
 
 impl LockTable {
@@ -225,6 +235,44 @@ impl LockTable {
             "object {object} registered twice"
         );
         self.entries[slot] = Some(GdoEntry::new(object, num_pages, home));
+        self.graph.ensure_slot(slot);
+    }
+
+    /// The incrementally maintained family-level waits-for graph.
+    pub fn waits_for(&self) -> &WaitsFor {
+        &self.graph
+    }
+
+    /// Turns on oracle mode: after every entry mutation the incremental
+    /// graph is compared against a from-scratch rebuild, and the deadlock
+    /// detector functions compare their results against the
+    /// [`crate::deadlock::reference`] implementation. Test-only by
+    /// intent — each check is O(whole table).
+    pub fn enable_graph_validation(&mut self) {
+        self.validate_graph = true;
+    }
+
+    /// True when [`LockTable::enable_graph_validation`] was called.
+    pub fn graph_validation(&self) -> bool {
+        self.validate_graph
+    }
+
+    /// Refreshes the mutated `object`'s edge contribution in the
+    /// waits-for graph. Every mutation of an entry's holders, retainers,
+    /// or waiter queue funnels through here.
+    fn refresh_graph(&mut self, object: ObjectId, tree: &TxnTree) {
+        let slot = object.index() as usize;
+        let entry = self.entries.get(slot).and_then(Option::as_ref);
+        self.graph.refresh(slot, entry, tree);
+        if self.validate_graph {
+            let want = crate::deadlock::reference::waits_for(self, tree);
+            let got = self.graph.to_reference();
+            assert_eq!(
+                got, want,
+                "incremental waits-for graph diverged from from-scratch rebuild \
+                 after mutating {object}"
+            );
+        }
     }
 
     /// The GDO entry for `object`.
@@ -327,11 +375,12 @@ impl LockTable {
                 entry.upgrade_holder(txn);
                 // Upgrades consult the GDO (the read lock may be shared
                 // elsewhere); treat as a global operation.
-                return Ok(Acquire::GlobalGrant {
-                    holders: entry.holders().len(),
-                });
+                let holders = entry.holders().len();
+                self.refresh_graph(object, tree);
+                return Ok(Acquire::GlobalGrant { holders });
             }
             entry.enqueue(family, QueuedRequest { txn, node, mode });
+            self.refresh_graph(object, tree);
             return Ok(Acquire::Queued);
         }
 
@@ -379,6 +428,7 @@ impl LockTable {
 
         if holder_conflict || retainer_blocks || must_queue_behind {
             entry.enqueue(family, QueuedRequest { txn, node, mode });
+            self.refresh_graph(object, tree);
             return Ok(Acquire::Queued);
         }
 
@@ -387,6 +437,7 @@ impl LockTable {
         let holders_after = entry.holders().len() + 1;
         entry.add_holder(Holder { txn, node, mode });
         self.held_by.entry(txn).or_default().insert(object);
+        self.refresh_graph(object, tree);
         if local {
             Ok(Acquire::LocalGrant)
         } else {
@@ -505,6 +556,16 @@ impl LockTable {
             let holder = entry.remove_holder(txn).expect("index said txn holds");
             entry.add_retainer(parent, holder.mode);
             self.retained_by.entry(parent).or_default().insert(object);
+            // Inheritance moves the lock within the family at the same
+            // (or merged, hence stronger-or-equal) mode. Edges are pairs
+            // of *families*, and `conflicts_with(a.max(b))` equals
+            // `conflicts_with(a) || conflicts_with(b)` under the
+            // read/write lattice, so the object's contribution is
+            // provably unchanged — skip the refresh in production and
+            // let validation mode recompute to prove exactly that.
+            if self.validate_graph {
+                self.refresh_graph(object, tree);
+            }
             inherited.push(object);
         }
         for object in self.retained_by.remove(&txn).unwrap_or_default() {
@@ -514,6 +575,11 @@ impl LockTable {
             let mode = entry.remove_retainer(txn).expect("index said txn retains");
             entry.add_retainer(parent, mode);
             self.retained_by.entry(parent).or_default().insert(object);
+            // Same family, same-or-merged mode: contribution unchanged
+            // (see the holder loop above).
+            if self.validate_graph {
+                self.refresh_graph(object, tree);
+            }
             inherited.push(object);
         }
         inherited.sort_unstable();
@@ -573,8 +639,19 @@ impl LockTable {
                 .retainers()
                 .any(|(r, _)| r != txn && tree.is_ancestor(r, txn));
             if ancestor_retains {
+                // No grant pass will touch this object: refresh here.
+                self.refresh_graph(object, tree);
                 out.returned_to_ancestor.push(object);
             } else {
+                // `try_grant_next` below refreshes on every exit path —
+                // one recompute covers the release and any grants. In
+                // validation mode refresh eagerly anyway: the oracle
+                // compares the *whole* graph after every mutation, so a
+                // deferred refresh would flag sibling objects in the
+                // batch as stale.
+                if self.validate_graph {
+                    self.refresh_graph(object, tree);
+                }
                 out.released.push(object);
             }
         }
@@ -660,6 +737,12 @@ impl LockTable {
                 entry.retainers().all(|(r, _)| !tree.is_ancestor(root, r)),
                 "family members still retain {object} after root commit"
             );
+            // `try_grant_next` below refreshes on every exit path — one
+            // recompute covers the release and any grants. In validation
+            // mode refresh eagerly anyway (see `release_abort`).
+            if self.validate_graph {
+                self.refresh_graph(object, tree);
+            }
             out.released.push(object);
         }
         for &object in &out.released {
@@ -707,7 +790,7 @@ impl LockTable {
                 .as_mut()
                 .expect("object registered");
             let Some(next) = entry.peek_next_family() else {
-                return;
+                break;
             };
             // Admissibility: every queued request of the family must be
             // compatible with current holders and blocking retainers.
@@ -723,7 +806,7 @@ impl LockTable {
                 no_holder_conflict && no_retainer_block
             });
             if !admissible {
-                return;
+                break;
             }
             let fw = entry.dequeue_next_family().expect("peeked family vanished");
             debug_assert_eq!(fw.family, family);
@@ -756,9 +839,14 @@ impl LockTable {
                 .iter()
                 .any(|r| r.mode.is_write())
             {
-                return;
+                break;
             }
         }
+        // One refresh on every exit path: it covers the release (or
+        // cancellation) that exposed the queue head — callers rely on
+        // this and skip their own per-object refresh — plus however many
+        // grants the loop handed out.
+        self.refresh_graph(object, tree);
     }
 
     /// Drops every queued request of `family` across all objects (the
@@ -768,11 +856,20 @@ impl LockTable {
     /// Removing a queue entry can expose a now-admissible waiter behind
     /// it; callers must follow up with [`LockTable::regrant`] on the
     /// returned objects or risk a lost wakeup.
-    pub fn cancel_family_waiters(&mut self, family: TxnId) -> Vec<ObjectId> {
+    pub fn cancel_family_waiters(&mut self, family: TxnId, tree: &TxnTree) -> Vec<ObjectId> {
         let mut touched = Vec::new();
-        for entry in self.entries.iter_mut().flatten() {
+        for slot in 0..self.entries.len() {
+            let Some(entry) = self.entries[slot].as_mut() else {
+                continue;
+            };
             if !entry.remove_family_waiters(family).is_empty() {
-                touched.push(entry.object());
+                let object = entry.object();
+                // Dropping a queue entry removes the family's outgoing
+                // edges on that object and any FIFO edges other waiters
+                // had toward it — refresh before touching the next entry
+                // so the graph never goes stale mid-batch.
+                self.refresh_graph(object, tree);
+                touched.push(object);
             }
         }
         touched
@@ -857,6 +954,15 @@ impl LockTable {
                     return Err(format!("index says {txn} holds {object}, entry disagrees"));
                 }
             }
+        }
+        // The incrementally maintained waits-for graph must equal what a
+        // from-scratch rebuild derives from the current entries.
+        let rebuilt = crate::deadlock::reference::waits_for(self, tree);
+        let incremental = self.graph.to_reference();
+        if incremental != rebuilt {
+            return Err(format!(
+                "incremental waits-for graph {incremental:?} != rebuilt {rebuilt:?}"
+            ));
         }
         Ok(())
     }
@@ -1190,7 +1296,7 @@ mod tests {
         );
         // The victim family is aborted while waiting; its entry vanishes.
         tree.abort(victim);
-        let touched = table.cancel_family_waiters(victim);
+        let touched = table.cancel_family_waiters(victim, &tree);
         assert_eq!(touched, vec![obj(0)]);
         // The reader behind it is now compatible with the held read lock.
         let grants = table.regrant(&touched, &tree);
@@ -1278,7 +1384,7 @@ mod tests {
         table.acquire(obj(1), a, LockMode::Write, &tree).unwrap();
         table.acquire(obj(0), b, LockMode::Write, &tree).unwrap();
         table.acquire(obj(1), b, LockMode::Write, &tree).unwrap();
-        let touched = table.cancel_family_waiters(b);
+        let touched = table.cancel_family_waiters(b, &tree);
         assert_eq!(touched, vec![obj(0), obj(1)]);
         assert_eq!(table.entry(obj(0)).unwrap().num_waiting(), 0);
     }

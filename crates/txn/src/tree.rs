@@ -143,9 +143,13 @@ impl TxnTree {
 
     /// The root of the transaction's family.
     ///
+    /// Inlined: the incremental waits-for refresh resolves the family of
+    /// every holder and retainer of a mutated entry through this lookup.
+    ///
     /// # Panics
     ///
     /// Panics if `txn` is unknown.
+    #[inline]
     pub fn root_of(&self, txn: TxnId) -> TxnId {
         self.record(txn).root
     }

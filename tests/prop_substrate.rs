@@ -250,7 +250,7 @@ fn lock_table_invariants_under_random_ops() {
                                 }
                                 _ => {
                                     table.release_abort(child, &tree);
-                                    table.cancel_family_waiters(tree.root_of(child));
+                                    table.cancel_family_waiters(tree.root_of(child), &tree);
                                     tree.abort(child);
                                 }
                             }
@@ -267,7 +267,7 @@ fn lock_table_invariants_under_random_ops() {
                                 table.release_abort(t, &tree);
                                 tree.abort(t);
                             }
-                            table.cancel_family_waiters(root);
+                            table.cancel_family_waiters(root, &tree);
                         }
                     }
                 }
@@ -279,7 +279,7 @@ fn lock_table_invariants_under_random_ops() {
                                 table.release_abort(t, &tree);
                                 tree.abort(t);
                             }
-                            table.cancel_family_waiters(root);
+                            table.cancel_family_waiters(root, &tree);
                         }
                     }
                 }
