@@ -85,28 +85,38 @@ pub struct RunReport {
 /// they were scheduled under; a crash-abort bumps the family's generation
 /// so deliveries belonging to the killed attempt are recognized as stale
 /// and dropped.
-#[derive(Debug, Clone)]
+///
+/// Every variant is two `u32` indices at most, so the whole enum is 12
+/// bytes (down from 24 with `usize` payloads): the event queue's slab
+/// slots, dispatch's match, and every copy along the scheduling path move
+/// a register-and-a-half, not three words. Family and crash-window counts
+/// are bounded far below `u32::MAX` by the workload/fault-plan formats.
+#[derive(Debug, Clone, Copy)]
 enum Event {
     /// Family arrival.
-    Start(usize),
+    Start(u32),
     /// A lock grant reached the family's node.
-    GrantArrived(usize, u32),
+    GrantArrived(u32, u32),
     /// All page-transfer batches of the current acquisition arrived.
-    FetchArrived(usize, u32),
+    FetchArrived(u32, u32),
     /// The compute delay of the current invocation elapsed.
-    ComputeDone(usize, u32),
+    ComputeDone(u32, u32),
     /// Continue the parent after a child pre-committed or aborted.
-    Continue(usize, u32),
+    Continue(u32, u32),
     /// Restart an aborted family after its backoff.
-    Restart(usize, u32),
+    Restart(u32, u32),
     /// Fault injection: a scheduled crash window (index into
     /// `faults.plan.crashes`) begins.
-    NodeCrash(usize),
+    NodeCrash(u32),
     /// Fault injection: a scheduled crash window ends.
-    NodeRecover(usize),
+    NodeRecover(u32),
     /// Fault injection: a queued lock request's timeout elapsed.
-    LockTimeout(usize, u32),
+    LockTimeout(u32, u32),
 }
+
+/// Dispatch copies events by value; pin the hot enum's size so a future
+/// fat variant can't silently widen every queue slot and dispatch copy.
+const _: () = assert!(std::mem::size_of::<Event>() <= 12);
 
 /// The discrete-event engine. See the [module docs](self).
 ///
@@ -135,7 +145,10 @@ pub struct Engine<'a, S: EventSink = NoopSink, P: HostProfiler = NoopHostProfile
     zero_page: PageData,
     recovery: Box<dyn Recovery>,
     families: Vec<FamilyRuntime>,
-    root_to_family: BTreeMap<TxnId, usize>,
+    /// Family index per root transaction, dense by raw txn id (the tree
+    /// mints ids sequentially; non-root slots stay at the sentinel).
+    /// Written once per family attempt, read on every deferred grant.
+    root_to_family: Vec<u32>,
     /// Last lock holder per object, indexed by dense object id.
     last_holder: Vec<NodeId>,
     ledger: TrafficLedger,
@@ -317,14 +330,14 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
             .map(|(i, f)| FamilyRuntime::new(i, f.start))
             .collect();
         for (i, f) in workload.iter().enumerate() {
-            sim.schedule_at(f.start, Event::Start(i));
+            sim.schedule_at(f.start, Event::Start(i as u32));
         }
         // Scheduled node outages enter the event queue up front; both ends
         // of every window are fixed by the fault plan, so the whole fault
         // schedule is part of the deterministic initial state.
         for (i, w) in config.faults.plan.crashes.iter().enumerate() {
-            sim.schedule_at(w.at, Event::NodeCrash(i));
-            sim.schedule_at(w.until, Event::NodeRecover(i));
+            sim.schedule_at(w.at, Event::NodeCrash(i as u32));
+            sim.schedule_at(w.until, Event::NodeRecover(i as u32));
         }
         let root_rng = SimRng::seed_from_u64(config.seed ^ 0x5EED_0F0F_4E97_1A1Du64);
         prof.exit(HostRegion::Setup);
@@ -339,7 +352,7 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
             zero_page: PageData::zeroed(config.page_size as usize),
             recovery,
             families,
-            root_to_family: BTreeMap::new(),
+            root_to_family: Vec::new(),
             last_holder,
             ledger: TrafficLedger::new(),
             trace: ScheduleTrace::new(),
@@ -402,37 +415,41 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
 
     fn handle(&mut self, now: SimTime, event: Event) -> Result<(), CoreError> {
         match event {
-            Event::Start(fam) => self.start_family(now, fam),
+            Event::Start(fam) => self.start_family(now, fam as usize),
             Event::Restart(fam, gen) => {
+                let fam = fam as usize;
                 if self.is_stale(fam, gen) {
                     return Ok(());
                 }
                 self.start_family(now, fam)
             }
             Event::GrantArrived(fam, gen) => {
+                let fam = fam as usize;
                 if self.is_stale(fam, gen) {
                     return Ok(());
                 }
                 self.on_grant_arrived(now, fam)
             }
             Event::FetchArrived(fam, gen) => {
+                let fam = fam as usize;
                 if !self.is_stale(fam, gen) {
                     self.begin_compute(now, fam);
                 }
                 Ok(())
             }
             Event::ComputeDone(fam, gen) | Event::Continue(fam, gen) => {
+                let fam = fam as usize;
                 if self.is_stale(fam, gen) {
                     return Ok(());
                 }
                 self.advance(now, fam)
             }
-            Event::NodeCrash(window) => self.on_node_crash(now, window),
+            Event::NodeCrash(window) => self.on_node_crash(now, window as usize),
             Event::NodeRecover(window) => {
-                self.on_node_recover(now, window);
+                self.on_node_recover(now, window as usize);
                 Ok(())
             }
-            Event::LockTimeout(fam, gen) => self.on_lock_timeout(now, fam, gen),
+            Event::LockTimeout(fam, gen) => self.on_lock_timeout(now, fam as usize, gen),
         }
     }
 
@@ -704,11 +721,15 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
                     .phase_times
                     .add(ObsPhase::Backoff, up.saturating_duration_since(now));
             }
-            self.schedule(up, Event::Start(fam));
+            self.schedule(up, Event::Start(fam as u32));
             return Ok(());
         }
         let root = self.tree.begin_root(spec.node);
-        self.root_to_family.insert(root, fam);
+        let slot = root.get() as usize;
+        if slot >= self.root_to_family.len() {
+            self.root_to_family.resize(slot + 1, u32::MAX);
+        }
+        self.root_to_family[slot] = fam as u32;
         self.families[fam].root_txn = Some(root);
         self.start_invocation(now, fam, Vec::new(), None)
     }
@@ -780,7 +801,7 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
                 );
                 let delay = self.config.costs.local_lock_op;
                 let gen = self.generation(fam);
-                self.schedule(now + delay, Event::GrantArrived(fam, gen));
+                self.schedule(now + delay, Event::GrantArrived(fam as u32, gen));
             }
             Acquire::GlobalGrant { holders } => {
                 self.stats.global_lock_grants += 1;
@@ -829,7 +850,7 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
                     },
                 );
                 let gen = self.generation(fam);
-                self.schedule(now + delay, Event::GrantArrived(fam, gen));
+                self.schedule(now + delay, Event::GrantArrived(fam as u32, gen));
                 self.replicate_gdo(object, self.config.sizes.lock_request());
             }
             Acquire::Queued => {
@@ -852,7 +873,7 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
                     let gen = self.generation(fam);
                     self.schedule(
                         now + self.config.faults.lock_timeout,
-                        Event::LockTimeout(fam, gen),
+                        Event::LockTimeout(fam as u32, gen),
                     );
                 }
                 let root = self.families[fam]
@@ -876,10 +897,8 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
         );
         let req = grant.requests[0];
         let family_root = self.tree.root_of(req.txn);
-        let fam = *self
-            .root_to_family
-            .get(&family_root)
-            .expect("granted family is known");
+        let fam = self.root_to_family[family_root.get() as usize] as usize;
+        debug_assert_ne!(fam, u32::MAX as usize, "granted family is known");
         debug_assert_eq!(self.families[fam].phase, Phase::WaitingGrant);
         let home = self.config.gdo_home(grant.object);
         let grant_bytes = self
@@ -904,7 +923,7 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
             },
         );
         let gen = self.generation(fam);
-        self.schedule(now + delay, Event::GrantArrived(fam, gen));
+        self.schedule(now + delay, Event::GrantArrived(fam as u32, gen));
         self.replicate_gdo(grant.object, self.config.sizes.lock_request());
     }
 
@@ -1217,7 +1236,7 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
         } else {
             self.set_phase(now, fam, Phase::Fetching);
             let gen = self.generation(fam);
-            self.schedule(now + max_delay, Event::FetchArrived(fam, gen));
+            self.schedule(now + max_delay, Event::FetchArrived(fam as u32, gen));
         }
         Ok(())
     }
@@ -1317,7 +1336,7 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
         self.families[fam].fetch_extra = SimDuration::ZERO;
         self.set_phase(now, fam, Phase::Computing);
         let gen = self.generation(fam);
-        self.schedule(now + duration, Event::ComputeDone(fam, gen));
+        self.schedule(now + duration, Event::ComputeDone(fam as u32, gen));
     }
 
     /// After compute or after a child finished: start the next child or
@@ -1409,7 +1428,7 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
             let gen = self.generation(fam);
             self.schedule(
                 now + undo_delay + self.config.costs.local_lock_op,
-                Event::Continue(fam, gen),
+                Event::Continue(fam as u32, gen),
             );
             return Ok(());
         }
@@ -1444,7 +1463,7 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
         let gen = self.generation(fam);
         self.schedule(
             now + self.config.costs.local_lock_op,
-            Event::Continue(fam, gen),
+            Event::Continue(fam as u32, gen),
         );
         Ok(())
     }
@@ -1682,10 +1701,8 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
             };
             let victim_root = lotec_txn::pick_victim(&cycle);
             self.stats.deadlocks += 1;
-            let fam = *self
-                .root_to_family
-                .get(&victim_root)
-                .expect("victim family known");
+            let fam = self.root_to_family[victim_root.get() as usize] as usize;
+            debug_assert_ne!(fam, u32::MAX as usize, "victim family known");
             self.abort_family_attempt(now, fam, true, true)?;
         }
     }
@@ -1798,7 +1815,7 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
             // Scheduled after `reset_for_restart`, so the event carries the
             // *new* generation and survives the staleness check.
             let gen = self.generation(fam);
-            self.schedule(now + backoff, Event::Restart(fam, gen));
+            self.schedule(now + backoff, Event::Restart(fam as u32, gen));
         } else {
             self.stats.aborted_families += 1;
         }

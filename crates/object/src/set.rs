@@ -2,9 +2,11 @@
 //! over page indices within one object.
 //!
 //! Both are thin wrappers over a growable bitset. Objects in the paper's
-//! experiments span at most ~20 pages and a few dozen attributes, so a
-//! couple of 64-bit words suffice; the set still grows transparently for
-//! larger classes.
+//! experiments span at most ~20 pages and a few dozen attributes, so the
+//! first 64-bit word lives inline — creating, cloning, and combining sets
+//! of up to 64 indices never touches the heap (the trace and the grant
+//! path clone these sets on every lock grant); the set still grows
+//! transparently for larger classes via a spill vector.
 
 use std::fmt;
 
@@ -12,82 +14,118 @@ use lotec_mem::PageIndex;
 
 use crate::class::AttrIndex;
 
-/// Growable bitset over `u16` indices.
+/// Growable bitset over `u16` indices: bits 0..64 inline in `head`, the
+/// rest in `rest` (word `i` of `rest` covers bits `64*(i+1)..`).
+///
+/// Invariant: `rest` never ends in a zero word, so structural equality
+/// (and `Hash`) match set equality.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 struct BitSet {
-    words: Vec<u64>,
+    head: u64,
+    rest: Vec<u64>,
 }
 
 impl BitSet {
-    /// Drops trailing zero words so structural equality matches set
-    /// equality.
+    /// Drops trailing zero spill words, restoring the canonical form.
     fn trim(mut self) -> BitSet {
-        while self.words.last() == Some(&0) {
-            self.words.pop();
+        while self.rest.last() == Some(&0) {
+            self.rest.pop();
         }
         self
     }
 
+    /// The word covering bits `64*word ..`, zero when past the end.
+    fn word(&self, word: usize) -> u64 {
+        match word.checked_sub(1) {
+            None => self.head,
+            Some(i) => self.rest.get(i).copied().unwrap_or(0),
+        }
+    }
+
+    fn num_words(&self) -> usize {
+        1 + self.rest.len()
+    }
+
     fn insert(&mut self, idx: u16) {
         let word = idx as usize / 64;
-        if word >= self.words.len() {
-            self.words.resize(word + 1, 0);
+        let bit = 1 << (idx % 64);
+        if word == 0 {
+            self.head |= bit;
+            return;
         }
-        self.words[word] |= 1 << (idx % 64);
+        if word > self.rest.len() {
+            self.rest.resize(word, 0);
+        }
+        self.rest[word - 1] |= bit;
     }
 
     fn contains(&self, idx: u16) -> bool {
-        self.words
-            .get(idx as usize / 64)
-            .is_some_and(|w| w & (1 << (idx % 64)) != 0)
+        self.word(idx as usize / 64) & (1 << (idx % 64)) != 0
     }
 
     fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.head.count_ones() as usize
+            + self
+                .rest
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>()
     }
 
     fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.head == 0 && self.rest.is_empty()
     }
 
     fn union_with(&mut self, other: &BitSet) {
-        if other.words.len() > self.words.len() {
-            self.words.resize(other.words.len(), 0);
+        self.head |= other.head;
+        if other.rest.len() > self.rest.len() {
+            self.rest.resize(other.rest.len(), 0);
         }
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+        for (a, b) in self.rest.iter_mut().zip(other.rest.iter()) {
             *a |= b;
         }
     }
 
     fn intersection(&self, other: &BitSet) -> BitSet {
-        let words = self
-            .words
+        let rest = self
+            .rest
             .iter()
-            .zip(other.words.iter())
+            .zip(other.rest.iter())
             .map(|(a, b)| a & b)
             .collect();
-        BitSet { words }.trim()
+        BitSet {
+            head: self.head & other.head,
+            rest,
+        }
+        .trim()
     }
 
     fn difference(&self, other: &BitSet) -> BitSet {
-        let words = self
-            .words
+        let rest = self
+            .rest
             .iter()
             .enumerate()
-            .map(|(i, a)| a & !other.words.get(i).copied().unwrap_or(0))
+            .map(|(i, a)| a & !other.rest.get(i).copied().unwrap_or(0))
             .collect();
-        BitSet { words }.trim()
+        BitSet {
+            head: self.head & !other.head,
+            rest,
+        }
+        .trim()
     }
 
     fn is_subset(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .enumerate()
-            .all(|(i, a)| a & !other.words.get(i).copied().unwrap_or(0) == 0)
+        self.head & !other.head == 0
+            && self
+                .rest
+                .iter()
+                .enumerate()
+                .all(|(i, a)| a & !other.rest.get(i).copied().unwrap_or(0) == 0)
     }
 
     fn iter(&self) -> impl Iterator<Item = u16> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+        (0..self.num_words()).flat_map(move |wi| {
+            let w = self.word(wi);
             (0..64).filter_map(move |b| (w & (1 << b) != 0).then_some((wi * 64 + b) as u16))
         })
     }

@@ -36,6 +36,7 @@
 pub mod event;
 pub mod fault;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod time;
 
@@ -45,6 +46,7 @@ pub use event::EventQueue;
 pub use fault::{CrashWindow, FaultPlan};
 pub use node::NodeId;
 pub use rng::SimRng;
+pub use slab::Slab;
 pub use time::{SimDuration, SimTime};
 
 /// A discrete-event simulator: a virtual clock plus a future-event list.

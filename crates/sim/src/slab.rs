@@ -1,0 +1,113 @@
+//! A free-list slab arena with dense `u32` keys.
+//!
+//! The event queue stores payloads here so that the queue's own ordering
+//! structures only ever move small plain-data index entries: inserting a
+//! value reuses a vacated slot when one exists, so a steady-state
+//! schedule/pop workload allocates nothing after warm-up.
+
+/// A slab allocator: values keyed by dense `u32` slot indices, vacated
+/// slots recycled LIFO through an internal free list.
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Stores `value`, returning the slot key it now occupies.
+    pub fn insert(&mut self, value: T) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(value);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("slab capacity exceeds u32");
+                self.slots.push(Some(value));
+                slot
+            }
+        }
+    }
+
+    /// Removes and returns the value at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is vacant or out of bounds — keys are only ever
+    /// minted by [`Slab::insert`] and must not be removed twice.
+    pub fn remove(&mut self, slot: u32) -> T {
+        let value = self.slots[slot as usize].take().expect("slot occupied");
+        self.free.push(slot);
+        value
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// True when no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every value and recycles all slots, keeping capacity.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_reuses_slots() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.remove(a), "a");
+        // The vacated slot is recycled before the slab grows.
+        let c = slab.insert("c");
+        assert_eq!(c, a);
+        assert_eq!(slab.remove(b), "b");
+        assert_eq!(slab.remove(c), "c");
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "slot occupied")]
+    fn double_remove_panics() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1u8);
+        slab.remove(a);
+        slab.remove(a);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut slab = Slab::new();
+        slab.insert(1);
+        slab.insert(2);
+        slab.clear();
+        assert!(slab.is_empty());
+        assert_eq!(slab.insert(3), 0);
+    }
+}

@@ -6,13 +6,13 @@
 //! waiter lists (`NonHoldersPtr` — a list of lists, one per waiting
 //! family), and the object's page map.
 
-use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use lotec_mem::{ObjectId, PageMap};
 use lotec_sim::NodeId;
 
 use crate::lock::LockMode;
+use crate::smallq::SmallQueue;
 use crate::tree::TxnId;
 
 /// The status flag of a GDO lock entry (paper Figure 1).
@@ -67,8 +67,9 @@ pub struct QueuedRequest {
 pub struct FamilyWaiters {
     /// The family's root transaction id.
     pub family: TxnId,
-    /// Queued requests from that family, FIFO.
-    pub requests: VecDeque<QueuedRequest>,
+    /// Queued requests from that family, FIFO. A family almost always has
+    /// exactly one outstanding request, which the queue stores inline.
+    pub requests: SmallQueue<QueuedRequest>,
 }
 
 /// A per-object GDO entry.
@@ -76,10 +77,13 @@ pub struct FamilyWaiters {
 pub struct GdoEntry {
     object: ObjectId,
     holders: Vec<Holder>,
-    // retainer -> strongest mode retained. Retainers are always ancestors
-    // of (former) holders within the owning family/families.
-    retainers: BTreeMap<TxnId, LockMode>,
-    waiting: VecDeque<FamilyWaiters>,
+    // retainer -> strongest mode retained, sorted ascending by id so the
+    // iteration order matches the previous ordered-map layout. Retainers
+    // are always ancestors of (former) holders within the owning
+    // family/families, so the list stays short — a sorted vector beats a
+    // tree both on lookup and on per-pre-commit insertion.
+    retainers: Vec<(TxnId, LockMode)>,
+    waiting: SmallQueue<FamilyWaiters>,
     page_map: PageMap,
 }
 
@@ -94,8 +98,8 @@ impl GdoEntry {
         GdoEntry {
             object,
             holders: Vec::new(),
-            retainers: BTreeMap::new(),
-            waiting: VecDeque::new(),
+            retainers: Vec::new(),
+            waiting: SmallQueue::new(),
             page_map: PageMap::new(num_pages, home),
         }
     }
@@ -128,9 +132,10 @@ impl GdoEntry {
         &self.holders
     }
 
-    /// Current retainers with their strongest retained mode.
+    /// Current retainers with their strongest retained mode, ascending by
+    /// transaction id.
     pub fn retainers(&self) -> impl Iterator<Item = (TxnId, LockMode)> + '_ {
-        self.retainers.iter().map(|(&t, &m)| (t, m))
+        self.retainers.iter().copied()
     }
 
     /// True if `txn` currently holds the lock (in any mode).
@@ -145,12 +150,17 @@ impl GdoEntry {
 
     /// True if `txn` retains the lock.
     pub fn is_retained_by(&self, txn: TxnId) -> bool {
-        self.retainers.contains_key(&txn)
+        self.retainers
+            .binary_search_by_key(&txn, |&(t, _)| t)
+            .is_ok()
     }
 
     /// The mode `txn` retains, if it retains.
     pub fn retained_mode(&self, txn: TxnId) -> Option<LockMode> {
-        self.retainers.get(&txn).copied()
+        self.retainers
+            .binary_search_by_key(&txn, |&(t, _)| t)
+            .ok()
+            .map(|i| self.retainers[i].1)
     }
 
     /// The queued family waiter lists (the `NonHoldersPtr` structure).
@@ -204,15 +214,21 @@ impl GdoEntry {
 
     /// Adds (or strengthens) a retainer.
     pub(crate) fn add_retainer(&mut self, txn: TxnId, mode: LockMode) {
-        self.retainers
-            .entry(txn)
-            .and_modify(|m| *m = (*m).max(mode))
-            .or_insert(mode);
+        match self.retainers.binary_search_by_key(&txn, |&(t, _)| t) {
+            Ok(i) => {
+                let m = &mut self.retainers[i].1;
+                *m = (*m).max(mode);
+            }
+            Err(i) => self.retainers.insert(i, (txn, mode)),
+        }
     }
 
     /// Removes a retainer, returning its mode.
     pub(crate) fn remove_retainer(&mut self, txn: TxnId) -> Option<LockMode> {
-        self.retainers.remove(&txn)
+        self.retainers
+            .binary_search_by_key(&txn, |&(t, _)| t)
+            .ok()
+            .map(|i| self.retainers.remove(i).1)
     }
 
     /// Queues `request` onto its family's waiter list, creating the list
@@ -223,7 +239,7 @@ impl GdoEntry {
         } else {
             self.waiting.push_back(FamilyWaiters {
                 family,
-                requests: VecDeque::from([request]),
+                requests: SmallQueue::one(request),
             });
         }
     }
@@ -245,7 +261,7 @@ impl GdoEntry {
         let mut removed = Vec::new();
         self.waiting.retain_mut(|fw| {
             if fw.family == family {
-                removed.extend(fw.requests.drain(..));
+                removed.extend(std::mem::take(&mut fw.requests));
                 false
             } else {
                 true

@@ -55,6 +55,7 @@
 pub mod deadlock;
 pub mod gdo;
 pub mod lock;
+pub mod smallq;
 pub mod table;
 pub mod tree;
 pub mod waits_for;
@@ -65,6 +66,7 @@ pub use deadlock::{
 };
 pub use gdo::{gdo_home, GdoEntry, LockState, QueuedRequest};
 pub use lock::LockMode;
+pub use smallq::SmallQueue;
 pub use table::{
     emit_grant_events, obs_mode, AbortRelease, Acquire, CommitRelease, Grant, LockError,
     LockOccupancy, LockTable, PreCommitRelease,

@@ -1,0 +1,186 @@
+//! A FIFO queue with one inline slot.
+//!
+//! The lock table's waiter structures are overwhelmingly short: a family
+//! almost always has exactly one outstanding request, and an object's
+//! queue rarely holds more than a couple of families. [`SmallQueue`] keeps
+//! the front element inline — the single-element case costs no heap
+//! allocation at all — and spills the (rare) tail into a `Vec`.
+//!
+//! Invariant: the spill vector is non-empty only while the inline slot is
+//! occupied, so the inline slot is always the queue's front and the
+//! element sequence `head, rest[0], rest[1], …` is canonical (derived
+//! equality compares sequences, not storage accidents).
+
+/// A FIFO queue whose first element is stored inline; pushes beyond one
+/// element spill to a heap vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallQueue<T> {
+    head: Option<T>,
+    rest: Vec<T>,
+}
+
+impl<T> Default for SmallQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SmallQueue<T> {
+    /// Creates an empty queue.
+    pub const fn new() -> Self {
+        Self {
+            head: None,
+            rest: Vec::new(),
+        }
+    }
+
+    /// Creates a queue holding a single element — entirely inline, no
+    /// allocation.
+    pub const fn one(value: T) -> Self {
+        Self {
+            head: Some(value),
+            rest: Vec::new(),
+        }
+    }
+
+    /// Number of queued elements.
+    pub fn len(&self) -> usize {
+        usize::from(self.head.is_some()) + self.rest.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_none()
+    }
+
+    /// Appends `value` at the back.
+    pub fn push_back(&mut self, value: T) {
+        if self.head.is_none() {
+            debug_assert!(self.rest.is_empty(), "spill without inline head");
+            self.head = Some(value);
+        } else {
+            self.rest.push(value);
+        }
+    }
+
+    /// Removes and returns the front element, if any.
+    pub fn pop_front(&mut self) -> Option<T> {
+        let front = self.head.take()?;
+        if !self.rest.is_empty() {
+            self.head = Some(self.rest.remove(0));
+        }
+        Some(front)
+    }
+
+    /// The front element, if any.
+    pub fn front(&self) -> Option<&T> {
+        self.head.as_ref()
+    }
+
+    /// Iterates front to back. The concrete return type carries no
+    /// destructor, so callers can drop the borrow early (an opaque
+    /// `impl Iterator` would pin it to end of scope).
+    pub fn iter(&self) -> std::iter::Chain<std::option::Iter<'_, T>, std::slice::Iter<'_, T>> {
+        self.head.iter().chain(self.rest.iter())
+    }
+
+    /// Iterates front to back, mutably (concrete type — see [`Self::iter`]).
+    pub fn iter_mut(
+        &mut self,
+    ) -> std::iter::Chain<std::option::IterMut<'_, T>, std::slice::IterMut<'_, T>> {
+        self.head.iter_mut().chain(self.rest.iter_mut())
+    }
+
+    /// Keeps only the elements for which `keep` returns true, preserving
+    /// order (like `Vec::retain_mut`).
+    pub fn retain_mut<F: FnMut(&mut T) -> bool>(&mut self, mut keep: F) {
+        if let Some(h) = self.head.as_mut() {
+            if !keep(h) {
+                self.head = None;
+            }
+        }
+        self.rest.retain_mut(keep);
+        if self.head.is_none() && !self.rest.is_empty() {
+            self.head = Some(self.rest.remove(0));
+        }
+    }
+}
+
+impl<T> IntoIterator for SmallQueue<T> {
+    type Item = T;
+    type IntoIter = std::iter::Chain<std::option::IntoIter<T>, std::vec::IntoIter<T>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.head.into_iter().chain(self.rest)
+    }
+}
+
+impl<'a, T> IntoIterator for &'a SmallQueue<T> {
+    type Item = &'a T;
+    type IntoIter = std::iter::Chain<std::option::Iter<'a, T>, std::slice::Iter<'a, T>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.head.iter().chain(self.rest.iter())
+    }
+}
+
+impl<T> FromIterator<T> for SmallQueue<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut q = Self::new();
+        for value in iter {
+            q.push_back(value);
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_across_inline_and_spill() {
+        let mut q = SmallQueue::new();
+        assert!(q.is_empty());
+        q.push_back(1);
+        q.push_back(2);
+        q.push_back(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.front(), Some(&1));
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(q.pop_front(), Some(1));
+        assert_eq!(q.pop_front(), Some(2));
+        q.push_back(4);
+        assert_eq!(q.pop_front(), Some(3));
+        assert_eq!(q.pop_front(), Some(4));
+        assert_eq!(q.pop_front(), None);
+    }
+
+    #[test]
+    fn retain_promotes_new_front() {
+        let mut q: SmallQueue<i32> = (1..=5).collect();
+        q.retain_mut(|v| *v % 2 == 0);
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![2, 4]);
+        assert_eq!(q.front(), Some(&2));
+        q.retain_mut(|_| false);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn equality_is_by_sequence() {
+        // Same sequence via different operation histories.
+        let mut a: SmallQueue<i32> = (0..4).collect();
+        a.pop_front();
+        let b: SmallQueue<i32> = (1..4).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_element_stays_inline() {
+        let q = SmallQueue::one(7u8);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.rest.capacity(), 0, "no spill allocation");
+        assert_eq!(q.into_iter().collect::<Vec<_>>(), vec![7]);
+    }
+}

@@ -27,7 +27,6 @@
 //! §3.4 these are precluded and the table reports
 //! [`LockError::RecursionPrecluded`].
 
-use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use lotec_mem::{ObjectId, PageIndex};
@@ -201,8 +200,8 @@ pub struct LockOccupancy {
 #[derive(Debug, Clone, Default)]
 pub struct LockTable {
     entries: Vec<Option<GdoEntry>>,
-    held_by: BTreeMap<TxnId, BTreeSet<ObjectId>>,
-    retained_by: BTreeMap<TxnId, BTreeSet<ObjectId>>,
+    held_by: TxnObjects,
+    retained_by: TxnObjects,
     /// Family-level waits-for graph, refreshed at every entry mutation
     /// (see [`WaitsFor`]); the deadlock detector reads it instead of
     /// rebuilding from an O(entries) scan.
@@ -212,6 +211,57 @@ pub struct LockTable {
     /// its result with the reference implementation. Enabled by the
     /// differential oracle and property suites.
     validate_graph: bool,
+}
+
+/// Reverse index from transactions to the objects they hold (or retain),
+/// stored densely: [`crate::TxnTree`] mints ids sequentially from zero, so
+/// the raw transaction id doubles as the vector slot. Per-transaction
+/// lists are in insertion order; the release paths sort-and-dedup on
+/// drain to reproduce the ascending-object-id order of the ordered-set
+/// layout this replaces, so the hot path itself only ever appends.
+#[derive(Debug, Clone, Default)]
+struct TxnObjects {
+    by_txn: Vec<Vec<ObjectId>>,
+}
+
+impl TxnObjects {
+    /// Records `txn` → `object`, ignoring a duplicate registration (only
+    /// the retainer index ever produces one — a parent re-inherits an
+    /// object from each pre-committing child that touched it).
+    fn insert(&mut self, txn: TxnId, object: ObjectId) {
+        let idx = txn.get() as usize;
+        if idx >= self.by_txn.len() {
+            self.by_txn.resize_with(idx + 1, Vec::new);
+        }
+        let slot = &mut self.by_txn[idx];
+        if !slot.contains(&object) {
+            slot.push(object);
+        }
+    }
+
+    /// Removes and returns `txn`'s object list, in insertion order.
+    fn take(&mut self, txn: TxnId) -> Vec<ObjectId> {
+        match self.by_txn.get_mut(txn.get() as usize) {
+            Some(list) => std::mem::take(list),
+            None => Vec::new(),
+        }
+    }
+
+    /// `txn`'s objects, in insertion order.
+    fn get(&self, txn: TxnId) -> &[ObjectId] {
+        self.by_txn
+            .get(txn.get() as usize)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// All non-empty `(txn, objects)` pairs, ascending by id.
+    fn iter(&self) -> impl Iterator<Item = (TxnId, &[ObjectId])> {
+        self.by_txn
+            .iter()
+            .enumerate()
+            .filter(|(_, list)| !list.is_empty())
+            .map(|(idx, list)| (TxnId::from_raw(idx as u64), list.as_slice()))
+    }
 }
 
 impl LockTable {
@@ -299,14 +349,18 @@ impl LockTable {
             .ok_or(LockError::UnknownObject(object))
     }
 
-    /// Objects currently held by `txn`.
+    /// Objects currently held by `txn`, ascending by id.
     pub fn held_objects(&self, txn: TxnId) -> impl Iterator<Item = ObjectId> + '_ {
-        self.held_by.get(&txn).into_iter().flatten().copied()
+        let mut objects = self.held_by.get(txn).to_vec();
+        objects.sort_unstable();
+        objects.into_iter()
     }
 
-    /// Objects currently retained by `txn`.
+    /// Objects currently retained by `txn`, ascending by id.
     pub fn retained_objects(&self, txn: TxnId) -> impl Iterator<Item = ObjectId> + '_ {
-        self.retained_by.get(&txn).into_iter().flatten().copied()
+        let mut objects = self.retained_by.get(txn).to_vec();
+        objects.sort_unstable();
+        objects.into_iter()
     }
 
     /// Iterator over all registered entries in ascending object-id order
@@ -361,6 +415,24 @@ impl LockTable {
             .get_mut(object.index() as usize)
             .and_then(Option::as_mut)
             .ok_or(LockError::UnknownObject(object))?;
+
+        // Uncontended fast path: nobody holds, retains, or waits. Every
+        // check below is vacuous and the outcome is a fresh sole-holder
+        // global grant. With no waiters the object contributes no
+        // waits-for edges before or after the grant, so the graph
+        // refresh is a no-op too — skip it (validation mode recomputes
+        // to prove exactly that).
+        if entry.holders().is_empty()
+            && entry.retainers().next().is_none()
+            && entry.peek_next_family().is_none()
+        {
+            entry.add_holder(Holder { txn, node, mode });
+            self.held_by.insert(txn, object);
+            if self.validate_graph {
+                self.refresh_graph(object, tree);
+            }
+            return Ok(Acquire::GlobalGrant { holders: 1 });
+        }
 
         // Re-request / upgrade by the same transaction.
         if let Some(held) = entry.held_mode(txn) {
@@ -436,7 +508,7 @@ impl LockTable {
         let local = ancestor_covering;
         let holders_after = entry.holders().len() + 1;
         entry.add_holder(Holder { txn, node, mode });
-        self.held_by.entry(txn).or_default().insert(object);
+        self.held_by.insert(txn, object);
         self.refresh_graph(object, tree);
         if local {
             Ok(Acquire::LocalGrant)
@@ -549,13 +621,13 @@ impl LockTable {
         let parent = tree.parent(txn).expect("pre-commit of a root transaction");
         let mut inherited = Vec::new();
 
-        for object in self.held_by.remove(&txn).unwrap_or_default() {
+        for object in self.held_by.take(txn) {
             let entry = self.entries[object.index() as usize]
                 .as_mut()
                 .expect("held object registered");
             let holder = entry.remove_holder(txn).expect("index said txn holds");
             entry.add_retainer(parent, holder.mode);
-            self.retained_by.entry(parent).or_default().insert(object);
+            self.retained_by.insert(parent, object);
             // Inheritance moves the lock within the family at the same
             // (or merged, hence stronger-or-equal) mode. Edges are pairs
             // of *families*, and `conflicts_with(a.max(b))` equals
@@ -568,13 +640,13 @@ impl LockTable {
             }
             inherited.push(object);
         }
-        for object in self.retained_by.remove(&txn).unwrap_or_default() {
+        for object in self.retained_by.take(txn) {
             let entry = self.entries[object.index() as usize]
                 .as_mut()
                 .expect("retained object registered");
             let mode = entry.remove_retainer(txn).expect("index said txn retains");
             entry.add_retainer(parent, mode);
-            self.retained_by.entry(parent).or_default().insert(object);
+            self.retained_by.insert(parent, object);
             // Same family, same-or-merged mode: contribution unchanged
             // (see the holder loop above).
             if self.validate_graph {
@@ -621,15 +693,14 @@ impl LockTable {
     /// possibly unblocking waiting families.
     pub fn release_abort(&mut self, txn: TxnId, tree: &TxnTree) -> AbortRelease {
         let mut out = AbortRelease::default();
-        let held = self.held_by.remove(&txn).unwrap_or_default();
-        let retained = self.retained_by.remove(&txn).unwrap_or_default();
-
-        for object in held
-            .iter()
-            .chain(retained.iter())
-            .copied()
-            .collect::<BTreeSet<_>>()
-        {
+        // The index lists are in insertion order; restore the ascending
+        // dedup'd order the ordered-set layout produced — released order
+        // is observable downstream (messages, traces).
+        let mut objects = self.held_by.take(txn);
+        objects.extend(self.retained_by.take(txn));
+        objects.sort_unstable();
+        objects.dedup();
+        for object in objects {
             let entry = self.entries[object.index() as usize]
                 .as_mut()
                 .expect("indexed object registered");
@@ -720,14 +791,12 @@ impl LockTable {
         }
 
         let mut out = CommitRelease::default();
-        let held = self.held_by.remove(&root).unwrap_or_default();
-        let retained = self.retained_by.remove(&root).unwrap_or_default();
-        for object in held
-            .iter()
-            .chain(retained.iter())
-            .copied()
-            .collect::<BTreeSet<_>>()
-        {
+        // Ascending dedup'd order, as in `release_abort`.
+        let mut objects = self.held_by.take(root);
+        objects.extend(self.retained_by.take(root));
+        objects.sort_unstable();
+        objects.dedup();
+        for object in objects {
             let entry = self.entries[object.index() as usize]
                 .as_mut()
                 .expect("indexed object registered");
@@ -785,13 +854,16 @@ impl LockTable {
     /// are now admissible (Alg. 4.4's second loop). Read batches across
     /// consecutive read-only families are granted together.
     fn try_grant_next(&mut self, object: ObjectId, tree: &TxnTree, grants: &mut Vec<Grant>) {
-        loop {
-            let entry = self.entries[object.index() as usize]
-                .as_mut()
-                .expect("object registered");
-            let Some(next) = entry.peek_next_family() else {
-                break;
-            };
+        // The whole grant batch works on one entry borrow; `held_by` is a
+        // disjoint field, so the reverse index updates in-loop without
+        // re-fetching the entry per granted family.
+        let Self {
+            entries, held_by, ..
+        } = self;
+        let entry = entries[object.index() as usize]
+            .as_mut()
+            .expect("object registered");
+        while let Some(next) = entry.peek_next_family() {
             // Admissibility: every queued request of the family must be
             // compatible with current holders and blocking retainers.
             let family = next.family;
@@ -811,20 +883,18 @@ impl LockTable {
             let fw = entry.dequeue_next_family().expect("peeked family vanished");
             debug_assert_eq!(fw.family, family);
             let mut requests = Vec::with_capacity(fw.requests.len());
+            let mut wrote = false;
             for req in fw.requests {
+                wrote |= req.mode.is_write();
                 entry.add_holder(Holder {
                     txn: req.txn,
                     node: req.node,
                     mode: req.mode,
                 });
-                self.held_by.entry(req.txn).or_default().insert(object);
+                held_by.insert(req.txn, object);
                 requests.push(req);
             }
-            let holders = self.entries[object.index() as usize]
-                .as_ref()
-                .expect("object registered")
-                .holders()
-                .len();
+            let holders = entry.holders().len();
             grants.push(Grant {
                 object,
                 requests,
@@ -832,13 +902,7 @@ impl LockTable {
             });
             // Read batching: if the grant was read-only, the following
             // family may also be read-compatible — loop and try again.
-            if grants
-                .last()
-                .expect("just pushed")
-                .requests
-                .iter()
-                .any(|r| r.mode.is_write())
-            {
+            if wrote {
                 break;
             }
         }
@@ -925,32 +989,24 @@ impl LockTable {
                 }
             }
             for h in entry.holders() {
-                if !self
-                    .held_by
-                    .get(&h.txn)
-                    .is_some_and(|s| s.contains(&object))
-                {
+                if !self.held_by.get(h.txn).contains(&object) {
                     return Err(format!("{object}: holder {} missing from index", h.txn));
                 }
             }
             for (r, _) in entry.retainers() {
-                if !self
-                    .retained_by
-                    .get(&r)
-                    .is_some_and(|s| s.contains(&object))
-                {
+                if !self.retained_by.get(r).contains(&object) {
                     return Err(format!("{object}: retainer {r} missing from index"));
                 }
             }
         }
-        for (txn, objects) in &self.held_by {
+        for (txn, objects) in self.held_by.iter() {
             for object in objects {
                 let entry = self
                     .entries
                     .get(object.index() as usize)
                     .and_then(Option::as_ref)
                     .ok_or("indexed object missing")?;
-                if !entry.is_held_by(*txn) {
+                if !entry.is_held_by(txn) {
                     return Err(format!("index says {txn} holds {object}, entry disagrees"));
                 }
             }

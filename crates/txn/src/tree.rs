@@ -1,6 +1,5 @@
 //! Transaction identities, states and family trees.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use lotec_sim::NodeId;
@@ -15,6 +14,12 @@ impl TxnId {
     /// The raw id value.
     pub const fn get(self) -> u64 {
         self.0
+    }
+
+    /// Rebuilds an id from its raw value. Crate-internal: dense reverse
+    /// indexes use the raw id as a vector slot and need to map slots back.
+    pub(crate) const fn from_raw(raw: u64) -> Self {
+        TxnId(raw)
     }
 }
 
@@ -56,8 +61,11 @@ struct TxnRecord {
 /// `Active → {PreCommitted | Aborted | Committed}`.
 #[derive(Debug, Clone, Default)]
 pub struct TxnTree {
-    records: BTreeMap<TxnId, TxnRecord>,
-    next_id: u64,
+    /// Indexed by raw transaction id — ids are minted sequentially, so
+    /// every structural lookup (`root_of`, `state`, each `is_ancestor`
+    /// hop) is an array index. These queries sit on the lock table's
+    /// per-acquisition hot path and inside the waits-for refresh.
+    records: Vec<TxnRecord>,
 }
 
 impl TxnTree {
@@ -69,19 +77,15 @@ impl TxnTree {
     /// Starts a new root transaction (a user-level method invocation)
     /// executing at `node`. The whole family will execute at that site.
     pub fn begin_root(&mut self, node: NodeId) -> TxnId {
-        let id = TxnId(self.next_id);
-        self.next_id += 1;
-        self.records.insert(
-            id,
-            TxnRecord {
-                parent: None,
-                root: id,
-                node,
-                state: TxnState::Active,
-                children: Vec::new(),
-                depth: 0,
-            },
-        );
+        let id = TxnId(self.records.len() as u64);
+        self.records.push(TxnRecord {
+            parent: None,
+            root: id,
+            node,
+            state: TxnState::Active,
+            children: Vec::new(),
+            depth: 0,
+        });
         id
     }
 
@@ -96,30 +100,22 @@ impl TxnTree {
             assert_eq!(p.state, TxnState::Active, "parent {parent} is not active");
             (p.root, p.node, p.depth + 1)
         };
-        let id = TxnId(self.next_id);
-        self.next_id += 1;
-        self.records.insert(
-            id,
-            TxnRecord {
-                parent: Some(parent),
-                root,
-                node,
-                state: TxnState::Active,
-                children: Vec::new(),
-                depth,
-            },
-        );
-        self.records
-            .get_mut(&parent)
-            .expect("parent exists")
-            .children
-            .push(id);
+        let id = TxnId(self.records.len() as u64);
+        self.records.push(TxnRecord {
+            parent: Some(parent),
+            root,
+            node,
+            state: TxnState::Active,
+            children: Vec::new(),
+            depth,
+        });
+        self.records[parent.0 as usize].children.push(id);
         id
     }
 
     fn record(&self, txn: TxnId) -> &TxnRecord {
         self.records
-            .get(&txn)
+            .get(txn.0 as usize)
             .unwrap_or_else(|| panic!("unknown transaction {txn}"))
     }
 
@@ -254,7 +250,7 @@ impl TxnTree {
             active_children, 0,
             "{txn} still has {active_children} active children"
         );
-        let rec = self.records.get_mut(&txn).expect("checked above");
+        let rec = &mut self.records[txn.0 as usize];
         assert_eq!(rec.state, TxnState::Active, "{txn} is not active");
         rec.state = to;
     }

@@ -1,0 +1,201 @@
+//! Differential property suite for the calendar event queue.
+//!
+//! The simulator's pop order is the bedrock every golden fingerprint rests
+//! on, so the two-tier calendar queue (`lotec_sim::EventQueue`) is checked
+//! operation-for-operation against the retained single-heap implementation
+//! (`lotec_sim::event::reference::HeapQueue`): for seeded random streams of
+//! interleaved pushes and pops — with deliberately heavy timestamp ties —
+//! every pop must return the same `(time, payload)` pair, every peek the
+//! same timestamp, and every length query the same count. Edge-case suites
+//! cover bucket wraparound, far-future overflow spill, and the
+//! overflow-behind-ring window-jump case.
+
+use lotec::sim::event::reference::HeapQueue;
+use lotec::sim::{EventQueue, SimRng, SimTime};
+
+const CASES: u64 = 48;
+
+/// Mirrors the queue's internal geometry (256 buckets x 4096 ns): offsets
+/// are sized relative to it so streams exercise in-bucket ties, cross-bucket
+/// order, horizon spill, and multi-window jumps.
+const BUCKET_NS: u64 = 4096;
+const SPAN_NS: u64 = 256 * BUCKET_NS;
+
+fn t(n: u64) -> SimTime {
+    SimTime::from_nanos(n)
+}
+
+/// Drives both queues through the same operation stream, asserting
+/// lock-step equivalence after every operation.
+struct Differ {
+    calendar: EventQueue<u32>,
+    oracle: HeapQueue<u32>,
+    /// Simulated clock: pops advance it, pushes never precede it, matching
+    /// the `Simulator`'s schedule-at-or-after-now contract.
+    now: u64,
+    tag: u32,
+}
+
+impl Differ {
+    fn new() -> Self {
+        Self {
+            calendar: EventQueue::new(),
+            oracle: HeapQueue::new(),
+            now: 0,
+            tag: 0,
+        }
+    }
+
+    fn push(&mut self, at: u64) {
+        self.calendar.push(t(at), self.tag);
+        self.oracle.push(t(at), self.tag);
+        self.tag += 1;
+        self.check();
+    }
+
+    fn pop(&mut self) {
+        let got = self.calendar.pop();
+        let want = self.oracle.pop();
+        assert_eq!(got, want, "pop diverged after {} ops", self.tag);
+        if let Some((time, _)) = got {
+            assert!(time.as_nanos() >= self.now, "time went backwards");
+            self.now = time.as_nanos();
+        }
+        self.check();
+    }
+
+    fn check(&self) {
+        assert_eq!(self.calendar.peek_time(), self.oracle.peek_time());
+        assert_eq!(self.calendar.len(), self.oracle.len());
+        assert_eq!(self.calendar.is_empty(), self.oracle.is_empty());
+    }
+
+    fn drain(&mut self) {
+        while !self.oracle.is_empty() {
+            self.pop();
+        }
+        assert!(self.calendar.is_empty());
+    }
+}
+
+fn random_offset(rng: &mut SimRng) -> u64 {
+    match rng.next_below(6) {
+        // Exact tie with the clock — exercises FIFO ordering at `now`.
+        0 => 0,
+        // Same-bucket neighbours (ties by bucket, distinct times).
+        1 => rng.next_below(BUCKET_NS),
+        // A few buckets out.
+        2 => rng.next_below(16 * BUCKET_NS),
+        // Anywhere in the ring window.
+        3 => rng.next_below(SPAN_NS),
+        // Just around the horizon boundary.
+        4 => SPAN_NS - BUCKET_NS + rng.next_below(2 * BUCKET_NS),
+        // Deep in overflow territory, up to several windows out.
+        _ => SPAN_NS + rng.next_below(4 * SPAN_NS),
+    }
+}
+
+#[test]
+fn random_streams_match_reference_heap() {
+    let root = SimRng::seed_from_u64(0xE7E9_71BD);
+    for case in 0..CASES {
+        let mut rng = root.fork(case);
+        let mut d = Differ::new();
+        let ops = 200 + rng.next_below(600);
+        for _ in 0..ops {
+            if d.oracle.is_empty() || rng.next_below(5) < 3 {
+                let offset = random_offset(&mut rng);
+                d.push(d.now + offset);
+            } else {
+                d.pop();
+            }
+        }
+        d.drain();
+    }
+}
+
+#[test]
+fn heavy_tie_streams_preserve_fifo() {
+    // Many events at identical timestamps, pushed across several
+    // interleaved batches: tie-break must stay insertion-ordered even when
+    // pops interleave with pushes at the same instant.
+    let root = SimRng::seed_from_u64(0x71E5_CAFE);
+    for case in 0..CASES {
+        let mut rng = root.fork(case);
+        let mut d = Differ::new();
+        for _ in 0..200 {
+            // At most three distinct timestamps live at once.
+            let offset = rng.next_below(3) * BUCKET_NS;
+            d.push(d.now + offset);
+            if rng.next_below(3) == 0 {
+                d.pop();
+            }
+        }
+        d.drain();
+    }
+}
+
+#[test]
+fn burst_drain_cycles_cross_many_windows() {
+    // Push bursts, then full drains, with the clock leaping multiple ring
+    // spans between bursts — stresses window wraparound and the
+    // empty-ring window jump.
+    let root = SimRng::seed_from_u64(0x0B5E_55ED);
+    for case in 0..CASES {
+        let mut rng = root.fork(case);
+        let mut d = Differ::new();
+        for _ in 0..12 {
+            let burst = 1 + rng.next_below(40);
+            for _ in 0..burst {
+                let offset = random_offset(&mut rng);
+                d.push(d.now + offset);
+            }
+            d.drain();
+            // Leap the clock: the next burst starts in a distant window.
+            d.now += rng.next_below(8 * SPAN_NS);
+        }
+    }
+}
+
+#[test]
+fn far_future_spill_returns_in_order() {
+    // All pushes beyond the horizon, popped interleaved with near pushes:
+    // overflow entries must surface exactly when they become the global
+    // minimum, even though the ring window has advanced past them.
+    let root = SimRng::seed_from_u64(0xFA57_F00D);
+    for case in 0..CASES {
+        let mut rng = root.fork(case);
+        let mut d = Differ::new();
+        // Seed overflow with far-future events.
+        for _ in 0..20 {
+            let offset = SPAN_NS + rng.next_below(3 * SPAN_NS);
+            d.push(d.now + offset);
+        }
+        // Interleave near-term traffic that drags the window forward.
+        for _ in 0..120 {
+            if rng.next_below(2) == 0 {
+                d.push(d.now + rng.next_below(2 * BUCKET_NS));
+            } else {
+                d.pop();
+            }
+        }
+        d.drain();
+    }
+}
+
+#[test]
+fn clear_resets_both_tiers_and_keeps_seq_monotonic() {
+    let mut d = Differ::new();
+    for i in 0..50 {
+        d.push(i * 17 % (2 * SPAN_NS));
+    }
+    d.calendar.clear();
+    d.oracle.clear();
+    assert!(d.calendar.is_empty());
+    d.check();
+    // Ties pushed after a clear still pop FIFO against the oracle.
+    for _ in 0..10 {
+        d.push(BUCKET_NS);
+    }
+    d.drain();
+}
