@@ -12,14 +12,22 @@
 //!
 //! Reproduce any cell from its printed seed: the fault plan is pure data
 //! and every draw comes from the engine's seeded fault RNG stream.
+//!
+//! `chaos --inject-violation [--forensics-out STEM]` runs the forensics
+//! drill instead of the sweep: one flight-recorded lossy LOTEC cell whose
+//! final content chains are deliberately corrupted after the (passing)
+//! run, so the oracle fails and the recorder ring is dumped as a
+//! `<STEM>.jsonl` + `<STEM>.chrome.json` pair. `BENCH_chaos.json` is not
+//! touched in this mode; CI's forensics gate feeds the dump back through
+//! `obs_report --forensics`.
 
 use lotec_bench::runner;
 use lotec_core::config::FaultConfig;
-use lotec_core::engine::{run_engine, RunReport};
+use lotec_core::engine::{run_engine, run_engine_recorded, RunReport};
 use lotec_core::oracle;
 use lotec_core::protocol::ProtocolKind;
 use lotec_core::SystemConfig;
-use lotec_obs::Json;
+use lotec_obs::{ForensicsDump, Json, QuantileSketch};
 use lotec_sim::{CrashWindow, FaultPlan, SimDuration, SimTime};
 use lotec_workload::presets;
 
@@ -67,7 +75,70 @@ fn cell_json(report: &RunReport) -> Json {
     ])
 }
 
+/// Forensics drill: a flight-recorded lossy LOTEC run whose final chains
+/// are corrupted post-run so the oracle fails against a known-good
+/// execution, exercising the dump path without shipping a real bug.
+fn inject_violation(stem: &str) {
+    let scenario = presets::quick(presets::fig3());
+    let (registry, families) = scenario.generate().expect("workload generates");
+    let config = SystemConfig {
+        protocol: ProtocolKind::Lotec,
+        seed: SEED,
+        num_nodes: scenario.config.num_nodes,
+        page_size: scenario.config.schema.page_size,
+        faults: fault_config(0.10),
+        ..SystemConfig::default()
+    };
+    let (mut report, recorder) =
+        run_engine_recorded(&config, &registry, &families).expect("engine runs");
+    oracle::verify(&report).expect("uncorrupted run must pass the oracle");
+
+    let (&key, chain) = report
+        .final_chains
+        .iter_mut()
+        .next()
+        .expect("run touched at least one page");
+    *chain ^= 0xDEAD_BEEF;
+    println!(
+        "corrupted final chain of object {}/page {} (xor 0xdeadbeef)",
+        key.0, key.1
+    );
+    let err = oracle::verify(&report).expect_err("corrupted chains must fail the oracle");
+
+    let dump = ForensicsDump::oracle_violation(err.to_string(), &recorder);
+    let (jsonl, chrome) = dump
+        .write_pair(std::path::Path::new(stem))
+        .unwrap_or_else(|e| panic!("cannot write forensics dump {stem}: {e}"));
+    println!("wrote {}", jsonl.display());
+    println!("wrote {}", chrome.display());
+    print!("{}", dump.render_triage());
+}
+
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut inject = false;
+    let mut stem = String::from("results/forensics_injected");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--inject-violation" => inject = true,
+            "--forensics-out" => {
+                stem = args.next().unwrap_or_else(|| {
+                    eprintln!("chaos: --forensics-out requires a path stem");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("chaos: unknown argument {other:?}");
+                eprintln!("usage: chaos [--inject-violation [--forensics-out STEM]]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if inject {
+        inject_violation(&stem);
+        return;
+    }
+
     let scenario = presets::quick(presets::fig3());
     let (registry, families) = scenario.generate().expect("workload generates");
     let base = |protocol| SystemConfig {
@@ -126,6 +197,29 @@ fn main() {
             cells.push((format!("{drop:.2}"), cell_json(report)));
         }
         drop_section.push((protocol.to_string(), Json::Obj(cells)));
+    }
+
+    // Stdout-only tail view: each protocol's commit latencies across the
+    // whole drop sweep, merged from the per-cell quantile sketches. The
+    // merge is deterministic, so this line is stable across reruns and
+    // worker counts even though it never lands in BENCH_chaos.json.
+    println!("latency across drop sweep (sketch quantiles, all cells merged):");
+    for (protocol, chunk) in ProtocolKind::PAPER_TRIO
+        .into_iter()
+        .zip(drop_reports.chunks(DROP_RATES.len()))
+    {
+        let mut merged = QuantileSketch::new();
+        for report in chunk {
+            merged.merge(&report.stats.latency_sketch);
+        }
+        println!(
+            "  {protocol:>6}: n={:<5} p50={:>8}ns p90={:>8}ns p99={:>8}ns max={:>8}ns",
+            merged.count(),
+            merged.quantile(0.5),
+            merged.quantile(0.9),
+            merged.quantile(0.99),
+            merged.max(),
+        );
     }
 
     // Crash scenario: two staggered outages placed against each

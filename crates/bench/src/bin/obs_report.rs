@@ -5,6 +5,7 @@
 //! obs_report <trace.jsonl> [--top K] [--json-out PATH]
 //! obs_report --demo [--top K] [--json-out PATH]
 //! obs_report --host [BENCH_perf.json]
+//! obs_report --forensics <dump.jsonl>
 //! ```
 //!
 //! File mode prints the structured-trace summary (event census,
@@ -16,12 +17,16 @@
 //! showcase, and writes `BENCH_obs.json` (or `--json-out PATH`). Host
 //! mode renders the host-plane sections of a `BENCH_perf.json` — the
 //! wall-clock region profile, sweep-worker utilization, and the perf-gate
-//! baseline — as a human-readable view.
+//! baseline — as a human-readable view. Forensics mode loads a dump
+//! written at an anomaly (deadlock victim, lock timeout, crash repair,
+//! oracle violation), proves it round-trips byte-identically, and prints
+//! the causal triage report.
 //!
 //! Unknown flags are rejected with the usage text and a nonzero exit.
 
 use lotec_bench::obs::{
-    parse_obs_report_args, render_host_view, run_obs_demo, ObsReportArgs, ObsReportMode, USAGE,
+    parse_obs_report_args, render_forensics_report, render_host_view, run_obs_demo, ObsReportArgs,
+    ObsReportMode, USAGE,
 };
 use lotec_bench::runner;
 use lotec_obs::{critical_paths, jsonl_decode, Json, MetricsRegistry, SpanTree, TraceSummary};
@@ -59,6 +64,17 @@ fn main() {
                 std::process::exit(1);
             });
             print!("{view}");
+        }
+        ObsReportMode::Forensics(ref path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("obs_report: cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let triage = render_forensics_report(&text).unwrap_or_else(|e| {
+                eprintln!("obs_report: {path}: {e}");
+                std::process::exit(1);
+            });
+            print!("{triage}");
         }
     }
 }

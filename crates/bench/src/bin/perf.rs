@@ -7,7 +7,7 @@
 //! sweep runner. Results go to `BENCH_perf.json`; refresh it with
 //! `cargo run --release --bin perf` after engine changes.
 //!
-//! Four host-plane sections ride along (schema 3):
+//! Four host-plane sections ride along (schema 4):
 //!
 //! * `host_profile` — the LOTEC cell re-run under a
 //!   [`WallProfiler`]: per-region self-time breakdown (event pop/push,
@@ -27,9 +27,13 @@
 //! * `gate` — a fixed quick-preset LOTEC cell measured in *every* mode,
 //!   so a CI `--quick` run can compare events/sec like-for-like against
 //!   the committed full-mode baseline, plus the cell's allocs-per-event
-//!   (measured in one extra run with accounting forced on). `--gate`
-//!   re-measures the gate cell *and* the `queue`/`lock_paths` micro
-//!   cells, compares each throughput against the committed
+//!   (measured in one extra run with accounting forced on), its
+//!   sketch-backed simulated latency quantiles (`latency_p50_ns` /
+//!   `latency_p99_ns`, exact-matched by the gate — they are pure
+//!   simulation), and a `recorder` subsection timing the same cell with
+//!   the always-on flight recorder attached. `--gate` re-measures the
+//!   gate cell (recorder off and on) *and* the `queue`/`lock_paths`
+//!   micro cells, compares each throughput against the committed
 //!   `BENCH_perf.json` within `LOTEC_PERF_GATE_TOL` (default 0.20, i.e.
 //!   ±20 %), exits nonzero on regression, and never writes the baseline.
 //!   Allocs-per-event is a *soft* gate (a warning, not a failure —
@@ -63,7 +67,9 @@ use lotec_core::oracle;
 use lotec_core::protocol::ProtocolKind;
 use lotec_core::{AdaptiveConfig, SystemConfig};
 use lotec_mem::{mix, ObjectId};
-use lotec_obs::{alloc, CountingAlloc, Json, NoopSink, RecordingSink, WallProfiler};
+use lotec_obs::{
+    alloc, CountingAlloc, FlightRecorder, Json, NoopSink, RecordingSink, WallProfiler,
+};
 use lotec_sim::event::reference::HeapQueue;
 use lotec_sim::{EventQueue, FaultPlan, NodeId, SimDuration, SimRng, SimTime};
 use lotec_txn::{Acquire, LockMode, LockTable, TxnId, TxnTree};
@@ -76,7 +82,7 @@ static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
 
 /// Schema version of `BENCH_perf.json`. Bump when sections are added,
 /// removed or change meaning; the `--gate` reader refuses mismatches.
-const SCHEMA: u64 = 3;
+const SCHEMA: u64 = 4;
 
 /// Repeats for the `gate` cell — fixed across modes so full-mode
 /// baselines and `--quick`/`--gate` runs measure the same protocol.
@@ -216,6 +222,35 @@ fn measure_gate_cell() -> Timed {
         run_engine(&config, &registry, &families).expect("gate cell runs")
     });
     oracle::verify(&timed.report).expect("gate cell serializable");
+    timed
+}
+
+/// The gate cell once more with the always-on flight recorder riding
+/// along — the cost of bounded capture on the hot path. The simulated
+/// outputs must match the recorder-off cell exactly. Most of the ratio
+/// is the probe plane itself (constructing `ObsEvent`s, the same cost
+/// any enabled sink pays — compare `fig3/LOTEC+recording`); the ring
+/// encode adds ~40 ns/event on top. `--gate` regression-checks the
+/// recorded cell's events/s against its committed baseline like every
+/// other cell, and soft-warns when the overhead *ratio* grows beyond
+/// the committed one by more than the tolerance.
+fn measure_gate_cell_recorded() -> Timed {
+    let scenario = presets::quick(presets::fig3());
+    let (registry, families) = scenario.generate().expect("gate workload generates");
+    let config = fig3_config(&scenario, ProtocolKind::Lotec);
+    // Allocate the ring once outside the timed region — always-on means
+    // the recorder lives for the process, so per-repeat construction
+    // (allocating and zeroing slots × 176 bytes) would charge the cell
+    // for a startup cost the record path never pays.
+    let recorder =
+        std::cell::RefCell::new(FlightRecorder::new(config.flight_recorder.slots as usize));
+    let timed = time_cell(GATE_REPEATS, || {
+        let mut recorder = recorder.borrow_mut();
+        recorder.clear();
+        run_engine_with_probe(&config, &registry, &families, &mut *recorder)
+            .expect("recorded gate cell runs")
+    });
+    oracle::verify(&timed.report).expect("recorded gate cell serializable");
     timed
 }
 
@@ -562,6 +597,66 @@ fn run_gate() -> ! {
         events_per_sec(events, timed.min_ns),
         baseline_u64(&baseline, &["gate", "events_per_sec"]),
     );
+
+    // Sketch-backed simulated latency quantiles are deterministic, so
+    // they must match the baseline exactly — a drift here means engine
+    // semantics changed, not that the host got slower.
+    let p50 = timed
+        .report
+        .stats
+        .latency_quantile_precise(0.5)
+        .map_or(0, |d| d.as_nanos());
+    let p99 = timed
+        .report
+        .stats
+        .latency_quantile_precise(0.99)
+        .map_or(0, |d| d.as_nanos());
+    let base_p50 = baseline_u64(&baseline, &["gate", "latency_p50_ns"]);
+    let base_p99 = baseline_u64(&baseline, &["gate", "latency_p99_ns"]);
+    println!("perf gate: sim latency p50 {p50} ns, p99 {p99} ns (sketch)");
+    assert_eq!(
+        (p50, p99),
+        (base_p50, base_p99),
+        "gate cell simulated latency quantiles drifted from the baseline: \
+         engine semantics changed — regenerate BENCH_perf.json"
+    );
+
+    // Flight-recorder ride-along: same cell with the bounded ring armed.
+    // Identical simulated outputs are a hard invariant; throughput is
+    // gated against the committed recorder-on baseline like every other
+    // cell, and the overhead ratio (which divides two noisy wall-clock
+    // numbers) is a soft budget relative to the committed ratio.
+    let recorded = measure_gate_cell_recorded();
+    assert_eq!(
+        chain_hash(&recorded.report),
+        chain_hash(&timed.report),
+        "flight recorder perturbed the gate cell's simulated outputs"
+    );
+    let recorder_ratio = recorded.min_ns as f64 / timed.min_ns.max(1) as f64;
+    check(
+        "recorder-on events/s",
+        events_per_sec(recorded.report.stats.sim_events, recorded.min_ns),
+        baseline_u64(&baseline, &["gate", "recorder", "events_per_sec"]),
+    );
+    let base_ratio = baseline
+        .get("gate")
+        .and_then(|g| g.get("recorder"))
+        .and_then(|r| r.get("overhead_vs_off"))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| {
+            panic!("baseline has no gate.recorder.overhead_vs_off; regenerate BENCH_perf.json")
+        });
+    println!(
+        "perf gate: flight-recorder overhead {recorder_ratio:.3}x vs baseline {base_ratio:.3}x"
+    );
+    if recorder_ratio > base_ratio * (1.0 + tol) {
+        eprintln!(
+            "perf gate WARNING (soft): flight-recorder overhead grew \
+             {base_ratio:.3}x -> {recorder_ratio:.3}x (> +{:.0}%); the record path regressed",
+            tol * 100.0
+        );
+    }
+
     check(
         "queue calendar ops/s",
         events_per_sec(queue.ops, queue.calendar.min_ns),
@@ -1034,15 +1129,57 @@ fn main() {
             events,
             events_per_sec(events, timed.min_ns)
         );
+        // The same cell with the flight recorder armed: simulated outputs
+        // must be untouched, and the committed overhead ratio documents
+        // what "always-on" costs (budget 1.05x, enforced softly in
+        // --gate).
+        let recorded = measure_gate_cell_recorded();
+        assert_eq!(
+            chain_hash(&recorded.report),
+            chain_hash(&timed.report),
+            "flight recorder perturbed the gate cell's simulated outputs"
+        );
+        let recorder_ratio = recorded.min_ns as f64 / timed.min_ns.max(1) as f64;
+        println!(
+            "  gate cell+recorder: min {:>12} ns  {:>10} events/s  {recorder_ratio:>6.3}x vs recorder-off",
+            recorded.min_ns,
+            events_per_sec(recorded.report.stats.sim_events, recorded.min_ns),
+        );
+        let p50 = timed
+            .report
+            .stats
+            .latency_quantile_precise(0.5)
+            .map_or(0, |d| d.as_nanos());
+        let p99 = timed
+            .report
+            .stats
+            .latency_quantile_precise(0.99)
+            .map_or(0, |d| d.as_nanos());
         let mut fields = vec![
             ("scenario", Json::str("fig3-quick/LOTEC")),
             ("repeats", Json::U64(GATE_REPEATS as u64)),
         ];
         fields.extend(cell_json(&timed));
         fields.extend([
+            ("latency_p50_ns", Json::U64(p50)),
+            ("latency_p99_ns", Json::U64(p99)),
             ("allocs", Json::U64(allocs)),
             ("alloc_bytes", Json::U64(alloc_bytes)),
             ("allocs_per_event", Json::F64(allocs_per_event)),
+            (
+                "recorder",
+                Json::obj(vec![
+                    ("min_ns", Json::U64(recorded.min_ns as u64)),
+                    (
+                        "events_per_sec",
+                        Json::U64(events_per_sec(
+                            recorded.report.stats.sim_events,
+                            recorded.min_ns,
+                        )),
+                    ),
+                    ("overhead_vs_off", Json::F64(recorder_ratio)),
+                ]),
+            ),
         ]);
         Json::obj(fields)
     };

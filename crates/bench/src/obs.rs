@@ -36,6 +36,7 @@ pub const USAGE: &str = "\
 usage: obs_report <trace.jsonl> [--top K] [--json-out PATH]
        obs_report --demo [--top K] [--json-out PATH]
        obs_report --host [BENCH_perf.json]
+       obs_report --forensics <dump.jsonl>
 
   <trace.jsonl>    summarize a saved JSONL trace (written by --trace-out)
   --demo           run the seeded fig3 observability sweep and write
@@ -43,6 +44,8 @@ usage: obs_report <trace.jsonl> [--top K] [--json-out PATH]
   --host           render the host-plane sections (wall-clock region
                    profile, worker utilization, perf gate) of a
                    BENCH_perf.json (default path: BENCH_perf.json)
+  --forensics P    round-trip-check a forensics dump written at an
+                   anomaly and print the causal triage report
   --top K          depth of the contention/transfer tables (default 5)
   --json-out PATH  where to write the machine-readable report";
 
@@ -55,6 +58,8 @@ pub enum ObsReportMode {
     Demo,
     /// Render the host-plane sections of a `BENCH_perf.json`.
     Host(String),
+    /// Round-trip-check a forensics dump and print its triage report.
+    Forensics(String),
 }
 
 /// Parsed `obs_report` command line.
@@ -78,6 +83,7 @@ pub struct ObsReportArgs {
 pub fn parse_obs_report_args(args: &[String]) -> Result<ObsReportArgs, String> {
     let mut demo = false;
     let mut host = false;
+    let mut forensics: Option<String> = None;
     let mut path: Option<String> = None;
     let mut top = DEFAULT_TOP_K;
     let mut json_out = None;
@@ -86,6 +92,10 @@ pub fn parse_obs_report_args(args: &[String]) -> Result<ObsReportArgs, String> {
         match arg.as_str() {
             "--demo" => demo = true,
             "--host" => host = true,
+            "--forensics" => {
+                let value = it.next().ok_or("--forensics requires a dump path")?;
+                forensics = Some(value.clone());
+            }
             "--top" => {
                 let value = it.next().ok_or("--top requires a value")?;
                 top = value
@@ -108,17 +118,28 @@ pub fn parse_obs_report_args(args: &[String]) -> Result<ObsReportArgs, String> {
             }
         }
     }
-    let mode = match (demo, host, path) {
-        (true, true, _) => return Err("--demo and --host are mutually exclusive".to_string()),
-        (true, false, Some(p)) => {
+    if (demo as u8) + (host as u8) + (forensics.is_some() as u8) > 1 {
+        return Err("--demo, --host, and --forensics are mutually exclusive".to_string());
+    }
+    let mode = match (demo, host, forensics, path) {
+        (true, false, None, Some(p)) => {
             return Err(format!("--demo does not take a trace path (got {p:?})"));
         }
-        (true, false, None) => ObsReportMode::Demo,
-        (false, true, p) => ObsReportMode::Host(p.unwrap_or_else(|| "BENCH_perf.json".to_string())),
-        (false, false, Some(p)) => ObsReportMode::File(p),
-        (false, false, None) => {
-            return Err("a trace path, --demo, or --host is required".to_string())
+        (true, false, None, None) => ObsReportMode::Demo,
+        (false, true, None, p) => {
+            ObsReportMode::Host(p.unwrap_or_else(|| "BENCH_perf.json".to_string()))
         }
+        (false, false, Some(_), Some(p)) => {
+            return Err(format!(
+                "--forensics does not take a trace path (got {p:?})"
+            ));
+        }
+        (false, false, Some(dump), None) => ObsReportMode::Forensics(dump),
+        (false, false, None, Some(p)) => ObsReportMode::File(p),
+        (false, false, None, None) => {
+            return Err("a trace path, --demo, --host, or --forensics is required".to_string())
+        }
+        (_, _, _, _) => unreachable!("mutual exclusion checked above"),
     };
     Ok(ObsReportArgs {
         mode,
@@ -393,6 +414,29 @@ pub fn run_obs_demo(workers: usize, top: usize) -> ObsDemo {
     ObsDemo { report: text, json }
 }
 
+/// Loads a forensics dump, proves it round-trips byte-identically
+/// (`parse ∘ render` is the identity — the dump is evidence, so any
+/// corruption must be loud), and renders the human triage report: the
+/// anomaly headline, the waits-for cycle reconstructed from the dumped
+/// edges, contributing grants, and the anchor family's causal chain
+/// walked backwards from the anomaly.
+///
+/// # Errors
+///
+/// Returns a one-line diagnostic when the text is not a parseable dump or
+/// fails the round-trip check.
+pub fn render_forensics_report(text: &str) -> Result<String, String> {
+    let dump = lotec_obs::ForensicsDump::parse(text)
+        .map_err(|e| format!("not a parseable forensics dump: {e}"))?;
+    if dump.to_jsonl() != text {
+        return Err(
+            "forensics dump does not round-trip byte-identically (corrupt or hand-edited?)"
+                .to_string(),
+        );
+    }
+    Ok(dump.render_triage())
+}
+
 /// Renders the host-plane sections of a parsed `BENCH_perf.json`
 /// (schema 2): the wall-clock region profile, the sweep workers'
 /// utilization table, and the perf-gate baseline. Pure formatting — all
@@ -621,6 +665,55 @@ mod tests {
 
         let old = Json::obj(vec![("quick", Json::Bool(false))]);
         assert!(render_host_view(&old).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn forensics_mode_parses_and_conflicts() {
+        let f = parse(&["--forensics", "dump.jsonl"]).unwrap();
+        assert_eq!(f.mode, ObsReportMode::Forensics("dump.jsonl".into()));
+        assert!(parse(&["--forensics"])
+            .unwrap_err()
+            .contains("requires a dump path"));
+        assert!(parse(&["--forensics", "d.jsonl", "trace.jsonl"])
+            .unwrap_err()
+            .contains("does not take"));
+        assert!(parse(&["--forensics", "d.jsonl", "--demo"])
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(parse(&["--forensics", "d.jsonl", "--host"])
+            .unwrap_err()
+            .contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn forensics_render_checks_round_trip() {
+        assert!(render_forensics_report("not json")
+            .unwrap_err()
+            .contains("not a parseable"));
+        // A valid dump with trailing garbage whitespace-only lines still
+        // parses but no longer round-trips byte-identically.
+        let dump = lotec_obs::ForensicsDump {
+            seq: 0,
+            at_ns: 10,
+            anomaly: lotec_obs::Anomaly::OracleViolation {
+                detail: "chain mismatch".into(),
+            },
+            recorded: 0,
+            dropped: 0,
+            occupancy: lotec_obs::OccupancySnapshot::default(),
+            waits_for: Vec::new(),
+            root_families: Vec::new(),
+            families: Vec::new(),
+            events: Vec::new(),
+        };
+        let text = dump.to_jsonl();
+        let triage = render_forensics_report(&text).unwrap();
+        assert!(triage.contains("oracle violation"), "{triage}");
+        assert!(triage.contains("chain mismatch"), "{triage}");
+        let padded = format!("\n{text}");
+        assert!(render_forensics_report(&padded)
+            .unwrap_err()
+            .contains("round-trip"));
     }
 
     #[test]

@@ -144,6 +144,26 @@ impl AdaptiveConfig {
     }
 }
 
+/// Flight-recorder (black box) configuration.
+///
+/// The recorder is a fixed-capacity ring of compact fixed-width event
+/// records ([`lotec_obs::FlightRecorder`]) that the forensics pipeline
+/// snapshots on anomaly. The config only sizes the ring; whether a
+/// recorder runs at all is decided by the sink the caller passes to the
+/// engine (e.g. via [`run_engine_recorded`](crate::run_engine_recorded)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightRecorderConfig {
+    /// Ring capacity in records (each record is a fixed 176 bytes, so
+    /// the default keeps under 1 MiB resident). Must be at least 1.
+    pub slots: u32,
+}
+
+impl Default for FlightRecorderConfig {
+    fn default() -> Self {
+        FlightRecorderConfig { slots: 4096 }
+    }
+}
+
 /// Full configuration of a simulated system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
@@ -231,6 +251,9 @@ pub struct SystemConfig {
     /// is identical. Off by default (each check is O(whole table)); the
     /// differential oracle suite turns it on.
     pub lock_graph_validation: bool,
+    /// Flight-recorder ring sizing; see [`FlightRecorderConfig`]. Only
+    /// consulted when the run actually attaches a recorder sink.
+    pub flight_recorder: FlightRecorderConfig,
 }
 
 impl Default for SystemConfig {
@@ -256,6 +279,7 @@ impl Default for SystemConfig {
             seed: 0,
             state_sample_interval: SimDuration::ZERO,
             lock_graph_validation: false,
+            flight_recorder: FlightRecorderConfig::default(),
         }
     }
 }
@@ -286,6 +310,14 @@ impl SystemConfig {
     #[must_use]
     pub fn with_adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
         self.adaptive = adaptive;
+        self
+    }
+
+    /// Convenience: the same config with a flight-recorder ring of
+    /// `slots` records.
+    #[must_use]
+    pub fn with_flight_recorder(mut self, slots: u32) -> Self {
+        self.flight_recorder = FlightRecorderConfig { slots };
         self
     }
 
@@ -360,6 +392,10 @@ impl SystemConfig {
         assert!(
             !self.adaptive.enabled || self.adaptive.window > 0,
             "adaptive confidence window must be positive"
+        );
+        assert!(
+            self.flight_recorder.slots >= 1,
+            "flight recorder needs at least one slot"
         );
         self.faults.validate(self.num_nodes);
     }
@@ -438,6 +474,22 @@ mod tests {
             },
             ..SystemConfig::default()
         };
+        cfg.validate();
+    }
+
+    #[test]
+    fn flight_recorder_defaults_and_builder() {
+        let cfg = SystemConfig::default();
+        assert_eq!(cfg.flight_recorder.slots, 4096);
+        let cfg = cfg.with_flight_recorder(16);
+        assert_eq!(cfg.flight_recorder.slots, 16);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_recorder_slots_rejected() {
+        let cfg = SystemConfig::default().with_flight_recorder(0);
         cfg.validate();
     }
 

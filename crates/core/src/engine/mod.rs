@@ -34,8 +34,8 @@ use lotec_mem::{PageStore, Version};
 use lotec_net::{plan_delivery, Message, MessageKind, TrafficLedger};
 use lotec_object::{AdaptivePredictor, ObjectRegistry, PageSet};
 use lotec_obs::{
-    EventSink, HostProfiler, HostRegion, NoopHostProfiler, NoopSink, ObsEvent, ObsEventKind,
-    ObsPhase, SpanOutcome,
+    Anomaly, EventSink, FamilySnapshot, FlightRecorder, ForensicsDump, HostProfiler, HostRegion,
+    NoopHostProfiler, NoopSink, ObsEvent, ObsEventKind, ObsPhase, OccupancySnapshot, SpanOutcome,
 };
 use lotec_sim::{NodeId, SimDuration, SimRng, SimTime, Simulator};
 use lotec_txn::{Acquire, Grant, LockMode, LockTable, TxnId, TxnTree};
@@ -79,7 +79,17 @@ pub struct RunReport {
     /// Final content chain of every page, read from the page's owner node
     /// (oracle cross-check).
     pub final_chains: BTreeMap<(ObjectId, PageIndex), u64>,
+    /// Forensics dumps captured at anomalies (deadlock-victim selection,
+    /// lock timeouts, crash repair). Empty unless the run's sink carries a
+    /// [`FlightRecorder`] — without a black box there is nothing to dump —
+    /// and capped at [`MAX_FORENSICS_DUMPS`] per run.
+    pub forensics: Vec<ForensicsDump>,
 }
+
+/// Per-run cap on captured forensics dumps: a pathological run (hundreds
+/// of deadlocks) should not balloon its report. Anomalies past the cap
+/// still count in [`RunStats`]; they just go uncaptured.
+pub const MAX_FORENSICS_DUMPS: usize = 8;
 
 /// Engine events. Family-bound timed events carry the attempt generation
 /// they were scheduled under; a crash-abort bumps the family's generation
@@ -164,6 +174,9 @@ pub struct Engine<'a, S: EventSink = NoopSink, P: HostProfiler = NoopHostProfile
     predictor: Option<AdaptivePredictor>,
     sink: S,
     prof: P,
+    /// Forensics dumps captured so far (see [`RunReport::forensics`]).
+    /// Stays empty — and costs nothing — when the sink has no recorder.
+    forensics: Vec<ForensicsDump>,
     /// Next sim-time boundary the state sampler fires at. Only consulted
     /// when the sink is enabled *and* `config.state_sample_interval` is
     /// non-zero; samples are emitted inline by the run loop (never as
@@ -367,6 +380,7 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
                 .then(|| AdaptivePredictor::new(registry, config.adaptive.window)),
             sink,
             prof,
+            forensics: Vec::new(),
             next_sample: SimTime::ZERO,
         })
     }
@@ -410,6 +424,7 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
             traffic: ProtocolTraffic::new(self.ledger),
             committed: self.committed,
             final_chains,
+            forensics: self.forensics,
         })
     }
 
@@ -1640,6 +1655,7 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
         runtime.commit_latency = Some(latency);
         self.stats.total_latency += latency;
         self.stats.latency_histogram.record(latency.as_nanos());
+        self.stats.latency_sketch.record(latency.as_nanos());
         self.stats.makespan = self.stats.makespan.max(now.duration_since(SimTime::ZERO));
         let ops = std::mem::take(&mut runtime.ops);
         let index = runtime.index;
@@ -1649,6 +1665,81 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
             ops: ops.into_iter().map(|o| o.op).collect(),
         });
         Ok(())
+    }
+
+    // ---- forensics ---------------------------------------------------
+
+    /// Snapshots the black box at an anomaly: the flight-recorder ring,
+    /// live lock-table occupancy, the waits-for edges (the incremental
+    /// graph, cross-checked here against a from-scratch
+    /// [`lotec_txn::deadlock::reference`] rebuild — a forensics dump must
+    /// be evidence, not a hypothesis), and per-family span state.
+    ///
+    /// A no-op when the sink carries no [`FlightRecorder`] or the run
+    /// already captured [`MAX_FORENSICS_DUMPS`] dumps. Read-only over the
+    /// simulation state, so capture can never perturb the run.
+    fn capture_forensics(&mut self, now: SimTime, anomaly: Anomaly) {
+        let Some(recorder) = self.sink.recorder() else {
+            return;
+        };
+        if self.forensics.len() >= MAX_FORENSICS_DUMPS {
+            return;
+        }
+        let events = recorder.snapshot();
+        let recorded = recorder.recorded();
+        let dropped = recorder.dropped();
+        let incremental = self.table.waits_for().to_reference();
+        let reference = lotec_txn::deadlock::reference::waits_for(&self.table, &self.tree);
+        assert_eq!(
+            incremental, reference,
+            "incremental waits-for graph diverged from the reference rebuild at forensics capture"
+        );
+        let waits_for: Vec<(u64, Vec<u64>)> = reference
+            .iter()
+            .map(|(waiter, blockers)| (waiter.get(), blockers.iter().map(|b| b.get()).collect()))
+            .collect();
+        let mut roots: Vec<u64> = waits_for
+            .iter()
+            .flat_map(|(w, bs)| std::iter::once(*w).chain(bs.iter().copied()))
+            .collect();
+        roots.sort_unstable();
+        roots.dedup();
+        let root_families: Vec<(u64, u64)> = roots
+            .into_iter()
+            .filter_map(|root| {
+                self.root_to_family
+                    .get(root as usize)
+                    .filter(|&&f| f != u32::MAX)
+                    .map(|&f| (root, u64::from(f)))
+            })
+            .collect();
+        let occ = self.table.occupancy();
+        let families = self
+            .families
+            .iter()
+            .enumerate()
+            .map(|(i, f)| FamilySnapshot {
+                family: i as u64,
+                phase: obs_phase(&f.phase),
+                restarts: f.restarts,
+            })
+            .collect();
+        self.forensics.push(ForensicsDump {
+            seq: self.forensics.len() as u64,
+            at_ns: now.as_nanos(),
+            anomaly,
+            recorded,
+            dropped,
+            occupancy: OccupancySnapshot {
+                held: occ.held,
+                retained: occ.retained,
+                waiting: occ.waiting,
+            },
+            waits_for,
+            root_families,
+            families,
+            events,
+        });
     }
 
     // ---- deadlock handling -------------------------------------------
@@ -1703,6 +1794,20 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
             self.stats.deadlocks += 1;
             let fam = self.root_to_family[victim_root.get() as usize] as usize;
             debug_assert_ne!(fam, u32::MAX as usize, "victim family known");
+            // Capture before the abort tears the cycle's edges down — the
+            // dump must show the waits-for graph that convicted the victim.
+            if self.sink.recorder().is_some() {
+                let anomaly = Anomaly::DeadlockVictim {
+                    cycle: cycle.iter().map(|t| t.get()).collect(),
+                    cycle_families: cycle
+                        .iter()
+                        .map(|t| u64::from(self.root_to_family[t.get() as usize]))
+                        .collect(),
+                    victim: victim_root.get(),
+                    family: fam as u64,
+                };
+                self.capture_forensics(now, anomaly);
+            }
             self.abort_family_attempt(now, fam, true, true)?;
         }
     }
@@ -1864,6 +1969,17 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
                 },
             });
         }
+        if self.sink.recorder().is_some() {
+            self.capture_forensics(
+                now,
+                Anomaly::LockTimeout {
+                    object: object.index(),
+                    txn: txn.get(),
+                    family: fam as u64,
+                    waited_ns: waited.as_nanos(),
+                },
+            );
+        }
         for grant in &grants {
             self.deliver_grant(now, grant);
         }
@@ -2000,6 +2116,16 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
                 },
             });
         }
+        if self.sink.recorder().is_some() {
+            self.capture_forensics(
+                now,
+                Anomaly::CrashRepair {
+                    node: node.index(),
+                    aborted_families: victims.len() as u32,
+                    repairs: repairs.len() as u32,
+                },
+            );
+        }
         Ok(())
     }
 
@@ -2090,6 +2216,40 @@ pub fn run_engine_with_probe<S: EventSink>(
     sink: S,
 ) -> Result<RunReport, CoreError> {
     Engine::with_probe(config, registry, workload, sink)?.run()
+}
+
+/// Like [`run_engine`], but with an always-on black box: the run records
+/// into a [`FlightRecorder`] ring sized by
+/// [`SystemConfig::flight_recorder`], and any anomaly (deadlock-victim
+/// selection, lock timeout, crash repair) snapshots it into
+/// [`RunReport::forensics`]. Returns the recorder alongside the report so
+/// callers can also dump post-run anomalies (e.g. an oracle violation)
+/// from the same ring.
+///
+/// ```
+/// use lotec_core::engine::run_engine_recorded;
+/// use lotec_core::spec::demo_workload;
+/// use lotec_core::SystemConfig;
+///
+/// let config = SystemConfig::default().with_flight_recorder(512);
+/// let (registry, families) = demo_workload(&config, 7);
+/// let (report, recorder) = run_engine_recorded(&config, &registry, &families)?;
+/// assert_eq!(report.stats.committed_families as usize, families.len());
+/// assert!(recorder.recorded() > 0, "a run emits events");
+/// # Ok::<(), lotec_core::CoreError>(())
+/// ```
+///
+/// # Errors
+///
+/// See [`Engine::new`] and [`Engine::run`].
+pub fn run_engine_recorded(
+    config: &SystemConfig,
+    registry: &ObjectRegistry,
+    workload: &[FamilySpec],
+) -> Result<(RunReport, FlightRecorder), CoreError> {
+    let mut recorder = FlightRecorder::new(config.flight_recorder.slots as usize);
+    let report = Engine::with_probe(config, registry, workload, &mut recorder)?.run()?;
+    Ok((report, recorder))
 }
 
 /// Like [`run_engine_with_probe`], but with both instrumentation planes:

@@ -2,7 +2,7 @@
 
 use lotec_mem::ObjectId;
 use lotec_net::{NetworkConfig, ObjectTraffic, TrafficLedger};
-use lotec_obs::PhaseTimes;
+use lotec_obs::{PhaseTimes, QuantileSketch};
 use lotec_sim::stats::Histogram;
 use lotec_sim::SimDuration;
 
@@ -119,7 +119,15 @@ pub struct RunStats {
     /// Sum of per-family latencies (start → commit).
     pub total_latency: SimDuration,
     /// Distribution of per-family commit latencies, in nanoseconds.
+    ///
+    /// Kept alongside [`RunStats::latency_sketch`] because the golden
+    /// differential fingerprints fold its bucket-resolution quantiles;
+    /// new consumers should prefer the sketch.
     pub latency_histogram: Histogram,
+    /// Streaming quantile sketch of the same per-family commit latencies
+    /// (≤ 1.57% relative error, memory-flat, deterministically mergeable
+    /// across sweep workers). See [`QuantileSketch`].
+    pub latency_sketch: QuantileSketch,
     /// Phase-attributed latency breakdown (lock wait / transfer / compute
     /// / backoff), aggregate and per family.
     pub phases: PhaseBreakdown,
@@ -148,6 +156,17 @@ impl RunStats {
         self.latency_histogram
             .quantile(q)
             .map(SimDuration::from_nanos)
+    }
+
+    /// Latency quantile from the streaming sketch — ≤ 1.57% relative
+    /// error at any stream length, versus the log₂ bucket resolution of
+    /// [`RunStats::latency_quantile`]. Same `None` contract: empty run or
+    /// out-of-range `q`.
+    pub fn latency_quantile_precise(&self, q: f64) -> Option<SimDuration> {
+        if !(0.0..=1.0).contains(&q) || self.latency_sketch.count() == 0 {
+            return None;
+        }
+        Some(SimDuration::from_nanos(self.latency_sketch.quantile(q)))
     }
 
     /// Total lock acquisition operations (local + global + queued).
@@ -283,6 +302,14 @@ mod tests {
         assert_eq!(stats.latency_quantile(-0.1), None);
         assert_eq!(stats.latency_quantile(1.5), None);
         assert_eq!(stats.latency_quantile(f64::NAN), None);
+        stats.latency_sketch.record(100);
+        assert_eq!(
+            stats.latency_quantile_precise(0.5),
+            Some(SimDuration::from_nanos(100))
+        );
+        assert_eq!(stats.latency_quantile_precise(1.5), None);
+        assert_eq!(stats.latency_quantile_precise(f64::NAN), None);
+        assert_eq!(RunStats::default().latency_quantile_precise(0.5), None);
     }
 
     #[test]

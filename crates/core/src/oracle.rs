@@ -118,6 +118,7 @@ mod tests {
                 .into_iter()
                 .map(|((o, p), c)| ((ObjectId::new(o), PageIndex::new(p)), c))
                 .collect(),
+            forensics: Vec::new(),
         }
     }
 

@@ -354,6 +354,46 @@ impl FamState {
 /// Computes the critical path of every family that committed, in family
 /// order. Families that failed (or never terminated) produce no path.
 pub fn critical_paths(events: &[ObsEvent]) -> Vec<CriticalPath> {
+    let (_, _, mut paths) = fold_paths(events);
+    paths.sort_by_key(|p| p.family);
+    paths
+}
+
+/// Like [`critical_paths`], but additionally flushes families still
+/// in flight when the stream ends: their open segment is closed at
+/// `cutoff` and the partial arrival-to-cutoff edge chain is emitted.
+/// The forensics triage uses this — its anomaly interrupts the victim
+/// mid-flight, so the victim never reaches the committed-only walker.
+pub fn partial_paths(events: &[ObsEvent], cutoff: SimTime) -> Vec<CriticalPath> {
+    let (states, _, mut paths) = fold_paths(events);
+    for (family, mut st) in states {
+        if st.edges.is_empty() && st.open.is_none() {
+            continue; // committed (already emitted), failed, or untracked
+        }
+        st.close_segment(cutoff);
+        paths.push(CriticalPath {
+            family,
+            root_txn: st.root_txn,
+            start: st.start.unwrap_or(cutoff),
+            end: cutoff,
+            edges: st.edges,
+            self_time: st.self_time,
+        });
+    }
+    paths.sort_by_key(|p| p.family);
+    paths
+}
+
+/// The shared walker: folds the event stream into per-family segment
+/// state, emitting a finished [`CriticalPath`] at each root commit.
+#[allow(clippy::type_complexity)]
+fn fold_paths(
+    events: &[ObsEvent],
+) -> (
+    BTreeMap<u64, FamState>,
+    BTreeMap<u64, u64>,
+    Vec<CriticalPath>,
+) {
     let mut states: BTreeMap<u64, FamState> = BTreeMap::new();
     let mut txn_family: BTreeMap<u64, u64> = BTreeMap::new();
     let mut paths: Vec<CriticalPath> = Vec::new();
@@ -478,8 +518,7 @@ pub fn critical_paths(events: &[ObsEvent]) -> Vec<CriticalPath> {
             _ => {}
         }
     }
-    paths.sort_by_key(|p| p.family);
-    paths
+    (states, txn_family, paths)
 }
 
 /// JSON array of every committed family's critical path.

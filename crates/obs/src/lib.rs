@@ -41,24 +41,30 @@ pub mod alloc;
 pub mod critical_path;
 pub mod event;
 pub mod export;
+pub mod forensics;
 pub mod host;
 pub mod json;
+pub mod recorder;
 pub mod registry;
 pub mod report;
 pub mod sink;
+pub mod sketch;
 pub mod span;
 
 pub use alloc::{AllocSnapshot, CountingAlloc};
 pub use critical_path::{
-    critical_paths, critical_paths_json, CriticalPath, PathEdge, PathEdgeKind,
+    critical_paths, critical_paths_json, partial_paths, CriticalPath, PathEdge, PathEdgeKind,
 };
 pub use event::{ObsEvent, ObsEventKind, ObsLockMode, ObsPhase, ReleaseCause, SpanOutcome};
 pub use export::{chrome_trace, event_from_json, event_to_json, jsonl_decode, jsonl_encode};
+pub use forensics::{find_cycle, Anomaly, FamilySnapshot, ForensicsDump, OccupancySnapshot};
 pub use host::{
     HostProfile, HostProfiler, HostRegion, NoopHostProfiler, ProfiledSink, RegionStat, WallProfiler,
 };
 pub use json::{Json, JsonError};
+pub use recorder::{CompactRecord, FlightRecorder};
 pub use registry::{Gauge, MetricLabel, MetricsRegistry, ObjectContention};
 pub use report::{PhaseTimes, PredictionTotals, TraceSummary};
 pub use sink::{EventSink, NoopSink, RecordingSink};
+pub use sketch::QuantileSketch;
 pub use span::{Span, SpanAnnotation, SpanTree};

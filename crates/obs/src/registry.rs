@@ -2,7 +2,8 @@
 //!
 //! The workspace is dependency-free, so this is the whole metrics stack:
 //! monotonically increasing counters, last-value + high-water gauges, and
-//! power-of-two log-scale histograms (reusing `lotec_sim::stats::Histogram`),
+//! streaming quantile sketches ([`QuantileSketch`], ≤ 1.57% relative
+//! error, memory-flat at any event count, deterministically mergeable),
 //! each keyed by `(metric name, label)` where the label scopes the series
 //! to an object, a node, or the whole run. The registry implements
 //! [`EventSink`](crate::EventSink) so it can sit directly behind the
@@ -13,12 +14,12 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
 
-use lotec_sim::stats::Histogram;
 use lotec_sim::SimTime;
 
 use crate::event::{ObsEvent, ObsEventKind, ObsPhase, SpanOutcome};
 use crate::json::Json;
 use crate::sink::EventSink;
+use crate::sketch::QuantileSketch;
 
 /// Scopes a metric series to an object, a node, or the whole run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -83,13 +84,13 @@ pub struct ObjectContention {
     pub max_wait_ns: u64,
 }
 
-/// The registry: counters, gauges, and histograms keyed by
+/// The registry: counters, gauges, and quantile sketches keyed by
 /// `(metric, label)`.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<(&'static str, MetricLabel), u64>,
     gauges: BTreeMap<(&'static str, MetricLabel), Gauge>,
-    histograms: BTreeMap<(&'static str, MetricLabel), Histogram>,
+    histograms: BTreeMap<(&'static str, MetricLabel), QuantileSketch>,
     // txn -> (object, queued-at), for the lock-wait histograms.
     pending_lock: BTreeMap<u64, (u32, SimTime)>,
     open_spans: u64,
@@ -375,8 +376,9 @@ impl MetricsRegistry {
             .map(|(_, g)| *g)
     }
 
-    /// A histogram series, when it recorded anything.
-    pub fn histogram(&self, name: &str, label: MetricLabel) -> Option<&Histogram> {
+    /// A distribution series (a [`QuantileSketch`]), when it recorded
+    /// anything.
+    pub fn histogram(&self, name: &str, label: MetricLabel) -> Option<&QuantileSketch> {
         self.histograms
             .iter()
             .find(|((n, l), _)| *n == name && *l == label)
@@ -431,7 +433,7 @@ impl MetricsRegistry {
                     object: *object,
                     waits: h.count(),
                     total_wait_ns: u64::try_from(h.sum()).unwrap_or(u64::MAX),
-                    max_wait_ns: h.max().unwrap_or(0),
+                    max_wait_ns: h.max(),
                 }),
                 _ => None,
             })
@@ -521,9 +523,9 @@ impl MetricsRegistry {
                     Json::obj(vec![
                         ("count", Json::U64(h.count())),
                         ("sum", Json::U64(u64::try_from(h.sum()).unwrap_or(u64::MAX))),
-                        ("p50", Json::U64(h.quantile(0.5).unwrap_or(0))),
-                        ("p99", Json::U64(h.quantile(0.99).unwrap_or(0))),
-                        ("max", Json::U64(h.max().unwrap_or(0))),
+                        ("p50", Json::U64(h.quantile(0.5))),
+                        ("p99", Json::U64(h.quantile(0.99))),
+                        ("max", Json::U64(h.max())),
                     ]),
                 )
             })

@@ -10,6 +10,7 @@
 //! proves that *enabling* a recording sink changes no simulation outcome.
 
 use crate::event::ObsEvent;
+use crate::recorder::FlightRecorder;
 
 /// Receives structured events from the instrumented engine.
 pub trait EventSink {
@@ -23,6 +24,15 @@ pub trait EventSink {
     /// (probe sites guard on it), but implementations must tolerate being
     /// called anyway.
     fn emit(&mut self, event: ObsEvent);
+
+    /// The [`FlightRecorder`] behind this sink, when there is one.
+    ///
+    /// The engine's forensics path uses this to snapshot the recent event
+    /// history on anomaly; the default (`None`) means forensics capture is
+    /// silently skipped — no recorder, no black box to dump.
+    fn recorder(&self) -> Option<&FlightRecorder> {
+        None
+    }
 }
 
 /// The default sink: drops everything, compiles to nothing.
@@ -97,6 +107,11 @@ impl<T: EventSink + ?Sized> EventSink for &mut T {
     #[inline(always)]
     fn emit(&mut self, event: ObsEvent) {
         (**self).emit(event);
+    }
+
+    #[inline(always)]
+    fn recorder(&self) -> Option<&FlightRecorder> {
+        (**self).recorder()
     }
 }
 

@@ -55,12 +55,19 @@ fn check_scenario(protocol: ProtocolKind, seed: u64, faults: FaultConfig, label:
 
 /// Like [`check_scenario`] but takes a prebuilt config (for adaptive
 /// variants) and hands the report back for extra assertions.
+///
+/// The second run carries the flight recorder, so the determinism
+/// assertions double as a recorder-does-not-perturb check on every chaos
+/// scenario, and an oracle violation leaves a forensics dump behind: the
+/// panic message names the dump path so the failing seed can be triaged
+/// offline with `obs_report --forensics`.
 fn check_config(config: &SystemConfig, seed: u64, label: &str) -> RunReport {
     let protocol = config.protocol;
     let (registry, families) = demo_workload(config, seed);
     let a = run_engine(config, &registry, &families)
         .unwrap_or_else(|e| panic!("{label}/{protocol}/seed {seed}: run failed: {e}"));
-    let b = run_engine(config, &registry, &families).expect("second run");
+    let (b, recorder) =
+        lotec_core::run_engine_recorded(config, &registry, &families).expect("second run");
 
     // (a) Deterministic from the seed: both runs are byte-identical.
     assert_eq!(a.trace, b.trace, "{label}/{protocol}/seed {seed}");
@@ -87,9 +94,22 @@ fn check_config(config: &SystemConfig, seed: u64, label: &str) -> RunReport {
         "{label}/{protocol}/seed {seed}: families lost"
     );
 
-    // (c) Safety: the chaos run is still serializable.
-    oracle::verify(&a)
-        .unwrap_or_else(|e| panic!("{label}/{protocol}/seed {seed}: not serializable: {e}"));
+    // (c) Safety: the chaos run is still serializable. On violation,
+    // dump the recorder ring before panicking so the anomaly can be
+    // triaged without re-running the scenario.
+    if let Err(e) = oracle::verify(&a) {
+        let stem =
+            std::env::temp_dir().join(format!("lotec_forensics_{label}_{protocol}_seed{seed}"));
+        let dump = lotec_obs::ForensicsDump::oracle_violation(e.to_string(), &recorder);
+        let written = dump
+            .write_pair(&stem)
+            .map(|(jsonl, _)| jsonl.display().to_string())
+            .unwrap_or_else(|w| format!("<dump write failed: {w}>"));
+        panic!(
+            "{label}/{protocol}/seed {seed}: not serializable: {e}\n\
+             forensics dump: {written} (inspect with `obs_report --forensics`)"
+        );
+    }
     a
 }
 
