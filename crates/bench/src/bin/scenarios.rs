@@ -1,0 +1,99 @@
+//! The workload-zoo bench matrix: every scenario family × protocol ×
+//! static/adaptive, oracle-checked, criteria-evaluated.
+//!
+//! Default (quick tier) writes the committed `BENCH_scenarios.json`; CI's
+//! scenario gate regenerates it and byte-diffs. `--full` runs the
+//! production-scale tier (millions of objects, 128 nodes) and writes to
+//! `results/` instead — same schema, on-demand scale. `--tiny` runs the
+//! golden-pinned tier. `--out PATH` overrides the destination.
+//!
+//! Exits nonzero when any cell violates its scenario's success criteria;
+//! oracle violations panic (a non-serializable cell is a bug, not a data
+//! point). The artifact contains no wall-clock fields, so reruns and
+//! different `LOTEC_BENCH_THREADS` values are byte-identical.
+
+use lotec_bench::scenarios::build_matrix;
+use lotec_obs::Json;
+use lotec_workload::Tier;
+
+fn main() {
+    let mut tier = Tier::Quick;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => tier = Tier::Full,
+            "--tiny" => tier = Tier::Tiny,
+            "--quick" => tier = Tier::Quick,
+            "--out" => {
+                out = Some(args.next().map(Into::into).unwrap_or_else(|| {
+                    eprintln!("scenarios: --out requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("scenarios: unknown argument {other:?}");
+                eprintln!("usage: scenarios [--tiny | --quick | --full] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let path = out.unwrap_or_else(|| match tier {
+        Tier::Quick => "BENCH_scenarios.json".into(),
+        Tier::Tiny => "results/BENCH_scenarios_tiny.json".into(),
+        Tier::Full => "results/BENCH_scenarios_full.json".into(),
+    });
+
+    println!("scenario matrix: tier {}", tier.label());
+    let (json, failures) = build_matrix(tier);
+
+    // Narrate the per-scenario outcome from the assembled document so the
+    // stdout view and the artifact cannot drift apart.
+    if let Some(Json::Obj(sections)) = json.get("scenarios").cloned() {
+        for (family, section) in &sections {
+            let cells = section.get("cells").and_then(|c| match c {
+                Json::Obj(cells) => Some(cells.len()),
+                _ => None,
+            });
+            let ranking = section
+                .get("rankings")
+                .and_then(|r| r.get("static"))
+                .and_then(|m| m.get("by_bytes"))
+                .map(render_ranking)
+                .unwrap_or_default();
+            println!(
+                "  {family:<18} {} cells, static bytes ranking: {ranking}",
+                cells.unwrap_or(0),
+            );
+        }
+    }
+
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&path, json.render_pretty())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+
+    if failures > 0 {
+        eprintln!("scenarios: {failures} success-criteria violation(s) — see the artifact");
+        std::process::exit(1);
+    }
+    println!("all success criteria passed");
+}
+
+fn render_ranking(arr: &Json) -> String {
+    match arr {
+        Json::Arr(items) => items
+            .iter()
+            .filter_map(|j| match j {
+                Json::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+            .join(" < "),
+        _ => String::new(),
+    }
+}

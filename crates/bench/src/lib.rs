@@ -32,6 +32,7 @@
 //! | `smoke` | fast end-to-end sanity run |
 //! | `chaos` | fault-injection sweep: drop rates and node crashes, oracle-checked (`BENCH_chaos.json`) |
 //! | `perf` | wall-clock baseline: engine events/sec and parallel-sweep speedup (`BENCH_perf.json`) |
+//! | `scenarios` | workload-zoo matrix: scenario families × protocols × static/adaptive, oracle-checked with success criteria (`BENCH_scenarios.json`; `--full` for production scale) |
 //!
 //! Pass `--quick` to any figure binary for a reduced run; `--csv [path]`
 //! additionally writes the figure's data as CSV (default
@@ -63,6 +64,7 @@ use lotec_workload::{presets, Scenario};
 pub mod harness;
 pub mod obs;
 pub mod runner;
+pub mod scenarios;
 
 /// Runs a scenario end-to-end and returns the protocol comparison.
 ///

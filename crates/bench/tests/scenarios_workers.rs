@@ -1,0 +1,23 @@
+//! The scenario matrix is sweep-stable: `BENCH_scenarios.json` renders
+//! byte-identical whether the cells ran on one worker or many. The
+//! runner only parallelizes wall-clock; the artifact is assembled after
+//! the index-ordered merge and contains no timing fields, so nothing
+//! about worker count may leak into it.
+
+use lotec_bench::scenarios::build_matrix_on;
+use lotec_workload::Tier;
+
+#[test]
+fn matrix_is_byte_identical_across_worker_counts() {
+    let (serial, serial_failures) = build_matrix_on(1, Tier::Tiny);
+    let serial_bytes = serial.render_pretty();
+    for workers in [2usize, 5] {
+        let (parallel, parallel_failures) = build_matrix_on(workers, Tier::Tiny);
+        assert_eq!(
+            serial_bytes,
+            parallel.render_pretty(),
+            "matrix changed between 1 and {workers} workers"
+        );
+        assert_eq!(serial_failures, parallel_failures);
+    }
+}

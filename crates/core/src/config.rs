@@ -254,6 +254,16 @@ pub struct SystemConfig {
     /// Flight-recorder ring sizing; see [`FlightRecorderConfig`]. Only
     /// consulted when the run actually attaches a recorder sink.
     pub flight_recorder: FlightRecorderConfig,
+    /// Retain the per-family phase-time rows
+    /// ([`RunStats::phases`](crate::metrics::PhaseBreakdown)`::per_family`)
+    /// at end of run. On (the default) each family contributes one
+    /// `FamilyPhases` row — O(families) memory that the forensics and
+    /// observability reports consume. Production-scale scenario sweeps
+    /// turn it off to stay memory-flat; the aggregate phase totals and
+    /// histograms are unaffected either way, and the flag is consulted
+    /// only in end-of-run bookkeeping, so it cannot perturb simulated
+    /// behaviour.
+    pub per_family_phases: bool,
 }
 
 impl Default for SystemConfig {
@@ -280,6 +290,7 @@ impl Default for SystemConfig {
             state_sample_interval: SimDuration::ZERO,
             lock_graph_validation: false,
             flight_recorder: FlightRecorderConfig::default(),
+            per_family_phases: true,
         }
     }
 }

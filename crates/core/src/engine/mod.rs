@@ -710,11 +710,13 @@ impl<'a, S: EventSink, P: HostProfiler> Engine<'a, S, P> {
                     .compute_histogram
                     .record(f.phase_times.running.as_nanos());
             }
-            stats.phases.per_family.push(crate::metrics::FamilyPhases {
-                family_index: f.index,
-                times: f.phase_times,
-                committed,
-            });
+            if self.config.per_family_phases {
+                stats.phases.per_family.push(crate::metrics::FamilyPhases {
+                    family_index: f.index,
+                    times: f.phase_times,
+                    committed,
+                });
+            }
         }
     }
 
@@ -2698,6 +2700,39 @@ mod tests {
         assert!(plain.stats.phases.aggregate.running > SimDuration::ZERO);
         assert_eq!(plain.stats.phases.per_family.len(), families.len());
         assert!(plain.stats.phases.per_family.iter().all(|f| f.committed));
+    }
+
+    #[test]
+    fn per_family_phases_off_drops_rows_and_nothing_else() {
+        let base = SystemConfig {
+            seed: 7,
+            ..SystemConfig::default()
+        };
+        let (registry, families) = demo_workload(&base, 7);
+        let with_rows = run_engine(&base, &registry, &families).unwrap();
+        let flat_cfg = SystemConfig {
+            per_family_phases: false,
+            ..base
+        };
+        let flat = run_engine(&flat_cfg, &registry, &families).unwrap();
+
+        // The flag is end-of-run bookkeeping: the simulation itself — the
+        // schedule, the traffic, every aggregate stat — is untouched.
+        assert_eq!(with_rows.trace, flat.trace);
+        assert_eq!(with_rows.traffic.total(), flat.traffic.total());
+        assert_eq!(with_rows.final_chains, flat.final_chains);
+        assert_eq!(with_rows.stats.makespan, flat.stats.makespan);
+        assert_eq!(
+            with_rows.stats.phases.aggregate,
+            flat.stats.phases.aggregate
+        );
+        assert_eq!(
+            with_rows.stats.latency_sketch.count(),
+            flat.stats.latency_sketch.count()
+        );
+        // Only the per-family rows differ: present on, absent off.
+        assert_eq!(with_rows.stats.phases.per_family.len(), families.len());
+        assert!(flat.stats.phases.per_family.is_empty());
     }
 
     fn lossy_plan() -> lotec_sim::FaultPlan {

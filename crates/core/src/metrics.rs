@@ -169,6 +169,20 @@ impl RunStats {
         Some(SimDuration::from_nanos(self.latency_sketch.quantile(q)))
     }
 
+    /// Fraction of family outcomes that ended in a permanent abort:
+    /// `aborted / (committed + aborted)`, or `0.0` when nothing finished.
+    /// Restarted-then-committed families count as commits — this is the
+    /// user-visible failure rate the scenario success criteria bound, not
+    /// the retry churn (see `restarts` for that).
+    pub fn abort_rate(&self) -> f64 {
+        let finished = self.committed_families + self.aborted_families;
+        if finished == 0 {
+            0.0
+        } else {
+            self.aborted_families as f64 / finished as f64
+        }
+    }
+
     /// Total lock acquisition operations (local + global + queued).
     pub fn total_lock_ops(&self) -> u64 {
         self.local_lock_grants + self.global_lock_grants + self.queued_lock_requests
@@ -283,6 +297,18 @@ mod tests {
         };
         assert_eq!(stats.mean_latency(), Some(SimDuration::from_micros(500)));
         assert_eq!(stats.throughput_per_sec(), 5000.0);
+    }
+
+    #[test]
+    fn abort_rate_counts_finished_families_only() {
+        let stats = RunStats {
+            committed_families: 95,
+            aborted_families: 5,
+            restarts: 40, // retry churn must not count as failure
+            ..RunStats::default()
+        };
+        assert!((stats.abort_rate() - 0.05).abs() < 1e-12);
+        assert_eq!(RunStats::default().abort_rate(), 0.0);
     }
 
     #[test]

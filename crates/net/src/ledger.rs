@@ -307,7 +307,10 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "local message")]
-    #[cfg_attr(not(debug_assertions), ignore = "debug_assert only fires in debug builds")]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "debug_assert only fires in debug builds"
+    )]
     fn local_messages_rejected_in_debug() {
         let mut l = TrafficLedger::new();
         let local = Message::new(

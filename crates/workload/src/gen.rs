@@ -214,8 +214,12 @@ pub fn generate(
 /// Builds one invocation subtree of class `class_idx`, excluding receivers
 /// in `locked` (ancestors' receivers — §3.4 forbids recursion onto them;
 /// the class DAG already prevents it, this is defence in depth).
+///
+/// Shared with the [`crate::zoo`] generator, which passes its own
+/// per-phase receiver orderings in `by_class` but reuses the subtree
+/// construction unchanged.
 #[allow(clippy::too_many_arguments)]
-fn build_invocation(
+pub(crate) fn build_invocation(
     registry: &ObjectRegistry,
     by_class: &[Vec<ObjectId>],
     samplers: &[Option<Zipf>],

@@ -18,6 +18,10 @@
 //!   following the sites of the chosen path, Poisson-like arrivals and
 //!   optional fault injection,
 //! * [`presets`] names the scenarios of every figure in the paper,
+//! * [`zoo`] grows the generator to production shapes: named scenario
+//!   families (multi-tenant, hotspot migration, diurnal bursts, deep vs
+//!   wide trees, cluster scale-out) at tiny/quick/full tiers, each with
+//!   success criteria the bench matrix checks,
 //! * [`persist`] saves/reloads scenarios as JSON (generation is
 //!   deterministic from the config, so the config *is* the workload).
 //!
@@ -40,6 +44,8 @@ pub mod persist;
 pub mod presets;
 pub mod schema;
 pub mod zipf;
+pub mod zoo;
 
 pub use gen::{Scenario, WorkloadConfig, WorkloadError};
 pub use zipf::Zipf;
+pub use zoo::{ArrivalModel, SuccessCriteria, Tier, TrafficModel, ZooScenario};

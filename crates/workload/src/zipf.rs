@@ -62,6 +62,19 @@ impl Zipf {
         false
     }
 
+    /// The probability mass of the `k` hottest items (ranks `0..k`) — the
+    /// traffic share the skew *declares* for its head. Saturates at 1.0
+    /// when `k` covers the domain; `k == 0` is a share of zero. The
+    /// workload property suite compares empirical receiver counts against
+    /// this declared share.
+    pub fn top_share(&self, k: usize) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.cdf[(k - 1).min(self.cdf.len() - 1)]
+        }
+    }
+
     /// Draws one item.
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let u = rng.f64();

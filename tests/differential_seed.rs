@@ -143,6 +143,17 @@ fn chaos_cell(protocol: ProtocolKind, seed: u64, adaptive: bool) -> Fingerprint 
     fingerprint(&report)
 }
 
+/// The workload-zoo cells: one tiny-tier cell per scenario family, LOTEC
+/// static. Pins the zoo *generator* (schema, traffic shaping, arrivals)
+/// and the engine's behaviour on its output in one fingerprint.
+fn zoo_cell(scenario: &lotec_workload::ZooScenario) -> Fingerprint {
+    let (registry, families) = scenario.generate().expect("zoo workload generates");
+    let config = scenario.cell_config(ProtocolKind::Lotec, false);
+    let report = run_engine(&config, &registry, &families).expect("zoo run");
+    oracle::verify(&report).expect("serializable");
+    fingerprint(&report)
+}
+
 fn print_golden(label: &str, fp: &Fingerprint) {
     println!(
         "    (\"{label}\", Fingerprint {{ committed: {}, makespan_ns: {}, \
@@ -209,6 +220,17 @@ fn adaptive_cells_match_their_own_goldens() {
     }
 }
 
+/// Workload-zoo cells: every scenario family's tiny tier under
+/// LOTEC/static, pinned under its own golden row. A diverging row here
+/// with the 20 rows above intact means the *zoo generator* changed, not
+/// the engine.
+#[test]
+fn zoo_tiny_cells_match_their_goldens() {
+    for scenario in lotec_workload::zoo::all(lotec_workload::Tier::Tiny) {
+        check(format!("zoo/{}", scenario.family), zoo_cell(&scenario));
+    }
+}
+
 /// Golden fingerprints captured from the pre-overhaul build.
 #[rustfmt::skip]
 const GOLDEN: &[(&str, Fingerprint)] = &[
@@ -235,4 +257,12 @@ const GOLDEN: &[(&str, Fingerprint)] = &[
     ("chaos/LOTEC+adaptive/101", Fingerprint { committed: 8, makespan_ns: 989720, total_messages: 47, total_bytes: 18748, chain_hash: 0x6e4209f23eba80c2, stats_hash: 0x21f924b377cf06cc }),
     ("chaos/LOTEC+adaptive/138", Fingerprint { committed: 8, makespan_ns: 979492, total_messages: 41, total_bytes: 39140, chain_hash: 0x3eebb50f137e013a, stats_hash: 0x93dbb90348e7baf5 }),
     ("chaos/LOTEC+adaptive/175", Fingerprint { committed: 8, makespan_ns: 1784220, total_messages: 32, total_bytes: 34504, chain_hash: 0xca80a0b0a80f2a3b, stats_hash: 0xd623128a1cee7e8d }),
+    // Workload-zoo tiny-tier cells, LOTEC static: pins the zoo generator
+    // (tenancy, migration rotation, diurnal arrivals, tree shaping).
+    ("zoo/multi_tenant", Fingerprint { committed: 60, makespan_ns: 9867217, total_messages: 345, total_bytes: 213062, chain_hash: 0x7fca76e70f8e6f0f, stats_hash: 0xbdb64dcf20bdf29d }),
+    ("zoo/hotspot_migration", Fingerprint { committed: 48, makespan_ns: 4937062, total_messages: 321, total_bytes: 274366, chain_hash: 0xded1ccfae7488702, stats_hash: 0xfb79a7f0cee5a69c }),
+    ("zoo/diurnal_burst", Fingerprint { committed: 40, makespan_ns: 5833876, total_messages: 224, total_bytes: 122044, chain_hash: 0xa229a22f9678c36a, stats_hash: 0x0fb52f2b68a872b1 }),
+    ("zoo/deep_trees", Fingerprint { committed: 40, makespan_ns: 8591112, total_messages: 374, total_bytes: 328994, chain_hash: 0xbca735e1815906e6, stats_hash: 0x59c4543c6dec6360 }),
+    ("zoo/wide_trees", Fingerprint { committed: 40, makespan_ns: 51958317, total_messages: 1319, total_bytes: 1101986, chain_hash: 0xb1d66e3d77441b0e, stats_hash: 0x5e2039a6e4a56f0b }),
+    ("zoo/scaleout", Fingerprint { committed: 48, makespan_ns: 6143715, total_messages: 376, total_bytes: 214450, chain_hash: 0xe19f08fa3d0159d9, stats_hash: 0x36ac30b12ac4e9fc }),
 ];

@@ -1,0 +1,189 @@
+//! Property suite for the workload zoo generator.
+//!
+//! Random seeds, fixed laws: every scenario family must (1) generate
+//! byte-identically from the same seed, (2) respect its own declared
+//! structure — object references in range, tree depth/width within the
+//! schema's bounds, arrival times monotone non-decreasing — and (3)
+//! deliver the traffic share its zipf skew declares for the hot head.
+//! The zoo is self-describing; these tests hold it to its description.
+
+use lotec_core::spec::{validate_family, FamilySpec, InvocationSpec};
+use lotec_sim::SimRng;
+use lotec_workload::zoo::{self, Tier, ZooScenario};
+
+fn reseeded(scenario: &ZooScenario, seed: u64) -> ZooScenario {
+    let mut s = scenario.clone();
+    s.config.seed = seed;
+    s
+}
+
+fn depth(inv: &InvocationSpec) -> u32 {
+    1 + inv.children.iter().map(depth).max().unwrap_or(0)
+}
+
+fn max_width(inv: &InvocationSpec) -> u32 {
+    inv.children
+        .iter()
+        .map(max_width)
+        .max()
+        .unwrap_or(0)
+        .max(inv.children.len() as u32)
+}
+
+fn max_object_index(inv: &InvocationSpec) -> u32 {
+    inv.children
+        .iter()
+        .map(max_object_index)
+        .max()
+        .unwrap_or(0)
+        .max(inv.object.index())
+}
+
+#[test]
+fn same_seed_generates_byte_identical_workloads() {
+    let mut rng = SimRng::seed_from_u64(0x2001);
+    for scenario in zoo::all(Tier::Tiny) {
+        for _ in 0..3 {
+            let s = reseeded(&scenario, rng.next_below(u64::MAX));
+            let (ra, fa) = s.generate().unwrap();
+            let (rb, fb) = s.generate().unwrap();
+            // FamilySpec equality is structural; the Debug rendering
+            // additionally pins the byte-level presentation.
+            assert_eq!(fa, fb, "{}", s.name());
+            assert_eq!(
+                format!("{fa:?}"),
+                format!("{fb:?}"),
+                "{}: debug rendering diverged",
+                s.name()
+            );
+            assert_eq!(ra.num_objects(), rb.num_objects());
+        }
+    }
+}
+
+#[test]
+fn different_seeds_generate_different_workloads() {
+    for scenario in zoo::all(Tier::Tiny) {
+        let (_, a) = reseeded(&scenario, 1).generate().unwrap();
+        let (_, b) = reseeded(&scenario, 2).generate().unwrap();
+        assert_ne!(a, b, "{}: seeds 1 and 2 collided", scenario.family);
+    }
+}
+
+#[test]
+fn structural_invariants_hold_over_random_seeds() {
+    let mut rng = SimRng::seed_from_u64(0x2002);
+    for scenario in zoo::all(Tier::Tiny) {
+        for _ in 0..4 {
+            let s = reseeded(&scenario, rng.next_below(u64::MAX));
+            let (registry, families) = s.generate().unwrap();
+            assert!(!families.is_empty(), "{}: no families generated", s.name());
+            let sys = s.system_config();
+            let num_objects = registry.num_objects() as u32;
+            let mut last = None;
+            for f in &families {
+                // Core validation (receivers exist, methods/paths/sites
+                // legal, nodes in range) — the generator's own contract.
+                validate_family(f, &registry, &sys).unwrap();
+                assert!(
+                    max_object_index(&f.root) < num_objects,
+                    "{}: object reference out of range",
+                    s.name()
+                );
+                assert!(
+                    depth(&f.root) <= s.declared_max_depth(),
+                    "{}: depth {} over declared bound {}",
+                    s.name(),
+                    depth(&f.root),
+                    s.declared_max_depth()
+                );
+                assert!(
+                    max_width(&f.root) <= s.declared_max_width(),
+                    "{}: width over declared bound",
+                    s.name()
+                );
+                // Arrivals monotone non-decreasing in generation order.
+                if let Some(prev) = last {
+                    assert!(f.start >= prev, "{}: arrivals regressed", s.name());
+                }
+                last = Some(f.start);
+            }
+        }
+    }
+}
+
+/// Empirical share of root receivers that land in `hot`.
+fn hot_share(families: &[FamilySpec], hot: &[lotec_mem::ObjectId]) -> f64 {
+    let hot: std::collections::BTreeSet<_> = hot.iter().copied().collect();
+    let hits = families
+        .iter()
+        .filter(|f| hot.contains(&f.root.object))
+        .count();
+    hits as f64 / families.len().max(1) as f64
+}
+
+/// The top-1% head must receive the share the skew declares, within
+/// tolerance — checked for a tenant-partitioned family and a flat one.
+/// Migration scenarios are excluded: their hot set moves by design, so
+/// phase-0's head only owns a fraction of the run.
+#[test]
+fn zipf_head_receives_declared_traffic_share() {
+    for family in ["multi_tenant", "deep_trees", "wide_trees"] {
+        let scenario = zoo::by_name(family, Tier::Quick).unwrap();
+        assert_eq!(
+            scenario.traffic.migration_phases, 1,
+            "{family}: share check assumes a static hot set"
+        );
+        let (_, families) = scenario.generate().unwrap();
+        let hot = scenario.hot_objects(0.01);
+        let declared = scenario.expected_hot_share(0.01);
+        let empirical = hot_share(&families, &hot);
+        // The declared head share is a real signal, not a rounding
+        // artifact: far above the 1% a uniform draw would give it.
+        assert!(
+            declared > 0.05,
+            "{family}: declared share {declared:.3} too small to test"
+        );
+        assert!(
+            (empirical - declared).abs() < 0.12,
+            "{family}: empirical hot share {empirical:.3} vs declared \
+             {declared:.3} (n={})",
+            families.len()
+        );
+        assert!(
+            empirical > 0.03,
+            "{family}: hot head starved ({empirical:.3})"
+        );
+    }
+}
+
+/// Diurnal arrivals really are bursty: the largest inter-arrival gap
+/// (an off-peak trough) dwarfs the median (peak spacing), much more so
+/// than in the steady multi-tenant stream.
+#[test]
+fn diurnal_arrivals_are_burstier_than_steady() {
+    let gaps = |families: &[FamilySpec]| {
+        let mut g: Vec<u64> = families
+            .windows(2)
+            .map(|w| w[1].start.as_nanos() - w[0].start.as_nanos())
+            .collect();
+        g.sort_unstable();
+        let median = g[g.len() / 2].max(1);
+        let max = *g.last().unwrap();
+        max as f64 / median as f64
+    };
+    let (_, diurnal) = zoo::by_name("diurnal_burst", Tier::Quick)
+        .unwrap()
+        .generate()
+        .unwrap();
+    let (_, steady) = zoo::by_name("multi_tenant", Tier::Quick)
+        .unwrap()
+        .generate()
+        .unwrap();
+    assert!(
+        gaps(&diurnal) > 2.0 * gaps(&steady),
+        "diurnal max/median gap ratio {:.1} should dwarf steady {:.1}",
+        gaps(&diurnal),
+        gaps(&steady)
+    );
+}
